@@ -1,0 +1,294 @@
+// Command beoleval runs the paper's end-to-end BEOL design-rule evaluation
+// flow (Fig. 6): synthesize benchmark designs, place and route them, extract
+// and rank routing clips, solve each top clip optimally under RULE1..RULE11,
+// and report Table 2, Fig. 8 and Fig. 10 data.
+//
+// Usage:
+//
+//	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s]
+//	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"optrouter/internal/exp"
+	"optrouter/internal/report"
+	"optrouter/internal/tech"
+)
+
+func main() {
+	var (
+		techName = flag.String("tech", "all", "technology: N28-12T, N28-8T, N7-9T or all")
+		full     = flag.Bool("full", false, "use the large testbed (paper-scale clip geometry; slower)")
+		insts    = flag.Int("insts", 0, "override design instance count (0 = preset)")
+		layers   = flag.Int("nz", 0, "override clip stack depth (0 = preset)")
+		topK     = flag.Int("topk", 0, "override top-K clip selection (0 = preset)")
+		maxNets  = flag.Int("maxnets", 0, "override per-clip net cap (0 = preset)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-clip solve budget")
+		rules    = flag.Bool("rules", false, "print Table 3 rule configurations")
+		table2   = flag.Bool("table2", false, "print Table 2 benchmark matrix")
+		fig8     = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
+		fig10    = flag.Bool("fig10", false, "print Fig. 10 delta-cost study")
+		fig9     = flag.Bool("fig9", false, "print Fig. 9 pin-access analysis")
+		runtime  = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
+		validate = flag.Bool("validate", false, "run the Sec. 4.2 validation vs the heuristic router")
+		csvDir   = flag.String("csv", "", "also write figure data as CSV into this directory")
+	)
+	flag.Parse()
+
+	all := !*rules && !*table2 && !*fig8 && !*fig10 && !*fig9 && !*runtime && !*validate
+	if *rules || all {
+		printRules()
+	}
+	if *runtime || all {
+		printRuntime()
+	}
+
+	var techs []*tech.Technology
+	switch *techName {
+	case "all":
+		techs = tech.AllTechnologies()
+	default:
+		for _, t := range tech.AllTechnologies() {
+			if t.Name == *techName {
+				techs = []*tech.Technology{t}
+			}
+		}
+		if len(techs) == 0 {
+			fmt.Fprintf(os.Stderr, "beoleval: unknown technology %q\n", *techName)
+			os.Exit(1)
+		}
+	}
+
+	perTech := all || *table2 || *fig8 || *fig10 || *fig9 || *validate
+	if !perTech {
+		return
+	}
+
+	opt := exp.QuickTestbed()
+	if *full {
+		opt = exp.FullTestbed()
+	}
+	if *insts > 0 {
+		for i := range opt.Designs {
+			opt.Designs[i].Size = *insts
+		}
+	}
+	if *layers > 0 {
+		opt.ClipNZ = *layers
+	}
+	if *topK > 0 {
+		opt.TopK = *topK
+	}
+	if *maxNets > 0 {
+		opt.MaxNets = *maxNets
+	}
+	solve := exp.SolveOptions{PerClipTimeout: *timeout}
+
+	needTB := all || *table2 || *fig8 || *fig10 || *validate
+	for _, t := range techs {
+		fmt.Printf("=== %s ===\n", t.Name)
+		var tb *exp.Testbed
+		if needTB {
+			var err error
+			tb, err = exp.BuildTestbed(t, opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *table2 || all {
+			printTable2(tb)
+		}
+		if *fig8 || all {
+			printFig8(tb, *csvDir)
+		}
+		if *fig10 || all {
+			if err := printFig10(tb, solve, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *fig9 || all {
+			if err := printFig9(t, solve); err != nil {
+				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *validate || all {
+			if err := printValidation(tb, solve); err != nil {
+				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func printRuntime() {
+	recs, err := exp.RuntimeStudy(exp.RuntimeStudyOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Sec 5 runtime study (reduced depth; paper: 842->1047s, 925->1340s on CPLEX)",
+		"Switchbox", "Rules", "Feasible", "Proven", "Cost", "Nodes", "Runtime")
+	for _, r := range recs {
+		rules := "none"
+		if r.WithRules {
+			rules = "SADP+via"
+		}
+		t.AddRow(r.Switchbox, rules, r.Feasible, r.Proven, r.Cost, r.Nodes,
+			r.Runtime.Round(time.Millisecond))
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+}
+
+func printFig9(tt *tech.Technology, solve exp.SolveOptions) error {
+	results, err := exp.PinAccessStudy(tt, "NAND2X1", solve)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Fig. 9: NAND2X1 pin escape (%s)", tt.Name),
+		"Rule", "Feasible", "Cost", "Vias")
+	for _, r := range results {
+		t.AddRow(r.Rule, r.Feasible, r.Cost, r.Vias)
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func printRules() {
+	t := report.NewTable("Table 3: BEOL design rule configurations",
+		"Name", "SADP rules", "Blocked via sites")
+	for _, r := range tech.StandardRules() {
+		sadp := "No SADP"
+		if r.SADPMinLayer > 0 {
+			sadp = fmt.Sprintf("SADP >= M%d", r.SADPMinLayer)
+		}
+		t.AddRow(r.Name, sadp, fmt.Sprintf("%d neighbors blocked", r.BlockedVias))
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+}
+
+func printTable2(tb *exp.Testbed) {
+	t := report.NewTable(fmt.Sprintf("Table 2: benchmark designs (%s)", tb.Tech.Name),
+		"Design", "Period(ns)", "TargetUtil", "#inst", "#nets", "AchUtil", "RouteWL", "Vias", "Clips")
+	for _, r := range tb.Records {
+		t.AddRow(r.Design, fmt.Sprintf("%.2f", r.PeriodNS), fmt.Sprintf("%.0f%%", r.Util*100),
+			r.Insts, r.Nets, fmt.Sprintf("%.1f%%", r.AchUtil*100), r.RouteWL, r.RouteVias, r.Clips)
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+}
+
+func printFig8(tb *exp.Testbed, csvDir string) {
+	t := report.NewTable(fmt.Sprintf("Fig. 8: top pin-cost ranges (%s)", tb.Tech.Name),
+		"Design", "#clips", "Top1", "Top10", "Top50", "Min(top100)")
+	var series []report.Series
+	for key, costs := range tb.PinCosts {
+		pick := func(i int) string {
+			if i < len(costs) {
+				return fmt.Sprintf("%.1f", costs[i])
+			}
+			return "-"
+		}
+		last := len(costs) - 1
+		if last > 99 {
+			last = 99
+		}
+		lastS := "-"
+		if last >= 0 {
+			lastS = fmt.Sprintf("%.1f", costs[last])
+		}
+		t.AddRow(key, len(costs), pick(0), pick(9), pick(49), lastS)
+		top := costs
+		if len(top) > 100 {
+			top = top[:100]
+		}
+		series = append(series, report.Series{Name: key, Values: top})
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	writeCSVSeries(csvDir, fmt.Sprintf("fig8-%s.csv", tb.Tech.Name), series)
+}
+
+func printFig10(tb *exp.Testbed, solve exp.SolveOptions, csvDir string) error {
+	curves, _, err := exp.DeltaCostStudy(tb.Tech, tb.Top, solve)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 10: sorted delta-cost over %d clips (%s); infeasible plotted at %.0f",
+			len(tb.Top), tb.Tech.Name, exp.InfeasibleDelta),
+		"Rule", "Median", "P90", "Max", "Infeasible", "Unproven")
+	var series []report.Series
+	for _, cu := range curves {
+		n := len(cu.Deltas)
+		stat := func(q float64) string {
+			if n == 0 {
+				return "-"
+			}
+			i := int(q * float64(n-1))
+			return fmt.Sprintf("%.0f", cu.Deltas[i])
+		}
+		t.AddRow(cu.Rule, stat(0.5), stat(0.9), stat(1.0), cu.Infeasible, cu.Unproven)
+		series = append(series, report.Series{Name: cu.Rule, Values: cu.Deltas})
+	}
+	t.Write(os.Stdout)
+	fmt.Println()
+	writeCSVSeries(csvDir, fmt.Sprintf("fig10-%s.csv", tb.Tech.Name), series)
+	return nil
+}
+
+func printValidation(tb *exp.Testbed, solve exp.SolveOptions) error {
+	vals, err := exp.ValidationStudy(tb.Top, solve)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Sec 4.2 validation: OptRouter vs heuristic router (%s)", tb.Tech.Name),
+		"Clip", "Heuristic", "Optimal", "Delta")
+	sum, worst := 0, 0
+	for _, v := range vals {
+		t.AddRow(v.Clip, v.HeuristicCost, v.OptimalCost, v.Delta)
+		sum += v.Delta
+		if v.Delta > worst {
+			worst = v.Delta
+		}
+	}
+	t.Write(os.Stdout)
+	if len(vals) > 0 {
+		fmt.Printf("avg delta = %.1f over %d clips (paper: -10..-15; must never be > 0; worst = %d)\n\n",
+			float64(sum)/float64(len(vals)), len(vals), worst)
+	}
+	return nil
+}
+
+func writeCSVSeries(dir, name string, series []report.Series) {
+	if dir == "" || len(series) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "beoleval: csv: %v\n", err)
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beoleval: csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := report.WriteSeriesCSV(f, series); err != nil {
+		fmt.Fprintf(os.Stderr, "beoleval: csv: %v\n", err)
+	}
+}

@@ -1,0 +1,132 @@
+// Command clipextract builds a benchmark design (synthesize, place, route),
+// extracts its routing clips, ranks them by pin cost, and writes the top
+// clips as JSON files — the front half of the paper's Fig. 6 flow. With
+// -render it also prints an ASCII view of the highest-cost clip (Fig. 7).
+//
+// Usage:
+//
+//	clipextract [-tech N28-12T] [-design AES|M0] [-size 400] [-util 0.92]
+//	            [-top 10] [-out dir] [-render] [-def design.def]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/core"
+	"optrouter/internal/extract"
+	"optrouter/internal/lefdef"
+	"optrouter/internal/netlist"
+	"optrouter/internal/pincost"
+	"optrouter/internal/place"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+func main() {
+	var (
+		techName = flag.String("tech", "N28-12T", "technology name")
+		design   = flag.String("design", "AES", "design profile: AES or M0")
+		size     = flag.Int("size", 400, "instance count")
+		util     = flag.Float64("util", 0.92, "target utilization")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		top      = flag.Int("top", 10, "number of top-pin-cost clips to keep")
+		outDir   = flag.String("out", "", "write top clips as JSON into this directory")
+		render   = flag.Bool("render", false, "render the top clip as ASCII (Fig. 7)")
+		defPath  = flag.String("def", "", "also write the routed design as DEF")
+		maxNets  = flag.Int("maxnets", 6, "skip clips with more nets than this (0 = no cap)")
+	)
+	flag.Parse()
+
+	var tt *tech.Technology
+	for _, t := range tech.AllTechnologies() {
+		if t.Name == *techName {
+			tt = t
+		}
+	}
+	if tt == nil {
+		fatal(fmt.Errorf("unknown technology %q", *techName))
+	}
+
+	lib := cells.Generate(tt)
+	var prof netlist.Profile
+	switch *design {
+	case "AES":
+		prof = netlist.AESClass(*size, *seed)
+	case "M0":
+		prof = netlist.M0Class(*size, *seed)
+	default:
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+	nl, err := netlist.Generate(lib, prof)
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := place.Place(lib, nl, place.Options{TargetUtil: *util})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := route.Route(pl, route.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	wl, vias := res.WirelengthVias()
+	fmt.Printf("%s/%s: %d insts, %d nets, util %.1f%%, routed wl=%d vias=%d (conflicts %d)\n",
+		tt.Name, *design, len(nl.Instances), len(nl.Nets), pl.Utilization*100, wl, vias, res.Conflicts)
+
+	if *defPath != "" {
+		f, err := os.Create(*defPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lefdef.WriteDEF(f, res); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *defPath)
+	}
+
+	clips := extract.All(res, extract.Options{MaxNets: *maxNets})
+	fmt.Printf("extracted %d clips\n", len(clips))
+	ranked := pincost.RankTopK(clips, *top)
+	for i, c := range ranked {
+		fmt.Printf("  #%d %-28s pincost=%.1f nets=%d pins=%d\n",
+			i+1, c.Name, c.PinCost, len(c.Nets), c.NumPins())
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, c := range ranked {
+			path := filepath.Join(*outDir, fmt.Sprintf("clip%03d.json", i))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := c.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %d clips to %s\n", len(ranked), *outDir)
+	}
+
+	if *render && len(ranked) > 0 {
+		g, err := rgraph.Build(ranked[0], rgraph.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nFig. 7 style rendering of %s (pins only, unrouted):\n\n", ranked[0].Name)
+		fmt.Print(core.RenderASCII(g, nil))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clipextract: %v\n", err)
+	os.Exit(1)
+}

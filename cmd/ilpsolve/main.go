@@ -1,0 +1,60 @@
+// Command ilpsolve is a standalone mixed-integer linear program solver over
+// a small LP-like text format (see internal/lpformat), exposing the pure-Go
+// MILP engine that replaces CPLEX in this reproduction.
+//
+// Usage:
+//
+//	ilpsolve model.lp     (or reads stdin with no argument)
+//
+// Exit status: 0 solved, 2 infeasible, 1 error.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"optrouter/internal/ilp"
+	"optrouter/internal/lpformat"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	model, names, err := lpformat.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res := model.Solve(ilp.Options{})
+	fmt.Printf("status: %s (%d nodes, %d LP iterations, %v)\n",
+		res.Status, res.Nodes, res.LPIters, time.Since(start).Round(time.Millisecond))
+	if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
+		fmt.Printf("objective: %g\n", res.Obj)
+		var sorted []string
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			fmt.Printf("  %s = %g\n", n, res.X[names[n]])
+		}
+	}
+	if res.Status == ilp.Infeasible {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ilpsolve: %v\n", err)
+	os.Exit(1)
+}

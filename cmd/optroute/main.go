@@ -1,0 +1,131 @@
+// Command optroute routes a single switchbox clip under one design-rule
+// configuration and prints the optimal solution.
+//
+// Usage:
+//
+//	optroute -clip clip.json [-rule RULE1] [-solver bnb|ilp|heur]
+//	         [-timeout 30s] [-render] [-viashapes]
+//	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/ilp"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+func main() {
+	var (
+		clipPath = flag.String("clip", "", "clip JSON file (see internal/clip)")
+		synth    = flag.String("synth", "", "synthesize a clip instead: WxHxL, e.g. 7x10x4")
+		nets     = flag.Int("nets", 4, "net count for -synth")
+		seed     = flag.Int64("seed", 1, "seed for -synth")
+		ruleName = flag.String("rule", "RULE1", "rule configuration (Table 3 name)")
+		solver   = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), heur")
+		timeout  = flag.Duration("timeout", 30*time.Second, "solve budget")
+		render   = flag.Bool("render", false, "print an ASCII layer-by-layer rendering")
+		shapes   = flag.Bool("viashapes", false, "also allow bar and square via shapes")
+		bidir    = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
+		viaCost  = flag.Int("viacost", 0, "override via weight in the routing cost (0 = default 4)")
+	)
+	flag.Parse()
+
+	var c *clip.Clip
+	switch {
+	case *clipPath != "":
+		f, err := os.Open(*clipPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		c, err = clip.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+	case *synth != "":
+		var w, h, l int
+		if _, err := fmt.Sscanf(*synth, "%dx%dx%d", &w, &h, &l); err != nil {
+			fatal(fmt.Errorf("bad -synth %q: %v", *synth, err))
+		}
+		opt := clip.DefaultSynth(*seed)
+		opt.NX, opt.NY, opt.NZ = w, h, l
+		opt.NumNets = *nets
+		c = clip.Synthesize(opt)
+	default:
+		fatal(fmt.Errorf("need -clip or -synth; see -h"))
+	}
+
+	rule, ok := tech.RuleByName(*ruleName)
+	if !ok {
+		fatal(fmt.Errorf("unknown rule %q", *ruleName))
+	}
+	gOpt := rgraph.Options{Rule: rule, Bidirectional: *bidir, ViaCost: *viaCost}
+	if *shapes {
+		gOpt.ViaShapes = []tech.ViaShape{tech.SingleVia, tech.HBarVia, tech.VBarVia, tech.SquareVia}
+	}
+	g, err := rgraph.Build(c, gOpt)
+	if err != nil {
+		fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("clip %s: %d nets, graph |V|=%d |A|=%d, %d via sites, rule %s\n",
+		c.Name, len(c.Nets), st.Verts, st.Arcs, st.ViaSites, rule)
+
+	var sol *core.Solution
+	switch *solver {
+	case "bnb":
+		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout})
+	case "ilp":
+		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout})
+	case "heur":
+		sol = core.SolveHeuristic(g, core.HeuristicOptions{})
+	default:
+		err = fmt.Errorf("unknown solver %q", *solver)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !sol.Feasible {
+		verdict := "infeasible (proven)"
+		if !sol.Proven {
+			verdict = "no solution found within budget"
+		}
+		fmt.Println(verdict)
+		os.Exit(2)
+	}
+	proof := "optimal"
+	if !sol.Proven {
+		proof = "feasible (optimality not proven)"
+	}
+	fmt.Printf("%s: %s\n", proof, sol)
+	for k, arcs := range sol.NetArcs {
+		wl, vias := 0, map[int32]bool{}
+		for _, aid := range arcs {
+			a := g.Arcs[aid]
+			if a.Kind == rgraph.Wire {
+				wl++
+			}
+			if s := a.Site; s >= 0 {
+				vias[s] = true
+			}
+		}
+		fmt.Printf("  net %-8s wl=%-3d vias=%d\n", c.Nets[k].Name, wl, len(vias))
+	}
+	if *render {
+		fmt.Println()
+		fmt.Print(core.RenderASCII(g, sol))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "optroute: %v\n", err)
+	os.Exit(1)
+}

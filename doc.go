@@ -1,0 +1,10 @@
+// Package optrouter reproduces "Evaluation of BEOL Design Rule Impacts
+// Using An Optimal ILP-based Detailed Router" (Han, Kahng, Lee; DAC 2015):
+// a provably optimal, design-rule-aware switchbox detailed router and the
+// full evaluation methodology built around it.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmark harness in bench_test.go regenerates the data
+// behind every table and figure of the paper.
+package optrouter

@@ -1,0 +1,71 @@
+// Quickstart: route a small switchbox clip optimally and print the result.
+//
+// This is the minimal end-to-end use of the public pieces: describe a clip
+// (nets, pins, obstacles), build the routing graph under a design-rule
+// configuration, solve to proven optimality, verify with the independent
+// DRC, and render the layers.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/drc"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+func main() {
+	// A 5x6 track switchbox over M2..M4 with three nets. Net "n2" is a
+	// three-pin (Steiner) net; "n0" has a two-access-point source pin.
+	c := &clip.Clip{
+		Name: "quickstart", Tech: "N28-12T",
+		NX: 5, NY: 6, NZ: 4, MinLayer: 1,
+		Obstacles: []clip.AccessPoint{{X: 2, Y: 2, Z: 1}},
+		Nets: []clip.Net{
+			{Name: "n0", Pins: []clip.Pin{
+				{Name: "src", APs: []clip.AccessPoint{{X: 0, Y: 0, Z: 1}, {X: 0, Y: 1, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 4, Y: 5, Z: 1}}},
+			}},
+			{Name: "n1", Pins: []clip.Pin{
+				{Name: "src", APs: []clip.AccessPoint{{X: 4, Y: 0, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 0, Y: 5, Z: 1}}},
+			}},
+			{Name: "n2", Pins: []clip.Pin{
+				{Name: "src", APs: []clip.AccessPoint{{X: 2, Y: 0, Z: 1}}},
+				{Name: "t1", APs: []clip.AccessPoint{{X: 2, Y: 5, Z: 1}}},
+				{Name: "t2", APs: []clip.AccessPoint{{X: 3, Y: 3, Z: 1}}},
+			}},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// RULE6: no SADP, vias block their four orthogonal neighbors.
+	rule, _ := tech.RuleByName("RULE6")
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := core.SolveBnB(g, core.BnBOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sol.Feasible {
+		log.Fatal("clip is unroutable under RULE6")
+	}
+	fmt.Printf("optimal routing: %s (cost = wirelength + 4 x vias)\n", sol)
+
+	if v := drc.Check(g, sol.NetArcs); len(v) != 0 {
+		log.Fatalf("DRC violations: %v", v)
+	}
+	fmt.Println("DRC clean.")
+	fmt.Println()
+	fmt.Print(core.RenderASCII(g, sol))
+}

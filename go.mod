@@ -1,0 +1,3 @@
+module optrouter
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package cells synthesizes standard-cell libraries for the three paper
+// technologies. The cells are geometric stand-ins for the foundry 28nm
+// 8/12-track and prototype 7nm 9-track libraries: what matters for the
+// paper's experiments is pin geometry — how many access points each pin
+// exposes and how closely pins crowd together (Fig. 9) — and cell footprint
+// statistics, both of which are reproduced per technology.
+package cells
+
+import (
+	"fmt"
+
+	"optrouter/internal/geom"
+	"optrouter/internal/tech"
+)
+
+// PinDir is the logical direction of a cell pin.
+type PinDir uint8
+
+const (
+	// Input pin.
+	Input PinDir = iota
+	// Output pin.
+	Output
+	// Inout pin (power/ground rails).
+	Inout
+)
+
+func (d PinDir) String() string {
+	switch d {
+	case Input:
+		return "INPUT"
+	case Output:
+		return "OUTPUT"
+	default:
+		return "INOUT"
+	}
+}
+
+// Pin is a standard-cell pin: shapes in cell-relative nanometers plus the
+// on-grid access points derived from them.
+type Pin struct {
+	Name   string
+	Dir    PinDir
+	Shapes []geom.LayerRect // M1 rectangles, cell-relative nm
+	// APs are on-track access points in cell-relative track units:
+	// X in site-columns, Y in horizontal-track rows.
+	APs []geom.Point
+}
+
+// Cell is a standard-cell master.
+type Cell struct {
+	Name       string
+	WidthSites int // width in placement sites
+	Pins       []Pin
+	// Area is WidthSites (height is uniform per library); kept for
+	// utilization computations.
+}
+
+// Library is a generated standard-cell library for one technology.
+type Library struct {
+	Tech   *tech.Technology
+	Cells  []Cell
+	byName map[string]int
+}
+
+// Cell returns the named master; ok is false if absent.
+func (l *Library) Cell(name string) (*Cell, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &l.Cells[i], true
+}
+
+// CellNames lists masters in definition order.
+func (l *Library) CellNames() []string {
+	out := make([]string, len(l.Cells))
+	for i := range l.Cells {
+		out[i] = l.Cells[i].Name
+	}
+	return out
+}
+
+// archetype describes a cell template independent of technology.
+type archetype struct {
+	name   string
+	width  int // base width in sites (N28-12T reference)
+	inputs []string
+	output string // empty for FILL/TAP
+}
+
+var archetypes = []archetype{
+	{"INVX1", 2, []string{"A"}, "Y"},
+	{"INVX2", 3, []string{"A"}, "Y"},
+	{"INVX4", 5, []string{"A"}, "Y"},
+	{"BUFX2", 4, []string{"A"}, "Y"},
+	{"BUFX4", 6, []string{"A"}, "Y"},
+	{"NAND2X1", 3, []string{"A", "B"}, "Y"},
+	{"NAND2X2", 5, []string{"A", "B"}, "Y"},
+	{"NOR2X1", 3, []string{"A", "B"}, "Y"},
+	{"NOR2X2", 5, []string{"A", "B"}, "Y"},
+	{"NAND3X1", 4, []string{"A", "B", "C"}, "Y"},
+	{"NOR3X1", 4, []string{"A", "B", "C"}, "Y"},
+	{"XOR2X1", 6, []string{"A", "B"}, "Y"},
+	{"XNOR2X1", 6, []string{"A", "B"}, "Y"},
+	{"AOI21X1", 5, []string{"A", "B", "C"}, "Y"},
+	{"OAI21X1", 5, []string{"A", "B", "C"}, "Y"},
+	{"AOI22X1", 6, []string{"A", "B", "C", "D"}, "Y"},
+	{"OAI22X1", 6, []string{"A", "B", "C", "D"}, "Y"},
+	{"MUX2X1", 6, []string{"A", "B", "S"}, "Y"},
+	{"DFFX1", 10, []string{"D", "CK"}, "Q"},
+	{"DFFX2", 12, []string{"D", "CK"}, "Q"},
+	{"FILL1", 1, nil, ""},
+	{"FILL2", 2, nil, ""},
+}
+
+// Generate builds the library for a technology. Pin geometry follows the
+// technology's PinAccessPoints/PinSpanTracks parameters: N28-12T pins are
+// tall M1 strips with up to 4 access points; scaled N7-9T pins expose only
+// 2 access points and sit closer together (paper Fig. 9(c)).
+func Generate(t *tech.Technology) *Library {
+	lib := &Library{Tech: t, byName: map[string]int{}}
+	for _, at := range archetypes {
+		c := synthesizeCell(t, at)
+		lib.byName[c.Name] = len(lib.Cells)
+		lib.Cells = append(lib.Cells, c)
+	}
+	return lib
+}
+
+func synthesizeCell(t *tech.Technology, at archetype) Cell {
+	// Width scales mildly with track height: shorter cells need more width
+	// for the same transistors (the 8T library is wider than the 12T).
+	width := at.width
+	// Every signal pin needs its own column: inputs in columns 1..n, the
+	// output in column n+1, with one spare site at each edge.
+	if minW := len(at.inputs) + 3; at.output != "" && width < minW {
+		width = minW
+	}
+	if t.TrackHeight <= 8 && width > 1 {
+		width += (width + 2) / 3
+	}
+	c := Cell{Name: at.Name(), WidthSites: width}
+
+	hp := t.HPitchNM()
+	vp := t.VPitchNM()
+
+	// Pins occupy interior columns; rails occupy top/bottom tracks.
+	// Access points live on routing-track crossings, rows 1..TrackHeight-2.
+	nAPs := t.PinAccessPoints
+	span := t.PinSpanTracks
+	// Pin rows start above the power rail.
+	baseRow := 2
+	if t.TrackHeight <= 9 {
+		baseRow = 1
+	}
+
+	col := 1
+	addPin := func(name string, dir PinDir, colIdx int, rowOffset int) Pin {
+		p := Pin{Name: name, Dir: dir}
+		for i := 0; i < nAPs; i++ {
+			row := baseRow + rowOffset + i*geom.Max(1, span/geom.Max(1, nAPs-1))
+			if row > t.TrackHeight-2 {
+				row = t.TrackHeight - 2 - (i % 2)
+			}
+			p.APs = append(p.APs, geom.Pt(colIdx, row))
+		}
+		x := colIdx * vp
+		yLo := (baseRow + rowOffset) * hp
+		yHi := yLo + span*hp
+		p.Shapes = []geom.LayerRect{{Layer: 0, Rect: geom.R(x-20, yLo-20, x+20, yHi+20)}}
+		return p
+	}
+
+	for i, in := range at.inputs {
+		// Stagger input pin rows slightly so pins don't collide.
+		c.Pins = append(c.Pins, addPin(in, Input, col, i%2))
+		col++
+	}
+	if at.output != "" {
+		c.Pins = append(c.Pins, addPin(at.output, Output, col, 1))
+	}
+
+	// Power/ground rails as Inout pins spanning the cell width.
+	rail := func(name string, row int) Pin {
+		return Pin{
+			Name: name, Dir: Inout,
+			Shapes: []geom.LayerRect{{Layer: 0, Rect: geom.R(0, row*hp-40, width*vp, row*hp+40)}},
+		}
+	}
+	c.Pins = append(c.Pins, rail("VDD", t.TrackHeight-1), rail("VSS", 0))
+	return c
+}
+
+// Name formats the archetype name.
+func (a archetype) Name() string { return a.name }
+
+// String summarizes a cell.
+func (c *Cell) String() string {
+	return fmt.Sprintf("%s (%d sites, %d pins)", c.Name, c.WidthSites, len(c.Pins))
+}
+
+// SignalPins returns the non-rail pins.
+func (c *Cell) SignalPins() []Pin {
+	var out []Pin
+	for _, p := range c.Pins {
+		if p.Dir != Inout {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// InputPins returns input pins only.
+func (c *Cell) InputPins() []Pin {
+	var out []Pin
+	for _, p := range c.Pins {
+		if p.Dir == Input {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OutputPin returns the output pin, if any.
+func (c *Cell) OutputPin() (Pin, bool) {
+	for _, p := range c.Pins {
+		if p.Dir == Output {
+			return p, true
+		}
+	}
+	return Pin{}, false
+}

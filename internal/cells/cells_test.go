@@ -1,0 +1,141 @@
+package cells
+
+import (
+	"testing"
+
+	"optrouter/internal/tech"
+)
+
+func TestGenerateAllTechnologies(t *testing.T) {
+	for _, tt := range tech.AllTechnologies() {
+		lib := Generate(tt)
+		if len(lib.Cells) == 0 {
+			t.Fatalf("%s: empty library", tt.Name)
+		}
+		for i := range lib.Cells {
+			c := &lib.Cells[i]
+			if c.WidthSites < 1 {
+				t.Errorf("%s/%s: width %d", tt.Name, c.Name, c.WidthSites)
+			}
+			for _, p := range c.SignalPins() {
+				if len(p.APs) == 0 {
+					t.Errorf("%s/%s/%s: no access points", tt.Name, c.Name, p.Name)
+				}
+				for _, ap := range p.APs {
+					if ap.X < 0 || ap.X >= c.WidthSites+1 {
+						t.Errorf("%s/%s/%s: AP column %d outside cell (width %d)",
+							tt.Name, c.Name, p.Name, ap.X, c.WidthSites)
+					}
+					if ap.Y < 0 || ap.Y >= tt.TrackHeight {
+						t.Errorf("%s/%s/%s: AP row %d outside cell (%d tracks)",
+							tt.Name, c.Name, p.Name, ap.Y, tt.TrackHeight)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPinAccessPointsPerTech(t *testing.T) {
+	// Paper Fig. 9: N28-12T pins have generous access; scaled N7-9T input
+	// pins have only two access points.
+	lib12 := Generate(tech.N28T12())
+	lib7 := Generate(tech.N7T9())
+	nand12, ok := lib12.Cell("NAND2X1")
+	if !ok {
+		t.Fatal("NAND2X1 missing")
+	}
+	nand7, _ := lib7.Cell("NAND2X1")
+	for _, p := range nand7.InputPins() {
+		if len(p.APs) != 2 {
+			t.Errorf("N7-9T input pin %s has %d APs, want 2", p.Name, len(p.APs))
+		}
+	}
+	for _, p := range nand12.InputPins() {
+		if len(p.APs) != 4 {
+			t.Errorf("N28-12T input pin %s has %d APs, want 4", p.Name, len(p.APs))
+		}
+	}
+}
+
+func TestCellLookup(t *testing.T) {
+	lib := Generate(tech.N28T8())
+	if _, ok := lib.Cell("NAND2X1"); !ok {
+		t.Error("NAND2X1 missing")
+	}
+	if _, ok := lib.Cell("NOPE"); ok {
+		t.Error("unknown cell resolved")
+	}
+	names := lib.CellNames()
+	if len(names) != len(lib.Cells) {
+		t.Error("CellNames length mismatch")
+	}
+}
+
+func TestEightTrackCellsAreWider(t *testing.T) {
+	// Shorter cells need more width: the 8T library trades height for width.
+	lib12 := Generate(tech.N28T12())
+	lib8 := Generate(tech.N28T8())
+	c12, _ := lib12.Cell("NAND2X1")
+	c8, _ := lib8.Cell("NAND2X1")
+	if c8.WidthSites <= c12.WidthSites {
+		t.Errorf("8T NAND2X1 width %d should exceed 12T width %d", c8.WidthSites, c12.WidthSites)
+	}
+}
+
+func TestRailsPresent(t *testing.T) {
+	lib := Generate(tech.N28T12())
+	c, _ := lib.Cell("INVX1")
+	var vdd, vss bool
+	for _, p := range c.Pins {
+		if p.Dir == Inout && p.Name == "VDD" {
+			vdd = true
+		}
+		if p.Dir == Inout && p.Name == "VSS" {
+			vss = true
+		}
+	}
+	if !vdd || !vss {
+		t.Error("rails missing")
+	}
+}
+
+func TestOutputPin(t *testing.T) {
+	lib := Generate(tech.N7T9())
+	c, _ := lib.Cell("DFFX1")
+	out, ok := c.OutputPin()
+	if !ok || out.Name != "Q" {
+		t.Errorf("DFF output = %v, %v", out.Name, ok)
+	}
+	fill, _ := lib.Cell("FILL1")
+	if _, ok := fill.OutputPin(); ok {
+		t.Error("filler cell must have no output")
+	}
+	if len(fill.InputPins()) != 0 {
+		t.Error("filler cell must have no inputs")
+	}
+}
+
+func TestPinDirString(t *testing.T) {
+	if Input.String() != "INPUT" || Output.String() != "OUTPUT" || Inout.String() != "INOUT" {
+		t.Error("PinDir.String broken")
+	}
+}
+
+func TestDistinctAPColumnsForInputs(t *testing.T) {
+	// Two inputs of a NAND must not share an AP location (shorted pins).
+	for _, tt := range tech.AllTechnologies() {
+		lib := Generate(tt)
+		c, _ := lib.Cell("NAND2X1")
+		seen := map[[2]int]string{}
+		for _, p := range c.SignalPins() {
+			for _, ap := range p.APs {
+				key := [2]int{ap.X, ap.Y}
+				if owner, dup := seen[key]; dup && owner != p.Name {
+					t.Errorf("%s: pins %s and %s share AP %v", tt.Name, owner, p.Name, ap)
+				}
+				seen[key] = p.Name
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package clip defines the switchbox routing clip: the unit of work for
+// OptRouter. A clip is a small window (the paper uses 1um x 1um, i.e.
+// 7 vertical x 10 horizontal tracks over eight metal layers) cut out of a
+// routed design, together with the nets that must be routed inside it.
+//
+// Coordinates are track indices: X in [0, NX) indexes vertical-track columns,
+// Y in [0, NY) indexes horizontal-track rows, and Z in [0, NZ) indexes metal
+// layers (Z = 0 is M1). Layers alternate preferred direction: even Z
+// (M1, M3, ...) routes horizontally, odd Z routes vertically, matching
+// package tech's stack.
+package clip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AccessPoint is one routable grid location of a pin.
+type AccessPoint struct {
+	X, Y, Z int
+}
+
+func (a AccessPoint) String() string { return fmt.Sprintf("(%d,%d,M%d)", a.X, a.Y, a.Z+1) }
+
+// Pin is a source or sink of a net: a set of electrically equivalent access
+// points (the paper's "pin shape" / multiple access points, Fig. 9).
+//
+// AreaNM2 and CXNM/CYNM describe the physical pin shape for the Taghavi pin
+// cost metric (package pincost); they are zero for boundary-crossing
+// terminals, which the metric ignores.
+type Pin struct {
+	Name string        `json:"name"`
+	APs  []AccessPoint `json:"aps"`
+
+	AreaNM2 int `json:"areaNM2,omitempty"`
+	CXNM    int `json:"cxNM,omitempty"`
+	CYNM    int `json:"cyNM,omitempty"`
+}
+
+// Net is a multi-pin net. Pins[0] is the source; the rest are sinks.
+type Net struct {
+	Name string `json:"name"`
+	Pins []Pin  `json:"pins"`
+}
+
+// NumSinks returns |T_k|.
+func (n *Net) NumSinks() int { return len(n.Pins) - 1 }
+
+// Clip is a switchbox routing instance.
+type Clip struct {
+	Name string `json:"name"`
+	Tech string `json:"tech"` // technology name, e.g. "N28-12T"
+
+	// Grid extent: NX vertical tracks, NY horizontal tracks, NZ layers.
+	NX, NY, NZ int
+
+	// MinLayer is the lowest usable routing layer (0-based). The paper does
+	// not use M1 as a routing resource, so extracted clips have MinLayer=1.
+	MinLayer int `json:"minLayer"`
+
+	// Obstacles are grid vertices unavailable for routing (power rails,
+	// blockages, shapes of nets not in the clip).
+	Obstacles []AccessPoint `json:"obstacles,omitempty"`
+
+	Nets []Net `json:"nets"`
+
+	// PinCost caches the Taghavi pin cost once computed (package pincost).
+	PinCost float64 `json:"pinCost,omitempty"`
+}
+
+// Validate performs structural sanity checks and returns the first problem
+// found, or nil.
+func (c *Clip) Validate() error {
+	if c.NX <= 0 || c.NY <= 0 || c.NZ <= 0 {
+		return fmt.Errorf("clip %s: non-positive grid %dx%dx%d", c.Name, c.NX, c.NY, c.NZ)
+	}
+	if c.MinLayer < 0 || c.MinLayer >= c.NZ {
+		return fmt.Errorf("clip %s: MinLayer %d outside [0,%d)", c.Name, c.MinLayer, c.NZ)
+	}
+	inGrid := func(a AccessPoint) bool {
+		return a.X >= 0 && a.X < c.NX && a.Y >= 0 && a.Y < c.NY && a.Z >= 0 && a.Z < c.NZ
+	}
+	obst := map[AccessPoint]bool{}
+	for _, o := range c.Obstacles {
+		if !inGrid(o) {
+			return fmt.Errorf("clip %s: obstacle %v outside grid", c.Name, o)
+		}
+		obst[o] = true
+	}
+	seenNet := map[string]bool{}
+	apOwner := map[AccessPoint]string{}
+	for i := range c.Nets {
+		n := &c.Nets[i]
+		if n.Name == "" {
+			return fmt.Errorf("clip %s: net %d unnamed", c.Name, i)
+		}
+		if seenNet[n.Name] {
+			return fmt.Errorf("clip %s: duplicate net %q", c.Name, n.Name)
+		}
+		seenNet[n.Name] = true
+		if len(n.Pins) < 2 {
+			return fmt.Errorf("clip %s: net %q has %d pins (need >= 2)", c.Name, n.Name, len(n.Pins))
+		}
+		for _, p := range n.Pins {
+			if len(p.APs) == 0 {
+				return fmt.Errorf("clip %s: net %q pin %q has no access points", c.Name, n.Name, p.Name)
+			}
+			for _, a := range p.APs {
+				if !inGrid(a) {
+					return fmt.Errorf("clip %s: net %q AP %v outside grid", c.Name, n.Name, a)
+				}
+				// Access points may sit one layer below MinLayer: such pins
+				// model M1 cell pins reachable only through a via (the
+				// paper's V12 pin-access sites, Fig. 9).
+				if a.Z < c.MinLayer-1 {
+					return fmt.Errorf("clip %s: net %q AP %v below MinLayer %d", c.Name, n.Name, a, c.MinLayer)
+				}
+				if obst[a] {
+					return fmt.Errorf("clip %s: net %q AP %v collides with obstacle", c.Name, n.Name, a)
+				}
+				if owner, ok := apOwner[a]; ok && owner != n.Name {
+					return fmt.Errorf("clip %s: AP %v shared by nets %q and %q", c.Name, a, owner, n.Name)
+				}
+				apOwner[a] = n.Name
+			}
+		}
+	}
+	return nil
+}
+
+// NumPins returns the total number of pins across all nets.
+func (c *Clip) NumPins() int {
+	n := 0
+	for i := range c.Nets {
+		n += len(c.Nets[i].Pins)
+	}
+	return n
+}
+
+// WriteJSON serializes the clip.
+func (c *Clip) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON deserializes and validates a clip.
+func ReadJSON(r io.Reader) (*Clip, error) {
+	var c Clip
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("clip: decode: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SortNetsByName orders nets deterministically.
+func (c *Clip) SortNetsByName() {
+	sort.Slice(c.Nets, func(i, j int) bool { return c.Nets[i].Name < c.Nets[j].Name })
+}
+
+// MarshalJSON ensures grid fields serialize with stable lowercase keys.
+func (c *Clip) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name      string        `json:"name"`
+		Tech      string        `json:"tech"`
+		NX        int           `json:"nx"`
+		NY        int           `json:"ny"`
+		NZ        int           `json:"nz"`
+		MinLayer  int           `json:"minLayer"`
+		Obstacles []AccessPoint `json:"obstacles,omitempty"`
+		Nets      []Net         `json:"nets"`
+		PinCost   float64       `json:"pinCost,omitempty"`
+	}
+	return json.Marshal(alias{
+		Name: c.Name, Tech: c.Tech,
+		NX: c.NX, NY: c.NY, NZ: c.NZ,
+		MinLayer: c.MinLayer, Obstacles: c.Obstacles,
+		Nets: c.Nets, PinCost: c.PinCost,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (c *Clip) UnmarshalJSON(b []byte) error {
+	type alias struct {
+		Name      string        `json:"name"`
+		Tech      string        `json:"tech"`
+		NX        int           `json:"nx"`
+		NY        int           `json:"ny"`
+		NZ        int           `json:"nz"`
+		MinLayer  int           `json:"minLayer"`
+		Obstacles []AccessPoint `json:"obstacles,omitempty"`
+		Nets      []Net         `json:"nets"`
+		PinCost   float64       `json:"pinCost,omitempty"`
+	}
+	var a alias
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	c.Name, c.Tech = a.Name, a.Tech
+	c.NX, c.NY, c.NZ = a.NX, a.NY, a.NZ
+	c.MinLayer = a.MinLayer
+	c.Obstacles = a.Obstacles
+	c.Nets = a.Nets
+	c.PinCost = a.PinCost
+	return nil
+}

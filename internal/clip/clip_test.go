@@ -1,0 +1,179 @@
+package clip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleClip() *Clip {
+	return &Clip{
+		Name: "t", Tech: "N28-12T",
+		NX: 5, NY: 6, NZ: 4, MinLayer: 1,
+		Nets: []Net{
+			{Name: "a", Pins: []Pin{
+				{Name: "s", APs: []AccessPoint{{0, 0, 1}}},
+				{Name: "t", APs: []AccessPoint{{4, 5, 1}}},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := simpleClip().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Clip)
+		want   string
+	}{
+		{func(c *Clip) { c.NX = 0 }, "non-positive grid"},
+		{func(c *Clip) { c.MinLayer = 4 }, "MinLayer"},
+		{func(c *Clip) { c.Nets[0].Pins[0].APs[0].X = 99 }, "outside grid"},
+		// Z = MinLayer-1 is legal (an M1 pin behind a V12 access via), so
+		// push the AP two layers below the routing stack.
+		{func(c *Clip) { c.MinLayer = 3 }, "below MinLayer"},
+		{func(c *Clip) { c.Nets[0].Pins = c.Nets[0].Pins[:1] }, "need >= 2"},
+		{func(c *Clip) { c.Nets[0].Name = "" }, "unnamed"},
+		{func(c *Clip) { c.Nets[0].Pins[0].APs = nil }, "no access points"},
+		{func(c *Clip) { c.Obstacles = []AccessPoint{{0, 0, 1}} }, "collides"},
+		{func(c *Clip) { c.Obstacles = []AccessPoint{{-1, 0, 0}} }, "obstacle"},
+		{func(c *Clip) {
+			c.Nets = append(c.Nets, Net{Name: "a", Pins: c.Nets[0].Pins})
+		}, "duplicate net"},
+		{func(c *Clip) {
+			c.Nets = append(c.Nets, Net{Name: "b", Pins: []Pin{
+				{Name: "s", APs: []AccessPoint{{0, 0, 1}}},
+				{Name: "t", APs: []AccessPoint{{1, 1, 1}}},
+			}})
+		}, "shared by nets"},
+	}
+	for i, tc := range cases {
+		c := simpleClip()
+		tc.mutate(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("case %d: expected error containing %q, got nil", i, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not contain %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := simpleClip()
+	c.Obstacles = []AccessPoint{{2, 2, 2}}
+	c.PinCost = 12.5
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || got.NX != c.NX || got.NY != c.NY || got.NZ != c.NZ ||
+		got.MinLayer != c.MinLayer || got.PinCost != c.PinCost {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, c)
+	}
+	if len(got.Nets) != 1 || got.Nets[0].Pins[1].APs[0] != (AccessPoint{4, 5, 1}) {
+		t.Fatalf("nets lost in round trip: %+v", got.Nets)
+	}
+	if len(got.Obstacles) != 1 || got.Obstacles[0] != (AccessPoint{2, 2, 2}) {
+		t.Fatalf("obstacles lost: %+v", got.Obstacles)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","nx":0,"ny":1,"nz":1,"nets":[]}`)); err == nil {
+		t.Error("invalid clip accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNumPinsAndSinks(t *testing.T) {
+	c := simpleClip()
+	if c.NumPins() != 2 {
+		t.Errorf("NumPins = %d", c.NumPins())
+	}
+	if c.Nets[0].NumSinks() != 1 {
+		t.Errorf("NumSinks = %d", c.Nets[0].NumSinks())
+	}
+}
+
+func TestSortNetsByName(t *testing.T) {
+	c := simpleClip()
+	c.Nets = append(c.Nets, Net{Name: "0first", Pins: []Pin{
+		{APs: []AccessPoint{{1, 1, 1}}}, {APs: []AccessPoint{{2, 2, 1}}},
+	}})
+	c.SortNetsByName()
+	if c.Nets[0].Name != "0first" {
+		t.Errorf("nets not sorted: %v", c.Nets[0].Name)
+	}
+}
+
+// Property: Synthesize always yields a valid clip across seeds and sizes.
+func TestSynthesizeAlwaysValid(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		opt := DefaultSynth(seed)
+		opt.NX = 4 + int(sz%4)
+		opt.NY = 4 + int(sz%5)
+		opt.NumNets = 2 + int(sz%5)
+		opt.MaxSinks = 1 + int(sz%3)
+		c := Synthesize(opt)
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 50}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(DefaultSynth(3))
+	b := Synthesize(DefaultSynth(3))
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("synthesis is not deterministic for equal seeds")
+	}
+}
+
+func TestSynthesizeProducesNets(t *testing.T) {
+	c := Synthesize(DefaultSynth(1))
+	if len(c.Nets) == 0 {
+		t.Fatal("no nets synthesized")
+	}
+	multi := false
+	opt := DefaultSynth(1)
+	opt.MaxSinks = 3
+	opt.NumNets = 6
+	opt.NX, opt.NY = 8, 9
+	for seed := int64(0); seed < 10 && !multi; seed++ {
+		opt.Seed = seed
+		for _, n := range Synthesize(opt).Nets {
+			if n.NumSinks() > 1 {
+				multi = true
+			}
+		}
+	}
+	if !multi {
+		t.Error("MaxSinks > 1 never produced a multi-pin net across seeds")
+	}
+}

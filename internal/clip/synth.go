@@ -1,0 +1,136 @@
+package clip
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SynthOptions parameterizes random clip synthesis. Synthetic clips are used
+// by tests and benchmarks that need controlled instances independent of the
+// full place-and-route substrate.
+type SynthOptions struct {
+	NX, NY, NZ int
+	MinLayer   int
+	NumNets    int
+	// MaxSinks is the maximum sink count per net (>=1). Sink counts are
+	// drawn uniformly in [1, MaxSinks], so MaxSinks > 1 produces multi-pin
+	// (Steiner) nets.
+	MaxSinks int
+	// PinAPs is the number of access points per in-clip pin (>=1).
+	PinAPs int
+	// BoundaryFrac is the fraction of pins placed on the clip boundary
+	// (emulating nets crossing the switchbox).
+	BoundaryFrac float64
+	// ObstacleFrac is the fraction of grid vertices blocked.
+	ObstacleFrac float64
+	Seed         int64
+}
+
+// DefaultSynth returns options resembling a small extracted clip.
+func DefaultSynth(seed int64) SynthOptions {
+	return SynthOptions{
+		NX: 5, NY: 6, NZ: 4, MinLayer: 1,
+		NumNets: 4, MaxSinks: 2, PinAPs: 2,
+		BoundaryFrac: 0.4, ObstacleFrac: 0.05, Seed: seed,
+	}
+}
+
+// Synthesize builds a random clip. Pins are placed on distinct vertices;
+// in-cell pins go to the bottom routing layer (as M1/M2 pins would), while
+// boundary pins sit on clip edges at any layer. The clip always validates.
+func Synthesize(opt SynthOptions) *Clip {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := &Clip{
+		Name:     fmt.Sprintf("synth-%d", opt.Seed),
+		Tech:     "synthetic",
+		NX:       opt.NX,
+		NY:       opt.NY,
+		NZ:       opt.NZ,
+		MinLayer: opt.MinLayer,
+	}
+
+	used := map[AccessPoint]bool{}
+	pinBase := map[[2]int]bool{} // (x,y) columns claimed by a pin, any layer
+
+	// Obstacles on random vertices, avoiding later pin placement by
+	// claiming vertices first.
+	nObst := int(opt.ObstacleFrac * float64(opt.NX*opt.NY*(opt.NZ-opt.MinLayer)))
+	for i := 0; i < nObst; i++ {
+		a := AccessPoint{
+			X: rng.Intn(opt.NX),
+			Y: rng.Intn(opt.NY),
+			Z: opt.MinLayer + rng.Intn(opt.NZ-opt.MinLayer),
+		}
+		if used[a] {
+			continue
+		}
+		used[a] = true
+		c.Obstacles = append(c.Obstacles, a)
+	}
+
+	// freshPin picks an unused location (and neighbors for extra APs).
+	freshPin := func(name string, boundary bool) (Pin, bool) {
+		for attempt := 0; attempt < 200; attempt++ {
+			var base AccessPoint
+			if boundary {
+				// Random point on one of the four boundary columns/rows of
+				// a random routing layer.
+				z := opt.MinLayer + rng.Intn(opt.NZ-opt.MinLayer)
+				switch rng.Intn(4) {
+				case 0:
+					base = AccessPoint{0, rng.Intn(opt.NY), z}
+				case 1:
+					base = AccessPoint{opt.NX - 1, rng.Intn(opt.NY), z}
+				case 2:
+					base = AccessPoint{rng.Intn(opt.NX), 0, z}
+				default:
+					base = AccessPoint{rng.Intn(opt.NX), opt.NY - 1, z}
+				}
+			} else {
+				base = AccessPoint{rng.Intn(opt.NX), rng.Intn(opt.NY), opt.MinLayer}
+			}
+			if used[base] || pinBase[[2]int{base.X, base.Y}] {
+				continue
+			}
+			pin := Pin{Name: name, APs: []AccessPoint{base}}
+			used[base] = true
+			pinBase[[2]int{base.X, base.Y}] = true
+			// Additional APs adjacent along the pin's layer direction.
+			for extra := 1; extra < opt.PinAPs && !boundary; extra++ {
+				next := base
+				next.Y = base.Y + extra
+				if next.Y >= opt.NY || used[next] {
+					break
+				}
+				used[next] = true
+				pin.APs = append(pin.APs, next)
+			}
+			return pin, true
+		}
+		return Pin{}, false
+	}
+
+	for n := 0; n < opt.NumNets; n++ {
+		name := fmt.Sprintf("n%d", n)
+		sinks := 1
+		if opt.MaxSinks > 1 {
+			sinks = 1 + rng.Intn(opt.MaxSinks)
+		}
+		var pins []Pin
+		ok := true
+		for p := 0; p <= sinks; p++ {
+			boundary := rng.Float64() < opt.BoundaryFrac
+			pin, found := freshPin(fmt.Sprintf("%s_p%d", name, p), boundary)
+			if !found {
+				ok = false
+				break
+			}
+			pins = append(pins, pin)
+		}
+		if !ok {
+			break // grid saturated; keep what we have
+		}
+		c.Nets = append(c.Nets, Net{Name: name, Pins: pins})
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+// Package congestion scores clip windows by realized routing demand — the
+// "metric beyond [Taghavi et al.] to estimate routability in sub-20nm
+// nodes" that the paper's Section 5 names as future work. Where the pin
+// cost metric sees only pin geometry, the congestion score reads the
+// reference route: how much wire, how many vias and how many boundary
+// crossings the window actually carries, normalized by its track capacity.
+package congestion
+
+import (
+	"optrouter/internal/route"
+)
+
+// Weights for the demand score; vias weigh like the routing cost metric and
+// crossings proxy for through-traffic pressure on the window boundary.
+const (
+	wireWeight     = 1.0
+	viaWeight      = 4.0
+	crossingWeight = 2.0
+)
+
+// WindowScore computes the demand score of the window at track origin
+// (ox, oy) with extent w x h over nz layers: realized in-window usage
+// weighted by resource kind, divided by the window's wire capacity.
+func WindowScore(res *route.Result, ox, oy, w, h, nz int) float64 {
+	if w <= 0 || h <= 0 || nz <= 0 {
+		return 0
+	}
+	inWin := func(x, y int) bool {
+		return x >= ox && x < ox+w && y >= oy && y < oy+h
+	}
+	demand := 0.0
+	for i := range res.Nets {
+		for _, s := range res.Nets[i].Steps {
+			if s.FromZ >= nz || s.ToZ >= nz {
+				continue
+			}
+			fIn := inWin(s.FromX, s.FromY)
+			tIn := inWin(s.ToX, s.ToY)
+			switch {
+			case fIn && tIn:
+				if s.IsVia() {
+					demand += viaWeight
+				} else {
+					demand += wireWeight
+				}
+			case fIn != tIn:
+				demand += crossingWeight
+			}
+		}
+	}
+	capacity := float64(w * h * (nz - res.MinLayer))
+	return demand / capacity
+}
+
+// Ranked is a scored window.
+type Ranked struct {
+	OX, OY int
+	Score  float64
+}
+
+// RankWindows scores every stride-aligned window of the routed design and
+// returns them in descending score order.
+func RankWindows(res *route.Result, w, h, nz, strideX, strideY int) []Ranked {
+	if strideX <= 0 {
+		strideX = w
+	}
+	if strideY <= 0 {
+		strideY = h
+	}
+	var out []Ranked
+	for oy := 0; oy+h <= res.NY; oy += strideY {
+		for ox := 0; ox+w <= res.NX; ox += strideX {
+			out = append(out, Ranked{OX: ox, OY: oy, Score: WindowScore(res, ox, oy, w, h, nz)})
+		}
+	}
+	// Insertion sort by descending score, ties by position for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score > a.Score || (b.Score == a.Score && (b.OY < a.OY || (b.OY == a.OY && b.OX < a.OX))) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

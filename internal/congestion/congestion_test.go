@@ -1,0 +1,85 @@
+package congestion
+
+import (
+	"testing"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/netlist"
+	"optrouter/internal/place"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+func routed(t *testing.T) *route.Result {
+	t.Helper()
+	lib := cells.Generate(tech.N28T12())
+	nl, err := netlist.Generate(lib, netlist.M0Class(150, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(lib, nl, place.Options{TargetUtil: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(pl, route.Options{Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWindowScoreBasics(t *testing.T) {
+	res := routed(t)
+	s := WindowScore(res, 0, 0, 7, 10, 4)
+	if s < 0 {
+		t.Fatalf("negative score %v", s)
+	}
+	// Degenerate windows score zero.
+	if WindowScore(res, 0, 0, 0, 10, 4) != 0 {
+		t.Fatal("zero-width window must score 0")
+	}
+	// A window covering everything has positive demand in a routed design.
+	full := WindowScore(res, 0, 0, res.NX, res.NY, res.NZ)
+	if full <= 0 {
+		t.Fatalf("whole-die score %v", full)
+	}
+}
+
+func TestRankWindowsSorted(t *testing.T) {
+	res := routed(t)
+	ranked := RankWindows(res, 7, 10, 4, 7, 10)
+	if len(ranked) == 0 {
+		t.Fatal("no windows")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatalf("not sorted at %d: %v > %v", i, ranked[i].Score, ranked[i-1].Score)
+		}
+	}
+	if ranked[0].Score <= 0 {
+		t.Fatal("top window should carry demand")
+	}
+}
+
+func TestRankWindowsDeterministic(t *testing.T) {
+	res := routed(t)
+	a := RankWindows(res, 7, 10, 4, 7, 10)
+	b := RankWindows(res, 7, 10, 4, 7, 10)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ranking at %d", i)
+		}
+	}
+}
+
+func TestStrideDefaults(t *testing.T) {
+	res := routed(t)
+	tiled := RankWindows(res, 7, 10, 4, 0, 0) // defaults to window size
+	dense := RankWindows(res, 7, 10, 4, 3, 5)
+	if len(dense) <= len(tiled) {
+		t.Fatalf("overlapping stride should yield more windows: %d vs %d", len(dense), len(tiled))
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/drc"
+	"optrouter/internal/rgraph"
+)
+
+// Bidirectional routing is a relaxation of unidirectional routing, so the
+// optimal cost can only improve (the quantitative version of the paper's
+// observation that unidirectional patterning costs density).
+func TestBidirectionalNeverWorse(t *testing.T) {
+	for seed := int64(40); seed < 48; seed++ {
+		opt := clip.DefaultSynth(seed)
+		opt.NX, opt.NY, opt.NZ = 5, 5, 3
+		opt.NumNets = 3
+		c := clip.Synthesize(opt)
+
+		gu, err := rgraph.Build(c, rgraph.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		su, err := SolveBnB(gu, BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gb, err := rgraph.Build(c, rgraph.Options{Bidirectional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := SolveBnB(gb, BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if su.Feasible && !sb.Feasible {
+			t.Fatalf("seed %d: unidirectional routable but bidirectional not", seed)
+		}
+		if su.Feasible && sb.Feasible && sb.Cost > su.Cost {
+			t.Fatalf("seed %d: bidirectional cost %d > unidirectional %d", seed, sb.Cost, su.Cost)
+		}
+		if sb.Feasible {
+			if v := drc.Check(gb, sb.NetArcs); len(v) != 0 {
+				t.Fatalf("seed %d: bidirectional solution dirty: %v", seed, v)
+			}
+		}
+	}
+}
+
+// A crossing that needs a layer change when unidirectional resolves in-plane
+// when bidirectional: the via saving is exactly the relaxation benefit.
+func TestBidirectionalSavesVias(t *testing.T) {
+	c := &clip.Clip{
+		Name: "bidir", Tech: "t",
+		NX: 3, NY: 3, NZ: 3, MinLayer: 1,
+		Nets: []clip.Net{
+			{Name: "b", Pins: []clip.Pin{
+				{Name: "s", APs: []clip.AccessPoint{{X: 0, Y: 1, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 2, Y: 1, Z: 1}}},
+			}},
+		},
+	}
+	gu, _ := rgraph.Build(c, rgraph.Options{})
+	su, err := SolveBnB(gu, BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := rgraph.Build(c, rgraph.Options{Bidirectional: true})
+	sb, err := SolveBnB(gb, BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unidirectional: M2 is vertical, so the horizontal 2-track connection
+	// costs 2 vias + 2 wire = 10. Bidirectional: 2 wire.
+	if !su.Feasible || su.Cost != 10 || su.Vias != 2 {
+		t.Fatalf("unidirectional: %+v", su)
+	}
+	if !sb.Feasible || sb.Cost != 2 || sb.Vias != 0 {
+		t.Fatalf("bidirectional: %+v", sb)
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/drc"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// Example routes a two-net switchbox under a via-adjacency rule and prints
+// the proven-optimal cost breakdown.
+func Example() {
+	c := &clip.Clip{
+		Name: "example", Tech: "N28-12T",
+		NX: 3, NY: 3, NZ: 3, MinLayer: 1,
+		Nets: []clip.Net{
+			{Name: "a", Pins: []clip.Pin{
+				{Name: "s", APs: []clip.AccessPoint{{X: 1, Y: 0, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 1, Y: 2, Z: 1}}},
+			}},
+			{Name: "b", Pins: []clip.Pin{
+				{Name: "s", APs: []clip.AccessPoint{{X: 0, Y: 1, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 2, Y: 1, Z: 1}}},
+			}},
+		},
+	}
+	rule, _ := tech.RuleByName("RULE6")
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		panic(err)
+	}
+	sol, err := core.SolveBnB(g, core.BnBOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible=%v proven=%v wirelength=%d vias=%d cost=%d\n",
+		sol.Feasible, sol.Proven, sol.Wirelength, sol.Vias, sol.Cost)
+	fmt.Printf("violations=%d\n", len(drc.Check(g, sol.NetArcs)))
+	// Output:
+	// feasible=true proven=true wirelength=4 vias=2 cost=12
+	// violations=0
+}
+
+// ExampleSolveHeuristic shows the fast non-optimal router used as the
+// commercial-tool stand-in.
+func ExampleSolveHeuristic() {
+	opt := clip.DefaultSynth(42)
+	c := clip.Synthesize(opt)
+	g, err := rgraph.Build(c, rgraph.Options{})
+	if err != nil {
+		panic(err)
+	}
+	h := core.SolveHeuristic(g, core.HeuristicOptions{})
+	o, err := core.SolveBnB(g, core.BnBOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("heuristic feasible=%v, optimal feasible=%v, heuristic >= optimal: %v\n",
+		h.Feasible, o.Feasible, !h.Feasible || h.Cost >= o.Cost)
+	// Output:
+	// heuristic feasible=true, optimal feasible=true, heuristic >= optimal: true
+}

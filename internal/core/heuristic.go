@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"optrouter/internal/drc"
+	"optrouter/internal/rgraph"
+)
+
+// HeuristicOptions tunes the negotiated-congestion heuristic router.
+type HeuristicOptions struct {
+	// MaxIters bounds rip-up-and-reroute passes (default 48).
+	MaxIters int
+	// PresentPenalty is the initial penalty for using a resource already
+	// claimed by another net (default 50); it grows each pass.
+	PresentPenalty int64
+	// HistoryStep is the history-cost increment for conflicted resources
+	// (default 4).
+	HistoryStep int64
+}
+
+func (o HeuristicOptions) withDefaults() HeuristicOptions {
+	if o.MaxIters == 0 {
+		o.MaxIters = 48
+	}
+	if o.PresentPenalty == 0 {
+		o.PresentPenalty = 50
+	}
+	if o.HistoryStep == 0 {
+		o.HistoryStep = 4
+	}
+	return o
+}
+
+// SolveHeuristic routes the clip with a PathFinder-style sequential router:
+// per-net exact Steiner trees under growing congestion penalties, with
+// design-rule violations (from the independent DRC) folded into history
+// costs. It is this repository's stand-in for the commercial detailed router
+// in the paper's validation study (Section 4.2, footnote 6).
+//
+// The result is DRC-clean when Feasible; optimality is NOT guaranteed
+// (Proven is false), except that a proven-infeasible verdict (no per-net
+// path exists at all) sets Proven.
+func SolveHeuristic(g *rgraph.Graph, opt HeuristicOptions) *Solution {
+	start := time.Now()
+	opt = opt.withDefaults()
+	own := newOwnership(g)
+	nNets := len(g.Clip.Nets)
+
+	ctxs := make([]*steinerCtx, nNets)
+	for k := 0; k < nNets; k++ {
+		ctxs[k] = newSteinerCtx(g, own, k)
+	}
+
+	// Unconstrained feasibility probe: if some net cannot route alone, the
+	// clip is infeasible for every solver.
+	routes := make([][]int32, nNets)
+	for k := 0; k < nNets; k++ {
+		arcs, _, ok := steinerTree(ctxs[k])
+		if !ok {
+			return &Solution{Feasible: false, Proven: true, Runtime: time.Since(start)}
+		}
+		routes[k] = arcs
+	}
+
+	history := make([]int64, len(g.Arcs))
+	penalty := make([]int64, len(g.Arcs))
+
+	// Net ordering: larger nets first (harder to detour late).
+	order := make([]int, nNets)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Clip.Nets[order[a]].NumSinks() > g.Clip.Nets[order[b]].NumSinks()
+	})
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		viols := drc.Check(g, routes)
+		if len(viols) == 0 {
+			sol := &Solution{Feasible: true, NetArcs: routes, Runtime: time.Since(start)}
+			summarize(g, sol)
+			return sol
+		}
+		// Raise history on conflicted resources.
+		for _, v := range viols {
+			for _, a := range violationArcs(g, v) {
+				history[a] += opt.HistoryStep
+				history[g.Pair[a]] += opt.HistoryStep
+			}
+		}
+		present := opt.PresentPenalty + int64(iter)*20
+
+		// Re-route each net against the rest.
+		for _, k := range order {
+			// Present congestion from other nets: arcs, their pairs, and
+			// arcs entering vertices other nets touch.
+			for i := range penalty {
+				penalty[i] = history[i]
+			}
+			for k2 := 0; k2 < nNets; k2++ {
+				if k2 == k {
+					continue
+				}
+				for _, a := range routes[k2] {
+					penalty[a] += present
+					penalty[g.Pair[a]] += present
+					arc := g.Arcs[a]
+					for _, v := range []int32{arc.From, arc.To} {
+						if !g.IsGrid(v) {
+							continue
+						}
+						for _, in := range g.In[v] {
+							penalty[in] += present / 2
+						}
+					}
+					// Via adjacency pressure.
+					if s := arc.Site; s >= 0 {
+						for _, o := range g.SiteAdj[s] {
+							for _, oa := range g.Sites[o].Arcs {
+								penalty[oa] += present
+							}
+						}
+					}
+				}
+			}
+			ctxs[k].penalty = penalty
+			arcs, _, ok := steinerTree(ctxs[k])
+			ctxs[k].penalty = nil
+			if ok {
+				routes[k] = arcs
+			}
+		}
+	}
+
+	// One final check: the last pass may have converged.
+	if len(drc.Check(g, routes)) == 0 {
+		sol := &Solution{Feasible: true, NetArcs: routes, Runtime: time.Since(start)}
+		summarize(g, sol)
+		return sol
+	}
+	return &Solution{Feasible: false, Proven: false, Runtime: time.Since(start)}
+}
+
+// violationArcs maps a violation to the arcs whose cost should rise.
+func violationArcs(g *rgraph.Graph, v drc.Violation) []int32 {
+	var out []int32
+	out = append(out, v.Arcs...)
+	for _, vert := range v.Verts {
+		if int(vert) < len(g.In) {
+			out = append(out, g.In[vert]...)
+		}
+	}
+	for _, s := range v.Sites {
+		out = append(out, g.Sites[s].Arcs...)
+	}
+	for _, e := range v.EOLs {
+		if e.WitnessVia >= 0 {
+			out = append(out, e.WitnessVia)
+		}
+		if e.WitnessWire >= 0 {
+			out = append(out, e.WitnessWire)
+		}
+	}
+	return out
+}

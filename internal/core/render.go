@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// RenderASCII draws a routing solution layer by layer, one character cell
+// per grid vertex: digits/letters identify nets, '#' marks obstacles, '*'
+// marks via landings, '.' is free space. It is the textual analogue of the
+// paper's Fig. 7 clip snapshots and is used by cmd/optroute and the examples.
+func RenderASCII(g *rgraph.Graph, sol *Solution) string {
+	netChar := func(k int) byte {
+		const chars = "0123456789abcdefghijklmnopqrstuvwxyz"
+		if k < len(chars) {
+			return chars[k]
+		}
+		return '+'
+	}
+
+	type cell struct {
+		ch  byte
+		via bool
+	}
+	layers := make([][]cell, g.NZ)
+	for z := range layers {
+		layers[z] = make([]cell, g.NX*g.NY)
+		for i := range layers[z] {
+			layers[z][i] = cell{ch: '.'}
+		}
+	}
+	for v := int32(0); v < int32(g.NumGrid); v++ {
+		if g.Blocked[v] {
+			x, y, z := g.XYZ(v)
+			layers[z][y*g.NX+x].ch = '#'
+		}
+	}
+	// Pins (lowercase p overlaid later by routes if used).
+	for k := range g.Clip.Nets {
+		for _, pin := range g.Clip.Nets[k].Pins {
+			for _, ap := range pin.APs {
+				layers[ap.Z][ap.Y*g.NX+ap.X].ch = netChar(k)
+			}
+		}
+	}
+	if sol != nil && sol.Feasible {
+		for k, arcs := range sol.NetArcs {
+			for _, aid := range arcs {
+				a := g.Arcs[aid]
+				for _, v := range []int32{a.From, a.To} {
+					if !g.IsGrid(v) {
+						continue
+					}
+					x, y, z := g.XYZ(v)
+					c := &layers[z][y*g.NX+x]
+					c.ch = netChar(k)
+					if a.Kind.IsVia() {
+						c.via = true
+					}
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	for z := g.NZ - 1; z >= g.Clip.MinLayer; z-- {
+		dir := "H"
+		if rgraph.LayerDir(z) == tech.Vertical {
+			dir = "V"
+		}
+		fmt.Fprintf(&sb, "M%d (%s):\n", z+1, dir)
+		for y := g.NY - 1; y >= 0; y-- {
+			for x := 0; x < g.NX; x++ {
+				c := layers[z][y*g.NX+x]
+				sb.WriteByte(c.ch)
+				if c.via {
+					sb.WriteByte('*')
+				} else {
+					sb.WriteByte(' ')
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+// Package core implements OptRouter: cost-optimal, design-rule-correct
+// switchbox detailed routing, reproducing the DAC 2015 paper "Evaluation of
+// BEOL Design Rule Impacts Using An Optimal ILP-based Detailed Router".
+//
+// Two provably optimal solvers are provided:
+//
+//   - SolveILP emits the paper's multi-commodity-flow integer linear program
+//     (constraints (1)-(12)) onto the pure-Go MILP engine in package ilp,
+//     replacing the paper's CPLEX.
+//   - SolveBnB is a conflict-driven combinatorial branch-and-bound that
+//     computes per-net minimum Steiner arborescences for admissible lower
+//     bounds and branches on (net, arc) forbiddances named by realized
+//     conflicts. It reaches the same optima much faster and powers the large
+//     experiment sweeps.
+//
+// A fast heuristic router (SolveHeuristic) stands in for the commercial
+// router in the paper's validation study.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"optrouter/internal/rgraph"
+)
+
+// Solution is a routing result for one clip under one rule configuration.
+type Solution struct {
+	// Feasible is false when the instance is proven unroutable.
+	Feasible bool
+	// Proven is true when the result carries an optimality (or
+	// infeasibility) proof; heuristic results leave it false.
+	Proven bool
+
+	// Cost is the routing cost: wirelength + 4 x #vias by default
+	// (configured through rgraph arc costs).
+	Cost int
+	// Wirelength counts used wire arcs (track steps).
+	Wirelength int
+	// Vias counts used via sites.
+	Vias int
+
+	// NetArcs[k] lists the directed arc ids used by net k.
+	NetArcs [][]int32
+
+	Runtime time.Duration
+
+	// Solver statistics (meaning depends on the solver).
+	Nodes   int // branch-and-bound nodes
+	LPIters int // simplex iterations (ILP solver only)
+}
+
+// summarize fills cost/wirelength/via counters from NetArcs.
+func summarize(g *rgraph.Graph, sol *Solution) {
+	sol.Cost = 0
+	sol.Wirelength = 0
+	usedSites := map[int32]bool{}
+	for _, arcs := range sol.NetArcs {
+		for _, aid := range arcs {
+			a := g.Arcs[aid]
+			sol.Cost += int(a.Cost)
+			switch a.Kind {
+			case rgraph.Wire:
+				sol.Wirelength++
+			case rgraph.Via, rgraph.ViaShapeIn, rgraph.ViaShapeOut:
+				if a.Site >= 0 {
+					usedSites[a.Site] = true
+				}
+			}
+		}
+	}
+	sol.Vias = len(usedSites)
+}
+
+// UsedSites returns the set of via sites occupied by the solution.
+func (s *Solution) UsedSites(g *rgraph.Graph) map[int32]bool {
+	used := map[int32]bool{}
+	for _, arcs := range s.NetArcs {
+		for _, aid := range arcs {
+			if st := g.Arcs[aid].Site; st >= 0 {
+				used[st] = true
+			}
+		}
+	}
+	return used
+}
+
+// String summarizes the solution.
+func (s *Solution) String() string {
+	if !s.Feasible {
+		return "infeasible"
+	}
+	return fmt.Sprintf("cost=%d wl=%d vias=%d (%.0fms)", s.Cost, s.Wirelength, s.Vias,
+		float64(s.Runtime)/float64(time.Millisecond))
+}

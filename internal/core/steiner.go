@@ -1,0 +1,234 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"optrouter/internal/rgraph"
+)
+
+// steinerCtx is the per-net view of the routing graph used by the exact
+// Steiner arborescence solver: arcs may be banned (by ownership rules or by
+// branch-and-bound decisions) and arcs may carry extra penalties (used by
+// the negotiated-congestion heuristic).
+type steinerCtx struct {
+	g       *rgraph.Graph
+	net     int
+	banned  []bool  // per arc
+	penalty []int64 // per arc, added to base cost (nil = none)
+}
+
+func (c *steinerCtx) arcCost(a int32) int64 {
+	cost := int64(c.g.Arcs[a].Cost)
+	if c.penalty != nil {
+		cost += c.penalty[a]
+	}
+	return cost
+}
+
+const infCost = math.MaxInt64 / 4
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int32
+	dist int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// parentAction reconstructs Dreyfus-Wagner decisions.
+type parentAction struct {
+	// kind 0: none (base terminal), 1: arc step (arc id), 2: subset split
+	// (submask; the complement is implied).
+	kind    uint8
+	arc     int32
+	submask uint16
+}
+
+// steinerTree computes a minimum-cost Steiner arborescence for net k from
+// its supersource to all its supersinks, honoring bans and penalties.
+// Returns the used arcs, the total (penalized) cost, and feasibility.
+//
+// The algorithm is the Dijkstra-accelerated Dreyfus-Wagner dynamic program:
+// dp[S][v] = min cost of an arborescence rooted at v covering sink set S,
+// built by subset merging at v followed by a Dijkstra relaxation over
+// incoming arcs. Terminal counts in clips are small (the paper's nets are
+// 2-4 pins), so the 3^t term is negligible and per-subset Dijkstra over the
+// clip graph dominates.
+func steinerTree(c *steinerCtx) (arcs []int32, cost int64, ok bool) {
+	g := c.g
+	src := g.Source[c.net]
+	sinks := g.SinkVerts[c.net]
+	t := len(sinks)
+	if t == 0 {
+		return nil, 0, true
+	}
+	if t > 16 {
+		return nil, 0, false // out of scope for switchbox clips
+	}
+	nV := g.NumVerts
+	full := (1 << t) - 1
+
+	// dp[mask][v], parent[mask][v]
+	dp := make([][]int64, full+1)
+	par := make([][]parentAction, full+1)
+	for m := 1; m <= full; m++ {
+		dp[m] = make([]int64, nV)
+		par[m] = make([]parentAction, nV)
+		for v := range dp[m] {
+			dp[m][v] = infCost
+		}
+	}
+	for i, tv := range sinks {
+		dp[1<<i][tv] = 0
+	}
+
+	for mask := 1; mask <= full; mask++ {
+		d := dp[mask]
+		p := par[mask]
+		// Subset merge: dp[mask][v] = min over proper submasks containing
+		// the lowest set bit (to halve enumeration).
+		low := mask & (-mask)
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub&low == 0 {
+				continue
+			}
+			other := mask ^ sub
+			ds, do := dp[sub], dp[other]
+			for v := 0; v < nV; v++ {
+				if ds[v] >= infCost || do[v] >= infCost {
+					continue
+				}
+				if s := ds[v] + do[v]; s < d[v] {
+					d[v] = s
+					p[v] = parentAction{kind: 2, submask: uint16(sub)}
+				}
+			}
+		}
+		// Dijkstra relaxation: propagate along reversed arcs (dp values
+		// live at tree roots; an arc u->v lets a root at u reach the
+		// subtree rooted at v paying cost(u->v)).
+		var q pq
+		for v := 0; v < nV; v++ {
+			if d[v] < infCost {
+				q = append(q, pqItem{int32(v), d[v]})
+			}
+		}
+		heap.Init(&q)
+		for q.Len() > 0 {
+			it := heap.Pop(&q).(pqItem)
+			if it.dist > d[it.v] {
+				continue
+			}
+			for _, aid := range g.In[it.v] {
+				if c.banned[aid] {
+					continue
+				}
+				u := g.Arcs[aid].From
+				nd := it.dist + c.arcCost(aid)
+				if nd < d[u] {
+					d[u] = nd
+					p[u] = parentAction{kind: 1, arc: aid}
+					heap.Push(&q, pqItem{u, nd})
+				}
+			}
+		}
+		if mask == full {
+			break
+		}
+	}
+
+	if dp[full][src] >= infCost {
+		return nil, 0, false
+	}
+
+	// Reconstruct: walk (mask, vertex) pairs.
+	type frame struct {
+		mask int
+		v    int32
+	}
+	var stack []frame
+	stack = append(stack, frame{full, src})
+	seen := map[int32]bool{} // dedupe arcs (shouldn't repeat, but be safe)
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pa := par[fr.mask][fr.v]
+		switch pa.kind {
+		case 0:
+			// Base case: fr.v is the sink of a singleton mask.
+		case 1:
+			if !seen[pa.arc] {
+				seen[pa.arc] = true
+				arcs = append(arcs, pa.arc)
+			}
+			stack = append(stack, frame{fr.mask, c.g.Arcs[pa.arc].To})
+		case 2:
+			sub := int(pa.submask)
+			stack = append(stack, frame{sub, fr.v}, frame{fr.mask ^ sub, fr.v})
+		}
+	}
+	return arcs, dp[full][src], true
+}
+
+// newSteinerCtx builds the per-net context with ownership bans applied.
+func newSteinerCtx(g *rgraph.Graph, m ownership, k int) *steinerCtx {
+	banned := make([]bool, len(g.Arcs))
+	for a := range g.Arcs {
+		if !m.allowed(k, int32(a)) {
+			banned[a] = true
+		}
+	}
+	return &steinerCtx{g: g, net: k, banned: banned}
+}
+
+// ownership answers per-net arc availability; both the ILP model and the
+// combinatorial solvers share this logic.
+type ownership struct {
+	g          *rgraph.Graph
+	superOwner []int32
+}
+
+func newOwnership(g *rgraph.Graph) ownership {
+	so := make([]int32, g.NumVerts-g.NumGrid)
+	for i := range so {
+		so[i] = -1
+	}
+	for k, s := range g.Source {
+		so[s-int32(g.NumGrid)] = int32(k)
+	}
+	for k, sinks := range g.SinkVerts {
+		for _, t := range sinks {
+			so[t-int32(g.NumGrid)] = int32(k)
+		}
+	}
+	return ownership{g: g, superOwner: so}
+}
+
+func (o ownership) allowed(k int, a int32) bool {
+	arc := o.g.Arcs[a]
+	for _, v := range []int32{arc.From, arc.To} {
+		if o.g.IsGrid(v) {
+			if owner := o.g.PinOwner[v]; owner >= 0 && owner != int32(k) {
+				return false
+			}
+		} else if int(v)-o.g.NumGrid < len(o.superOwner) {
+			if owner := o.superOwner[v-int32(o.g.NumGrid)]; owner >= 0 && owner != int32(k) {
+				return false
+			}
+		}
+	}
+	return true
+}

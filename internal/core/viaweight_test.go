@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/rgraph"
+)
+
+// As the via weight grows, the optimal solution's via count is
+// non-increasing (a classic exchange argument: if a heavier weight made the
+// optimum use more vias, swapping solutions would improve one of the two
+// optima). This exercises the paper's "alternative routing cost definitions
+// with different weighting of via count".
+func TestViaWeightMonotonicity(t *testing.T) {
+	for seed := int64(80); seed < 86; seed++ {
+		opt := clip.DefaultSynth(seed)
+		opt.NX, opt.NY, opt.NZ = 5, 6, 4
+		opt.NumNets = 3
+		c := clip.Synthesize(opt)
+		prevVias := -1
+		prevWeight := 0
+		for _, w := range []int{1, 2, 4, 8} {
+			g, err := rgraph.Build(c, rgraph.Options{ViaCost: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := SolveBnB(g, BnBOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Feasible {
+				break // heavier weights cannot change feasibility; done
+			}
+			if prevVias >= 0 && sol.Vias > prevVias {
+				t.Fatalf("seed %d: vias rose from %d (w=%d) to %d (w=%d)",
+					seed, prevVias, prevWeight, sol.Vias, w)
+			}
+			prevVias = sol.Vias
+			prevWeight = w
+		}
+	}
+}
+
+// Feasibility must not depend on the cost weights at all.
+func TestViaWeightFeasibilityInvariant(t *testing.T) {
+	for seed := int64(90); seed < 94; seed++ {
+		opt := clip.DefaultSynth(seed)
+		opt.NX, opt.NY, opt.NZ = 4, 5, 3
+		opt.NumNets = 3
+		c := clip.Synthesize(opt)
+		var feas []bool
+		for _, w := range []int{1, 4, 10} {
+			g, err := rgraph.Build(c, rgraph.Options{ViaCost: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := SolveBnB(g, BnBOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			feas = append(feas, sol.Feasible)
+		}
+		for i := 1; i < len(feas); i++ {
+			if feas[i] != feas[0] {
+				t.Fatalf("seed %d: feasibility changed with via weight: %v", seed, feas)
+			}
+		}
+	}
+}

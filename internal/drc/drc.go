@@ -1,0 +1,427 @@
+// Package drc is an independent design-rule checker for clip routing
+// solutions. It re-derives violations directly from the used arcs, without
+// trusting the solver's constraint bookkeeping, and is used both by tests
+// (to validate OptRouter outputs) and by the negotiated-congestion heuristic
+// router (to find conflicts to penalize).
+//
+// Checked rules: arc capacity (one net per track segment), vertex
+// exclusivity (no shorts), per-net connectivity, via adjacency (4/8 blocked
+// neighbor sites), via-shape footprint blocking, and SADP end-of-line
+// spacing per the paper's Fig. 5.
+package drc
+
+import (
+	"fmt"
+
+	"optrouter/internal/rgraph"
+)
+
+// Kind classifies a violation.
+type Kind int
+
+const (
+	// ArcConflict: an undirected arc resource used by more than one net.
+	ArcConflict Kind = iota
+	// VertexConflict: a grid or via vertex touched by more than one net.
+	VertexConflict
+	// Disconnected: a net's used arcs do not connect source to all sinks.
+	Disconnected
+	// ViaAdjacency: two occupied via sites conflict under the rule config.
+	ViaAdjacency
+	// ViaShapeBlock: a net enters the footprint of another net's shaped via.
+	ViaShapeBlock
+	// SADPEOL: two end-of-line features violate the SADP spacing rules.
+	SADPEOL
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ArcConflict:
+		return "arc-conflict"
+	case VertexConflict:
+		return "vertex-conflict"
+	case Disconnected:
+		return "disconnected"
+	case ViaAdjacency:
+		return "via-adjacency"
+	case ViaShapeBlock:
+		return "via-shape-block"
+	case SADPEOL:
+		return "sadp-eol"
+	}
+	return "?"
+}
+
+// Violation describes one design-rule violation.
+type Violation struct {
+	Kind  Kind
+	Nets  []int   // involved net indices
+	Verts []int32 // involved vertices (graph ids)
+	Arcs  []int32 // involved arcs
+	Sites []int32 // involved via sites
+	// EOLs carries the two conflicting end-of-line features for SADPEOL
+	// violations (with product witness arcs for branching).
+	EOLs []EOL
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Kind, v.Msg) }
+
+// EOL is a realized end-of-line feature of one net: a wire on `side`
+// terminating at vertex V with a via (the paper's p variables; side 0 = lo
+// i.e. p_l, side 1 = hi i.e. p_r). WitnessWire and WitnessVia are the
+// directed arcs realizing the product (6)/(7); conflict-driven branching
+// uses them to derive forbiddances.
+type EOL struct {
+	Net  int
+	V    int32
+	Side int // 0: wire on lo side (p_l), 1: wire on hi side (p_r)
+
+	WitnessWire int32
+	WitnessVia  int32
+}
+
+// Check validates a per-net arc assignment against all rules and returns
+// every violation found (empty means DRC-clean).
+func Check(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	out = append(out, checkArcCapacity(g, netArcs)...)
+	out = append(out, checkVertexExclusivity(g, netArcs)...)
+	out = append(out, checkConnectivity(g, netArcs)...)
+	out = append(out, checkViaAdjacency(g, netArcs)...)
+	out = append(out, checkViaShapes(g, netArcs)...)
+	out = append(out, CheckSADP(g, netArcs)...)
+	return out
+}
+
+func checkArcCapacity(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	owner := map[int32]int{} // canonical (min of pair) arc id -> net
+	for k, arcs := range netArcs {
+		seenByNet := map[int32]bool{}
+		for _, a := range arcs {
+			c := a
+			if p := g.Pair[a]; p < c {
+				c = p
+			}
+			if prev, ok := owner[c]; ok && prev != k && !seenByNet[c] {
+				out = append(out, Violation{
+					Kind: ArcConflict, Nets: []int{prev, k}, Arcs: []int32{a},
+					Msg: fmt.Sprintf("arc %d shared by nets %d and %d", a, prev, k),
+				})
+			}
+			owner[c] = k
+			seenByNet[c] = true
+		}
+	}
+	return out
+}
+
+// usedVerts returns the grid/rep vertices each net touches.
+func usedVerts(g *rgraph.Graph, netArcs [][]int32) []map[int32]bool {
+	out := make([]map[int32]bool, len(netArcs))
+	for k, arcs := range netArcs {
+		out[k] = map[int32]bool{}
+		for _, a := range arcs {
+			arc := g.Arcs[a]
+			for _, v := range []int32{arc.From, arc.To} {
+				if g.IsGrid(v) || isRep(g, v) {
+					out[k][v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isRep(g *rgraph.Graph, v int32) bool {
+	if g.IsGrid(v) {
+		return false
+	}
+	for k := range g.Source {
+		if g.Source[k] == v {
+			return false
+		}
+		for _, t := range g.SinkVerts[k] {
+			if t == v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkVertexExclusivity(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	uv := usedVerts(g, netArcs)
+	owner := map[int32]int{}
+	for k := range uv {
+		for v := range uv[k] {
+			if prev, ok := owner[v]; ok && prev != k {
+				out = append(out, Violation{
+					Kind: VertexConflict, Nets: []int{prev, k}, Verts: []int32{v},
+					Msg: fmt.Sprintf("vertex %d shared by nets %d and %d", v, prev, k),
+				})
+				continue
+			}
+			owner[v] = k
+		}
+	}
+	// Single-entry discipline: the ILP's vertex capacity (and the
+	// Lagrangian bound's validity) require each grid vertex to be entered
+	// at most once through *costed* arcs, even by its owning net. A second
+	// costed entry is never needed by an optimum (reroute both flows
+	// through the cheaper entry and save the other arc), while zero-cost
+	// entries (via-shape fan-out, virtual terminals) can legitimately
+	// coincide with one and are excluded.
+	for k, arcs := range netArcs {
+		entries := map[int32][]int32{}
+		for _, a := range arcs {
+			arc := g.Arcs[a]
+			if arc.Kind == rgraph.Virtual || arc.Kind == rgraph.ViaShapeOut {
+				continue
+			}
+			to := arc.To
+			if g.IsGrid(to) {
+				entries[to] = append(entries[to], a)
+			}
+		}
+		for v, ins := range entries {
+			if len(ins) >= 2 {
+				out = append(out, Violation{
+					Kind: VertexConflict, Nets: []int{k, k}, Verts: []int32{v},
+					Arcs: ins[:2],
+					Msg:  fmt.Sprintf("net %d enters vertex %d twice", k, v),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func checkConnectivity(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	for k, arcs := range netArcs {
+		adj := map[int32][]int32{}
+		for _, a := range arcs {
+			arc := g.Arcs[a]
+			// Treat used arcs as undirected for reachability.
+			adj[arc.From] = append(adj[arc.From], arc.To)
+			adj[arc.To] = append(adj[arc.To], arc.From)
+		}
+		reach := map[int32]bool{}
+		stack := []int32{g.Source[k]}
+		reach[g.Source[k]] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[v] {
+				if !reach[u] {
+					reach[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		for _, t := range g.SinkVerts[k] {
+			if !reach[t] {
+				out = append(out, Violation{
+					Kind: Disconnected, Nets: []int{k}, Verts: []int32{t},
+					Msg: fmt.Sprintf("net %d: sink vertex %d unreachable from source", k, t),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// UsedSites returns occupied via sites with the nets occupying them.
+func UsedSites(g *rgraph.Graph, netArcs [][]int32) map[int32][]int {
+	used := map[int32]map[int]bool{}
+	for k, arcs := range netArcs {
+		for _, a := range arcs {
+			if s := g.Arcs[a].Site; s >= 0 {
+				if used[s] == nil {
+					used[s] = map[int]bool{}
+				}
+				used[s][k] = true
+			}
+		}
+	}
+	out := map[int32][]int{}
+	for s, nets := range used {
+		for k := range nets {
+			out[s] = append(out[s], k)
+		}
+	}
+	return out
+}
+
+func checkViaAdjacency(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	used := UsedSites(g, netArcs)
+	for s, netsA := range used {
+		for _, o := range g.SiteAdj[s] {
+			if o <= s {
+				continue
+			}
+			if netsB, ok := used[o]; ok {
+				out = append(out, Violation{
+					Kind: ViaAdjacency, Nets: append(append([]int{}, netsA...), netsB...),
+					Sites: []int32{s, o},
+					Msg:   fmt.Sprintf("via sites %d and %d are adjacent", s, o),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func checkViaShapes(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	var out []Violation
+	used := UsedSites(g, netArcs)
+	uv := usedVerts(g, netArcs)
+	for s, nets := range used {
+		site := &g.Sites[s]
+		if site.Rep < 0 {
+			continue
+		}
+		siteArc := map[int32]bool{}
+		for _, a := range site.Arcs {
+			siteArc[a] = true
+		}
+		for _, fv := range site.Footprint {
+			for k := range uv {
+				if containsInt(nets, k) {
+					continue
+				}
+				if !uv[k][fv] {
+					continue
+				}
+				// Net k touches a footprint vertex through non-site arcs.
+				touch := false
+				for _, a := range netArcs[k] {
+					if siteArc[a] {
+						continue
+					}
+					arc := g.Arcs[a]
+					if arc.From == fv || arc.To == fv {
+						touch = true
+						break
+					}
+				}
+				if touch {
+					out = append(out, Violation{
+						Kind: ViaShapeBlock, Nets: append(append([]int{}, nets...), k),
+						Verts: []int32{fv}, Sites: []int32{s},
+						Msg: fmt.Sprintf("net %d enters footprint vertex %d of used via site %d", k, fv, s),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// EOLs extracts every realized end-of-line feature (the paper's p
+// semantics: wire on one side of a vertex combined with a via at the vertex,
+// consistent with flow direction) on SADP layers.
+func EOLs(g *rgraph.Graph, netArcs [][]int32) []EOL {
+	var out []EOL
+	for k, arcs := range netArcs {
+		used := map[int32]bool{}
+		for _, a := range arcs {
+			used[a] = true
+		}
+		emit := map[[2]int32]bool{} // (v, side) dedupe
+		for _, a := range arcs {
+			arc := g.Arcs[a]
+			if arc.Kind != rgraph.Wire {
+				continue
+			}
+			for _, v := range []int32{arc.From, arc.To} {
+				_, _, z := g.XYZ(v)
+				if !g.IsSADPLayer(z) {
+					continue
+				}
+				sa := g.Side[v]
+				for side := int32(0); side < 2; side++ {
+					wireIn, wireOut := sa.LoIn, sa.LoOut
+					if side == 1 {
+						wireIn, wireOut = sa.HiIn, sa.HiOut
+					}
+					wWire, wVia := int32(-1), int32(-1)
+					for _, va := range g.ViaArcsAt(v) {
+						if !used[va] {
+							continue
+						}
+						if g.Arcs[va].From == v && wireIn >= 0 && used[wireIn] {
+							wWire, wVia = wireIn, va
+						}
+						if g.Arcs[va].To == v && wireOut >= 0 && used[wireOut] {
+							wWire, wVia = wireOut, va
+						}
+					}
+					if wVia >= 0 && !emit[[2]int32{v, side}] {
+						emit[[2]int32{v, side}] = true
+						out = append(out, EOL{Net: k, V: v, Side: int(side), WitnessWire: wWire, WitnessVia: wVia})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckSADP validates SADP EOL spacing (constraints (11)-(12), Fig. 5).
+func CheckSADP(g *rgraph.Graph, netArcs [][]int32) []Violation {
+	if !g.Opt.Rule.HasSADP() {
+		return nil
+	}
+	eols := EOLs(g, netArcs)
+	bySpot := map[[2]int32][]EOL{}
+	for _, e := range eols {
+		key := [2]int32{e.V, int32(e.Side)}
+		bySpot[key] = append(bySpot[key], e)
+	}
+	var out []Violation
+	seen := map[[4]int32]bool{}
+	report := func(a, b EOL) {
+		k := [4]int32{a.V, int32(a.Side), b.V, int32(b.Side)}
+		if a.V > b.V || (a.V == b.V && a.Side > b.Side) {
+			k = [4]int32{b.V, int32(b.Side), a.V, int32(a.Side)}
+		}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, Violation{
+			Kind: SADPEOL, Nets: []int{a.Net, b.Net}, Verts: []int32{a.V, b.V},
+			EOLs: []EOL{a, b},
+			Msg:  fmt.Sprintf("EOL at v%d/side%d conflicts with EOL at v%d/side%d", a.V, a.Side, b.V, b.Side),
+		})
+	}
+	for _, e := range eols {
+		facing, sameDir := g.EOLNeighborSets(e.V, e.Side == 1)
+		opp := int32(1 - e.Side)
+		for _, j := range facing {
+			for _, o := range bySpot[[2]int32{j, opp}] {
+				report(e, o)
+			}
+		}
+		for _, j := range sameDir {
+			for _, o := range bySpot[[2]int32{j, int32(e.Side)}] {
+				report(e, o)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,365 @@
+// Package exp implements the paper's BEOL rule evaluation flow (Fig. 6) and
+// the experiments behind every table and figure:
+//
+//	Table 2  — benchmark design matrix (tech x design x utilization)
+//	Fig. 7   — example clips (rendered by cmd/clipextract)
+//	Fig. 8   — pin-cost distributions of top-100 clips
+//	Table 3  — rule configurations (package tech)
+//	Fig. 10  — sorted delta-cost per clip per rule, per technology
+//	Sec. 4.2 — validation vs the heuristic ("commercial") router
+//	Sec. 4   — ILP model size analysis
+//	Sec. 5   — runtime study
+//
+// Scale is parameterized: tests and benches run a reduced testbed (smaller
+// netlists, shallower stacks, shorter per-clip budgets); cmd/beoleval -full
+// raises it toward the paper's dimensions. Results carry their scale so
+// reports are self-describing.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/extract"
+	"optrouter/internal/netlist"
+	"optrouter/internal/pincost"
+	"optrouter/internal/place"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/route"
+	"optrouter/internal/sta"
+	"optrouter/internal/tech"
+)
+
+// InfeasibleDelta is the paper's plotting convention: unroutable clips are
+// charted at delta-cost 500.
+const InfeasibleDelta = 500.0
+
+// DesignSpec is one row of the benchmark matrix.
+type DesignSpec struct {
+	Profile string // "AES" or "M0"
+	Size    int    // instance count
+	Utils   []float64
+}
+
+// TestbedOptions scales the testbed.
+type TestbedOptions struct {
+	Designs []DesignSpec
+	// Clip window (tracks) and stack depth.
+	ClipW, ClipH, ClipNZ int
+	// MaxNets drops overly crowded clips (exact solvers need bounded nets).
+	MaxNets int
+	// TopK clips (by pin cost) kept per technology (paper: 100).
+	TopK int
+	Seed int64
+}
+
+// QuickTestbed is the reduced-scale default used by tests and benches.
+func QuickTestbed() TestbedOptions {
+	return TestbedOptions{
+		Designs: []DesignSpec{
+			{Profile: "AES", Size: 300, Utils: []float64{0.89, 0.93}},
+			{Profile: "M0", Size: 250, Utils: []float64{0.90, 0.95}},
+		},
+		ClipW: 7, ClipH: 10, ClipNZ: 4,
+		MaxNets: 5,
+		TopK:    10,
+		Seed:    1,
+	}
+}
+
+// FullTestbed approaches the paper's scale (still reduced in instance count
+// for single-core wall time; the clip geometry matches the paper).
+func FullTestbed() TestbedOptions {
+	return TestbedOptions{
+		Designs: []DesignSpec{
+			{Profile: "AES", Size: 2000, Utils: []float64{0.89, 0.93, 0.97}},
+			{Profile: "M0", Size: 1500, Utils: []float64{0.90, 0.93, 0.95}},
+		},
+		ClipW: 7, ClipH: 10, ClipNZ: 6,
+		MaxNets: 8,
+		TopK:    100,
+		Seed:    1,
+	}
+}
+
+// DesignRecord is one implemented design (a Table 2 row).
+type DesignRecord struct {
+	Tech      string
+	Design    string
+	Util      float64
+	Insts     int
+	Nets      int
+	AchUtil   float64
+	RouteWL   int
+	RouteVias int
+	Clips     int
+	// PeriodNS is the achievable clock period from the Elmore STA
+	// (Table 2's "Period (ns)" column).
+	PeriodNS float64
+}
+
+// Testbed holds everything extracted for one technology.
+type Testbed struct {
+	Tech    *tech.Technology
+	Options TestbedOptions
+	Records []DesignRecord
+
+	// AllClips are all extracted clips (with pin costs); Top are the
+	// highest-pin-cost TopK across all designs (the paper's selection).
+	AllClips []*clip.Clip
+	Top      []*clip.Clip
+
+	// PinCosts per design key ("AES-0.93") for Fig. 8.
+	PinCosts map[string][]float64
+}
+
+// BuildTestbed runs synthesis/place/route/extract/rank for one technology.
+func BuildTestbed(t *tech.Technology, opt TestbedOptions) (*Testbed, error) {
+	lib := cells.Generate(t)
+	tb := &Testbed{Tech: t, Options: opt, PinCosts: map[string][]float64{}}
+	for _, spec := range opt.Designs {
+		for ui, util := range spec.Utils {
+			var prof netlist.Profile
+			seed := opt.Seed + int64(ui)*101
+			switch spec.Profile {
+			case "AES":
+				prof = netlist.AESClass(spec.Size, seed)
+			case "M0":
+				prof = netlist.M0Class(spec.Size, seed)
+			default:
+				return nil, fmt.Errorf("exp: unknown profile %q", spec.Profile)
+			}
+			nl, err := netlist.Generate(lib, prof)
+			if err != nil {
+				return nil, err
+			}
+			pl, err := place.Place(lib, nl, place.Options{TargetUtil: util})
+			if err != nil {
+				return nil, err
+			}
+			res, err := route.Route(pl, route.Options{Layers: opt.ClipNZ})
+			if err != nil {
+				return nil, err
+			}
+			clips := extract.All(res, extract.Options{
+				WTracks: opt.ClipW, HTracks: opt.ClipH, NZ: opt.ClipNZ,
+				MaxNets: opt.MaxNets,
+			})
+			key := fmt.Sprintf("%s-%.2f", spec.Profile, util)
+			var costs []float64
+			for _, c := range clips {
+				c.Name = key + "/" + c.Name
+				costs = append(costs, pincost.Cost(c))
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(costs)))
+			tb.PinCosts[key] = costs
+			tb.AllClips = append(tb.AllClips, clips...)
+
+			wl, vias := res.WirelengthVias()
+			timing, err := sta.Analyze(res)
+			if err != nil {
+				return nil, err
+			}
+			tb.Records = append(tb.Records, DesignRecord{
+				Tech: t.Name, Design: spec.Profile, Util: util,
+				Insts: len(nl.Instances), Nets: len(nl.Nets),
+				AchUtil: pl.Utilization, RouteWL: wl, RouteVias: vias,
+				Clips:    len(clips),
+				PeriodNS: timing.PeriodNS,
+			})
+		}
+	}
+	tb.Top = pincost.RankTopK(tb.AllClips, opt.TopK)
+	return tb, nil
+}
+
+// SolveOptions budgets the per-clip exact solves.
+type SolveOptions struct {
+	PerClipTimeout time.Duration // default 10s
+	MaxNodes       int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.PerClipTimeout == 0 {
+		o.PerClipTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// ClipRuleResult is one (clip, rule) cell of the Fig. 10 data.
+type ClipRuleResult struct {
+	Clip     string
+	Rule     string
+	Feasible bool
+	Proven   bool
+	Cost     int
+	WL       int
+	Vias     int
+	Runtime  time.Duration
+	Nodes    int
+}
+
+// RuleCurve is one Fig. 10 curve: sorted delta-costs for a rule.
+type RuleCurve struct {
+	Rule string
+	// Deltas are per-clip cost deltas vs RULE1, ascending; infeasible (or
+	// unresolved-within-budget) clips appear as InfeasibleDelta.
+	Deltas []float64
+	// Infeasible counts clips with no routing under this rule.
+	Infeasible int
+	// Unproven counts clips whose verdict hit the solve budget.
+	Unproven int
+}
+
+// DeltaCostStudy runs OptRouter on each clip under each rule and assembles
+// the sorted delta-cost curves of Fig. 10 for one technology.
+func DeltaCostStudy(t *tech.Technology, clips []*clip.Clip, opt SolveOptions) ([]RuleCurve, []ClipRuleResult, error) {
+	opt = opt.withDefaults()
+	rules := tech.RulesFor(t)
+	if len(rules) == 0 || rules[0].Name != "RULE1" {
+		return nil, nil, fmt.Errorf("exp: RULE1 must head the rule list")
+	}
+
+	base := map[string]float64{} // clip -> RULE1 cost
+	var curves []RuleCurve
+	var all []ClipRuleResult
+	for _, rule := range rules {
+		curve := RuleCurve{Rule: rule.Name}
+		for _, c := range clips {
+			r, err := SolveClip(c, rule, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, r)
+			if rule.Name == "RULE1" {
+				if r.Feasible {
+					base[c.Name] = float64(r.Cost)
+				} else {
+					// A clip unroutable even under RULE1 contributes no
+					// meaningful baseline; chart it at infinity for every
+					// rule.
+					base[c.Name] = math.Inf(1)
+				}
+			}
+			var delta float64
+			switch {
+			case !r.Feasible:
+				delta = InfeasibleDelta
+				curve.Infeasible++
+			case math.IsInf(base[c.Name], 1):
+				delta = InfeasibleDelta
+			default:
+				delta = float64(r.Cost) - base[c.Name]
+			}
+			if !r.Proven {
+				curve.Unproven++
+			}
+			curve.Deltas = append(curve.Deltas, delta)
+		}
+		sort.Float64s(curve.Deltas)
+		curves = append(curves, curve)
+	}
+	return curves, all, nil
+}
+
+// SolveClip routes one clip under one rule with the exact CDC-BnB solver.
+func SolveClip(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions) (ClipRuleResult, error) {
+	opt = opt.withDefaults()
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		return ClipRuleResult{}, err
+	}
+	sol, err := core.SolveBnB(g, core.BnBOptions{
+		TimeLimit: opt.PerClipTimeout,
+		MaxNodes:  opt.MaxNodes,
+	})
+	if err != nil {
+		return ClipRuleResult{}, err
+	}
+	return ClipRuleResult{
+		Clip: c.Name, Rule: rule.Name,
+		Feasible: sol.Feasible, Proven: sol.Proven,
+		Cost: sol.Cost, WL: sol.Wirelength, Vias: sol.Vias,
+		Runtime: sol.Runtime, Nodes: sol.Nodes,
+	}, nil
+}
+
+// ValidationResult compares OptRouter to the heuristic router on one clip
+// (the paper's footnote-6 study: OptRouter always achieves non-positive
+// delta-cost vs the commercial router).
+type ValidationResult struct {
+	Clip          string
+	HeuristicCost int
+	OptimalCost   int
+	Delta         int // optimal - heuristic (expected <= 0)
+}
+
+// ValidationStudy runs both routers on each clip under RULE1.
+func ValidationStudy(clips []*clip.Clip, opt SolveOptions) ([]ValidationResult, error) {
+	opt = opt.withDefaults()
+	var out []ValidationResult
+	for _, c := range clips {
+		g, err := rgraph.Build(c, rgraph.Options{})
+		if err != nil {
+			return nil, err
+		}
+		h := core.SolveHeuristic(g, core.HeuristicOptions{})
+		if !h.Feasible {
+			continue // no heuristic baseline to compare against
+		}
+		o, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: opt.PerClipTimeout, MaxNodes: opt.MaxNodes})
+		if err != nil {
+			return nil, err
+		}
+		if !o.Feasible {
+			continue
+		}
+		out = append(out, ValidationResult{
+			Clip: c.Name, HeuristicCost: h.Cost, OptimalCost: o.Cost,
+			Delta: o.Cost - h.Cost,
+		})
+	}
+	return out, nil
+}
+
+// ModelSize reports ILP dimensions for one clip under one rule (the paper's
+// Section 4 variable/constraint analysis).
+type ModelSize struct {
+	Rule        string
+	Verts       int
+	Arcs        int
+	Nets        int
+	Vars        int
+	Constraints int
+	EVars       int
+	FVars       int
+	PVars       int
+	ProductVars int
+}
+
+// ModelSizeStudy builds (without solving) the ILP for each rule.
+func ModelSizeStudy(c *clip.Clip, rules []tech.RuleConfig) ([]ModelSize, error) {
+	var out []ModelSize
+	for _, rule := range rules {
+		g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+		if err != nil {
+			return nil, err
+		}
+		m := core.BuildILP(g)
+		st := g.Stats()
+		out = append(out, ModelSize{
+			Rule:  rule.Name,
+			Verts: st.Verts, Arcs: st.Arcs, Nets: len(c.Nets),
+			Vars:        m.Model.NumVars(),
+			Constraints: m.Model.NumConstraints(),
+			EVars:       m.NumEVars, FVars: m.NumFVars,
+			PVars: m.NumPVars, ProductVars: m.NumProductVars,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/tech"
+)
+
+func quickTB(t *testing.T, tt *tech.Technology) *Testbed {
+	t.Helper()
+	opt := QuickTestbed()
+	opt.Designs = []DesignSpec{
+		{Profile: "AES", Size: 150, Utils: []float64{0.90}},
+		{Profile: "M0", Size: 120, Utils: []float64{0.92}},
+	}
+	opt.TopK = 6
+	tb, err := BuildTestbed(tt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestBuildTestbed(t *testing.T) {
+	tb := quickTB(t, tech.N28T12())
+	if len(tb.Records) != 2 {
+		t.Fatalf("records = %d", len(tb.Records))
+	}
+	for _, r := range tb.Records {
+		if r.Clips == 0 {
+			t.Fatalf("design %s-%.2f yielded no clips", r.Design, r.Util)
+		}
+		if r.RouteWL == 0 {
+			t.Fatalf("design %s has no routed wirelength", r.Design)
+		}
+		if r.AchUtil <= 0.5 {
+			t.Fatalf("achieved utilization %.2f implausible", r.AchUtil)
+		}
+	}
+	if len(tb.Top) == 0 || len(tb.Top) > 6 {
+		t.Fatalf("top clips = %d", len(tb.Top))
+	}
+	// Top clips sorted by pin cost descending.
+	for i := 1; i < len(tb.Top); i++ {
+		if tb.Top[i].PinCost > tb.Top[i-1].PinCost {
+			t.Fatal("top clips not sorted")
+		}
+	}
+	if len(tb.PinCosts) != 2 {
+		t.Fatalf("pin cost groups = %d", len(tb.PinCosts))
+	}
+}
+
+func TestDeltaCostStudySmall(t *testing.T) {
+	tb := quickTB(t, tech.N28T12())
+	clips := tb.Top
+	if len(clips) > 3 {
+		clips = clips[:3]
+	}
+	curves, results, err := DeltaCostStudy(tb.Tech, clips, SolveOptions{PerClipTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 11 { // N28: all 11 rules
+		t.Fatalf("curves = %d, want 11", len(curves))
+	}
+	if curves[0].Rule != "RULE1" {
+		t.Fatal("first curve must be RULE1")
+	}
+	// RULE1 deltas are 0 for feasible clips by construction.
+	for _, d := range curves[0].Deltas {
+		if d != 0 && d != InfeasibleDelta {
+			t.Fatalf("RULE1 delta %v != 0", d)
+		}
+	}
+	// All deltas nonnegative (rules only constrain further).
+	for _, cu := range curves {
+		for i, d := range cu.Deltas {
+			if d < -1e-9 {
+				t.Fatalf("%s: negative delta %v", cu.Rule, d)
+			}
+			if i > 0 && cu.Deltas[i] < cu.Deltas[i-1] {
+				t.Fatalf("%s: deltas not sorted", cu.Rule)
+			}
+		}
+	}
+	if len(results) != len(curves)*len(clips) {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestRuleMonotonicityOnClip(t *testing.T) {
+	// More SADP layers can never reduce the optimal cost: RULE2 >= RULE3 >=
+	// RULE4 >= RULE5 >= RULE1 cost on the same clip (when feasible).
+	opt := clip.DefaultSynth(5)
+	opt.NX, opt.NY, opt.NZ = 5, 6, 4
+	opt.NumNets = 3
+	c := clip.Synthesize(opt)
+	c.Tech = "N28-12T"
+	costs := map[string]int{}
+	feas := map[string]bool{}
+	for _, rn := range []string{"RULE1", "RULE5", "RULE4", "RULE3", "RULE2"} {
+		rule, _ := tech.RuleByName(rn)
+		r, err := SolveClip(c, rule, SolveOptions{PerClipTimeout: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[rn] = r.Cost
+		feas[rn] = r.Feasible
+	}
+	order := []string{"RULE1", "RULE5", "RULE4", "RULE3", "RULE2"}
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if feas[a] && feas[b] && costs[b] < costs[a] {
+			t.Fatalf("%s cost %d < %s cost %d: optimality violated", b, costs[b], a, costs[a])
+		}
+	}
+}
+
+func TestValidationStudy(t *testing.T) {
+	tb := quickTB(t, tech.N28T12())
+	clips := tb.Top
+	if len(clips) > 4 {
+		clips = clips[:4]
+	}
+	vals, err := ValidationStudy(clips, SolveOptions{PerClipTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) == 0 {
+		t.Skip("no clip produced both heuristic and optimal solutions")
+	}
+	for _, v := range vals {
+		// The paper's key claim: OptRouter never loses to the reference.
+		if v.Delta > 0 {
+			t.Fatalf("clip %s: optimal %d > heuristic %d", v.Clip, v.OptimalCost, v.HeuristicCost)
+		}
+	}
+}
+
+func TestModelSizeStudy(t *testing.T) {
+	opt := clip.DefaultSynth(2)
+	c := clip.Synthesize(opt)
+	rules := []tech.RuleConfig{
+		{Name: "RULE1"},
+		{Name: "RULE6", BlockedVias: 4},
+		{Name: "RULE3", SADPMinLayer: 3},
+	}
+	sizes, err := ModelSizeStudy(c, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %d", len(sizes))
+	}
+	// Paper Sec. 4: via restriction adds constraints but no variables; SADP
+	// adds both (p and product variables).
+	if sizes[1].Vars != sizes[0].Vars {
+		t.Errorf("via restriction changed variable count: %d vs %d", sizes[1].Vars, sizes[0].Vars)
+	}
+	if sizes[1].Constraints <= sizes[0].Constraints {
+		t.Errorf("via restriction should add constraints: %d vs %d", sizes[1].Constraints, sizes[0].Constraints)
+	}
+	if sizes[2].Vars <= sizes[0].Vars {
+		t.Errorf("SADP should add variables: %d vs %d", sizes[2].Vars, sizes[0].Vars)
+	}
+	if sizes[2].PVars == 0 || sizes[2].ProductVars == 0 {
+		t.Error("SADP should create p/product variables")
+	}
+}
+
+func TestInfeasibleDeltaConvention(t *testing.T) {
+	if InfeasibleDelta != 500 {
+		t.Fatal("paper plots unroutable clips at 500")
+	}
+	if math.IsInf(InfeasibleDelta, 1) {
+		t.Fatal("InfeasibleDelta must be finite for plotting")
+	}
+}

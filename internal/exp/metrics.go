@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/congestion"
+	"optrouter/internal/extract"
+	"optrouter/internal/netlist"
+	"optrouter/internal/pincost"
+	"optrouter/internal/place"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+// MetricWindow is one window with both difficulty scores and its measured
+// rule sensitivity.
+type MetricWindow struct {
+	Clip       string
+	PinCost    float64
+	Congestion float64
+	// Delta is the Δcost of the aggressive rule vs RULE1 on this window
+	// (InfeasibleDelta when unroutable).
+	Delta float64
+}
+
+// MetricComparison is the Section 5 "metric beyond Taghavi" study: does a
+// demand-based congestion score predict switchbox rule-sensitivity better
+// than the pin cost metric? For each extracted window both scores are
+// computed, the window is solved under RULE1 and an aggressive rule, and
+// the rank correlation of each metric with the realized Δcost is reported.
+type MetricComparison struct {
+	Windows []MetricWindow
+	// Spearman rank correlations of each metric with Δcost.
+	PinCostCorr    float64
+	CongestionCorr float64
+	Rule           string
+}
+
+// MetricStudyOptions scales the study.
+type MetricStudyOptions struct {
+	Size       int           // design instances (default 250)
+	Util       float64       // target utilization (default 0.92)
+	MaxWindows int           // windows evaluated (default 12)
+	Rule       string        // aggressive rule (default RULE8)
+	Budget     time.Duration // per-solve budget (default 10s)
+	Seed       int64
+}
+
+func (o MetricStudyOptions) withDefaults() MetricStudyOptions {
+	if o.Size == 0 {
+		o.Size = 250
+	}
+	if o.Util == 0 {
+		o.Util = 0.92
+	}
+	if o.MaxWindows == 0 {
+		o.MaxWindows = 12
+	}
+	if o.Rule == "" {
+		o.Rule = "RULE8"
+	}
+	if o.Budget == 0 {
+		o.Budget = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// MetricStudy runs the comparison on one synthesized design.
+func MetricStudy(t *tech.Technology, opt MetricStudyOptions) (*MetricComparison, error) {
+	opt = opt.withDefaults()
+	lib := cells.Generate(t)
+	nl, err := netlist.Generate(lib, netlist.M0Class(opt.Size, opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	pl, err := place.Place(lib, nl, place.Options{TargetUtil: opt.Util})
+	if err != nil {
+		return nil, err
+	}
+	res, err := route.Route(pl, route.Options{Layers: 4})
+	if err != nil {
+		return nil, err
+	}
+	rule, ok := tech.RuleByName(opt.Rule)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown rule %q", opt.Rule)
+	}
+
+	ext := extract.Options{MaxNets: 5}.WithDefaults(res)
+	clips := extract.All(res, ext)
+	out := &MetricComparison{Rule: rule.Name}
+	for _, c := range clips {
+		if len(out.Windows) >= opt.MaxWindows {
+			break
+		}
+		var ox, oy int
+		if _, err := fmt.Sscanf(c.Name[len(nl.Name)+1:], "x%d-y%d", &ox, &oy); err != nil {
+			return nil, fmt.Errorf("exp: window origin from %q: %v", c.Name, err)
+		}
+		base, err := SolveClip(c, tech.RuleConfig{Name: "RULE1"}, SolveOptions{PerClipTimeout: opt.Budget})
+		if err != nil {
+			return nil, err
+		}
+		if !base.Feasible {
+			continue
+		}
+		r, err := SolveClip(c, rule, SolveOptions{PerClipTimeout: opt.Budget})
+		if err != nil {
+			return nil, err
+		}
+		delta := InfeasibleDelta
+		if r.Feasible {
+			delta = float64(r.Cost - base.Cost)
+		}
+		out.Windows = append(out.Windows, MetricWindow{
+			Clip:       c.Name,
+			PinCost:    pincost.Cost(c),
+			Congestion: congestion.WindowScore(res, ox, oy, ext.WTracks, ext.HTracks, ext.NZ),
+			Delta:      delta,
+		})
+	}
+	if len(out.Windows) >= 3 {
+		deltas := make([]float64, len(out.Windows))
+		pcs := make([]float64, len(out.Windows))
+		cgs := make([]float64, len(out.Windows))
+		for i, w := range out.Windows {
+			deltas[i] = w.Delta
+			pcs[i] = w.PinCost
+			cgs[i] = w.Congestion
+		}
+		out.PinCostCorr = spearman(pcs, deltas)
+		out.CongestionCorr = spearman(cgs, deltas)
+	}
+	return out, nil
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// series (average ranks for ties).
+func spearman(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

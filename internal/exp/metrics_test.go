@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"optrouter/internal/tech"
+)
+
+func TestSpearmanBasics(t *testing.T) {
+	// Perfectly monotone series correlate at 1.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if got := spearman(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("monotone spearman = %v", got)
+	}
+	// Reversed series correlate at -1.
+	c := []float64{5, 4, 3, 2, 1}
+	if got := spearman(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("reversed spearman = %v", got)
+	}
+	// Constant series yields 0 (undefined variance).
+	d := []float64{7, 7, 7, 7, 7}
+	if got := spearman(a, d); got != 0 {
+		t.Fatalf("constant spearman = %v", got)
+	}
+}
+
+func TestRanksHandleTies(t *testing.T) {
+	r := ranks([]float64{3, 1, 3, 2})
+	// Sorted: 1(rank1), 2(rank2), 3,3 (ranks 3,4 -> 3.5 each).
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestMetricStudy(t *testing.T) {
+	mc, err := MetricStudy(tech.N28T8(), MetricStudyOptions{
+		Size: 180, MaxWindows: 8, Budget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Windows) == 0 {
+		t.Fatal("no windows compared")
+	}
+	for _, w := range mc.Windows {
+		if w.Congestion < 0 || w.PinCost < 0 {
+			t.Fatalf("negative score: %+v", w)
+		}
+		if w.Delta < 0 {
+			t.Fatalf("negative delta (rules only constrain): %+v", w)
+		}
+	}
+	if mc.PinCostCorr < -1 || mc.PinCostCorr > 1 || mc.CongestionCorr < -1 || mc.CongestionCorr > 1 {
+		t.Fatalf("correlations out of range: %v %v", mc.PinCostCorr, mc.CongestionCorr)
+	}
+	if mc.Rule != "RULE8" {
+		t.Fatalf("rule = %s", mc.Rule)
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// PinAccessResult reports one (cell, rule) pin-access verdict.
+type PinAccessResult struct {
+	Tech     string
+	Cell     string
+	Rule     string
+	Feasible bool
+	Proven   bool
+	Cost     int
+	Vias     int
+}
+
+// PinAccessClip builds the Fig. 9 scenario for one cell master: the cell's
+// signal pins sit on M1 (below the routing layers) and each must escape
+// through a V12 pin-access via to a distinct terminal on the top boundary.
+// Via-adjacency rules constrain which access points can host vias
+// simultaneously — for the scaled N7-9T pins (two close access points per
+// pin) aggressive blocking makes the cell unpinnable, which is exactly why
+// the paper excludes RULE2/7/9/10/11 from the N7 study.
+func PinAccessClip(t *tech.Technology, cellName string) (*clip.Clip, error) {
+	lib := cells.Generate(t)
+	c, ok := lib.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown cell %q", cellName)
+	}
+	pins := c.SignalPins()
+	if len(pins) == 0 {
+		return nil, fmt.Errorf("exp: cell %q has no signal pins", cellName)
+	}
+	nx := c.WidthSites + 2
+	ny := t.TrackHeight
+	cl := &clip.Clip{
+		Name: fmt.Sprintf("pinaccess-%s-%s", t.Name, cellName),
+		Tech: t.Name,
+		NX:   nx, NY: ny, NZ: 4, MinLayer: 1,
+	}
+	for i, p := range pins {
+		var aps []clip.AccessPoint
+		for _, ap := range p.APs {
+			if ap.X < 0 || ap.X >= nx || ap.Y < 0 || ap.Y >= ny {
+				continue
+			}
+			aps = append(aps, clip.AccessPoint{X: ap.X, Y: ap.Y, Z: 0}) // M1 pin
+		}
+		if len(aps) == 0 {
+			return nil, fmt.Errorf("exp: pin %s has no in-clip access points", p.Name)
+		}
+		// Escape terminal: top boundary, distinct columns per pin, on the
+		// lowest routing layer.
+		sink := clip.AccessPoint{X: (i + 1) % nx, Y: ny - 1, Z: 1}
+		cl.Nets = append(cl.Nets, clip.Net{
+			Name: p.Name,
+			Pins: []clip.Pin{
+				{Name: p.Name, APs: aps},
+				{Name: p.Name + "_esc", APs: []clip.AccessPoint{sink}},
+			},
+		})
+	}
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// PinAccessStudy solves the escape problem for a cell under every standard
+// rule (including the ones the paper excludes for N7, to demonstrate why).
+func PinAccessStudy(t *tech.Technology, cellName string, opt SolveOptions) ([]PinAccessResult, error) {
+	opt = opt.withDefaults()
+	cl, err := PinAccessClip(t, cellName)
+	if err != nil {
+		return nil, err
+	}
+	var out []PinAccessResult
+	for _, rule := range tech.StandardRules() {
+		g, err := rgraph.Build(cl, rgraph.Options{Rule: rule})
+		if err != nil {
+			return nil, err
+		}
+		sol, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: opt.PerClipTimeout, MaxNodes: opt.MaxNodes})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PinAccessResult{
+			Tech: t.Name, Cell: cellName, Rule: rule.Name,
+			Feasible: sol.Feasible, Proven: sol.Proven,
+			Cost: sol.Cost, Vias: sol.Vias,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"optrouter/internal/tech"
+)
+
+func TestPinAccessClipBuilds(t *testing.T) {
+	for _, tt := range tech.AllTechnologies() {
+		cl, err := PinAccessClip(tt, "NAND2X1")
+		if err != nil {
+			t.Fatalf("%s: %v", tt.Name, err)
+		}
+		if len(cl.Nets) != 3 { // A, B, Y
+			t.Fatalf("%s: %d nets, want 3", tt.Name, len(cl.Nets))
+		}
+		for i := range cl.Nets {
+			if cl.Nets[i].Pins[0].APs[0].Z != 0 {
+				t.Fatalf("%s: pin not on M1", tt.Name)
+			}
+		}
+	}
+}
+
+func TestPinAccessStudyFig9(t *testing.T) {
+	opt := SolveOptions{PerClipTimeout: 20 * time.Second}
+	results := map[string]map[string]PinAccessResult{}
+	for _, tt := range []*tech.Technology{tech.N28T12(), tech.N7T9()} {
+		rs, err := PinAccessStudy(tt, "NAND2X1", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[tt.Name] = map[string]PinAccessResult{}
+		for _, r := range rs {
+			results[tt.Name][r.Rule] = r
+		}
+	}
+	// Everything is routable with no via restrictions.
+	for techName, rs := range results {
+		if !rs["RULE1"].Feasible {
+			t.Fatalf("%s: RULE1 pin access must be feasible", techName)
+		}
+	}
+	// The generous 12-track pins survive every rule.
+	for rule, r := range results["N28-12T"] {
+		if !r.Feasible && r.Proven {
+			t.Fatalf("N28-12T: %s unexpectedly unpinnable", rule)
+		}
+	}
+	// The Fig. 9(c) crunch: scaled N7 pins under 8-blocked via sites
+	// (RULE9) must cost strictly more than under RULE1, or be outright
+	// unpinnable — the reason the paper excludes those rules from N7.
+	r9 := results["N7-9T"]["RULE9"]
+	r1 := results["N7-9T"]["RULE1"]
+	if r9.Feasible && r9.Proven && r9.Cost <= r1.Cost {
+		t.Fatalf("N7-9T: RULE9 (%d) should cost more than RULE1 (%d) or be infeasible",
+			r9.Cost, r1.Cost)
+	}
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// RuntimeRecord is one row of the Section 5 runtime study.
+type RuntimeRecord struct {
+	Switchbox string // "7x10" or "10x10"
+	WithRules bool   // SADP >= M3 + 4-blocked vias (RULE8), as in the paper
+	Feasible  bool
+	Proven    bool
+	Cost      int
+	Nodes     int
+	Runtime   time.Duration
+}
+
+// RuntimeStudyOptions scales the study.
+type RuntimeStudyOptions struct {
+	// NZ is the stack depth (the paper uses 8; default 4 for single-core
+	// budgets — recorded in the output).
+	NZ int
+	// Nets is the synthetic net count per switchbox (default 5).
+	Nets int
+	// Budget bounds each solve (default 60s).
+	Budget time.Duration
+	Seed   int64
+}
+
+func (o RuntimeStudyOptions) withDefaults() RuntimeStudyOptions {
+	if o.NZ == 0 {
+		o.NZ = 4
+	}
+	if o.Nets == 0 {
+		o.Nets = 5
+	}
+	if o.Budget == 0 {
+		o.Budget = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// RuntimeStudy reproduces the paper's Section 5 runtime comparison: average
+// OptRouter runtime for 7x10 and 10x10 switchboxes, with and without
+// SADP + via-restriction rules (paper: 842s -> 1047s and 925s -> 1340s on
+// CPLEX; here on the combinatorial exact solver at the configured depth).
+func RuntimeStudy(opt RuntimeStudyOptions) ([]RuntimeRecord, error) {
+	opt = opt.withDefaults()
+	rule8, _ := tech.RuleByName("RULE8")
+	var out []RuntimeRecord
+	for _, sb := range []struct {
+		name   string
+		nx, ny int
+	}{
+		{"7x10", 7, 10},
+		{"10x10", 10, 10},
+	} {
+		sopt := clip.DefaultSynth(opt.Seed)
+		sopt.NX, sopt.NY, sopt.NZ = sb.nx, sb.ny, opt.NZ
+		sopt.NumNets = opt.Nets
+		sopt.MaxSinks = 2
+		c := clip.Synthesize(sopt)
+		for _, withRules := range []bool{false, true} {
+			rule := tech.RuleConfig{Name: "RULE1"}
+			if withRules {
+				rule = rule8
+			}
+			g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+			if err != nil {
+				return nil, err
+			}
+			sol, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: opt.Budget})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RuntimeRecord{
+				Switchbox: sb.name, WithRules: withRules,
+				Feasible: sol.Feasible, Proven: sol.Proven,
+				Cost: sol.Cost, Nodes: sol.Nodes, Runtime: sol.Runtime,
+			})
+		}
+	}
+	return out, nil
+}

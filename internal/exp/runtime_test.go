@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeStudy(t *testing.T) {
+	recs, err := RuntimeStudy(RuntimeStudyOptions{NZ: 3, Nets: 3, Budget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4 (2 switchboxes x 2 rule settings)", len(recs))
+	}
+	byKey := map[string]RuntimeRecord{}
+	for _, r := range recs {
+		key := r.Switchbox
+		if r.WithRules {
+			key += "+rules"
+		}
+		byKey[key] = r
+		if r.Runtime <= 0 {
+			t.Fatalf("%s: zero runtime", key)
+		}
+	}
+	// The paper's qualitative claim: adding SADP + via rules never makes
+	// the instance cheaper, and the rule-free solves must be proven.
+	for _, sb := range []string{"7x10", "10x10"} {
+		plain := byKey[sb]
+		ruled := byKey[sb+"+rules"]
+		if !plain.Proven {
+			t.Fatalf("%s rule-free solve not proven", sb)
+		}
+		if plain.Feasible && ruled.Feasible && ruled.Proven && ruled.Cost < plain.Cost {
+			t.Fatalf("%s: rules reduced cost %d -> %d", sb, plain.Cost, ruled.Cost)
+		}
+	}
+}

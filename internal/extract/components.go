@@ -1,0 +1,383 @@
+package extract
+
+import (
+	"fmt"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/netlist"
+	"optrouter/internal/route"
+)
+
+// Component is one connected piece of a net's reference routing inside a
+// window: the fully-inside steps plus the boundary-crossing terminals and
+// the touched vertex set.
+type Component struct {
+	NetIdx    int
+	Steps     []route.Step       // steps with both endpoints inside
+	Crossings []clip.AccessPoint // window-local crossing terminals
+	Verts     map[[3]int]bool    // window-local touched vertices
+}
+
+// Wirelength counts the component's in-window wire steps.
+func (c *Component) Wirelength() int {
+	n := 0
+	for _, s := range c.Steps {
+		if !s.IsVia() {
+			n++
+		}
+	}
+	return n
+}
+
+// Vias counts the component's in-window via steps.
+func (c *Component) Vias() int { return len(c.Steps) - c.Wirelength() }
+
+// Components decomposes every net's in-window routing at window origin
+// (ox, oy) into connected components. Coordinates in the result are
+// window-local. Layers at or above opt.NZ are ignored, mirroring Window.
+func Components(res *route.Result, ox, oy int, opt Options) []Component {
+	opt = opt.withDefaults(res)
+	W, H := opt.WTracks, opt.HTracks
+	inWin := func(x, y int) bool {
+		return x >= ox && x < ox+W && y >= oy && y < oy+H
+	}
+
+	var out []Component
+	for ni := range res.Nets {
+		rn := &res.Nets[ni]
+		// Union-find over in-window vertices.
+		parent := map[[3]int][3]int{}
+		var find func(v [3]int) [3]int
+		find = func(v [3]int) [3]int {
+			p, ok := parent[v]
+			if !ok {
+				parent[v] = v
+				return v
+			}
+			if p == v {
+				return v
+			}
+			r := find(p)
+			parent[v] = r
+			return r
+		}
+		union := func(a, b [3]int) {
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+
+		var inside []route.Step
+		type crossing struct {
+			v  [3]int
+			ap clip.AccessPoint
+		}
+		var crossings []crossing
+		for _, s := range rn.Steps {
+			if s.FromZ >= opt.NZ || s.ToZ >= opt.NZ {
+				continue
+			}
+			fIn := inWin(s.FromX, s.FromY)
+			tIn := inWin(s.ToX, s.ToY)
+			switch {
+			case fIn && tIn:
+				a := [3]int{s.FromX - ox, s.FromY - oy, s.FromZ}
+				b := [3]int{s.ToX - ox, s.ToY - oy, s.ToZ}
+				union(a, b)
+				inside = append(inside, route.Step{
+					FromX: a[0], FromY: a[1], FromZ: a[2],
+					ToX: b[0], ToY: b[1], ToZ: b[2],
+				})
+			case fIn != tIn:
+				x, y, z := s.FromX, s.FromY, s.FromZ
+				if tIn {
+					x, y, z = s.ToX, s.ToY, s.ToZ
+				}
+				v := [3]int{x - ox, y - oy, z}
+				find(v) // materialize the vertex
+				crossings = append(crossings, crossing{
+					v:  v,
+					ap: clip.AccessPoint{X: v[0], Y: v[1], Z: v[2]},
+				})
+			}
+		}
+		if len(parent) == 0 {
+			continue
+		}
+		// Group by root.
+		groups := map[[3]int]*Component{}
+		for v := range parent {
+			r := find(v)
+			g := groups[r]
+			if g == nil {
+				g = &Component{NetIdx: ni, Verts: map[[3]int]bool{}}
+				groups[r] = g
+			}
+			g.Verts[v] = true
+		}
+		for _, s := range inside {
+			r := find([3]int{s.FromX, s.FromY, s.FromZ})
+			groups[r].Steps = append(groups[r].Steps, s)
+		}
+		seenAP := map[[3]int]map[clip.AccessPoint]bool{}
+		for _, c := range crossings {
+			r := find(c.v)
+			if seenAP[r] == nil {
+				seenAP[r] = map[clip.AccessPoint]bool{}
+			}
+			if !seenAP[r][c.ap] {
+				seenAP[r][c.ap] = true
+				groups[r].Crossings = append(groups[r].Crossings, c.ap)
+			}
+		}
+		// Deterministic order: by each component's smallest vertex.
+		type keyed struct {
+			min [3]int
+			g   *Component
+		}
+		var ks []keyed
+		for _, g := range groups {
+			min := [3]int{1 << 30, 1 << 30, 1 << 30}
+			for v := range g.Verts {
+				if less3(v, min) {
+					min = v
+				}
+			}
+			ks = append(ks, keyed{min, g})
+		}
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && less3(ks[j].min, ks[j-1].min); j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		for _, k := range ks {
+			out = append(out, *k.g)
+		}
+	}
+	return out
+}
+
+func less3(a, b [3]int) bool {
+	if a[2] != b[2] {
+		return a[2] < b[2]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[0] < b[0]
+}
+
+// baselineConsistentWindow builds the clip whose nets are the in-window
+// connected components of the reference route (see Options.BaselineConsistent).
+func baselineConsistentWindow(res *route.Result, ox, oy int, opt Options) *clip.Clip {
+	p := res.P
+	t := p.Lib.Tech
+	W, H := opt.WTracks, opt.HTracks
+	comps := Components(res, ox, oy, opt)
+
+	c := &clip.Clip{
+		Name: compClipName(p.NL.Name, ox, oy),
+		Tech: t.Name,
+		NX:   W, NY: H, NZ: opt.NZ,
+		MinLayer: res.MinLayer,
+	}
+
+	// Index components by net for pin attachment.
+	byNet := map[int][]int{}
+	for i := range comps {
+		byNet[comps[i].NetIdx] = append(byNet[comps[i].NetIdx], i)
+	}
+
+	// Collect in-window cell pins per net (window-local APs at MinLayer).
+	type winPin struct {
+		name string
+		aps  []clip.AccessPoint
+		area int
+		cx   int
+		cy   int
+	}
+	pinsByNet := map[int][]winPin{}
+	inWin := func(x, y int) bool { return x >= ox && x < ox+W && y >= oy && y < oy+H }
+	for ni := range p.NL.Nets {
+		n := &p.NL.Nets[ni]
+		refs := append([]struct {
+			Inst int
+			Pin  string
+		}{{n.Driver.Inst, n.Driver.Pin}}, func() (out []struct {
+			Inst int
+			Pin  string
+		}) {
+			for _, s := range n.Sinks {
+				out = append(out, struct {
+					Inst int
+					Pin  string
+				}{s.Inst, s.Pin})
+			}
+			return
+		}()...)
+		for _, ref := range refs {
+			var wp *winPin
+			for apIdx := 0; ; apIdx++ {
+				gp, ok := p.PinAP(ref.Inst, ref.Pin, apIdx)
+				if !ok {
+					break
+				}
+				if !inWin(gp.X, gp.Y) {
+					continue
+				}
+				if wp == nil {
+					pinsByNet[ni] = append(pinsByNet[ni], winPin{
+						name: p.NL.Instances[ref.Inst].Name + "/" + ref.Pin,
+					})
+					wp = &pinsByNet[ni][len(pinsByNet[ni])-1]
+					cell, _ := p.Lib.Cell(p.NL.Instances[ref.Inst].Cell)
+					for _, cp := range cell.Pins {
+						if cp.Name == ref.Pin && len(cp.Shapes) > 0 {
+							sh := cp.Shapes[0].Rect
+							wp.area = sh.W() * sh.H()
+							cr := p.CellRect(ref.Inst)
+							wp.cx = cr.X1 + sh.Center().X
+							wp.cy = cr.Y1 + sh.Center().Y
+						}
+					}
+				}
+				wp.aps = append(wp.aps, clip.AccessPoint{X: gp.X - ox, Y: gp.Y - oy, Z: res.MinLayer})
+			}
+		}
+	}
+
+	apTaken := map[clip.AccessPoint]string{}
+	claim := func(owner string, aps []clip.AccessPoint) []clip.AccessPoint {
+		var out []clip.AccessPoint
+		for _, ap := range aps {
+			if o, taken := apTaken[ap]; taken && o != owner {
+				continue
+			}
+			apTaken[ap] = owner
+			out = append(out, ap)
+		}
+		return out
+	}
+
+	attached := map[string]bool{} // pin name -> consumed by a component
+	for ni, compIdxs := range byNet {
+		netName := p.NL.Nets[ni].Name
+		for k, ci := range compIdxs {
+			comp := &comps[ci]
+			name := fmt.Sprintf("%s#%d", netName, k)
+			var pins []clip.Pin
+			for _, wp := range pinsByNet[ni] {
+				touch := false
+				for _, ap := range wp.aps {
+					if comp.Verts[[3]int{ap.X, ap.Y, ap.Z}] {
+						touch = true
+						break
+					}
+				}
+				if !touch {
+					continue
+				}
+				attached[wp.name] = true
+				if aps := claim(name, wp.aps); len(aps) > 0 {
+					pins = append(pins, clip.Pin{
+						Name: wp.name, APs: aps,
+						AreaNM2: wp.area, CXNM: wp.cx, CYNM: wp.cy,
+					})
+				}
+			}
+			for xi, ap := range claim(name, comp.Crossings) {
+				pins = append(pins, clip.Pin{
+					Name: fmt.Sprintf("%s/x%d", name, xi),
+					APs:  []clip.AccessPoint{ap},
+				})
+			}
+			if len(pins) < 2 {
+				// Degenerate component (e.g. re-entry through one ring
+				// vertex): freeze its geometry as obstacles.
+				for _, pin := range pins {
+					c.Obstacles = append(c.Obstacles, pin.APs...)
+				}
+				continue
+			}
+			c.Nets = append(c.Nets, clip.Net{Name: name, Pins: pins})
+		}
+	}
+	// Unattached in-window pins (their nets don't touch them here): the pin
+	// metal still blocks the fabric.
+	for _, wps := range pinsByNet {
+		for _, wp := range wps {
+			if attached[wp.name] {
+				continue
+			}
+			for _, ap := range wp.aps {
+				if _, taken := apTaken[ap]; !taken {
+					apTaken[ap] = wp.name
+					c.Obstacles = append(c.Obstacles, ap)
+				}
+			}
+		}
+	}
+
+	if len(c.Nets) < opt.MinNets {
+		return nil
+	}
+	if opt.MaxNets > 0 && len(c.Nets) > opt.MaxNets {
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return nil
+	}
+	return c
+}
+
+// compClipName mirrors Window's naming so improve can parse origins.
+func compClipName(design string, ox, oy int) string {
+	return fmt.Sprintf("%s-x%d-y%d", design, ox, oy)
+}
+
+// BaselineCost sums the reference route's in-window cost over the
+// components that became clip nets (>= 2 terminals), with the given via
+// weight — the exact quantity OptRouter's optimum is compared against.
+func BaselineCost(res *route.Result, ox, oy int, opt Options) (wl, vias int) {
+	opt = opt.withDefaults(res)
+	for _, comp := range Components(res, ox, oy, opt) {
+		terms := len(comp.Crossings)
+		// Pins add terminals too; approximate attachment by the same rule
+		// used in extraction: count a pin if one of its APs is in Verts.
+		p := res.P
+		n := &p.NL.Nets[comp.NetIdx]
+		refs := append([]netRef{{n.Driver.Inst, n.Driver.Pin}}, sinkRefs(n)...)
+		for _, ref := range refs {
+			for apIdx := 0; ; apIdx++ {
+				gp, ok := p.PinAP(ref.inst, ref.pin, apIdx)
+				if !ok {
+					break
+				}
+				if comp.Verts[[3]int{gp.X - ox, gp.Y - oy, res.MinLayer}] {
+					terms++
+					break
+				}
+			}
+		}
+		if terms < 2 {
+			continue
+		}
+		wl += comp.Wirelength()
+		vias += comp.Vias()
+	}
+	return wl, vias
+}
+
+type netRef struct {
+	inst int
+	pin  string
+}
+
+func sinkRefs(n *netlist.Net) []netRef {
+	var out []netRef
+	for _, s := range n.Sinks {
+		out = append(out, netRef{s.Inst, s.Pin})
+	}
+	return out
+}

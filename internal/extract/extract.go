@@ -1,0 +1,273 @@
+// Package extract cuts switchbox routing clips out of routed designs,
+// implementing the "extraction of routing clips" stage of the paper's
+// evaluation flow (Fig. 6, Fig. 7): a sliding window over the die becomes a
+// clip whose terminals are the cell-pin access points inside the window plus
+// the points where the reference route crosses the window boundary.
+package extract
+
+import (
+	"fmt"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/route"
+)
+
+// Options configures extraction.
+type Options struct {
+	// WTracks and HTracks are the window extent in vertical-track columns
+	// and horizontal-track rows (paper: 7 x 10 = 1um x 1um in 28nm).
+	WTracks, HTracks int
+	// NZ is the layer count copied into clips (default: the routed stack).
+	NZ int
+	// StrideX and StrideY step the window (defaults: the window size, i.e.
+	// non-overlapping tiling).
+	StrideX, StrideY int
+	// MaxNets skips clips with more routable nets than this (0 = no cap).
+	MaxNets int
+	// MinNets skips nearly-empty clips (default 2).
+	MinNets int
+	// BaselineConsistent splits each net into the connected components of
+	// its in-window reference routing, one clip net per component ("n3#0",
+	// "n3#1", ...). A net that dips out of the window and back is then NOT
+	// required to reconnect inside it, so the reference route restricted to
+	// the window is always a feasible solution of the extracted clip — the
+	// property the local-improvement study (package improve) relies on.
+	// The default (false) keeps the paper's switchbox semantics: one clip
+	// net per design net, connecting every in-window terminal.
+	BaselineConsistent bool
+}
+
+// WithDefaults resolves zero-valued fields against the routed design's
+// dimensions (exported for callers that need the effective geometry, e.g.
+// package improve).
+func (o Options) WithDefaults(res *route.Result) Options { return o.withDefaults(res) }
+
+func (o Options) withDefaults(res *route.Result) Options {
+	if o.WTracks == 0 {
+		o.WTracks = 7
+	}
+	if o.HTracks == 0 {
+		o.HTracks = 10
+	}
+	if o.NZ == 0 {
+		o.NZ = res.NZ
+	}
+	if o.StrideX == 0 {
+		o.StrideX = o.WTracks
+	}
+	if o.StrideY == 0 {
+		o.StrideY = o.HTracks
+	}
+	if o.MinNets == 0 {
+		o.MinNets = 2
+	}
+	return o
+}
+
+// All extracts every clip from the routed design.
+func All(res *route.Result, opt Options) []*clip.Clip {
+	opt = opt.withDefaults(res)
+	var out []*clip.Clip
+	for oy := 0; oy+opt.HTracks <= res.NY; oy += opt.StrideY {
+		for ox := 0; ox+opt.WTracks <= res.NX; ox += opt.StrideX {
+			if c := Window(res, ox, oy, opt); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Window extracts the clip at window origin (ox, oy); nil when the window
+// fails the net-count filters.
+func Window(res *route.Result, ox, oy int, opt Options) *clip.Clip {
+	opt = opt.withDefaults(res)
+	if opt.BaselineConsistent {
+		return baselineConsistentWindow(res, ox, oy, opt)
+	}
+	W, H := opt.WTracks, opt.HTracks
+	p := res.P
+	t := p.Lib.Tech
+
+	inWin := func(x, y int) bool {
+		return x >= ox && x < ox+W && y >= oy && y < oy+H
+	}
+
+	c := &clip.Clip{
+		Name:     fmt.Sprintf("%s-x%d-y%d", p.NL.Name, ox, oy),
+		Tech:     t.Name,
+		NX:       W,
+		NY:       H,
+		NZ:       opt.NZ,
+		MinLayer: res.MinLayer,
+	}
+
+	type netTerms struct {
+		pins      []clip.Pin
+		crossings []clip.AccessPoint
+		driverIn  bool
+	}
+	terms := map[int]*netTerms{}
+	get := func(netIdx int) *netTerms {
+		nt := terms[netIdx]
+		if nt == nil {
+			nt = &netTerms{}
+			terms[netIdx] = nt
+		}
+		return nt
+	}
+
+	// Cell pins inside the window.
+	for ni := range p.NL.Nets {
+		n := &p.NL.Nets[ni]
+		addPin := func(ref struct {
+			Inst int
+			Pin  string
+		}, isDriver bool) {
+			cell, _ := p.Lib.Cell(p.NL.Instances[ref.Inst].Cell)
+			var cp *clip.Pin
+			for _, cellPin := range cell.Pins {
+				if cellPin.Name != ref.Pin {
+					continue
+				}
+				for apIdx := range cellPin.APs {
+					gp, _ := p.PinAP(ref.Inst, ref.Pin, apIdx)
+					if !inWin(gp.X, gp.Y) {
+						continue
+					}
+					if cp == nil {
+						nt := get(ni)
+						nt.pins = append(nt.pins, clip.Pin{
+							Name: fmt.Sprintf("%s/%s", p.NL.Instances[ref.Inst].Name, ref.Pin),
+						})
+						cp = &nt.pins[len(nt.pins)-1]
+						if isDriver {
+							nt.driverIn = true
+						}
+						if len(cellPin.Shapes) > 0 {
+							sh := cellPin.Shapes[0].Rect
+							cp.AreaNM2 = sh.W() * sh.H()
+							cr := p.CellRect(ref.Inst)
+							cp.CXNM = cr.X1 + sh.Center().X
+							cp.CYNM = cr.Y1 + sh.Center().Y
+						}
+					}
+					cp.APs = append(cp.APs, clip.AccessPoint{
+						X: gp.X - ox, Y: gp.Y - oy, Z: res.MinLayer,
+					})
+				}
+				break
+			}
+		}
+		addPin(struct {
+			Inst int
+			Pin  string
+		}{n.Driver.Inst, n.Driver.Pin}, true)
+		for _, s := range n.Sinks {
+			addPin(struct {
+				Inst int
+				Pin  string
+			}{s.Inst, s.Pin}, false)
+		}
+	}
+
+	// Boundary crossings of routed wires.
+	for i := range res.Nets {
+		rn := &res.Nets[i]
+		seen := map[clip.AccessPoint]bool{}
+		for _, s := range rn.Steps {
+			if s.IsVia() {
+				continue // vias never cross the window laterally
+			}
+			fIn := inWin(s.FromX, s.FromY)
+			tIn := inWin(s.ToX, s.ToY)
+			if fIn == tIn {
+				continue
+			}
+			x, y, z := s.FromX, s.FromY, s.FromZ
+			if tIn {
+				x, y, z = s.ToX, s.ToY, s.ToZ
+			}
+			if z >= opt.NZ {
+				continue
+			}
+			ap := clip.AccessPoint{X: x - ox, Y: y - oy, Z: z}
+			if !seen[ap] {
+				seen[ap] = true
+				get(i).crossings = append(get(i).crossings, ap)
+			}
+		}
+	}
+
+	// Assemble nets: each needs >= 2 terminals.
+	apTaken := map[clip.AccessPoint]string{}
+	usable := func(name string, aps []clip.AccessPoint) []clip.AccessPoint {
+		var out []clip.AccessPoint
+		for _, ap := range aps {
+			owner, taken := apTaken[ap]
+			if taken && owner != name {
+				continue
+			}
+			apTaken[ap] = name
+			out = append(out, ap)
+		}
+		return out
+	}
+
+	for ni := 0; ni < len(p.NL.Nets); ni++ {
+		nt := terms[ni]
+		if nt == nil {
+			continue
+		}
+		name := p.NL.Nets[ni].Name
+		var pins []clip.Pin
+		for _, cp := range nt.pins {
+			aps := usable(name, cp.APs)
+			if len(aps) > 0 {
+				cp.APs = aps
+				pins = append(pins, cp)
+			}
+		}
+		for xi, ap := range usable(name, nt.crossings) {
+			pins = append(pins, clip.Pin{
+				Name: fmt.Sprintf("%s/x%d", name, xi),
+				APs:  []clip.AccessPoint{ap},
+			})
+		}
+		if len(pins) < 2 {
+			// Unroutable singleton presence: its APs become obstacles so
+			// other nets cannot run over the pin metal.
+			for _, cp := range pins {
+				for _, ap := range cp.APs {
+					c.Obstacles = append(c.Obstacles, ap)
+				}
+			}
+			continue
+		}
+		// Source: the driver pin when inside, else the first terminal.
+		if !nt.driverIn {
+			// pins[len(nt.pins)...] are crossings; promote the first
+			// crossing to the front as the source.
+			for i := range pins {
+				if len(pins[i].APs) == 1 && pins[i].AreaNM2 == 0 {
+					pins[0], pins[i] = pins[i], pins[0]
+					break
+				}
+			}
+		}
+		c.Nets = append(c.Nets, clip.Net{Name: name, Pins: pins})
+	}
+
+	if len(c.Nets) < opt.MinNets {
+		return nil
+	}
+	if opt.MaxNets > 0 && len(c.Nets) > opt.MaxNets {
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		// Defensive: extraction should always produce valid clips; drop
+		// the window if a baseline routing irregularity slipped through.
+		return nil
+	}
+	return c
+}

@@ -1,0 +1,198 @@
+// Package geom provides integer 2-D geometry primitives used throughout the
+// router: points, rectangles and closed intervals on a nanometer (or track)
+// grid. All coordinates are integers; rectangles are closed boxes
+// [X1,X2] x [Y1,Y2] with X1 <= X2 and Y1 <= Y2.
+package geom
+
+import "fmt"
+
+// Point is an integer 2-D point.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int {
+	return Abs(p.X-q.X) + Abs(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Abs returns the absolute value of x.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Rect is a closed integer rectangle [X1,X2] x [Y1,Y2].
+// A Rect with X1 > X2 or Y1 > Y2 is empty.
+type Rect struct {
+	X1, Y1, X2, Y2 int
+}
+
+// R returns the canonical rectangle covering the two corner points.
+func R(x1, y1, x2, y2 int) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{x1, y1, x2, y2}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.X1 > r.X2 || r.Y1 > r.Y2 }
+
+// W returns the width (X extent) of r. Empty rectangles report 0.
+func (r Rect) W() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.X2 - r.X1
+}
+
+// H returns the height (Y extent) of r. Empty rectangles report 0.
+func (r Rect) H() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Y2 - r.Y1
+}
+
+// Area returns W()*H(); note that a degenerate (line or point) rectangle has
+// zero area but is not empty.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Contains reports whether p lies inside the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X1 && p.X <= r.X2 && p.Y >= r.Y1 && p.Y <= r.Y2
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+// Every rectangle contains the empty rectangle.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X1 >= r.X1 && s.X2 <= r.X2 && s.Y1 >= r.Y1 && s.Y2 <= r.Y2
+}
+
+// Intersects reports whether r and s share at least one point
+// (closed-rectangle semantics: touching edges intersect).
+func (r Rect) Intersects(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.X1 <= s.X2 && s.X1 <= r.X2 && r.Y1 <= s.Y2 && s.Y1 <= r.Y2
+}
+
+// Intersect returns the intersection of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		X1: Max(r.X1, s.X1),
+		Y1: Max(r.Y1, s.Y1),
+		X2: Min(r.X2, s.X2),
+		Y2: Min(r.Y2, s.Y2),
+	}
+}
+
+// Union returns the bounding box of r and s. The union with an empty
+// rectangle is the other rectangle.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		X1: Min(r.X1, s.X1),
+		Y1: Min(r.Y1, s.Y1),
+		X2: Max(r.X2, s.X2),
+		Y2: Max(r.Y2, s.Y2),
+	}
+}
+
+// Expand grows r by d on every side (shrinks for negative d).
+func (r Rect) Expand(d int) Rect {
+	return Rect{r.X1 - d, r.Y1 - d, r.X2 + d, r.Y2 + d}
+}
+
+// Translate shifts r by the vector p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{r.X1 + p.X, r.Y1 + p.Y, r.X2 + p.X, r.Y2 + p.Y}
+}
+
+// Center returns the center point of r, rounding toward X1/Y1.
+func (r Rect) Center() Point { return Point{(r.X1 + r.X2) / 2, (r.Y1 + r.Y2) / 2} }
+
+// Dist returns the minimum L1 distance between the closed rectangles r and s
+// (zero if they intersect).
+func (r Rect) Dist(s Rect) int {
+	dx := 0
+	if r.X2 < s.X1 {
+		dx = s.X1 - r.X2
+	} else if s.X2 < r.X1 {
+		dx = r.X1 - s.X2
+	}
+	dy := 0
+	if r.Y2 < s.Y1 {
+		dy = s.Y1 - r.Y2
+	} else if s.Y2 < r.Y1 {
+		dy = r.Y1 - s.Y2
+	}
+	return dx + dy
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d..%d,%d]", r.X1, r.Y1, r.X2, r.Y2)
+}
+
+// LayerRect is a rectangle bound to a routing layer index.
+type LayerRect struct {
+	Layer int
+	Rect  Rect
+}
+
+func (lr LayerRect) String() string {
+	return fmt.Sprintf("L%d%s", lr.Layer, lr.Rect)
+}

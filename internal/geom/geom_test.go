@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 10 {
+		t.Errorf("ManhattanDist = %d, want 10", got)
+	}
+	if got := p.ManhattanDist(p); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+}
+
+func TestAbsMinMaxClamp(t *testing.T) {
+	if Abs(-5) != 5 || Abs(5) != 5 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min broken")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max broken")
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestRCanonicalizes(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Errorf("R did not canonicalize: %v", r)
+	}
+	if r.Empty() {
+		t.Error("canonical rect reported empty")
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	e := Rect{3, 0, 1, 5}
+	if !e.Empty() {
+		t.Error("inverted rect should be empty")
+	}
+	if e.W() != 0 || e.H() != 0 {
+		t.Error("empty rect should have zero extent")
+	}
+	pointRect := R(2, 2, 2, 2)
+	if pointRect.Empty() {
+		t.Error("degenerate point rect should not be empty")
+	}
+	if pointRect.Area() != 0 {
+		t.Error("point rect area should be 0")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 5)
+	for _, p := range []Point{Pt(0, 0), Pt(10, 5), Pt(5, 3), Pt(10, 0)} {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{Pt(-1, 0), Pt(11, 5), Pt(5, 6)} {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	b := R(4, 4, 8, 8) // touching at a corner: closed semantics intersect
+	if !a.Intersects(b) {
+		t.Error("touching rects should intersect (closed)")
+	}
+	got := a.Intersect(b)
+	if got != (Rect{4, 4, 4, 4}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := R(5, 5, 8, 8)
+	if a.Intersects(c) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("intersection of disjoint rects must be empty")
+	}
+}
+
+func TestRectUnionExpandTranslate(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(5, -1, 6, 1)
+	u := a.Union(b)
+	if u != (Rect{0, -1, 6, 2}) {
+		t.Errorf("Union = %v", u)
+	}
+	var empty Rect
+	empty = Rect{1, 1, 0, 0}
+	if a.Union(empty) != a || empty.Union(a) != a {
+		t.Error("union with empty should be identity")
+	}
+	if a.Expand(1) != (Rect{-1, -1, 3, 3}) {
+		t.Error("Expand broken")
+	}
+	if a.Translate(Pt(10, 20)) != (Rect{10, 20, 12, 22}) {
+		t.Error("Translate broken")
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	if a.Dist(R(1, 1, 5, 5)) != 0 {
+		t.Error("overlapping rects have distance 0")
+	}
+	if got := a.Dist(R(5, 0, 6, 2)); got != 3 {
+		t.Errorf("x-gap dist = %d, want 3", got)
+	}
+	if got := a.Dist(R(4, 5, 6, 6)); got != 2+3 {
+		t.Errorf("diagonal dist = %d, want 5", got)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := R(0, 0, 10, 10)
+	if !outer.ContainsRect(R(2, 2, 8, 8)) {
+		t.Error("should contain inner rect")
+	}
+	if outer.ContainsRect(R(2, 2, 11, 8)) {
+		t.Error("should not contain overflowing rect")
+	}
+	if !outer.ContainsRect(Rect{5, 5, 4, 4}) {
+		t.Error("every rect contains the empty rect")
+	}
+}
+
+// Property: Manhattan distance is a metric (symmetry + triangle inequality).
+func TestManhattanMetricProperties(t *testing.T) {
+	sym := func(ax, ay, bx, by int16) bool {
+		a := Pt(int(ax), int(ay))
+		b := Pt(int(bx), int(by))
+		return a.ManhattanDist(b) == b.ManhattanDist(a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	tri := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(int(ax), int(ay))
+		b := Pt(int(bx), int(by))
+		c := Pt(int(cx), int(cy))
+		return a.ManhattanDist(c) <= a.ManhattanDist(b)+b.ManhattanDist(c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersect is commutative and contained in both operands.
+func TestIntersectProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 int8) bool {
+		a := R(int(x1), int(y1), int(x2), int(y2))
+		b := R(int(x3), int(y3), int(x4), int(y4))
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if i1.Empty() {
+			return !a.Intersects(b)
+		}
+		return a.ContainsRect(i1) && b.ContainsRect(i1) && a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union contains both operands and is the smallest such box.
+func TestUnionProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 int8) bool {
+		a := R(int(x1), int(y1), int(x2), int(y2))
+		b := R(int(x3), int(y3), int(x4), int(y4))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

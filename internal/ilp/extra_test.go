@@ -1,0 +1,121 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"optrouter/internal/lp"
+)
+
+func TestTimeLimitWithIncumbentReturnsFeasible(t *testing.T) {
+	// Large knapsack with a valid warm start and zero time: the solver must
+	// return the incumbent with Feasible status rather than losing it.
+	m := NewModel()
+	var cs []lp.Coef
+	n := 30
+	inc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := m.AddBinary(-float64(1 + (i*3)%7))
+		cs = append(cs, lp.Coef{Var: v, Val: float64(1 + (i*5)%9)})
+	}
+	m.AddConstraint(cs, lp.LE, 20)
+	// All-zero is trivially feasible.
+	res := m.Solve(Options{Incumbent: inc, TimeLimit: time.Nanosecond})
+	if res.Status != Feasible {
+		t.Fatalf("status = %v, want feasible (incumbent preserved)", res.Status)
+	}
+	if math.Abs(res.Obj) > 1e-9 {
+		t.Fatalf("obj = %v, want 0 (the incumbent)", res.Obj)
+	}
+}
+
+func TestSetInteger(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous(0, 10, -1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.LE, 2.5)
+	res := m.Solve(Options{})
+	if math.Abs(res.Obj+2.5) > 1e-7 {
+		t.Fatalf("continuous obj = %v", res.Obj)
+	}
+	m.SetInteger(x, true)
+	if !m.IsInteger(x) {
+		t.Fatal("SetInteger did not stick")
+	}
+	res = m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj+2) > 1e-7 {
+		t.Fatalf("integer obj = %v (%v)", res.Obj, res.Status)
+	}
+}
+
+func TestBestBoundReported(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(-3)
+	y := m.AddBinary(-2)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.LE, 1)
+	res := m.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.BestBound > res.Obj+1e-9 {
+		t.Fatalf("best bound %v exceeds objective %v", res.BestBound, res.Obj)
+	}
+}
+
+func TestManyEqualSolutions(t *testing.T) {
+	// Symmetric model: any single selection is optimal; solver must still
+	// terminate with a proof quickly.
+	m := NewModel()
+	var cs []lp.Coef
+	for i := 0; i < 12; i++ {
+		v := m.AddBinary(-1)
+		cs = append(cs, lp.Coef{Var: v, Val: 1})
+	}
+	m.AddConstraint(cs, lp.EQ, 6)
+	res := m.Solve(Options{IntegralObjective: true})
+	if res.Status != Optimal || math.Abs(res.Obj+6) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 0.5 y, x binary, y in [0, 1.5], x + y <= 2.
+	m := NewModel()
+	x := m.AddBinary(-1)
+	y := m.AddContinuous(0, 1.5, -0.5)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.LE, 2)
+	res := m.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	want := -1 - 0.5*1.0 // x=1 leaves y <= 1 => obj -1.5
+	if math.Abs(res.Obj-want) > 1e-6 {
+		t.Fatalf("obj = %v, want %v", res.Obj, want)
+	}
+}
+
+func TestGeneralIntegerBranching(t *testing.T) {
+	// Non-binary integers branch correctly: min -x - y, 3x + 4y <= 17,
+	// x, y integer in [0, 5]. Optimum: candidates (x=5 -> y=0 obj -5;
+	// x=3,y=2 obj -5; x=1,y=3 obj -4...). Best is -5.
+	m := NewModel()
+	x := m.AddVar(0, 5, -1, true)
+	y := m.AddVar(0, 5, -1, true)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 3}, {Var: y, Val: 4}}, lp.LE, 17)
+	res := m.Solve(Options{IntegralObjective: true})
+	if res.Status != Optimal || math.Abs(res.Obj+5) > 1e-7 {
+		t.Fatalf("status=%v obj=%v X=%v", res.Status, res.Obj, res.X)
+	}
+}
+
+func TestUnboundedIntegerReportsLimit(t *testing.T) {
+	// min -x with x integer and unbounded above: the LP relaxation is
+	// unbounded, which the solver surfaces as a limit (no incumbent).
+	m := NewModel()
+	x := m.AddVar(0, lp.Inf, -1, true)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 0}}, lp.LE, 1) // vacuous row
+	res := m.Solve(Options{NoPresolve: true})
+	if res.Status == Optimal {
+		t.Fatalf("unbounded model reported optimal: %+v", res)
+	}
+}

@@ -1,0 +1,430 @@
+// Package ilp implements a mixed-integer linear programming solver on top of
+// the bounded-variable simplex in package lp. It is this repository's
+// replacement for ILOG CPLEX in the OptRouter reproduction: a depth-first
+// branch-and-bound with LP-relaxation bounds, most-fractional branching,
+// LP rounding heuristics, and optional warm-start incumbents.
+//
+// The solver proves optimality (it explores the full tree under admissible
+// LP bounds), so routing solutions obtained through it inherit the paper's
+// "cost-optimal" guarantee up to the configured tolerances.
+package ilp
+
+import (
+	"math"
+	"time"
+
+	"optrouter/internal/lp"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal means an incumbent was found and proven optimal.
+	Optimal Status = iota
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Feasible means an incumbent exists but limits stopped the proof.
+	Feasible
+	// Limit means a node/time limit was hit with no incumbent.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	case Limit:
+		return "limit"
+	}
+	return "?"
+}
+
+// Model is a MILP model: an LP plus integrality markers.
+type Model struct {
+	Prob  *lp.Problem
+	isInt []bool
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{Prob: lp.NewProblem()}
+}
+
+// AddVar adds a variable with the given bounds, objective cost and
+// integrality, returning its index.
+func (m *Model) AddVar(lo, hi, cost float64, integer bool) int {
+	j := m.Prob.AddVariable(lo, hi, cost)
+	m.isInt = append(m.isInt, integer)
+	return j
+}
+
+// AddBinary adds a {0,1} integer variable with the given cost.
+func (m *Model) AddBinary(cost float64) int { return m.AddVar(0, 1, cost, true) }
+
+// AddContinuous adds a continuous variable.
+func (m *Model) AddContinuous(lo, hi, cost float64) int { return m.AddVar(lo, hi, cost, false) }
+
+// AddConstraint forwards to the underlying LP and returns the row index.
+func (m *Model) AddConstraint(coeffs []lp.Coef, sense lp.Sense, rhs float64) int {
+	return m.Prob.AddConstraint(coeffs, sense, rhs)
+}
+
+// SetInteger changes the integrality of an existing variable.
+func (m *Model) SetInteger(j int, integer bool) { m.isInt[j] = integer }
+
+// IsInteger reports whether variable j is integer-constrained.
+func (m *Model) IsInteger(j int) bool { return m.isInt[j] }
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return m.Prob.NumVars() }
+
+// NumConstraints returns the constraint count.
+func (m *Model) NumConstraints() int { return m.Prob.NumRows() }
+
+// NumIntegerVars returns how many variables are integer-constrained.
+func (m *Model) NumIntegerVars() int {
+	n := 0
+	for _, b := range m.isInt {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes the branch-and-bound.
+type Options struct {
+	// MaxNodes bounds explored nodes; 0 means effectively unlimited.
+	MaxNodes int
+	// TimeLimit stops the search after the given wall time; 0 = none.
+	TimeLimit time.Duration
+	// Incumbent optionally provides a known integer-feasible solution
+	// (a warm start); it must satisfy all constraints.
+	Incumbent []float64
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// IntegralObjective asserts that every integer-feasible point has an
+	// integral objective value, enabling stronger pruning (ceil bounds).
+	IntegralObjective bool
+	// NoPresolve disables root bound-propagation presolve.
+	NoPresolve bool
+	// LP tunes the LP subsolver.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = math.MaxInt / 2
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	Obj       float64   // incumbent objective (valid unless Limit/Infeasible)
+	X         []float64 // incumbent solution
+	Nodes     int       // branch-and-bound nodes explored
+	LPIters   int       // total simplex iterations
+	BestBound float64   // proven lower bound on the optimum
+}
+
+// boundChange records one branching decision for undo.
+type boundChange struct {
+	j      int
+	lo, hi float64 // new bounds
+}
+
+type node struct {
+	changes []boundChange // all changes from root (inherited + own)
+	depth   int
+	bound   float64 // parent LP bound (for pruning before re-solve)
+}
+
+// Solve runs branch-and-bound to proven optimality (or a limit).
+func (m *Model) Solve(opt Options) Result {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	var (
+		bestX    []float64
+		bestObj  = math.Inf(1)
+		haveInc  bool
+		nodes    int
+		lpIters  int
+		bestBnd  = math.Inf(-1)
+		hitLimit bool
+	)
+
+	if opt.Incumbent != nil {
+		if ok, obj := m.CheckFeasible(opt.Incumbent, opt.IntTol); ok {
+			bestX = append([]float64(nil), opt.Incumbent...)
+			bestObj = obj
+			haveInc = true
+		}
+	}
+
+	// cutoff returns the pruning threshold given the incumbent.
+	cutoff := func() float64 {
+		if !haveInc {
+			return math.Inf(1)
+		}
+		if opt.IntegralObjective {
+			// Any strictly better integral solution is <= bestObj - 1.
+			return bestObj - 1 + 1e-7
+		}
+		return bestObj - 1e-7
+	}
+
+	// Save root bounds for restoration.
+	nv := m.Prob.NumVars()
+	rootLo := make([]float64, nv)
+	rootHi := make([]float64, nv)
+	for j := 0; j < nv; j++ {
+		rootLo[j], rootHi[j] = m.Prob.VarBounds(j)
+	}
+	restore := func() {
+		for j := 0; j < nv; j++ {
+			m.Prob.SetVarBounds(j, rootLo[j], rootHi[j])
+		}
+	}
+	defer restore()
+
+	// Root presolve: propagate bounds (transparent — the deferred restore
+	// puts the caller's bounds back). The tightened bounds become the
+	// effective root for the search below; node bound changes re-apply on
+	// top of them via presolvedLo/Hi.
+	presolvedLo := rootLo
+	presolvedHi := rootHi
+	if !opt.NoPresolve {
+		if !m.presolve(8) {
+			restore()
+			if haveInc {
+				// The incumbent passed CheckFeasible against the original
+				// bounds; a presolve infeasibility then indicates numerical
+				// tolerance mismatch — trust the incumbent.
+				return Result{Status: Optimal, Obj: bestObj, X: bestX, BestBound: bestObj}
+			}
+			return Result{Status: Infeasible}
+		}
+		presolvedLo = make([]float64, nv)
+		presolvedHi = make([]float64, nv)
+		for j := 0; j < nv; j++ {
+			presolvedLo[j], presolvedHi[j] = m.Prob.VarBounds(j)
+		}
+	}
+	restoreNode := func() {
+		for j := 0; j < nv; j++ {
+			m.Prob.SetVarBounds(j, presolvedLo[j], presolvedHi[j])
+		}
+	}
+
+	stack := []node{{bound: math.Inf(-1)}}
+	rootBoundSet := false
+
+	for len(stack) > 0 {
+		if nodes >= opt.MaxNodes || (opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit) {
+			hitLimit = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if haveInc && nd.bound > cutoff() {
+			continue // parent bound already dominated
+		}
+
+		// Apply node bounds on top of the presolved root.
+		restoreNode()
+		feasibleBounds := true
+		for _, bc := range nd.changes {
+			lo, hi := m.Prob.VarBounds(bc.j)
+			nlo, nhi := math.Max(lo, bc.lo), math.Min(hi, bc.hi)
+			if nlo > nhi {
+				feasibleBounds = false
+				break
+			}
+			m.Prob.SetVarBounds(bc.j, nlo, nhi)
+		}
+		if !feasibleBounds {
+			continue
+		}
+
+		res := m.Prob.Solve(opt.LP)
+		nodes++
+		lpIters += res.Iters
+		switch res.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// Integer problem unbounded or LP artifact; treat as no-prune
+			// and branch on first fractional... with no LP point we cannot
+			// branch meaningfully; report as limit.
+			hitLimit = true
+			continue
+		case lp.IterLimit:
+			hitLimit = true
+			continue
+		}
+
+		lb := res.Obj
+		if opt.IntegralObjective {
+			lb = math.Ceil(lb - 1e-7)
+		}
+		if !rootBoundSet {
+			bestBnd = lb
+			rootBoundSet = true
+		}
+		if haveInc && lb > cutoff() {
+			continue
+		}
+
+		// Find most fractional integer variable.
+		branchVar := -1
+		worst := opt.IntTol
+		for j := 0; j < nv; j++ {
+			if !m.isInt[j] {
+				continue
+			}
+			f := res.X[j] - math.Floor(res.X[j])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branchVar = j
+			}
+		}
+
+		if branchVar == -1 {
+			// Integer feasible.
+			obj := roundedObj(m, res.X, opt)
+			if obj < bestObj-1e-9 {
+				bestObj = obj
+				bestX = roundX(m, res.X)
+				haveInc = true
+			}
+			continue
+		}
+
+		// Rounding heuristic: snap all integer vars and test feasibility.
+		if nd.depth < 12 {
+			cand := roundX(m, res.X)
+			if ok, obj := m.CheckFeasible(cand, opt.IntTol); ok && obj < bestObj-1e-9 {
+				bestObj = obj
+				bestX = cand
+				haveInc = true
+			}
+		}
+
+		// Branch: explore the side nearest the LP value first (pushed last).
+		xv := res.X[branchVar]
+		fl := math.Floor(xv)
+		dn := node{
+			changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, math.Inf(-1), fl}),
+			depth:   nd.depth + 1,
+			bound:   lb,
+		}
+		up := node{
+			changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, fl + 1, math.Inf(1)}),
+			depth:   nd.depth + 1,
+			bound:   lb,
+		}
+		if xv-fl > 0.5 {
+			stack = append(stack, dn, up) // explore up first
+		} else {
+			stack = append(stack, up, dn) // explore down first
+		}
+	}
+
+	r := Result{Nodes: nodes, LPIters: lpIters, BestBound: bestBnd}
+	switch {
+	case haveInc && !hitLimit && len(stack) == 0:
+		r.Status = Optimal
+		r.Obj = bestObj
+		r.X = bestX
+		r.BestBound = bestObj
+	case haveInc:
+		r.Status = Feasible
+		r.Obj = bestObj
+		r.X = bestX
+	case hitLimit:
+		r.Status = Limit
+	default:
+		r.Status = Infeasible
+	}
+	return r
+}
+
+// roundX snaps integer variables of x to the nearest integer.
+func roundX(m *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, isInt := range m.isInt {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func roundedObj(m *Model, x []float64, opt Options) float64 {
+	obj := 0.0
+	for j := 0; j < m.Prob.NumVars(); j++ {
+		v := x[j]
+		if m.isInt[j] {
+			v = math.Round(v)
+		}
+		obj += m.Prob.Cost(j) * v
+	}
+	return obj
+}
+
+// CheckFeasible verifies x against all constraints, variable bounds and
+// integrality; it returns feasibility and the objective value of x.
+func (m *Model) CheckFeasible(x []float64, tol float64) (bool, float64) {
+	if tol == 0 {
+		tol = 1e-6
+	}
+	if len(x) != m.Prob.NumVars() {
+		return false, 0
+	}
+	obj := 0.0
+	for j := 0; j < m.Prob.NumVars(); j++ {
+		lo, hi := m.Prob.VarBounds(j)
+		if x[j] < lo-tol || x[j] > hi+tol {
+			return false, 0
+		}
+		if m.isInt[j] && math.Abs(x[j]-math.Round(x[j])) > tol {
+			return false, 0
+		}
+		obj += m.Prob.Cost(j) * x[j]
+	}
+	for i := 0; i < m.Prob.NumRows(); i++ {
+		coeffs, sense, rhs := m.Prob.Row(i)
+		sum := 0.0
+		for _, c := range coeffs {
+			sum += c.Val * x[c.Var]
+		}
+		switch sense {
+		case lp.LE:
+			if sum > rhs+1e-6 {
+				return false, 0
+			}
+		case lp.GE:
+			if sum < rhs-1e-6 {
+				return false, 0
+			}
+		case lp.EQ:
+			if math.Abs(sum-rhs) > 1e-6 {
+				return false, 0
+			}
+		}
+	}
+	return true, obj
+}

@@ -1,0 +1,338 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"optrouter/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10x0 + 13x1 + 7x2 + 8x3  s.t. 3x0+4x1+2x2+3x3 <= 7, x binary.
+	// Optimum: x0 + x1, weight exactly 7, value 23.
+	m := NewModel()
+	vals := []float64{10, 13, 7, 8}
+	wts := []float64{3, 4, 2, 3}
+	var vars []int
+	var cs []lp.Coef
+	for i := range vals {
+		v := m.AddBinary(-vals[i])
+		vars = append(vars, v)
+		cs = append(cs, lp.Coef{Var: v, Val: wts[i]})
+	}
+	m.AddConstraint(cs, lp.LE, 7)
+	res := m.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Obj+23) > 1e-6 {
+		t.Fatalf("obj = %v, want -23", res.Obj)
+	}
+	if math.Round(res.X[vars[0]]) != 1 || math.Round(res.X[vars[1]]) != 1 {
+		t.Fatalf("X = %v", res.X)
+	}
+}
+
+func TestPureLPPassThrough(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous(0, 10, -1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.LE, 4.5)
+	res := m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj+4.5) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x, x integer in [0, 10], x <= 3.7 => x = 3.
+	m := NewModel()
+	x := m.AddVar(0, 10, -1, true)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.LE, 3.7)
+	res := m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.X[x]-3) > 1e-6 {
+		t.Fatalf("status=%v X=%v", res.Status, res.X)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// x + y = 1.5 with x, y binary has no integer solution... wait 1.5 not
+	// reachable: 0,1,2 only. Infeasible.
+	m := NewModel()
+	x := m.AddBinary(1)
+	y := m.AddBinary(1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.EQ, 1.5)
+	res := m.Solve(Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestEqualityChoice(t *testing.T) {
+	// Exactly one of three binaries, minimize cost {5, 2, 9} -> choose 1.
+	m := NewModel()
+	a := m.AddBinary(5)
+	b := m.AddBinary(2)
+	c := m.AddBinary(9)
+	m.AddConstraint([]lp.Coef{{Var: a, Val: 1}, {Var: b, Val: 1}, {Var: c, Val: 1}}, lp.EQ, 1)
+	res := m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj-2) > 1e-7 || math.Round(res.X[b]) != 1 {
+		t.Fatalf("status=%v obj=%v X=%v", res.Status, res.Obj, res.X)
+	}
+}
+
+func TestWarmStartIncumbent(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(-3)
+	y := m.AddBinary(-2)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.LE, 1)
+	// Provide the suboptimal incumbent {0, 1}.
+	res := m.Solve(Options{Incumbent: []float64{0, 1}})
+	if res.Status != Optimal || math.Abs(res.Obj+3) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestInvalidWarmStartIgnored(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(-1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.LE, 0)
+	// Incumbent violates the constraint; solver must ignore it.
+	res := m.Solve(Options{Incumbent: []float64{1}})
+	if res.Status != Optimal || math.Abs(res.Obj) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing branching, with MaxNodes=1: no proof possible.
+	m := NewModel()
+	var cs []lp.Coef
+	for i := 0; i < 10; i++ {
+		v := m.AddBinary(-1)
+		cs = append(cs, lp.Coef{Var: v, Val: float64(2*i + 1)})
+	}
+	m.AddConstraint(cs, lp.LE, 17)
+	res := m.Solve(Options{MaxNodes: 1})
+	if res.Status == Optimal {
+		t.Fatalf("one node should not prove optimality here, got %v", res.Status)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	m := NewModel()
+	var cs []lp.Coef
+	for i := 0; i < 16; i++ {
+		v := m.AddBinary(-float64(1 + i%3))
+		cs = append(cs, lp.Coef{Var: v, Val: float64(3 + (i*7)%11)})
+	}
+	m.AddConstraint(cs, lp.LE, 31)
+	res := m.Solve(Options{TimeLimit: time.Nanosecond})
+	if res.Status == Optimal {
+		t.Fatalf("nanosecond limit should not prove optimality, got %v", res.Status)
+	}
+}
+
+func TestIntegralObjectivePruning(t *testing.T) {
+	// With all-integer costs the solver may prune with ceil bounds and must
+	// still return the true optimum.
+	m := NewModel()
+	vals := []float64{4, 5, 6, 7, 8}
+	wts := []float64{2, 3, 4, 5, 6}
+	var cs []lp.Coef
+	for i := range vals {
+		v := m.AddBinary(-vals[i])
+		cs = append(cs, lp.Coef{Var: v, Val: wts[i]})
+	}
+	m.AddConstraint(cs, lp.LE, 10)
+	res1 := m.Solve(Options{})
+	res2 := m.Solve(Options{IntegralObjective: true})
+	if res1.Status != Optimal || res2.Status != Optimal {
+		t.Fatalf("statuses %v %v", res1.Status, res2.Status)
+	}
+	if math.Abs(res1.Obj-res2.Obj) > 1e-6 {
+		t.Fatalf("integral-objective pruning changed optimum: %v vs %v", res1.Obj, res2.Obj)
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	m := NewModel()
+	m.AddBinary(1)
+	m.AddContinuous(0, 5, 1)
+	m.AddVar(0, 3, 1, true)
+	m.AddConstraint([]lp.Coef{{Var: 0, Val: 1}}, lp.LE, 1)
+	if m.NumVars() != 3 || m.NumConstraints() != 1 || m.NumIntegerVars() != 2 {
+		t.Fatalf("stats: %d vars %d cons %d int", m.NumVars(), m.NumConstraints(), m.NumIntegerVars())
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(-1)
+	y := m.AddBinary(-1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.LE, 1)
+	_ = m.Solve(Options{})
+	for _, v := range []int{x, y} {
+		lo, hi := m.Prob.VarBounds(v)
+		if lo != 0 || hi != 1 {
+			t.Fatalf("bounds not restored: [%v, %v]", lo, hi)
+		}
+	}
+	// Second solve must agree.
+	res := m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj+1) > 1e-7 {
+		t.Fatalf("re-solve broken: %v %v", res.Status, res.Obj)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(2)
+	y := m.AddContinuous(0, 4, 1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.GE, 2)
+	if ok, _ := m.CheckFeasible([]float64{1, 1}, 0); !ok {
+		t.Error("feasible point rejected")
+	}
+	if ok, _ := m.CheckFeasible([]float64{0.5, 1.5}, 0); ok {
+		t.Error("fractional binary accepted")
+	}
+	if ok, _ := m.CheckFeasible([]float64{0, 1}, 0); ok {
+		t.Error("constraint violation accepted")
+	}
+	if ok, _ := m.CheckFeasible([]float64{1}, 0); ok {
+		t.Error("wrong dimension accepted")
+	}
+	if ok, obj := m.CheckFeasible([]float64{1, 2}, 0); !ok || math.Abs(obj-4) > 1e-9 {
+		t.Errorf("objective evaluation: ok=%v obj=%v", ok, obj)
+	}
+}
+
+// Random knapsacks cross-checked against exhaustive enumeration.
+func TestRandomKnapsackVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(9)
+		vals := make([]float64, n)
+		wts := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(1 + rng.Intn(20))
+			wts[i] = float64(1 + rng.Intn(10))
+		}
+		capy := float64(5 + rng.Intn(25))
+
+		m := NewModel()
+		var cs []lp.Coef
+		for i := range vals {
+			v := m.AddBinary(-vals[i])
+			cs = append(cs, lp.Coef{Var: v, Val: wts[i]})
+		}
+		m.AddConstraint(cs, lp.LE, capy)
+		res := m.Solve(Options{IntegralObjective: true})
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += wts[i]
+					v += vals[i]
+				}
+			}
+			if w <= capy && v > best {
+				best = v
+			}
+		}
+		if math.Abs(-res.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, -res.Obj, best)
+		}
+	}
+}
+
+// Random set-partition-flavoured MILPs with equality rows vs brute force.
+func TestRandomEqualityMILPVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		nr := 1 + rng.Intn(3)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(rng.Intn(15) - 5)
+		}
+		rowsA := make([][]float64, nr)
+		rowsB := make([]float64, nr)
+		for r := range rowsA {
+			rowsA[r] = make([]float64, n)
+			for i := range rowsA[r] {
+				rowsA[r][i] = float64(rng.Intn(3))
+			}
+			rowsB[r] = float64(rng.Intn(4))
+		}
+
+		m := NewModel()
+		for i := 0; i < n; i++ {
+			m.AddBinary(costs[i])
+		}
+		for r := 0; r < nr; r++ {
+			var cs []lp.Coef
+			for i := 0; i < n; i++ {
+				if rowsA[r][i] != 0 {
+					cs = append(cs, lp.Coef{Var: i, Val: rowsA[r][i]})
+				}
+			}
+			if len(cs) == 0 {
+				continue
+			}
+			m.AddConstraint(cs, lp.EQ, rowsB[r])
+		}
+		res := m.Solve(Options{IntegralObjective: true})
+
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for r := 0; r < nr && ok; r++ {
+				sum := 0.0
+				nz := false
+				for i := 0; i < n; i++ {
+					if rowsA[r][i] != 0 {
+						nz = true
+						if mask&(1<<i) != 0 {
+							sum += rowsA[r][i]
+						}
+					}
+				}
+				if nz && sum != rowsB[r] {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					obj += costs[i]
+				}
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+
+		if math.IsInf(best, 1) {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: brute-force infeasible, solver %v", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, res.Status, best)
+		}
+		if math.Abs(res.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, res.Obj, best)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ilp
+
+import (
+	"math"
+
+	"optrouter/internal/lp"
+)
+
+// presolve tightens variable bounds by iterated constraint propagation:
+// for a row sum_j a_j x_j {<=,=,>=} b, each variable's bound is implied by
+// the extreme activity of the remaining terms. Integer variables' bounds
+// are rounded inward. Returns false if propagation proves infeasibility.
+//
+// Bounds are modified in place on m.Prob; Solve snapshots and restores the
+// caller's bounds around the whole optimization, so presolve tightening is
+// transparent to the user.
+func (m *Model) presolve(maxPasses int) bool {
+	p := m.Prob
+	type rowData struct {
+		coeffs []lp.Coef
+		sense  lp.Sense
+		rhs    float64
+	}
+	rows := make([]rowData, p.NumRows())
+	for i := range rows {
+		c, s, b := p.Row(i)
+		rows[i] = rowData{c, s, b}
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, r := range rows {
+			// Treat EQ as both LE and GE.
+			senses := []lp.Sense{r.sense}
+			if r.sense == lp.EQ {
+				senses = []lp.Sense{lp.LE, lp.GE}
+			}
+			for _, sense := range senses {
+				// Normalize to sum a_j x_j <= b.
+				sign := 1.0
+				if sense == lp.GE {
+					sign = -1
+				}
+				b := sign * r.rhs
+
+				// minActivity of the full row (with sign applied).
+				minAct := 0.0
+				unboundedMin := false
+				for _, c := range r.coeffs {
+					a := sign * c.Val
+					lo, hi := p.VarBounds(c.Var)
+					if a > 0 {
+						if math.IsInf(lo, -1) {
+							unboundedMin = true
+						} else {
+							minAct += a * lo
+						}
+					} else {
+						if math.IsInf(hi, 1) {
+							unboundedMin = true
+						} else {
+							minAct += a * hi
+						}
+					}
+				}
+				if !unboundedMin && minAct > b+1e-9 {
+					return false // row unsatisfiable at extreme activity
+				}
+				if unboundedMin {
+					continue // cannot propagate through unbounded terms
+				}
+				for _, c := range r.coeffs {
+					a := sign * c.Val
+					if a == 0 {
+						continue
+					}
+					lo, hi := p.VarBounds(c.Var)
+					// Remove this variable's own contribution.
+					var own float64
+					if a > 0 {
+						own = a * lo
+					} else {
+						own = a * hi
+					}
+					slack := b - (minAct - own)
+					if a > 0 {
+						nhi := slack / a
+						if m.isInt[c.Var] {
+							nhi = math.Floor(nhi + 1e-9)
+						}
+						if nhi < hi-1e-9 {
+							if nhi < lo-1e-9 {
+								return false
+							}
+							p.SetVarBounds(c.Var, lo, math.Max(lo, nhi))
+							changed = true
+						}
+					} else {
+						nlo := slack / a
+						if m.isInt[c.Var] {
+							nlo = math.Ceil(nlo - 1e-9)
+						}
+						if nlo > lo+1e-9 {
+							if nlo > hi+1e-9 {
+								return false
+							}
+							p.SetVarBounds(c.Var, math.Min(hi, nlo), hi)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return true
+}

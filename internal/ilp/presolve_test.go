@@ -1,0 +1,108 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"optrouter/internal/lp"
+)
+
+func TestPresolveTightensBinary(t *testing.T) {
+	// 3x + y <= 2 with x, y binary: x can still be 0; 3x <= 2 => x = 0.
+	m := NewModel()
+	x := m.AddBinary(-5)
+	y := m.AddBinary(-1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 3}, {Var: y, Val: 1}}, lp.LE, 2)
+	if !m.presolve(4) {
+		t.Fatal("presolve claims infeasible")
+	}
+	lo, hi := m.Prob.VarBounds(x)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("x bounds [%v,%v], want fixed to 0", lo, hi)
+	}
+	// y stays free in {0,1}.
+	lo, hi = m.Prob.VarBounds(y)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("y bounds [%v,%v]", lo, hi)
+	}
+}
+
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(0)
+	y := m.AddBinary(0)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.GE, 3)
+	if m.presolve(4) {
+		t.Fatal("x + y >= 3 with binaries should be proven infeasible")
+	}
+}
+
+func TestPresolveChainsPropagation(t *testing.T) {
+	// x <= 1.4 (int => x <= 1); then y <= x forces y <= 1; y integer.
+	m := NewModel()
+	x := m.AddVar(0, 10, 0, true)
+	y := m.AddVar(0, 10, -1, true)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.LE, 1.4)
+	m.AddConstraint([]lp.Coef{{Var: y, Val: 1}, {Var: x, Val: -1}}, lp.LE, 0)
+	if !m.presolve(8) {
+		t.Fatal("infeasible?")
+	}
+	_, hiX := m.Prob.VarBounds(x)
+	_, hiY := m.Prob.VarBounds(y)
+	if hiX != 1 {
+		t.Fatalf("x hi = %v, want 1 (integer rounding)", hiX)
+	}
+	if hiY != 1 {
+		t.Fatalf("y hi = %v, want 1 (chained)", hiY)
+	}
+}
+
+func TestPresolveEquality(t *testing.T) {
+	// x + y = 1, binaries: no tightening possible, but must stay sound.
+	m := NewModel()
+	x := m.AddBinary(1)
+	y := m.AddBinary(2)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}, {Var: y, Val: 1}}, lp.EQ, 1)
+	if !m.presolve(4) {
+		t.Fatal("feasible EQ flagged infeasible")
+	}
+	res := m.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj-1) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestSolveResultsUnchangedByPresolve(t *testing.T) {
+	// Presolve must not change optima, only speed.
+	mk := func() *Model {
+		m := NewModel()
+		var cs []lp.Coef
+		for i := 0; i < 12; i++ {
+			v := m.AddBinary(-float64(2 + (i*5)%7))
+			cs = append(cs, lp.Coef{Var: v, Val: float64(1 + (i*3)%5)})
+		}
+		m.AddConstraint(cs, lp.LE, 14)
+		m.AddConstraint([]lp.Coef{{Var: 0, Val: 4}, {Var: 1, Val: 1}}, lp.LE, 3)
+		return m
+	}
+	a := mk().Solve(Options{IntegralObjective: true})
+	b := mk().Solve(Options{IntegralObjective: true, NoPresolve: true})
+	if a.Status != Optimal || b.Status != Optimal {
+		t.Fatalf("statuses %v %v", a.Status, b.Status)
+	}
+	if math.Abs(a.Obj-b.Obj) > 1e-7 {
+		t.Fatalf("presolve changed optimum: %v vs %v", a.Obj, b.Obj)
+	}
+}
+
+func TestPresolveBoundsRestored(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(-5)
+	y := m.AddBinary(-1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 3}, {Var: y, Val: 1}}, lp.LE, 2)
+	_ = m.Solve(Options{})
+	lo, hi := m.Prob.VarBounds(x)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("caller bounds not restored: [%v,%v]", lo, hi)
+	}
+}

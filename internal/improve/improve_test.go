@@ -1,0 +1,91 @@
+package improve
+
+import (
+	"testing"
+	"time"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/extract"
+	"optrouter/internal/netlist"
+	"optrouter/internal/place"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+func routedDesign(t *testing.T, n int, seed int64) *route.Result {
+	t.Helper()
+	lib := cells.Generate(tech.N28T12())
+	nl, err := netlist.Generate(lib, netlist.M0Class(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(lib, nl, place.Options{TargetUtil: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(pl, route.Options{Layers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDesignAssessment(t *testing.T) {
+	res := routedDesign(t, 200, 1)
+	r, err := Design(res, Options{
+		Extract:        extract.Options{MaxNets: 5},
+		PerClipTimeout: 5 * time.Second,
+		MaxWindows:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tried == 0 {
+		t.Fatal("no windows assessed")
+	}
+	for _, w := range r.Windows {
+		// The key paper invariant (footnote 6): OptRouter never does worse
+		// than the reference route, because the reference's in-window
+		// routing is a feasible solution of the same switchbox problem.
+		if w.Proven && w.Delta > 0 {
+			t.Fatalf("window %s: optimal %d worse than baseline %d",
+				w.Clip, w.OptimalCost, w.BaselineCost)
+		}
+		if w.BaselineCost < 0 || w.OptimalCost < 0 {
+			t.Fatalf("negative costs: %+v", w)
+		}
+	}
+	if r.TotalOptimal > r.TotalBase {
+		t.Fatalf("aggregate optimal %d exceeds baseline %d", r.TotalOptimal, r.TotalBase)
+	}
+	if r.AvgDelta() > 0 {
+		t.Fatalf("average delta %v positive", r.AvgDelta())
+	}
+}
+
+func TestMaxWindowsCap(t *testing.T) {
+	res := routedDesign(t, 200, 2)
+	r, err := Design(res, Options{
+		Extract:        extract.Options{MaxNets: 5},
+		PerClipTimeout: 5 * time.Second,
+		MaxWindows:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tried > 2 {
+		t.Fatalf("cap ignored: tried %d", r.Tried)
+	}
+}
+
+func TestSuffixFrom(t *testing.T) {
+	if got := suffixFrom("M0-x14-y70", "-x"); got != "x14-y70" {
+		t.Fatalf("suffixFrom = %q", got)
+	}
+	if got := suffixFrom("AES-0.93/AES-x0-y10", "-x"); got != "x0-y10" {
+		t.Fatalf("suffixFrom = %q", got)
+	}
+	if suffixFrom("nodash", "-x") != "" {
+		t.Fatal("missing separator should yield empty")
+	}
+}

@@ -1,0 +1,249 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"optrouter/internal/route"
+)
+
+// Component is one placed instance in a DEF file.
+type Component struct {
+	Name, Macro string
+	XNM, YNM    int
+	Orient      string
+}
+
+// Wire is a routed segment on one layer, endpoints in nanometers.
+type Wire struct {
+	Layer          string
+	X1, Y1, X2, Y2 int
+}
+
+// Via is a placed via: Layer names the cut's lower metal.
+type Via struct {
+	Layer string
+	X, Y  int
+}
+
+// DEFNet is one net with its pin references and routed geometry.
+type DEFNet struct {
+	Name  string
+	Pins  [][2]string // (instance, pin)
+	Wires []Wire
+	Vias  []Via
+}
+
+// DEFFile is a parsed DEF design.
+type DEFFile struct {
+	Design     string
+	DieW, DieH int // nanometers
+	Components []Component
+	Nets       []DEFNet
+}
+
+// WriteDEF emits a routed design as DEF. Track coordinates are converted to
+// nanometers with x_nm = x * VPitch, y_nm = y * HPitch.
+func WriteDEF(w io.Writer, res *route.Result) error {
+	bw := bufio.NewWriter(w)
+	p := res.P
+	t := p.Lib.Tech
+	vp, hp := t.VPitchNM(), t.HPitchNM()
+
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n")
+	fmt.Fprintf(bw, "DESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", p.NL.Name, DBU)
+	fmt.Fprintf(bw, "DIEAREA ( 0 0 ) ( %d %d ) ;\n\n", res.NX*vp, res.NY*hp)
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(p.NL.Instances))
+	for i, inst := range p.NL.Instances {
+		r := p.CellRect(i)
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) N ;\n", inst.Name, inst.Cell, r.X1, r.Y1)
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	fmt.Fprintf(bw, "NETS %d ;\n", len(p.NL.Nets))
+	for i := range p.NL.Nets {
+		n := &p.NL.Nets[i]
+		fmt.Fprintf(bw, "- %s", n.Name)
+		fmt.Fprintf(bw, " ( %s %s )", p.NL.Instances[n.Driver.Inst].Name, n.Driver.Pin)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(bw, " ( %s %s )", p.NL.Instances[s.Inst].Name, s.Pin)
+		}
+		rn := &res.Nets[i]
+		first := true
+		for _, s := range rn.Steps {
+			x1, y1 := s.FromX*vp, s.FromY*hp
+			x2, y2 := s.ToX*vp, s.ToY*hp
+			kw := "NEW"
+			if first {
+				kw = "+ ROUTED"
+				first = false
+			}
+			if s.IsVia() {
+				lo := s.FromZ
+				if s.ToZ < lo {
+					lo = s.ToZ
+				}
+				fmt.Fprintf(bw, "\n  %s %s ( %d %d ) VIA%d%d", kw, t.Layers[lo].Name, x1, y1, lo+1, lo+2)
+			} else {
+				fmt.Fprintf(bw, "\n  %s %s ( %d %d ) ( %d %d )", kw, t.Layers[s.FromZ].Name, x1, y1, x2, y2)
+			}
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// ReadDEF parses a DEF file written by this package.
+func ReadDEF(r io.Reader) (*DEFFile, error) {
+	tz, err := newTokenizer(r)
+	if err != nil {
+		return nil, err
+	}
+	out := &DEFFile{}
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			break
+		}
+		switch tok {
+		case "DESIGN":
+			// "END DESIGN" also surfaces the DESIGN token; keep the first
+			// (header) name only.
+			if out.Design == "" {
+				out.Design, _ = tz.next()
+				tz.skipStatement()
+			}
+		case "DIEAREA":
+			// ( 0 0 ) ( w h ) ;
+			var vals []int
+			for {
+				t2, ok := tz.next()
+				if !ok || t2 == ";" {
+					break
+				}
+				if t2 == "(" || t2 == ")" {
+					continue
+				}
+				v, err := strconv.Atoi(t2)
+				if err != nil {
+					return nil, fmt.Errorf("def: DIEAREA: %v", err)
+				}
+				vals = append(vals, v)
+			}
+			if len(vals) >= 4 {
+				out.DieW, out.DieH = vals[2], vals[3]
+			}
+		case "COMPONENTS":
+			if err := readComponents(tz, out); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if err := readNets(tz, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func readComponents(tz *tokenizer, out *DEFFile) error {
+	tz.skipStatement() // count ;
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			return fmt.Errorf("def: unexpected EOF in COMPONENTS")
+		}
+		if tok == "END" {
+			tz.next() // COMPONENTS
+			return nil
+		}
+		if tok != "-" {
+			continue
+		}
+		var c Component
+		c.Name, _ = tz.next()
+		c.Macro, _ = tz.next()
+		for {
+			t2, ok := tz.next()
+			if !ok || t2 == ";" {
+				break
+			}
+			if t2 == "PLACED" {
+				tz.next() // (
+				xs, _ := tz.next()
+				ys, _ := tz.next()
+				tz.next() // )
+				c.XNM, _ = strconv.Atoi(xs)
+				c.YNM, _ = strconv.Atoi(ys)
+				c.Orient, _ = tz.next()
+			}
+		}
+		out.Components = append(out.Components, c)
+	}
+}
+
+func readNets(tz *tokenizer, out *DEFFile) error {
+	tz.skipStatement() // count ;
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			return fmt.Errorf("def: unexpected EOF in NETS")
+		}
+		if tok == "END" {
+			tz.next() // NETS
+			return nil
+		}
+		if tok != "-" {
+			continue
+		}
+		var n DEFNet
+		n.Name, _ = tz.next()
+		curLayer := ""
+	stmt:
+		for {
+			t2, ok := tz.next()
+			if !ok {
+				return fmt.Errorf("def: unexpected EOF in net %s", n.Name)
+			}
+			switch t2 {
+			case ";":
+				break stmt
+			case "(":
+				inst, _ := tz.next()
+				pin, _ := tz.next()
+				tz.next() // )
+				n.Pins = append(n.Pins, [2]string{inst, pin})
+			case "ROUTED", "NEW":
+				layer, _ := tz.next()
+				curLayer = layer
+				// ( x y ) then either ( x2 y2 ) or VIAxy
+				tz.next() // (
+				xs, _ := tz.next()
+				ys, _ := tz.next()
+				tz.next() // )
+				x, _ := strconv.Atoi(xs)
+				y, _ := strconv.Atoi(ys)
+				nxt, _ := tz.peek()
+				if nxt == "(" {
+					tz.next() // (
+					xs2, _ := tz.next()
+					ys2, _ := tz.next()
+					tz.next() // )
+					x2, _ := strconv.Atoi(xs2)
+					y2, _ := strconv.Atoi(ys2)
+					n.Wires = append(n.Wires, Wire{Layer: curLayer, X1: x, Y1: y, X2: x2, Y2: y2})
+				} else {
+					tz.next() // VIA name
+					n.Vias = append(n.Vias, Via{Layer: curLayer, X: x, Y: y})
+				}
+			case "+":
+				// attribute introducer; next token handled on loop
+			}
+		}
+		out.Nets = append(out.Nets, n)
+	}
+}

@@ -1,0 +1,301 @@
+// Package lefdef reads and writes the LEF/DEF subset used by this
+// reproduction: technology LEF (routing layers with direction and pitch),
+// macro LEF (cell sizes and pin ports) and DEF (die area, placed components,
+// and routed nets with wires and vias). The paper's testbed interfaces with
+// LEF/DEF through OpenAccess; here the same role is played by plain-text
+// readers and writers over the subset the synthetic flow emits.
+//
+// All database units are nanometers (UNITS DATABASE MICRONS 1000).
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/geom"
+	"optrouter/internal/tech"
+)
+
+// DBU is the database resolution: units per micron.
+const DBU = 1000
+
+// LEFLayer is a parsed routing layer.
+type LEFLayer struct {
+	Name    string
+	Dir     string // "HORIZONTAL" or "VERTICAL"
+	PitchNM int
+}
+
+// MacroPin is a parsed macro pin.
+type MacroPin struct {
+	Name  string
+	Dir   string // "INPUT", "OUTPUT", "INOUT"
+	Rects []geom.LayerRect
+}
+
+// Macro is a parsed cell master.
+type Macro struct {
+	Name     string
+	WNM, HNM int
+	Pins     []MacroPin
+}
+
+// LEFFile is a parsed LEF file (tech and/or macros).
+type LEFFile struct {
+	Layers []LEFLayer
+	Macros []Macro
+}
+
+// WriteTechLEF emits the technology LEF.
+func WriteTechLEF(w io.Writer, t *tech.Technology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n")
+	fmt.Fprintf(bw, "UNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", DBU)
+	for _, l := range t.Layers {
+		dir := "HORIZONTAL"
+		if l.Dir == tech.Vertical {
+			dir = "VERTICAL"
+		}
+		fmt.Fprintf(bw, "LAYER %s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n  PITCH %.3f ;\nEND %s\n\n",
+			l.Name, dir, float64(l.PitchNM)/DBU, l.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// WriteMacroLEF emits macro definitions for a library.
+func WriteMacroLEF(w io.Writer, lib *cells.Library) error {
+	bw := bufio.NewWriter(w)
+	t := lib.Tech
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nUNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", DBU)
+	for i := range lib.Cells {
+		c := &lib.Cells[i]
+		wNM := c.WidthSites * t.SiteWidthNM
+		hNM := t.RowHeightNM
+		fmt.Fprintf(bw, "MACRO %s\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\n  ORIGIN 0 0 ;\n",
+			c.Name, float64(wNM)/DBU, float64(hNM)/DBU)
+		for _, p := range c.Pins {
+			dir := "INPUT"
+			switch p.Dir {
+			case cells.Output:
+				dir = "OUTPUT"
+			case cells.Inout:
+				dir = "INOUT"
+			}
+			fmt.Fprintf(bw, "  PIN %s\n    DIRECTION %s ;\n    PORT\n", p.Name, dir)
+			for _, s := range p.Shapes {
+				layer := t.Layers[s.Layer].Name
+				fmt.Fprintf(bw, "      LAYER %s ;\n        RECT %.3f %.3f %.3f %.3f ;\n",
+					layer,
+					float64(s.Rect.X1)/DBU, float64(s.Rect.Y1)/DBU,
+					float64(s.Rect.X2)/DBU, float64(s.Rect.Y2)/DBU)
+			}
+			fmt.Fprintf(bw, "    END\n  END %s\n", p.Name)
+		}
+		fmt.Fprintf(bw, "END %s\n\n", c.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// tokenizer splits LEF/DEF input into tokens; parentheses and semicolons are
+// standalone tokens.
+type tokenizer struct {
+	toks []string
+	pos  int
+}
+
+func newTokenizer(r io.Reader) (*tokenizer, error) {
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r); err != nil {
+		return nil, err
+	}
+	s := sb.String()
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	s = strings.ReplaceAll(s, ";", " ; ")
+	return &tokenizer{toks: strings.Fields(s)}, nil
+}
+
+func (t *tokenizer) next() (string, bool) {
+	if t.pos >= len(t.toks) {
+		return "", false
+	}
+	tok := t.toks[t.pos]
+	t.pos++
+	return tok, true
+}
+
+func (t *tokenizer) peek() (string, bool) {
+	if t.pos >= len(t.toks) {
+		return "", false
+	}
+	return t.toks[t.pos], true
+}
+
+// skipStatement consumes tokens through the next semicolon.
+func (t *tokenizer) skipStatement() {
+	for {
+		tok, ok := t.next()
+		if !ok || tok == ";" {
+			return
+		}
+	}
+}
+
+// micronsToNM converts a LEF/DEF micron literal to integer nanometers.
+func micronsToNM(tok string) (int, error) {
+	f, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return int(f*DBU - 0.5), nil
+	}
+	return int(f*DBU + 0.5), nil
+}
+
+// ReadLEF parses a LEF file written by this package (tech and/or macros).
+func ReadLEF(r io.Reader) (*LEFFile, error) {
+	tz, err := newTokenizer(r)
+	if err != nil {
+		return nil, err
+	}
+	out := &LEFFile{}
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			break
+		}
+		switch tok {
+		case "LAYER":
+			name, _ := tz.next()
+			l := LEFLayer{Name: name}
+			for {
+				t2, ok := tz.next()
+				if !ok {
+					return nil, fmt.Errorf("lef: unexpected EOF in LAYER %s", name)
+				}
+				if t2 == "END" {
+					tz.next() // layer name
+					break
+				}
+				switch t2 {
+				case "DIRECTION":
+					l.Dir, _ = tz.next()
+					tz.skipStatement()
+				case "PITCH":
+					p, _ := tz.next()
+					nm, err := micronsToNM(p)
+					if err != nil {
+						return nil, fmt.Errorf("lef: layer %s pitch: %v", name, err)
+					}
+					l.PitchNM = nm
+					tz.skipStatement()
+				case "TYPE":
+					tz.skipStatement()
+				}
+			}
+			out.Layers = append(out.Layers, l)
+		case "MACRO":
+			m, err := readMacro(tz)
+			if err != nil {
+				return nil, err
+			}
+			out.Macros = append(out.Macros, m)
+		}
+	}
+	return out, nil
+}
+
+func readMacro(tz *tokenizer) (Macro, error) {
+	name, _ := tz.next()
+	m := Macro{Name: name}
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			return m, fmt.Errorf("lef: unexpected EOF in MACRO %s", name)
+		}
+		switch tok {
+		case "SIZE":
+			wTok, _ := tz.next()
+			tz.next() // BY
+			hTok, _ := tz.next()
+			var err error
+			if m.WNM, err = micronsToNM(wTok); err != nil {
+				return m, err
+			}
+			if m.HNM, err = micronsToNM(hTok); err != nil {
+				return m, err
+			}
+			tz.skipStatement()
+		case "PIN":
+			p, err := readMacroPin(tz)
+			if err != nil {
+				return m, err
+			}
+			m.Pins = append(m.Pins, p)
+		case "END":
+			n2, _ := tz.next()
+			if n2 == name {
+				return m, nil
+			}
+		}
+	}
+}
+
+func readMacroPin(tz *tokenizer) (MacroPin, error) {
+	name, _ := tz.next()
+	p := MacroPin{Name: name}
+	curLayer := ""
+	for {
+		tok, ok := tz.next()
+		if !ok {
+			return p, fmt.Errorf("lef: unexpected EOF in PIN %s", name)
+		}
+		switch tok {
+		case "DIRECTION":
+			p.Dir, _ = tz.next()
+			tz.skipStatement()
+		case "LAYER":
+			curLayer, _ = tz.next()
+			tz.skipStatement()
+		case "RECT":
+			var nm [4]int
+			for i := 0; i < 4; i++ {
+				t2, _ := tz.next()
+				v, err := micronsToNM(t2)
+				if err != nil {
+					return p, fmt.Errorf("lef: pin %s rect: %v", name, err)
+				}
+				nm[i] = v
+			}
+			tz.skipStatement()
+			layerIdx := layerIndexByName(curLayer)
+			p.Rects = append(p.Rects, geom.LayerRect{
+				Layer: layerIdx,
+				Rect:  geom.R(nm[0], nm[1], nm[2], nm[3]),
+			})
+		case "END":
+			if n2, _ := tz.peek(); n2 == name {
+				tz.next()
+				return p, nil
+			}
+			// END of PORT
+		}
+	}
+}
+
+// layerIndexByName maps "M3" -> 2 (0-based); unknown names map to 0.
+func layerIndexByName(name string) int {
+	if len(name) >= 2 && name[0] == 'M' {
+		if n, err := strconv.Atoi(name[1:]); err == nil && n >= 1 {
+			return n - 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+package lefdef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/netlist"
+	"optrouter/internal/place"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+func TestTechLEFRoundTrip(t *testing.T) {
+	tt := tech.N28T12()
+	var buf bytes.Buffer
+	if err := WriteTechLEF(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadLEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Layers) != 8 {
+		t.Fatalf("layers = %d, want 8", len(f.Layers))
+	}
+	for i, l := range f.Layers {
+		want := tt.Layers[i]
+		if l.Name != want.Name {
+			t.Errorf("layer %d name %s != %s", i, l.Name, want.Name)
+		}
+		if l.PitchNM != want.PitchNM {
+			t.Errorf("layer %s pitch %d != %d", l.Name, l.PitchNM, want.PitchNM)
+		}
+		wantDir := "HORIZONTAL"
+		if want.Dir == tech.Vertical {
+			wantDir = "VERTICAL"
+		}
+		if l.Dir != wantDir {
+			t.Errorf("layer %s dir %s != %s", l.Name, l.Dir, wantDir)
+		}
+	}
+}
+
+func TestMacroLEFRoundTrip(t *testing.T) {
+	lib := cells.Generate(tech.N28T8())
+	var buf bytes.Buffer
+	if err := WriteMacroLEF(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadLEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Macros) != len(lib.Cells) {
+		t.Fatalf("macros = %d, want %d", len(f.Macros), len(lib.Cells))
+	}
+	for i, m := range f.Macros {
+		c := &lib.Cells[i]
+		if m.Name != c.Name {
+			t.Errorf("macro %d name %s != %s", i, m.Name, c.Name)
+		}
+		if m.WNM != c.WidthSites*lib.Tech.SiteWidthNM {
+			t.Errorf("macro %s width %d != %d", m.Name, m.WNM, c.WidthSites*lib.Tech.SiteWidthNM)
+		}
+		if m.HNM != lib.Tech.RowHeightNM {
+			t.Errorf("macro %s height %d", m.Name, m.HNM)
+		}
+		if len(m.Pins) != len(c.Pins) {
+			t.Errorf("macro %s pins %d != %d", m.Name, len(m.Pins), len(c.Pins))
+			continue
+		}
+		for j, mp := range m.Pins {
+			cp := c.Pins[j]
+			if mp.Name != cp.Name {
+				t.Errorf("%s pin %d name %s != %s", m.Name, j, mp.Name, cp.Name)
+			}
+			if len(mp.Rects) != len(cp.Shapes) {
+				t.Errorf("%s/%s rects %d != %d", m.Name, mp.Name, len(mp.Rects), len(cp.Shapes))
+				continue
+			}
+			for k, r := range mp.Rects {
+				if r.Rect != cp.Shapes[k].Rect {
+					t.Errorf("%s/%s rect %d: %v != %v", m.Name, mp.Name, k, r.Rect, cp.Shapes[k].Rect)
+				}
+			}
+		}
+	}
+}
+
+func routedDesign(t *testing.T) *route.Result {
+	t.Helper()
+	lib := cells.Generate(tech.N28T12())
+	nl, err := netlist.Generate(lib, netlist.M0Class(80, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(lib, nl, place.Options{TargetUtil: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(p, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDEFRoundTrip(t *testing.T) {
+	res := routedDesign(t)
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadDEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.P
+	if f.Design != p.NL.Name {
+		t.Errorf("design name %q", f.Design)
+	}
+	if len(f.Components) != len(p.NL.Instances) {
+		t.Fatalf("components %d != %d", len(f.Components), len(p.NL.Instances))
+	}
+	for i, c := range f.Components {
+		inst := p.NL.Instances[i]
+		if c.Name != inst.Name || c.Macro != inst.Cell {
+			t.Errorf("component %d: %s/%s != %s/%s", i, c.Name, c.Macro, inst.Name, inst.Cell)
+		}
+		r := p.CellRect(i)
+		if c.XNM != r.X1 || c.YNM != r.Y1 {
+			t.Errorf("component %s at (%d,%d), want (%d,%d)", c.Name, c.XNM, c.YNM, r.X1, r.Y1)
+		}
+	}
+	if len(f.Nets) != len(p.NL.Nets) {
+		t.Fatalf("nets %d != %d", len(f.Nets), len(p.NL.Nets))
+	}
+	// Geometry preserved: per net, wire and via counts match the route.
+	vp, hp := p.Lib.Tech.VPitchNM(), p.Lib.Tech.HPitchNM()
+	for i := range f.Nets {
+		rn := &res.Nets[i]
+		dn := &f.Nets[i]
+		if dn.Name != p.NL.Nets[i].Name {
+			t.Fatalf("net %d name %s", i, dn.Name)
+		}
+		if len(dn.Pins) != 1+len(p.NL.Nets[i].Sinks) {
+			t.Fatalf("net %s pins %d", dn.Name, len(dn.Pins))
+		}
+		if len(dn.Wires) != rn.Wirelength() {
+			t.Fatalf("net %s wires %d != %d", dn.Name, len(dn.Wires), rn.Wirelength())
+		}
+		if len(dn.Vias) != rn.Vias() {
+			t.Fatalf("net %s vias %d != %d", dn.Name, len(dn.Vias), rn.Vias())
+		}
+		for j, s := range rn.Steps {
+			_ = j
+			if s.IsVia() {
+				continue
+			}
+			// Every wire step appears with matching coordinates.
+			found := false
+			for _, w := range dn.Wires {
+				if w.X1 == s.FromX*vp && w.Y1 == s.FromY*hp && w.X2 == s.ToX*vp && w.Y2 == s.ToY*hp {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("net %s: step %+v missing in DEF", dn.Name, s)
+			}
+		}
+	}
+}
+
+func TestReadLEFErrors(t *testing.T) {
+	if _, err := ReadLEF(strings.NewReader("LAYER M1\nDIRECTION")); err == nil {
+		t.Error("truncated LEF accepted")
+	}
+	if _, err := ReadLEF(strings.NewReader("LAYER M1\n  PITCH abc ;\nEND M1")); err == nil {
+		t.Error("bad pitch accepted")
+	}
+}
+
+func TestLayerIndexByName(t *testing.T) {
+	if layerIndexByName("M1") != 0 || layerIndexByName("M8") != 7 {
+		t.Error("layer index mapping broken")
+	}
+	if layerIndexByName("poly") != 0 {
+		t.Error("unknown layer should map to 0")
+	}
+}
+
+func TestMicronsToNM(t *testing.T) {
+	cases := map[string]int{"0.100": 100, "1.2": 1200, "0": 0, "10.001": 10001}
+	for s, want := range cases {
+		got, err := micronsToNM(s)
+		if err != nil || got != want {
+			t.Errorf("micronsToNM(%s) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	if _, err := micronsToNM("xx"); err == nil {
+		t.Error("bad literal accepted")
+	}
+}

@@ -1,0 +1,221 @@
+// Package lp implements sparse linear programming with a bounded-variable,
+// two-phase revised primal simplex method.
+//
+// Problems are stated in the form
+//
+//	minimize    c'x
+//	subject to  row_i: a_i'x {<=,=,>=} b_i
+//	            l <= x <= u
+//
+// where bounds may be infinite. The solver is artificial-based two-phase
+// (big-M free) and uses Dantzig pricing with a Bland's-rule fallback for
+// anti-cycling. It is the LP engine underneath the MILP branch-and-bound in
+// package ilp, which in turn is this repository's stand-in for CPLEX in the
+// OptRouter reproduction.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is positive infinity, for unbounded variable bounds.
+var Inf = math.Inf(1)
+
+// Sense is the relational sense of a linear constraint.
+type Sense int
+
+const (
+	LE Sense = iota // a'x <= b
+	GE              // a'x >= b
+	EQ              // a'x == b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Coef is one nonzero coefficient of a constraint row.
+type Coef struct {
+	Var int     // variable index
+	Val float64 // coefficient
+}
+
+// Status is the outcome of an LP solve.
+type Status int
+
+const (
+	// Optimal means a proven-optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system admits no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below over the feasible set.
+	Unbounded
+	// IterLimit means the iteration limit was exhausted before convergence.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "?"
+}
+
+// Problem is a mutable LP model. Variables and constraints are added
+// incrementally; bounds may be changed between solves (as branch-and-bound
+// does).
+type Problem struct {
+	cost  []float64
+	lo    []float64
+	hi    []float64
+	names []string
+
+	rows   []row
+	senses []Sense
+	rhs    []float64
+}
+
+type row struct {
+	idx []int32
+	val []float64
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVariable adds a variable with bounds [lo, hi] and objective coefficient
+// cost, returning its index.
+func (p *Problem) AddVariable(lo, hi, cost float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds inverted: [%g, %g]", lo, hi))
+	}
+	p.cost = append(p.cost, cost)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.names = append(p.names, "")
+	return len(p.cost) - 1
+}
+
+// SetName attaches a diagnostic name to variable j.
+func (p *Problem) SetName(j int, name string) { p.names[j] = name }
+
+// Name returns the diagnostic name of variable j (may be empty).
+func (p *Problem) Name(j int) string {
+	if p.names[j] != "" {
+		return p.names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
+// SetVarBounds replaces the bounds of variable j.
+func (p *Problem) SetVarBounds(j int, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds inverted: [%g, %g]", lo, hi))
+	}
+	p.lo[j] = lo
+	p.hi[j] = hi
+}
+
+// VarBounds returns the current bounds of variable j.
+func (p *Problem) VarBounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
+
+// SetCost replaces the objective coefficient of variable j.
+func (p *Problem) SetCost(j int, c float64) { p.cost[j] = c }
+
+// Cost returns the objective coefficient of variable j.
+func (p *Problem) Cost(j int) float64 { return p.cost[j] }
+
+// AddConstraint adds the row sum(coeffs) sense rhs and returns its index.
+// Coefficients referencing the same variable twice are summed.
+func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
+	merged := map[int]float64{}
+	for _, c := range coeffs {
+		if c.Var < 0 || c.Var >= len(p.cost) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", c.Var))
+		}
+		merged[c.Var] += c.Val
+	}
+	var r row
+	for _, c := range coeffs {
+		v, seen := merged[c.Var]
+		if !seen {
+			continue // already emitted
+		}
+		delete(merged, c.Var)
+		if v == 0 {
+			continue
+		}
+		r.idx = append(r.idx, int32(c.Var))
+		r.val = append(r.val, v)
+	}
+	p.rows = append(p.rows, r)
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rows) - 1
+}
+
+// Row returns the coefficients, sense and rhs of constraint i.
+func (p *Problem) Row(i int) (coeffs []Coef, sense Sense, rhs float64) {
+	r := p.rows[i]
+	coeffs = make([]Coef, len(r.idx))
+	for k := range r.idx {
+		coeffs[k] = Coef{Var: int(r.idx[k]), Val: r.val[k]}
+	}
+	return coeffs, p.senses[i], p.rhs[i]
+}
+
+// Result holds the outcome of a Solve.
+type Result struct {
+	Status Status
+	Obj    float64   // objective value (valid when Status == Optimal)
+	X      []float64 // primal values for structural variables
+	Iters  int       // simplex iterations used (both phases)
+}
+
+// Options tunes the simplex solver.
+type Options struct {
+	// MaxIters bounds total simplex iterations; 0 means a generous default
+	// derived from the problem size.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
+	Tol float64
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 200*(m+n) + 20000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Solve optimizes the problem with the bounded-variable two-phase primal
+// simplex method.
+func (p *Problem) Solve(opt Options) Result {
+	s := newSimplex(p, opt)
+	return s.solve()
+}

@@ -1,0 +1,357 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTrivialBoundsOnly(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(2, 5, 1)   // minimized: rests at lower bound
+	y := p.AddVariable(-3, 4, -2) // negative cost: pushed to upper bound
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.X[x], 2, 1e-8) || !approx(res.X[y], 4, 1e-8) {
+		t.Fatalf("X = %v", res.X)
+	}
+	if !approx(res.Obj, 2-8, 1e-8) {
+		t.Fatalf("Obj = %v", res.Obj)
+	}
+}
+
+func TestSimple2D(t *testing.T) {
+	// max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+	// => min -x - y. Optimum at intersection: x = 8/5, y = 6/5, obj = -14/5.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	y := p.AddVariable(0, Inf, -1)
+	p.AddConstraint([]Coef{{x, 1}, {y, 2}}, LE, 4)
+	p.AddConstraint([]Coef{{x, 3}, {y, 1}}, LE, 6)
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Obj, -14.0/5, 1e-7) {
+		t.Fatalf("Obj = %v want -2.8", res.Obj)
+	}
+	if !approx(res.X[x], 8.0/5, 1e-7) || !approx(res.X[y], 6.0/5, 1e-7) {
+		t.Fatalf("X = %v", res.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x,y in [0, 10]. Optimum x=3, y=0, obj=3.
+	p := NewProblem()
+	x := p.AddVariable(0, 10, 1)
+	y := p.AddVariable(0, 10, 2)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, EQ, 3)
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Obj, 3, 1e-7) || !approx(res.X[x], 3, 1e-7) {
+		t.Fatalf("Obj=%v X=%v", res.Obj, res.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x <= 1, y >= 0. Optimum x=1, y=3, obj=11.
+	p := NewProblem()
+	x := p.AddVariable(0, 1, 2)
+	y := p.AddVariable(0, Inf, 3)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, GE, 4)
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Obj, 11, 1e-7) {
+		t.Fatalf("Obj = %v want 11", res.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 1, 1)
+	p.AddConstraint([]Coef{{x, 1}}, GE, 2)
+	res := p.Solve(Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 0)
+	y := p.AddVariable(0, Inf, 0)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 1)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, GE, 2)
+	res := p.Solve(Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	y := p.AddVariable(0, Inf, 0)
+	p.AddConstraint([]Coef{{x, 1}, {y, -1}}, LE, 1)
+	res := p.Solve(Options{})
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -5 via constraint (variable itself is free).
+	p := NewProblem()
+	x := p.AddVariable(-Inf, Inf, 1)
+	p.AddConstraint([]Coef{{x, 1}}, GE, -5)
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.X[x], -5, 1e-7) {
+		t.Fatalf("X = %v want -5", res.X)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(2, 2, 5)
+	y := p.AddVariable(0, 10, 1)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, GE, 5)
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.X[x], 2, 1e-9) || !approx(res.X[y], 3, 1e-7) {
+		t.Fatalf("X = %v", res.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3 (i.e. x >= 3), x in [0, 10].
+	p := NewProblem()
+	x := p.AddVariable(0, 10, 1)
+	p.AddConstraint([]Coef{{x, -1}}, LE, -3)
+	res := p.Solve(Options{})
+	if res.Status != Optimal || !approx(res.X[x], 3, 1e-7) {
+		t.Fatalf("status=%v X=%v", res.Status, res.X)
+	}
+}
+
+func TestDuplicateCoefficientsMerged(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, -1)
+	// x + x <= 4 => x <= 2
+	p.AddConstraint([]Coef{{x, 1}, {x, 1}}, LE, 4)
+	res := p.Solve(Options{})
+	if res.Status != Optimal || !approx(res.X[x], 2, 1e-7) {
+		t.Fatalf("status=%v X=%v", res.Status, res.X)
+	}
+}
+
+func TestBoundsMutationBetweenSolves(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, 10, -1)
+	p.AddConstraint([]Coef{{x, 1}}, LE, 7)
+	res := p.Solve(Options{})
+	if !approx(res.X[x], 7, 1e-7) {
+		t.Fatalf("first solve X = %v", res.X)
+	}
+	p.SetVarBounds(x, 0, 3)
+	res = p.Solve(Options{})
+	if !approx(res.X[x], 3, 1e-7) {
+		t.Fatalf("after tightening X = %v", res.X)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degenerate vertex: several constraints through one point.
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	y := p.AddVariable(0, Inf, -1)
+	p.AddConstraint([]Coef{{x, 1}}, LE, 1)
+	p.AddConstraint([]Coef{{y, 1}}, LE, 1)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, LE, 2)
+	p.AddConstraint([]Coef{{x, 2}, {y, 1}}, LE, 3)
+	res := p.Solve(Options{})
+	if res.Status != Optimal || !approx(res.Obj, -2, 1e-7) {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+// Transportation-style LP with known optimum.
+func TestTransportation(t *testing.T) {
+	// 2 sources (supply 20, 30), 3 sinks (demand 10, 25, 15).
+	// Costs: s0: [2 4 5], s1: [3 1 7].
+	supply := []float64{20, 30}
+	demand := []float64{10, 25, 15}
+	costs := [][]float64{{2, 4, 5}, {3, 1, 7}}
+	p := NewProblem()
+	v := make([][]int, 2)
+	for i := range v {
+		v[i] = make([]int, 3)
+		for j := range v[i] {
+			v[i][j] = p.AddVariable(0, Inf, costs[i][j])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		var cs []Coef
+		for j := 0; j < 3; j++ {
+			cs = append(cs, Coef{v[i][j], 1})
+		}
+		p.AddConstraint(cs, EQ, supply[i])
+	}
+	for j := 0; j < 3; j++ {
+		var cs []Coef
+		for i := 0; i < 2; i++ {
+			cs = append(cs, Coef{v[i][j], 1})
+		}
+		p.AddConstraint(cs, EQ, demand[j])
+	}
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Optimal: s0->d0:10, s0->d2:10 (cost 2*10+5*10=70)... enumerate:
+	// s1 covers d1 (25 @1) and remaining 5 anywhere cheap: s1->d0? cost3 vs s0->d2 5.
+	// LP optimum is 20+25+50+... verify against brute-force value 2*10+5*10+1*25+7*5=130
+	// vs alternative s0:d0=10,d1=0,d2=10; s1:d1=25,d2=5 -> 20+50+25+35=130
+	// vs s0:d2=15,d0=5; s1:d0=5,d1=25 -> 75+10+15+25=125. Take solver's word but
+	// sanity check against a simple lower bound and feasibility.
+	total := 0.0
+	for i := 0; i < 2; i++ {
+		rowSum := 0.0
+		for j := 0; j < 3; j++ {
+			x := res.X[v[i][j]]
+			if x < -1e-7 {
+				t.Fatalf("negative flow %v", x)
+			}
+			rowSum += x
+			total += costs[i][j] * x
+		}
+		if !approx(rowSum, supply[i], 1e-6) {
+			t.Fatalf("supply %d violated: %v", i, rowSum)
+		}
+	}
+	if !approx(total, res.Obj, 1e-6) {
+		t.Fatalf("objective mismatch: %v vs %v", total, res.Obj)
+	}
+	if res.Obj > 125+1e-6 {
+		t.Fatalf("suboptimal: %v > 125", res.Obj)
+	}
+}
+
+// brute-force verification on random small LPs: compare against exhaustive
+// vertex enumeration via pairwise constraint intersection in 2-D.
+func TestRandom2DAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nc := 2 + rng.Intn(4)
+		type cons struct{ a, b, c float64 }
+		var cs []cons
+		for i := 0; i < nc; i++ {
+			cs = append(cs, cons{
+				a: float64(rng.Intn(9) - 4),
+				b: float64(rng.Intn(9) - 4),
+				c: float64(rng.Intn(21)),
+			})
+		}
+		cx := float64(rng.Intn(11) - 5)
+		cy := float64(rng.Intn(11) - 5)
+		lim := 50.0
+
+		p := NewProblem()
+		x := p.AddVariable(0, lim, cx)
+		y := p.AddVariable(0, lim, cy)
+		for _, c := range cs {
+			p.AddConstraint([]Coef{{x, c.a}, {y, c.b}}, LE, c.c)
+		}
+		res := p.Solve(Options{})
+
+		// Enumerate candidate vertices: intersections of all pairs from
+		// {constraints, x=0, x=lim, y=0, y=lim}.
+		all := append([]cons{}, cs...)
+		all = append(all, cons{1, 0, 0}, cons{1, 0, lim}, cons{0, 1, 0}, cons{0, 1, lim})
+		feasible := func(px, py float64) bool {
+			if px < -1e-7 || py < -1e-7 || px > lim+1e-7 || py > lim+1e-7 {
+				return false
+			}
+			for _, c := range cs {
+				if c.a*px+c.b*py > c.c+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		bestObj := math.Inf(1)
+		anyFeasible := false
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				// Solve a1 x + b1 y = c1', a2 x + b2 y = c2' where boundary
+				// uses equality. For bound rows c plays the bound value.
+				a1, b1, c1 := all[i].a, all[i].b, all[i].c
+				a2, b2, c2 := all[j].a, all[j].b, all[j].c
+				det := a1*b2 - a2*b1
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				px := (c1*b2 - c2*b1) / det
+				py := (a1*c2 - a2*c1) / det
+				if feasible(px, py) {
+					anyFeasible = true
+					obj := cx*px + cy*py
+					if obj < bestObj {
+						bestObj = obj
+					}
+				}
+			}
+		}
+		// Origin corner may also be optimal and feasible.
+		if feasible(0, 0) {
+			anyFeasible = true
+			if 0 < bestObj {
+				bestObj = 0
+			}
+		}
+
+		if !anyFeasible {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: enumeration infeasible but solver says %v", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: solver status %v but feasible vertex exists", trial, res.Status)
+		}
+		if !approx(res.Obj, bestObj, 1e-5) {
+			t.Fatalf("trial %d: solver obj %v, enumeration %v", trial, res.Obj, bestObj)
+		}
+	}
+}
+
+func TestIterationReporting(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, -1)
+	p.AddConstraint([]Coef{{x, 1}}, LE, 5)
+	res := p.Solve(Options{})
+	if res.Iters <= 0 {
+		t.Fatalf("expected positive iteration count, got %d", res.Iters)
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Sense.String broken")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" {
+		t.Error("Status.String broken")
+	}
+}

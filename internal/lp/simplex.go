@@ -1,0 +1,541 @@
+package lp
+
+import "math"
+
+// varState classifies a nonbasic variable's current position.
+type varState uint8
+
+const (
+	stBasic varState = iota
+	stAtLower
+	stAtUpper
+	stFreeZero // free variable resting at value 0
+)
+
+// simplex is the working state of one bounded-variable two-phase solve.
+// The column space is [structural | slacks | artificials]; slacks encode the
+// constraint senses and artificials make the initial basis feasible.
+type simplex struct {
+	p   *Problem
+	opt Options
+
+	m, n   int // rows, structural columns
+	ncols  int // total columns
+	colIdx [][]int32
+	colVal [][]float64
+	lo, hi []float64
+	cost   []float64 // phase-2 cost per column (0 for slack/artificial)
+
+	basis []int      // basis[i] = column basic in row i
+	state []varState // per column
+	xB    []float64  // value of basic variable per row
+	binv  []float64  // dense m x m row-major basis inverse
+	b     []float64  // rhs
+	nArt  int        // number of artificial columns appended
+
+	y     []float64 // dual vector workspace
+	w     []float64 // pivot column workspace
+	iters int
+	bland bool // Bland's anti-cycling rule active
+	stall int  // consecutive degenerate pivots
+}
+
+func newSimplex(p *Problem, opt Options) *simplex {
+	m := len(p.rows)
+	n := len(p.cost)
+	s := &simplex{
+		p:   p,
+		opt: opt.withDefaults(m, n),
+		m:   m,
+		n:   n,
+	}
+	s.build()
+	return s
+}
+
+// build assembles internal columns: structural, then one slack per row, then
+// (lazily sized) artificials for rows whose slack cannot absorb the residual.
+func (s *simplex) build() {
+	p := s.p
+	m, n := s.m, s.n
+
+	// Structural columns, gathered from rows.
+	s.colIdx = make([][]int32, n, n+2*m)
+	s.colVal = make([][]float64, n, n+2*m)
+	for i, r := range p.rows {
+		for k, j := range r.idx {
+			s.colIdx[j] = append(s.colIdx[j], int32(i))
+			s.colVal[j] = append(s.colVal[j], r.val[k])
+		}
+	}
+	s.lo = append([]float64(nil), p.lo...)
+	s.hi = append([]float64(nil), p.hi...)
+	s.cost = append([]float64(nil), p.cost...)
+	s.b = append([]float64(nil), p.rhs...)
+
+	// Slack columns.
+	for i := 0; i < m; i++ {
+		s.colIdx = append(s.colIdx, []int32{int32(i)})
+		s.colVal = append(s.colVal, []float64{1})
+		switch p.senses[i] {
+		case LE:
+			s.lo = append(s.lo, 0)
+			s.hi = append(s.hi, Inf)
+		case GE:
+			s.lo = append(s.lo, -Inf)
+			s.hi = append(s.hi, 0)
+		case EQ:
+			s.lo = append(s.lo, 0)
+			s.hi = append(s.hi, 0)
+		}
+		s.cost = append(s.cost, 0)
+	}
+	s.ncols = n + m
+
+	// Nonbasic rest values for structural variables: nearest finite bound.
+	s.state = make([]varState, s.ncols, s.ncols+m)
+	for j := 0; j < n; j++ {
+		s.state[j] = restState(s.lo[j], s.hi[j])
+	}
+
+	// Residual per row given nonbasic structural values.
+	resid := append([]float64(nil), s.b...)
+	for j := 0; j < n; j++ {
+		v := s.nbValue(j)
+		if v == 0 {
+			continue
+		}
+		for k, i := range s.colIdx[j] {
+			resid[i] -= s.colVal[j][k] * v
+		}
+	}
+
+	// Choose initial basis: slack where feasible, otherwise artificial.
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	for i := 0; i < m; i++ {
+		sl := n + i
+		if resid[i] >= s.lo[sl]-s.opt.Tol && resid[i] <= s.hi[sl]+s.opt.Tol {
+			s.basis[i] = sl
+			s.state[sl] = stBasic
+			s.xB[i] = resid[i]
+			continue
+		}
+		// Slack pinned at its nearest bound; artificial absorbs the rest.
+		sv := math.Max(s.lo[sl], math.Min(s.hi[sl], 0))
+		if resid[i] < s.lo[sl] {
+			sv = s.lo[sl]
+			s.state[sl] = stAtLower
+		} else {
+			sv = s.hi[sl]
+			s.state[sl] = stAtUpper
+		}
+		if s.lo[sl] == s.hi[sl] {
+			s.state[sl] = stAtLower
+		}
+		gap := resid[i] - sv
+		sign := 1.0
+		if gap < 0 {
+			sign = -1.0
+		}
+		art := s.ncols
+		s.colIdx = append(s.colIdx, []int32{int32(i)})
+		s.colVal = append(s.colVal, []float64{sign})
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, Inf)
+		s.cost = append(s.cost, 0)
+		s.state = append(s.state, stBasic)
+		s.ncols++
+		s.nArt++
+		s.basis[i] = art
+		s.xB[i] = math.Abs(gap)
+	}
+
+	s.binv = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = 1
+	}
+	// The initial basis matrix is not the identity when artificials carry a
+	// -1 coefficient or slacks... slacks are +1; artificials may be -1.
+	for i := 0; i < m; i++ {
+		j := s.basis[i]
+		if len(s.colVal[j]) == 1 && s.colVal[j][0] == -1 {
+			s.binv[i*s.m+i] = -1
+		}
+	}
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+}
+
+func restState(lo, hi float64) varState {
+	switch {
+	case !math.IsInf(lo, -1):
+		return stAtLower
+	case !math.IsInf(hi, 1):
+		return stAtUpper
+	default:
+		return stFreeZero
+	}
+}
+
+// nbValue returns the resting value of nonbasic column j.
+func (s *simplex) nbValue(j int) float64 {
+	switch s.state[j] {
+	case stAtLower:
+		return s.lo[j]
+	case stAtUpper:
+		return s.hi[j]
+	default:
+		return 0
+	}
+}
+
+// solve runs phase 1 (drive artificials to zero) then phase 2.
+func (s *simplex) solve() Result {
+	tol := s.opt.Tol
+
+	if s.nArt > 0 {
+		// Phase-1 costs: 1 on artificial columns.
+		phase1 := make([]float64, s.ncols)
+		for j := s.n + s.m; j < s.ncols; j++ {
+			phase1[j] = 1
+		}
+		st := s.iterate(phase1)
+		if st == IterLimit {
+			return Result{Status: IterLimit, Iters: s.iters}
+		}
+		infeas := 0.0
+		for i, j := range s.basis {
+			if j >= s.n+s.m {
+				infeas += s.xB[i]
+			}
+		}
+		if infeas > 1e-7 {
+			return Result{Status: Infeasible, Iters: s.iters}
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := s.n + s.m; j < s.ncols; j++ {
+			s.hi[j] = 0
+		}
+	}
+
+	phase2 := make([]float64, s.ncols)
+	copy(phase2, s.cost[:s.ncols])
+	st := s.iterate(phase2)
+	if st != Optimal {
+		return Result{Status: st, Iters: s.iters}
+	}
+
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.state[j] != stBasic {
+			x[j] = s.nbValue(j)
+		}
+	}
+	for i, j := range s.basis {
+		if j < s.n {
+			x[j] = s.xB[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		obj += s.p.cost[j] * x[j]
+	}
+	_ = tol
+	return Result{Status: Optimal, Obj: obj, X: x, Iters: s.iters}
+}
+
+// iterate runs primal simplex iterations under the given cost vector until
+// optimality, unboundedness or the iteration limit.
+func (s *simplex) iterate(cost []float64) Status {
+	m := s.m
+	tol := s.opt.Tol
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterLimit
+		}
+		s.iters++
+
+		// Duals: y = cB^T * Binv.
+		for i := 0; i < m; i++ {
+			s.y[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				s.y[k] += cb * row[k]
+			}
+		}
+
+		// Pricing.
+		enter := -1
+		var enterDir float64 // +1: increase from lower/zero, -1: decrease from upper/zero
+		best := tol
+		for j := 0; j < s.ncols; j++ {
+			st := s.state[j]
+			if st == stBasic {
+				continue
+			}
+			if s.hi[j]-s.lo[j] < 1e-13 && st != stFreeZero {
+				continue // fixed variable can never usefully enter
+			}
+			d := cost[j]
+			for k, i := range s.colIdx[j] {
+				d -= s.y[i] * s.colVal[j][k]
+			}
+			var score float64
+			var dir float64
+			switch st {
+			case stAtLower:
+				if d < -tol {
+					score, dir = -d, 1
+				}
+			case stAtUpper:
+				if d > tol {
+					score, dir = d, -1
+				}
+			case stFreeZero:
+				if d < -tol {
+					score, dir = -d, 1
+				} else if d > tol {
+					score, dir = d, -1
+				}
+			}
+			if dir == 0 {
+				continue
+			}
+			if s.bland {
+				enter, enterDir = j, dir
+				goto chosen
+			}
+			if score > best {
+				best, enter, enterDir = score, j, dir
+			}
+		}
+	chosen:
+		if enter == -1 {
+			return Optimal
+		}
+
+		// Pivot column w = Binv * A_enter.
+		for i := 0; i < m; i++ {
+			s.w[i] = 0
+		}
+		for k, r := range s.colIdx[enter] {
+			v := s.colVal[enter][k]
+			for i := 0; i < m; i++ {
+				s.w[i] += s.binv[i*m+int(r)] * v
+			}
+		}
+
+		// Bounded ratio test. Entering moves by t >= 0 in direction enterDir;
+		// basic variable i changes at rate delta_i = -enterDir * w[i].
+		tMax := s.hi[enter] - s.lo[enter] // bound-to-bound distance
+		if s.state[enter] == stFreeZero {
+			tMax = Inf
+		}
+		leave := -1
+		leaveToUpper := false
+		t := tMax
+		for i := 0; i < m; i++ {
+			delta := -enterDir * s.w[i]
+			bj := s.basis[i]
+			var ti float64
+			var toUpper bool
+			if delta > tol {
+				if math.IsInf(s.hi[bj], 1) {
+					continue
+				}
+				ti = (s.hi[bj] - s.xB[i]) / delta
+				toUpper = true
+			} else if delta < -tol {
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				ti = (s.lo[bj] - s.xB[i]) / delta
+				toUpper = false
+			} else {
+				continue
+			}
+			if ti < 0 {
+				ti = 0
+			}
+			if ti < t-1e-12 || (ti < t+1e-12 && leave >= 0 && math.Abs(s.w[i]) > math.Abs(s.w[leave])) {
+				t = ti
+				leave = i
+				leaveToUpper = toUpper
+			}
+		}
+
+		if math.IsInf(t, 1) {
+			return Unbounded
+		}
+
+		// Track degeneracy to toggle Bland's rule.
+		if t <= 1e-10 {
+			s.stall++
+			if s.stall > 60 {
+				s.bland = true
+			}
+		} else {
+			s.stall = 0
+			s.bland = false
+		}
+
+		// Apply the step to basic values.
+		if t != 0 {
+			for i := 0; i < m; i++ {
+				s.xB[i] += t * (-enterDir * s.w[i])
+			}
+		}
+
+		if leave == -1 {
+			// Bound-to-bound flip of the entering variable.
+			if s.state[enter] == stAtLower {
+				s.state[enter] = stAtUpper
+			} else if s.state[enter] == stAtUpper {
+				s.state[enter] = stAtLower
+			} else {
+				// Free variable with no blocking row: unbounded unless t finite.
+				return Unbounded
+			}
+			continue
+		}
+
+		piv := s.w[leave]
+		if math.Abs(piv) < 1e-11 {
+			// Numerically hopeless pivot: undo the step, refactorize, retry.
+			if t != 0 {
+				for i := 0; i < m; i++ {
+					s.xB[i] -= t * (-enterDir * s.w[i])
+				}
+			}
+			if !s.refactorize() {
+				return IterLimit
+			}
+			continue
+		}
+
+		// Basis exchange.
+		out := s.basis[leave]
+		if leaveToUpper {
+			s.state[out] = stAtUpper
+		} else {
+			s.state[out] = stAtLower
+		}
+		enterVal := s.nbValue(enter) + enterDir*t
+		s.basis[leave] = enter
+		s.state[enter] = stBasic
+		s.xB[leave] = enterVal
+		prow := s.binv[leave*m : leave*m+m]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			prow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			irow := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				irow[k] -= f * prow[k]
+			}
+		}
+
+		if s.iters%256 == 0 {
+			s.refresh()
+		}
+	}
+}
+
+// refresh recomputes basic values from the basis inverse to curb drift.
+func (s *simplex) refresh() {
+	m := s.m
+	resid := append([]float64(nil), s.b...)
+	for j := 0; j < s.ncols; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		v := s.nbValue(j)
+		if v == 0 {
+			continue
+		}
+		for k, i := range s.colIdx[j] {
+			resid[i] -= s.colVal[j][k] * v
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			sum += row[k] * resid[k]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// refactorize rebuilds the dense basis inverse by Gauss-Jordan elimination of
+// the current basis matrix. Returns false if the basis is singular.
+func (s *simplex) refactorize() bool {
+	m := s.m
+	// Assemble dense basis matrix.
+	bm := make([]float64, m*m)
+	for col, j := range s.basis {
+		for k, i := range s.colIdx[j] {
+			bm[int(i)*m+col] = s.colVal[j][k]
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	// Gauss-Jordan with partial pivoting.
+	for c := 0; c < m; c++ {
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(bm[r*m+c]) > math.Abs(bm[p*m+c]) {
+				p = r
+			}
+		}
+		if math.Abs(bm[p*m+c]) < 1e-12 {
+			return false
+		}
+		if p != c {
+			for k := 0; k < m; k++ {
+				bm[p*m+k], bm[c*m+k] = bm[c*m+k], bm[p*m+k]
+				inv[p*m+k], inv[c*m+k] = inv[c*m+k], inv[p*m+k]
+			}
+		}
+		d := 1 / bm[c*m+c]
+		for k := 0; k < m; k++ {
+			bm[c*m+k] *= d
+			inv[c*m+k] *= d
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := bm[r*m+c]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bm[r*m+k] -= f * bm[c*m+k]
+				inv[r*m+k] -= f * inv[c*m+k]
+			}
+		}
+	}
+	// inv now holds B^{-1} in "row of inverse per original row" order, but we
+	// performed row swaps on both matrices in lockstep so inv == B^{-1}.
+	copy(s.binv, inv)
+	s.refresh()
+	return true
+}

@@ -1,0 +1,35 @@
+package lpformat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// inputs it accepts produce structurally sound models.
+func FuzzParse(f *testing.F) {
+	f.Add("min\n x\nst\n x >= 1\n")
+	f.Add("min\n 3 x + 2 y\nst\n x + y >= 4\nbounds\n 0 <= x <= 10\nint\n x y\n")
+	f.Add("# only a comment\n")
+	f.Add("min\n - x - y\nst\n x - y = 0\nbounds\n y free\n")
+	f.Add("st\n x <= -3\n")
+	f.Add("min\n 1.5 a\nst\n a + b + c <= 9\nint\n a b c\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, names, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if m == nil || names == nil {
+			t.Fatal("nil model without error")
+		}
+		for name, idx := range names {
+			if idx < 0 || idx >= m.NumVars() {
+				t.Fatalf("name %q maps to out-of-range index %d", name, idx)
+			}
+			lo, hi := m.Prob.VarBounds(idx)
+			if lo > hi {
+				t.Fatalf("variable %q has inverted bounds [%v, %v]", name, lo, hi)
+			}
+		}
+	})
+}

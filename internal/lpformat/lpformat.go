@@ -1,0 +1,203 @@
+// Package lpformat parses a small LP-like text format into a MILP model,
+// backing cmd/ilpsolve. The format:
+//
+//	# comment
+//	min
+//	  3 x + 2 y - z
+//	st
+//	  x + y >= 4
+//	  x - 2 z <= 2
+//	  y + z = 3
+//	bounds
+//	  0 <= x <= 10
+//	  z free
+//	int
+//	  x z
+//
+// Variables default to continuous with bounds [0, +inf).
+package lpformat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"optrouter/internal/ilp"
+	"optrouter/internal/lp"
+)
+
+// Parse reads the format and returns the model plus the name->index map.
+func Parse(r io.Reader) (*ilp.Model, map[string]int, error) {
+	m := ilp.NewModel()
+	names := map[string]int{}
+	getVar := func(name string) int {
+		if v, ok := names[name]; ok {
+			return v
+		}
+		v := m.AddVar(0, lp.Inf, 0, false)
+		names[name] = v
+		return v
+	}
+
+	section := ""
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch strings.ToLower(line) {
+		case "min", "st", "bounds", "int":
+			section = strings.ToLower(line)
+			continue
+		}
+		switch section {
+		case "min":
+			terms, err := parseLinear(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lpformat: line %d: %v", lineNo, err)
+			}
+			for _, t := range terms {
+				j := getVar(t.name)
+				m.Prob.SetCost(j, m.Prob.Cost(j)+t.coef)
+			}
+		case "st":
+			lhs, sense, rhs, err := parseConstraint(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lpformat: line %d: %v", lineNo, err)
+			}
+			var cs []lp.Coef
+			for _, t := range lhs {
+				cs = append(cs, lp.Coef{Var: getVar(t.name), Val: t.coef})
+			}
+			m.AddConstraint(cs, sense, rhs)
+		case "bounds":
+			if err := parseBounds(line, m, getVar); err != nil {
+				return nil, nil, fmt.Errorf("lpformat: line %d: %v", lineNo, err)
+			}
+		case "int":
+			for _, name := range strings.Fields(line) {
+				m.SetInteger(getVar(name), true)
+			}
+		default:
+			return nil, nil, fmt.Errorf("lpformat: line %d: content before a section header", lineNo)
+		}
+	}
+	return m, names, sc.Err()
+}
+
+type term struct {
+	coef float64
+	name string
+}
+
+// parseLinear parses "3 x + 2 y - z" into terms.
+func parseLinear(s string) ([]term, error) {
+	fields := strings.Fields(strings.ReplaceAll(strings.ReplaceAll(s, "+", " + "), "-", " - "))
+	var out []term
+	sign := 1.0
+	var pending *float64
+	for _, f := range fields {
+		switch f {
+		case "+":
+			sign = 1
+		case "-":
+			sign = -1
+		default:
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				v *= sign
+				pending = &v
+				sign = 1
+				continue
+			}
+			c := sign
+			if pending != nil {
+				c = *pending
+				pending = nil
+			}
+			sign = 1
+			out = append(out, term{coef: c, name: f})
+		}
+	}
+	if pending != nil {
+		return nil, fmt.Errorf("dangling coefficient in %q", s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no terms in %q", s)
+	}
+	return out, nil
+}
+
+func parseConstraint(s string) ([]term, lp.Sense, float64, error) {
+	var sense lp.Sense
+	var parts []string
+	switch {
+	case strings.Contains(s, "<="):
+		sense = lp.LE
+		parts = strings.SplitN(s, "<=", 2)
+	case strings.Contains(s, ">="):
+		sense = lp.GE
+		parts = strings.SplitN(s, ">=", 2)
+	case strings.Contains(s, "="):
+		sense = lp.EQ
+		parts = strings.SplitN(s, "=", 2)
+	default:
+		return nil, 0, 0, fmt.Errorf("no relation in %q", s)
+	}
+	lhs, err := parseLinear(parts[0])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rhs, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("bad rhs in %q", s)
+	}
+	return lhs, sense, rhs, nil
+}
+
+// parseBounds handles "lo <= x <= hi", "x <= hi", "x >= lo" and "x free".
+func parseBounds(s string, m *ilp.Model, getVar func(string) int) error {
+	fields := strings.Fields(s)
+	if len(fields) == 2 && fields[1] == "free" {
+		j := getVar(fields[0])
+		m.Prob.SetVarBounds(j, -lp.Inf, lp.Inf)
+		return nil
+	}
+	if parts := strings.Split(s, "<="); len(parts) == 3 {
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad bounds %q", s)
+		}
+		m.Prob.SetVarBounds(getVar(strings.TrimSpace(parts[1])), lo, hi)
+		return nil
+	} else if len(parts) == 2 {
+		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return fmt.Errorf("bad bound %q", s)
+		}
+		j := getVar(strings.TrimSpace(parts[0]))
+		lo, _ := m.Prob.VarBounds(j)
+		m.Prob.SetVarBounds(j, lo, hi)
+		return nil
+	}
+	if parts := strings.Split(s, ">="); len(parts) == 2 {
+		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return fmt.Errorf("bad bound %q", s)
+		}
+		j := getVar(strings.TrimSpace(parts[0]))
+		_, hi := m.Prob.VarBounds(j)
+		m.Prob.SetVarBounds(j, lo, hi)
+		return nil
+	}
+	return fmt.Errorf("unrecognized bounds line %q", s)
+}

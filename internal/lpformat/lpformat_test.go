@@ -1,0 +1,183 @@
+package lpformat
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"optrouter/internal/ilp"
+	"optrouter/internal/lp"
+)
+
+func solve(t *testing.T, src string) (ilp.Result, map[string]int) {
+	t.Helper()
+	m, names, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Solve(ilp.Options{}), names
+}
+
+func TestSimpleMILP(t *testing.T) {
+	res, names := solve(t, `
+min
+  3 x + 2 y
+st
+  x + y >= 4
+bounds
+  0 <= x <= 10
+int
+  x y
+`)
+	if res.Status != ilp.Optimal || math.Abs(res.Obj-8) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+	if math.Abs(res.X[names["y"]]-4) > 1e-7 {
+		t.Fatalf("y = %v", res.X[names["y"]])
+	}
+}
+
+func TestComments(t *testing.T) {
+	res, _ := solve(t, `
+# objective follows
+min
+  x    # cheap
+st
+  x >= 3   # at least three
+`)
+	if res.Status != ilp.Optimal || math.Abs(res.Obj-3) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	res, names := solve(t, `
+min
+  - x
+st
+  2 x - y <= 6
+  y <= 4
+`)
+	// min -x s.t. 2x <= 6 + y, y <= 4 => x = 5.
+	if res.Status != ilp.Optimal || math.Abs(res.X[names["x"]]-5) > 1e-7 {
+		t.Fatalf("status=%v x=%v", res.Status, res.X[names["x"]])
+	}
+}
+
+func TestEquality(t *testing.T) {
+	res, names := solve(t, `
+min
+  x + y
+st
+  x + y = 7
+`)
+	if res.Status != ilp.Optimal {
+		t.Fatalf("status=%v", res.Status)
+	}
+	sum := res.X[names["x"]] + res.X[names["y"]]
+	if math.Abs(sum-7) > 1e-7 {
+		t.Fatalf("sum=%v", sum)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	res, names := solve(t, `
+min
+  z
+st
+  z >= -8
+bounds
+  z free
+`)
+	if res.Status != ilp.Optimal || math.Abs(res.X[names["z"]]+8) > 1e-7 {
+		t.Fatalf("status=%v z=%v", res.Status, res.X[names["z"]])
+	}
+}
+
+func TestInfeasibleModel(t *testing.T) {
+	res, _ := solve(t, `
+min
+  x
+st
+  x >= 5
+bounds
+  0 <= x <= 2
+`)
+	if res.Status != ilp.Infeasible {
+		t.Fatalf("status=%v", res.Status)
+	}
+}
+
+func TestGEOnlyBound(t *testing.T) {
+	m, names, err := Parse(strings.NewReader(`
+min
+  x
+bounds
+  x >= 2.5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Prob.VarBounds(names["x"])
+	if lo != 2.5 || !math.IsInf(hi, 1) {
+		t.Fatalf("bounds [%v, %v]", lo, hi)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"min\n 3 +\n",              // dangling coefficient
+		"st\n x ? 4\n",             // junk before section... actually "st" is valid; relation missing
+		"x + y >= 4\n",             // content before section
+		"st\n x >= foo\n",          // bad rhs
+		"bounds\n nonsense here\n", // bad bounds line... parsed as ">=?" no relation
+		"bounds\n a <= b <= c\n",   // non-numeric bounds
+	}
+	for i, src := range cases {
+		if _, _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: error expected for %q", i, src)
+		}
+	}
+}
+
+func TestIntegrality(t *testing.T) {
+	m, names, err := Parse(strings.NewReader(`
+min
+  x + y
+st
+  x + y >= 1.5
+int
+  x
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsInteger(names["x"]) {
+		t.Error("x must be integer")
+	}
+	if m.IsInteger(names["y"]) {
+		t.Error("y must be continuous")
+	}
+	res := m.Solve(ilp.Options{})
+	// x integer, y continuous: best is x=0, y=1.5 or x=1,y=0.5 -> 1.5.
+	if res.Status != ilp.Optimal || math.Abs(res.Obj-1.5) > 1e-7 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Obj)
+	}
+}
+
+func TestRepeatedObjectiveTermsAccumulate(t *testing.T) {
+	m, names, err := Parse(strings.NewReader(`
+min
+  x
+  2 x
+st
+  x >= 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Prob.Cost(names["x"]); got != 3 {
+		t.Fatalf("accumulated cost = %v, want 3", got)
+	}
+	_ = lp.Inf
+}

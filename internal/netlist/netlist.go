@@ -1,0 +1,260 @@
+// Package netlist synthesizes gate-level netlists that statistically
+// resemble the paper's two benchmark designs: the OpenCores AES core
+// (~13-15K instances, datapath-heavy, wide fanout spread) and an ARM
+// Cortex-M0 (~9-11K instances, control-heavy). Generation is seeded and
+// deterministic; instance counts are parameters so tests can scale down
+// while the Table 2 benchmarks run at representative sizes.
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optrouter/internal/cells"
+)
+
+// PinRef addresses one pin of one instance.
+type PinRef struct {
+	Inst int    // instance index
+	Pin  string // pin name on the master
+}
+
+// Net is a logical net: one driver and one or more sinks.
+type Net struct {
+	Name   string
+	Driver PinRef
+	Sinks  []PinRef
+}
+
+// Fanout returns the sink count.
+func (n *Net) Fanout() int { return len(n.Sinks) }
+
+// Instance is a placed-cell reference.
+type Instance struct {
+	Name string
+	Cell string
+}
+
+// Netlist is a flat gate-level design.
+type Netlist struct {
+	Name      string
+	Instances []Instance
+	Nets      []Net
+}
+
+// Stats summarizes a netlist for Table 2 style reporting.
+type Stats struct {
+	Instances int
+	Nets      int
+	Pins      int
+	AvgFanout float64
+	MaxFanout int
+}
+
+// Stats computes summary statistics.
+func (nl *Netlist) Stats() Stats {
+	s := Stats{Instances: len(nl.Instances), Nets: len(nl.Nets)}
+	for i := range nl.Nets {
+		f := nl.Nets[i].Fanout()
+		s.Pins += f + 1
+		s.AvgFanout += float64(f)
+		if f > s.MaxFanout {
+			s.MaxFanout = f
+		}
+	}
+	if s.Nets > 0 {
+		s.AvgFanout /= float64(s.Nets)
+	}
+	return s
+}
+
+// Profile parameterizes synthesis.
+type Profile struct {
+	Name         string
+	NumInstances int
+	// CellMix weights masters by name; unlisted masters are unused.
+	CellMix map[string]float64
+	// Locality in (0,1]: fraction of the design "window" a net's sinks are
+	// drawn from around the driver (smaller = more local wiring).
+	Locality float64
+	// MaxFanout caps net fanout.
+	MaxFanout int
+	Seed      int64
+}
+
+// AESClass resembles the AES core: datapath-heavy (XOR-rich), moderate
+// locality, some high-fanout control nets.
+func AESClass(n int, seed int64) Profile {
+	return Profile{
+		Name:         "AES",
+		NumInstances: n,
+		CellMix: map[string]float64{
+			"XOR2X1": 0.18, "XNOR2X1": 0.06, "NAND2X1": 0.13, "NAND2X2": 0.03,
+			"NOR2X1": 0.08, "NOR2X2": 0.02, "INVX1": 0.09, "INVX2": 0.02,
+			"INVX4": 0.01, "AOI21X1": 0.06, "OAI21X1": 0.05, "AOI22X1": 0.02,
+			"MUX2X1": 0.08, "NAND3X1": 0.05, "BUFX2": 0.03, "BUFX4": 0.01,
+			"DFFX1": 0.06, "DFFX2": 0.02,
+		},
+		Locality:  0.08,
+		MaxFanout: 24,
+		Seed:      seed,
+	}
+}
+
+// M0Class resembles a Cortex-M0: control-heavy (NAND/NOR/AOI-rich), tighter
+// locality, higher sequential fraction.
+func M0Class(n int, seed int64) Profile {
+	return Profile{
+		Name:         "M0",
+		NumInstances: n,
+		CellMix: map[string]float64{
+			"NAND2X1": 0.18, "NAND2X2": 0.04, "NOR2X1": 0.11, "NOR2X2": 0.03,
+			"INVX1": 0.11, "INVX2": 0.03, "AOI21X1": 0.08, "OAI21X1": 0.06,
+			"AOI22X1": 0.03, "OAI22X1": 0.02, "MUX2X1": 0.07, "NAND3X1": 0.05,
+			"NOR3X1": 0.02, "XOR2X1": 0.04, "BUFX2": 0.03, "BUFX4": 0.01,
+			"DFFX1": 0.08, "DFFX2": 0.03,
+		},
+		Locality:  0.05,
+		MaxFanout: 20,
+		Seed:      seed,
+	}
+}
+
+// Generate builds a netlist against the library. Every input pin of every
+// instance is connected to exactly one net; drivers are chosen with a
+// locality bias in instance-index space (the placer preserves index order,
+// so index distance approximates physical distance).
+func Generate(lib *cells.Library, p Profile) (*Netlist, error) {
+	if p.NumInstances < 2 {
+		return nil, fmt.Errorf("netlist: need at least 2 instances, got %d", p.NumInstances)
+	}
+	if p.MaxFanout < 1 {
+		p.MaxFanout = 16
+	}
+	if p.Locality <= 0 || p.Locality > 1 {
+		p.Locality = 0.1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Weighted master pick.
+	var names []string
+	var weights []float64
+	total := 0.0
+	for _, n := range lib.CellNames() {
+		if w := p.CellMix[n]; w > 0 {
+			names = append(names, n)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("netlist: profile %q selects no masters", p.Name)
+	}
+	pick := func() string {
+		r := rng.Float64() * total
+		for i, w := range weights {
+			if r < w {
+				return names[i]
+			}
+			r -= w
+		}
+		return names[len(names)-1]
+	}
+
+	nl := &Netlist{Name: p.Name}
+	for i := 0; i < p.NumInstances; i++ {
+		master := pick()
+		nl.Instances = append(nl.Instances, Instance{
+			Name: fmt.Sprintf("u%d", i),
+			Cell: master,
+		})
+	}
+
+	// One net per driving output pin; collect drivers first.
+	type driver struct {
+		ref    PinRef
+		net    int // net index once created, else -1
+		fanout int
+	}
+	var drivers []driver
+	for i, inst := range nl.Instances {
+		c, ok := lib.Cell(inst.Cell)
+		if !ok {
+			return nil, fmt.Errorf("netlist: unknown master %q", inst.Cell)
+		}
+		if out, ok := c.OutputPin(); ok {
+			drivers = append(drivers, driver{ref: PinRef{Inst: i, Pin: out.Name}, net: -1})
+		}
+	}
+	if len(drivers) == 0 {
+		return nil, fmt.Errorf("netlist: no driving pins in profile %q", p.Name)
+	}
+
+	window := int(p.Locality * float64(len(drivers)))
+	if window < 4 {
+		window = 4
+	}
+
+	// Map instance index -> nearest driver index (ordered identically).
+	// drivers are ordered by instance index already.
+	nearestDriver := func(inst int) int {
+		// Binary search over drivers (sorted by Inst).
+		lo, hi := 0, len(drivers)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if drivers[mid].ref.Inst < inst {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	for i, inst := range nl.Instances {
+		c, _ := lib.Cell(inst.Cell)
+		for _, in := range c.InputPins() {
+			// Choose a driver near this instance.
+			center := nearestDriver(i)
+			var d *driver
+			for attempt := 0; attempt < 24; attempt++ {
+				off := rng.Intn(2*window+1) - window
+				di := center + off
+				if di < 0 || di >= len(drivers) {
+					continue
+				}
+				cand := &drivers[di]
+				if cand.ref.Inst == i {
+					continue // no self loops
+				}
+				if cand.fanout >= p.MaxFanout {
+					continue
+				}
+				d = cand
+				break
+			}
+			if d == nil {
+				// Fallback: global scan for any capacity.
+				for di := range drivers {
+					if drivers[di].ref.Inst != i && drivers[di].fanout < p.MaxFanout {
+						d = &drivers[di]
+						break
+					}
+				}
+			}
+			if d == nil {
+				return nil, fmt.Errorf("netlist: fanout capacity exhausted")
+			}
+			if d.net < 0 {
+				d.net = len(nl.Nets)
+				nl.Nets = append(nl.Nets, Net{
+					Name:   fmt.Sprintf("n%d", d.net),
+					Driver: d.ref,
+				})
+			}
+			nl.Nets[d.net].Sinks = append(nl.Nets[d.net].Sinks, PinRef{Inst: i, Pin: in.Name})
+			d.fanout++
+		}
+	}
+	return nl, nil
+}

@@ -1,0 +1,148 @@
+package netlist
+
+import (
+	"testing"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/tech"
+)
+
+func lib() *cells.Library { return cells.Generate(tech.N28T12()) }
+
+func TestGenerateAES(t *testing.T) {
+	nl, err := Generate(lib(), AESClass(500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Instances) != 500 {
+		t.Fatalf("instances = %d", len(nl.Instances))
+	}
+	s := nl.Stats()
+	if s.Nets == 0 || s.Pins == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.AvgFanout < 1 || s.AvgFanout > 10 {
+		t.Fatalf("implausible average fanout %.2f", s.AvgFanout)
+	}
+	if s.MaxFanout > AESClass(500, 1).MaxFanout {
+		t.Fatalf("fanout cap violated: %d", s.MaxFanout)
+	}
+}
+
+func TestEveryInputConnected(t *testing.T) {
+	l := lib()
+	nl, err := Generate(l, M0Class(300, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count input pins per instance and sink references per instance.
+	wantPins := 0
+	for _, inst := range nl.Instances {
+		c, _ := l.Cell(inst.Cell)
+		wantPins += len(c.InputPins())
+	}
+	gotPins := 0
+	for i := range nl.Nets {
+		gotPins += nl.Nets[i].Fanout()
+	}
+	if gotPins != wantPins {
+		t.Fatalf("connected sinks %d != input pins %d", gotPins, wantPins)
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	nl, err := Generate(lib(), AESClass(400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		for _, s := range n.Sinks {
+			if s.Inst == n.Driver.Inst {
+				t.Fatalf("net %s: self loop on instance %d", n.Name, s.Inst)
+			}
+		}
+	}
+}
+
+func TestDriversAreOutputs(t *testing.T) {
+	l := lib()
+	nl, err := Generate(l, M0Class(200, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		c, _ := l.Cell(nl.Instances[n.Driver.Inst].Cell)
+		out, ok := c.OutputPin()
+		if !ok || out.Name != n.Driver.Pin {
+			t.Fatalf("net %s driven by non-output pin %s", n.Name, n.Driver.Pin)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(lib(), AESClass(300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(lib(), AESClass(300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatal("generation is not deterministic")
+	}
+	c, err := Generate(lib(), AESClass(300, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() == c.Stats() {
+		t.Fatal("different seeds produced identical netlists (suspicious)")
+	}
+}
+
+func TestLocalityBias(t *testing.T) {
+	// With small locality, sink instances should be close to their drivers
+	// in index space on average.
+	nl, err := Generate(lib(), M0Class(2000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, cnt := 0, 0
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		for _, s := range n.Sinks {
+			d := n.Driver.Inst - s.Inst
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			cnt++
+		}
+	}
+	avg := float64(sum) / float64(cnt)
+	if avg > 400 {
+		t.Fatalf("average driver-sink index distance %.0f too large for locality profile", avg)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Generate(lib(), Profile{Name: "x", NumInstances: 1}); err == nil {
+		t.Error("too-small design accepted")
+	}
+	if _, err := Generate(lib(), Profile{Name: "x", NumInstances: 10, CellMix: map[string]float64{"NOPE": 1}}); err == nil {
+		t.Error("empty effective cell mix accepted")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	aes := AESClass(100, 1)
+	m0 := M0Class(100, 1)
+	if aes.CellMix["XOR2X1"] <= m0.CellMix["XOR2X1"] {
+		t.Error("AES should be XOR-richer than M0")
+	}
+	if m0.CellMix["DFFX1"] <= aes.CellMix["DFFX1"] {
+		t.Error("M0 should be register-richer than AES")
+	}
+}

@@ -1,0 +1,102 @@
+// Package pincost implements the pin cost metric of Taghavi et al. (ICCAD
+// 2010) used by the paper to select "difficult-to-route" clips: a pin
+// existence cost (PEC), a pin-area cost (PAC) and a pin-spacing cost (PRC),
+// summed per clip with theta = 500 (paper Section 4).
+//
+//	PEC = number of physical pins in the clip
+//	PAC = sum_i 2^(2 - area(p_i)/theta)
+//	PRC = sum_{i<j} 2^(2 - spacing(p_i,p_j)/(3*theta))
+//
+// Only cell pins carry physical shapes; boundary-crossing terminals have no
+// geometry and are excluded, matching the metric's original placement-time
+// usage. Absolute values depend on the synthetic pin geometry; the metric is
+// used for ranking (top-K selection), which is scale-invariant.
+package pincost
+
+import (
+	"math"
+	"sort"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/geom"
+)
+
+// DefaultTheta is the paper's theta parameter.
+const DefaultTheta = 500.0
+
+// Breakdown itemizes the metric.
+type Breakdown struct {
+	PEC float64
+	PAC float64
+	PRC float64
+}
+
+// Total returns PEC + PAC + PRC.
+func (b Breakdown) Total() float64 { return b.PEC + b.PAC + b.PRC }
+
+// Compute evaluates the metric for a clip with the given theta
+// (use DefaultTheta for the paper's setting).
+func Compute(c *clip.Clip, theta float64) Breakdown {
+	if theta <= 0 {
+		theta = DefaultTheta
+	}
+	type physPin struct {
+		area   float64
+		center geom.Point
+	}
+	var pins []physPin
+	for i := range c.Nets {
+		for _, p := range c.Nets[i].Pins {
+			if p.AreaNM2 <= 0 {
+				continue // boundary crossing: no physical shape
+			}
+			pins = append(pins, physPin{
+				area:   float64(p.AreaNM2),
+				center: geom.Pt(p.CXNM, p.CYNM),
+			})
+		}
+	}
+	var b Breakdown
+	b.PEC = float64(len(pins))
+	for _, p := range pins {
+		b.PAC += math.Exp2(2 - p.area/theta)
+	}
+	for i := 0; i < len(pins); i++ {
+		for j := i + 1; j < len(pins); j++ {
+			d := float64(pins[i].center.ManhattanDist(pins[j].center))
+			b.PRC += math.Exp2(2 - d/(3*theta))
+		}
+	}
+	return b
+}
+
+// Cost returns the scalar pin cost with the default theta and caches it on
+// the clip.
+func Cost(c *clip.Clip) float64 {
+	v := Compute(c, DefaultTheta).Total()
+	c.PinCost = v
+	return v
+}
+
+// RankTopK scores all clips and returns the K highest-cost ones in
+// descending cost order (fewer if len(clips) < k), mirroring the paper's
+// top-100 selection. Ties break on clip name for determinism.
+func RankTopK(clips []*clip.Clip, k int) []*clip.Clip {
+	scored := make([]*clip.Clip, len(clips))
+	copy(scored, clips)
+	for _, c := range scored {
+		if c.PinCost == 0 {
+			Cost(c)
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].PinCost != scored[j].PinCost {
+			return scored[i].PinCost > scored[j].PinCost
+		}
+		return scored[i].Name < scored[j].Name
+	})
+	if k < len(scored) {
+		scored = scored[:k]
+	}
+	return scored
+}

@@ -1,0 +1,122 @@
+package pincost
+
+import (
+	"math"
+	"testing"
+
+	"optrouter/internal/clip"
+)
+
+func clipWithPins(pins []clip.Pin) *clip.Clip {
+	nets := make([]clip.Net, 0, len(pins))
+	for i := 0; i+1 < len(pins); i += 2 {
+		nets = append(nets, clip.Net{
+			Name: "n" + string(rune('a'+i)),
+			Pins: []clip.Pin{pins[i], pins[i+1]},
+		})
+	}
+	return &clip.Clip{Name: "t", NX: 7, NY: 10, NZ: 4, MinLayer: 1, Nets: nets}
+}
+
+func pin(x, y, area, cx, cy int) clip.Pin {
+	return clip.Pin{
+		Name:    "p",
+		APs:     []clip.AccessPoint{{X: x, Y: y, Z: 1}},
+		AreaNM2: area, CXNM: cx, CYNM: cy,
+	}
+}
+
+func TestPECCountsPhysicalPinsOnly(t *testing.T) {
+	c := clipWithPins([]clip.Pin{
+		pin(0, 0, 1000, 0, 0),
+		{Name: "x", APs: []clip.AccessPoint{{X: 6, Y: 9, Z: 1}}}, // crossing
+		pin(1, 1, 1000, 300, 300),
+		pin(2, 2, 1000, 600, 600),
+	})
+	b := Compute(c, DefaultTheta)
+	if b.PEC != 3 {
+		t.Fatalf("PEC = %v, want 3 (crossing excluded)", b.PEC)
+	}
+}
+
+func TestPACDecreasesWithArea(t *testing.T) {
+	small := clipWithPins([]clip.Pin{pin(0, 0, 200, 0, 0), pin(5, 5, 200, 700, 700)})
+	large := clipWithPins([]clip.Pin{pin(0, 0, 4000, 0, 0), pin(5, 5, 4000, 700, 700)})
+	bs := Compute(small, DefaultTheta)
+	bl := Compute(large, DefaultTheta)
+	if bs.PAC <= bl.PAC {
+		t.Fatalf("smaller pins must cost more: %v vs %v", bs.PAC, bl.PAC)
+	}
+}
+
+func TestPRCDecreasesWithSpacing(t *testing.T) {
+	near := clipWithPins([]clip.Pin{pin(0, 0, 1000, 0, 0), pin(1, 0, 1000, 136, 0)})
+	far := clipWithPins([]clip.Pin{pin(0, 0, 1000, 0, 0), pin(6, 9, 1000, 816, 900)})
+	bn := Compute(near, DefaultTheta)
+	bf := Compute(far, DefaultTheta)
+	if bn.PRC <= bf.PRC {
+		t.Fatalf("closer pins must cost more: %v vs %v", bn.PRC, bf.PRC)
+	}
+}
+
+func TestExactFormulas(t *testing.T) {
+	// One pair: area 1000 each, spacing 1500nm.
+	c := clipWithPins([]clip.Pin{pin(0, 0, 1000, 0, 0), pin(5, 5, 1000, 1500, 0)})
+	b := Compute(c, 500)
+	wantPAC := 2 * math.Exp2(2-1000.0/500)
+	wantPRC := math.Exp2(2 - 1500.0/1500)
+	if math.Abs(b.PAC-wantPAC) > 1e-12 {
+		t.Fatalf("PAC = %v, want %v", b.PAC, wantPAC)
+	}
+	if math.Abs(b.PRC-wantPRC) > 1e-12 {
+		t.Fatalf("PRC = %v, want %v", b.PRC, wantPRC)
+	}
+	if got := b.Total(); math.Abs(got-(2+wantPAC+wantPRC)) > 1e-12 {
+		t.Fatalf("Total = %v", got)
+	}
+}
+
+func TestCostCaches(t *testing.T) {
+	c := clipWithPins([]clip.Pin{pin(0, 0, 1000, 0, 0), pin(5, 5, 1000, 700, 700)})
+	v := Cost(c)
+	if c.PinCost != v || v <= 0 {
+		t.Fatalf("cost not cached: %v vs %v", c.PinCost, v)
+	}
+}
+
+func TestRankTopK(t *testing.T) {
+	mk := func(name string, n int) *clip.Clip {
+		var pins []clip.Pin
+		for i := 0; i < n; i++ {
+			pins = append(pins, pin(i%7, i%10, 500, i*100, i*50))
+		}
+		if len(pins)%2 == 1 {
+			pins = pins[:len(pins)-1]
+		}
+		c := clipWithPins(pins)
+		c.Name = name
+		return c
+	}
+	clips := []*clip.Clip{mk("small", 2), mk("big", 8), mk("mid", 4)}
+	top := RankTopK(clips, 2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].Name != "big" || top[1].Name != "mid" {
+		t.Fatalf("order: %s, %s", top[0].Name, top[1].Name)
+	}
+	all := RankTopK(clips, 10)
+	if len(all) != 3 {
+		t.Fatalf("k beyond len should return all: %d", len(all))
+	}
+	if all[0].PinCost < all[1].PinCost || all[1].PinCost < all[2].PinCost {
+		t.Fatal("not sorted descending")
+	}
+}
+
+func TestThetaDefaulting(t *testing.T) {
+	c := clipWithPins([]clip.Pin{pin(0, 0, 1000, 0, 0), pin(1, 1, 1000, 100, 100)})
+	if Compute(c, 0) != Compute(c, DefaultTheta) {
+		t.Fatal("theta 0 should default")
+	}
+}

@@ -1,0 +1,114 @@
+package place
+
+import (
+	"testing"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/netlist"
+	"optrouter/internal/tech"
+)
+
+func setup(t *testing.T, n int, util float64) (*cells.Library, *netlist.Netlist, *Placement) {
+	t.Helper()
+	lib := cells.Generate(tech.N28T12())
+	nl, err := netlist.Generate(lib, netlist.M0Class(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(lib, nl, Options{TargetUtil: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, nl, p
+}
+
+func TestPlaceLegal(t *testing.T) {
+	lib, nl, p := setup(t, 400, 0.9)
+	// No overlaps, everything in core.
+	type span struct{ x1, x2 int }
+	rows := map[int][]span{}
+	for i := range nl.Instances {
+		c, _ := lib.Cell(nl.Instances[i].Cell)
+		l := p.Locs[i]
+		if l.X < 0 || l.Y < 0 || l.Y >= p.Rows || l.X+c.WidthSites > p.Sites {
+			t.Fatalf("instance %d out of core: %+v", i, l)
+		}
+		for _, s := range rows[l.Y] {
+			if l.X < s.x2 && s.x1 < l.X+c.WidthSites {
+				t.Fatalf("instance %d overlaps in row %d", i, l.Y)
+			}
+		}
+		rows[l.Y] = append(rows[l.Y], span{l.X, l.X + c.WidthSites})
+	}
+}
+
+func TestUtilizationNearTarget(t *testing.T) {
+	for _, target := range []float64{0.7, 0.9, 0.95} {
+		_, _, p := setup(t, 600, target)
+		if p.Utilization < target-0.1 || p.Utilization > 1.0 {
+			t.Errorf("target %.2f achieved %.3f", target, p.Utilization)
+		}
+	}
+}
+
+func TestHigherUtilSmallerDie(t *testing.T) {
+	_, _, p90 := setup(t, 500, 0.90)
+	_, _, p70 := setup(t, 500, 0.70)
+	area90 := p90.Rows * p90.Sites
+	area70 := p70.Rows * p70.Sites
+	if area90 >= area70 {
+		t.Errorf("higher utilization should shrink the core: %d vs %d", area90, area70)
+	}
+}
+
+func TestPinAPsOnDie(t *testing.T) {
+	_, nl, p := setup(t, 300, 0.85)
+	nx, ny := p.DieTracks()
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		aps := p.PinAPs(n.Driver)
+		if len(aps) == 0 {
+			t.Fatalf("net %s: driver has no APs", n.Name)
+		}
+		for _, ap := range aps {
+			if ap.X < 0 || ap.X >= nx || ap.Y < 0 || ap.Y >= ny {
+				t.Fatalf("net %s: AP %v outside die %dx%d", n.Name, ap, nx, ny)
+			}
+		}
+	}
+}
+
+func TestLocalityPreserved(t *testing.T) {
+	// Placement should keep average net HPWL far below the die diameter.
+	_, nl, p := setup(t, 1000, 0.9)
+	nx, ny := p.DieTracks()
+	avg := float64(p.HPWL()) / float64(len(nl.Nets))
+	if avg > float64(nx+ny)/2 {
+		t.Errorf("average HPWL %.1f too close to die size %d+%d", avg, nx, ny)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	lib := cells.Generate(tech.N28T12())
+	nl, _ := netlist.Generate(lib, netlist.M0Class(50, 1))
+	if _, err := Place(lib, nl, Options{TargetUtil: 0}); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := Place(lib, nl, Options{TargetUtil: 1.5}); err == nil {
+		t.Error("impossible utilization accepted")
+	}
+}
+
+func TestCellRect(t *testing.T) {
+	lib, nl, p := setup(t, 100, 0.8)
+	tt := lib.Tech
+	for i := range nl.Instances {
+		r := p.CellRect(i)
+		if r.H() != tt.RowHeightNM {
+			t.Fatalf("cell %d height %d != row height", i, r.H())
+		}
+		if r.W()%tt.SiteWidthNM != 0 {
+			t.Fatalf("cell %d width %d not site-aligned", i, r.W())
+		}
+	}
+}

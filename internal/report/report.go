@@ -1,0 +1,126 @@
+// Package report renders experiment results as aligned ASCII tables and CSV
+// series, matching the tables and figure data of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(v, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	var rule []string
+	for _, w2 := range widths {
+		rule = append(rule, strings.Repeat("-", w2))
+	}
+	line(rule)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV renders headers and rows as CSV (no quoting needed for our data).
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(headers, ",") + "\n")
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, ",") + "\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Series is a named numeric sequence (one curve of a figure).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// WriteSeriesCSV renders several series column-wise with an index column,
+// padding shorter series with empty cells.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	headers := []string{"idx"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	var rows [][]string
+	for i := 0; i < maxLen; i++ {
+		row := []string{fmt.Sprintf("%d", i)}
+		for _, s := range series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.2f", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(w, headers, rows)
+}

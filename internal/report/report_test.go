@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") {
+		t.Errorf("row line: %q", lines[3])
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Error("float formatting missing")
+	}
+	// Columns aligned: the value column starts at the same offset in the
+	// header and in each row.
+	hIdx := strings.Index(lines[1], "value")
+	if strings.Index(lines[3], "1") != hIdx || strings.Index(lines[4], "2.50") != hIdx {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q", buf.String())
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []Series{
+		{Name: "RULE1", Values: []float64{0, 1}},
+		{Name: "RULE2", Values: []float64{5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "idx,RULE1,RULE2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,0.00,5.00" {
+		t.Fatalf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "1,1.00," {
+		t.Fatalf("row 1 = %q (short series must pad)", lines[2])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "h")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}

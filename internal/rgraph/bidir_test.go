@@ -1,0 +1,83 @@
+package rgraph
+
+import (
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/tech"
+)
+
+func TestBidirectionalAddsArcs(t *testing.T) {
+	c := testClip()
+	uni := build(t, c, Options{})
+	bi := build(t, c, Options{Bidirectional: true})
+	if len(bi.Arcs) <= len(uni.Arcs) {
+		t.Fatalf("bidirectional graph should have more arcs: %d vs %d", len(bi.Arcs), len(uni.Arcs))
+	}
+	// Every layer must now have wire arcs along both axes.
+	axes := map[[2]bool]bool{}
+	for i := range bi.Arcs {
+		a := &bi.Arcs[i]
+		if a.Kind != Wire {
+			continue
+		}
+		fx, fy, fz := bi.XYZ(a.From)
+		tx, ty, _ := bi.XYZ(a.To)
+		if fz < c.MinLayer {
+			t.Fatal("arc below MinLayer")
+		}
+		axes[[2]bool{fx != tx, fy != ty}] = true
+	}
+	if !axes[[2]bool{true, false}] || !axes[[2]bool{false, true}] {
+		t.Fatal("bidirectional graph lacks one axis")
+	}
+}
+
+func TestBidirectionalRejectsSADP(t *testing.T) {
+	rule3, _ := tech.RuleByName("RULE3")
+	_, err := Build(testClip(), Options{Rule: rule3, Bidirectional: true})
+	if err == nil {
+		t.Fatal("SADP + bidirectional must be rejected")
+	}
+}
+
+func TestBidirectionalInvariants(t *testing.T) {
+	g := build(t, testClip(), Options{Bidirectional: true})
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalSideArcsStayAxisAligned(t *testing.T) {
+	g := build(t, testClip(), Options{Bidirectional: true})
+	for v := int32(0); v < int32(g.NumGrid); v++ {
+		sa := g.Side[v]
+		_, _, z := g.XYZ(v)
+		for _, aid := range []int32{sa.LoIn, sa.LoOut, sa.HiIn, sa.HiOut} {
+			if aid < 0 {
+				continue
+			}
+			a := g.Arcs[aid]
+			fx, fy, _ := g.XYZ(a.From)
+			tx, ty, _ := g.XYZ(a.To)
+			if LayerDir(z) == tech.Horizontal && fy != ty {
+				t.Fatalf("side arc %d off-axis on horizontal layer", aid)
+			}
+			if LayerDir(z) == tech.Vertical && fx != tx {
+				t.Fatalf("side arc %d off-axis on vertical layer", aid)
+			}
+		}
+	}
+}
+
+func TestBidirectionalSynthClip(t *testing.T) {
+	opt := clip.DefaultSynth(3)
+	c := clip.Synthesize(opt)
+	g, err := Build(c, Options{Bidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package rgraph
+
+import (
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/tech"
+)
+
+// Facing EOL pairs are symmetric: if j is in facing(v, side) then v is in
+// facing(j, 1-side) — both tips see each other. Same-direction pairs need
+// only be generated from one endpoint (the along-axis members are
+// deliberately one-sided), but the across-track members must be mutual.
+func TestEOLNeighborSetSymmetry(t *testing.T) {
+	c := &clip.Clip{
+		Name: "eol", Tech: "t",
+		NX: 6, NY: 7, NZ: 5, MinLayer: 1,
+		Nets: []clip.Net{{Name: "a", Pins: []clip.Pin{
+			{Name: "s", APs: []clip.AccessPoint{{X: 0, Y: 0, Z: 1}}},
+			{Name: "t", APs: []clip.AccessPoint{{X: 5, Y: 6, Z: 1}}},
+		}}},
+	}
+	g, err := Build(c, Options{Rule: tech.RuleConfig{SADPMinLayer: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contains := func(list []int32, v int32) bool {
+		for _, x := range list {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for v := int32(0); v < int32(g.NumGrid); v++ {
+		_, _, z := g.XYZ(v)
+		if z < 1 {
+			continue
+		}
+		for _, hiWire := range []bool{false, true} {
+			facing, sameDir := g.EOLNeighborSets(v, hiWire)
+			for _, j := range facing {
+				jf, _ := g.EOLNeighborSets(j, !hiWire)
+				if !contains(jf, v) {
+					t.Fatalf("facing asymmetry: v=%d hiWire=%v j=%d", v, hiWire, j)
+				}
+			}
+			for _, j := range sameDir {
+				// Only across-track neighbors (same position along the
+				// routing direction) must be mutual.
+				vx, vy, vz := g.XYZ(v)
+				jx, jy, _ := g.XYZ(j)
+				sameAlong := (LayerDir(vz) == tech.Horizontal && vx == jx) ||
+					(LayerDir(vz) == tech.Vertical && vy == jy)
+				if !sameAlong {
+					continue
+				}
+				_, js := g.EOLNeighborSets(j, hiWire)
+				if !contains(js, v) {
+					t.Fatalf("sameDir across-track asymmetry: v=%d hiWire=%v j=%d", v, hiWire, j)
+				}
+			}
+		}
+	}
+}
+
+// EOL neighbor sets never leave the vertex's own layer and never contain
+// the vertex itself.
+func TestEOLNeighborSetsSaneMembers(t *testing.T) {
+	c := clip.Synthesize(clip.DefaultSynth(1))
+	g, err := Build(c, Options{Rule: tech.RuleConfig{SADPMinLayer: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumGrid); v++ {
+		_, _, vz := g.XYZ(v)
+		for _, hiWire := range []bool{false, true} {
+			facing, sameDir := g.EOLNeighborSets(v, hiWire)
+			for _, list := range [][]int32{facing, sameDir} {
+				for _, j := range list {
+					if j == v {
+						t.Fatalf("self-membership at %d", v)
+					}
+					_, _, jz := g.XYZ(j)
+					if jz != vz {
+						t.Fatalf("cross-layer EOL neighbor: %d (M%d) vs %d (M%d)", v, vz+1, j, jz+1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ViaCost override rewrites every via arc cost.
+func TestViaCostOverride(t *testing.T) {
+	c := testClip()
+	g, err := Build(c, Options{ViaCost: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Arcs {
+		if g.Arcs[i].Kind == Via && g.Arcs[i].Cost != 9 {
+			t.Fatalf("via arc cost %d, want 9", g.Arcs[i].Cost)
+		}
+	}
+	g2, err := Build(c, Options{ViaShapes: []tech.ViaShape{tech.SquareVia}, ViaCost: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g2.Arcs {
+		if g2.Arcs[i].Kind == ViaShapeIn && g2.Arcs[i].Cost != 7 {
+			t.Fatalf("via-shape-in cost %d, want 7", g2.Arcs[i].Cost)
+		}
+	}
+}

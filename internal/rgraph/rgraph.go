@@ -1,0 +1,584 @@
+// Package rgraph builds the three-dimensional routing graph G(V, A) of the
+// paper's Section 3 from a clip and a design-rule configuration: grid
+// vertices on metal tracks, directed wire arcs restricted to each layer's
+// preferred direction (unidirectional routing), via arcs between layers,
+// representative vertices for large via shapes (Fig. 2), supersource /
+// supersink virtual vertices for pin shapes, and the bookkeeping needed to
+// emit via-adjacency and SADP constraints (via sites, per-vertex side arcs).
+package rgraph
+
+import (
+	"fmt"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/geom"
+	"optrouter/internal/tech"
+)
+
+// ArcKind classifies arcs.
+type ArcKind uint8
+
+const (
+	// Wire is an in-plane track segment between adjacent grid vertices.
+	Wire ArcKind = iota
+	// Via is a single-cut (1x1) via arc between adjacent layers.
+	Via
+	// ViaShapeIn enters a via-shape representative vertex (carries cost).
+	ViaShapeIn
+	// ViaShapeOut leaves a via-shape representative vertex (zero cost).
+	ViaShapeOut
+	// Virtual connects supersource/supersink vertices to access points.
+	Virtual
+)
+
+func (k ArcKind) String() string {
+	switch k {
+	case Wire:
+		return "wire"
+	case Via:
+		return "via"
+	case ViaShapeIn:
+		return "via-in"
+	case ViaShapeOut:
+		return "via-out"
+	case Virtual:
+		return "virtual"
+	}
+	return "?"
+}
+
+// IsVia reports whether using the arc implies using a via cut.
+func (k ArcKind) IsVia() bool { return k == Via || k == ViaShapeIn || k == ViaShapeOut }
+
+// Arc is a directed arc of the routing graph.
+type Arc struct {
+	From, To int32
+	Cost     int32
+	Kind     ArcKind
+	Site     int32 // via-site index for via arcs, else -1
+}
+
+// ViaSite is one placeable via instance: a cut position (for 1x1 vias) or a
+// shaped via anchored at (X, Y) spanning its footprint (Fig. 2).
+type ViaSite struct {
+	X, Y, ZCut int // between layers ZCut and ZCut+1
+	Shape      tech.ViaShape
+	Rep        int32   // representative vertex id, or -1 for 1x1 vias
+	Arcs       []int32 // arcs whose use implies this site is occupied
+	Footprint  []int32 // grid vertices covered on both layers
+}
+
+// Options configures graph construction.
+type Options struct {
+	// Rule supplies the via-adjacency restriction and SADP layer mix.
+	Rule tech.RuleConfig
+	// ViaShapes lists allowed via shapes; nil means {tech.SingleVia}.
+	ViaShapes []tech.ViaShape
+	// WireCost is the cost of one track-to-track wire step (default 1).
+	// The default via cost of 4 gives the paper's cost = WL + 4 * #vias.
+	WireCost int
+	// Bidirectional adds wire arcs orthogonal to each layer's preferred
+	// direction, modeling classic LELE bidirectional metal (the paper's
+	// "routing direction" option). It is incompatible with SADP rules,
+	// which assume unidirectional patterning.
+	Bidirectional bool
+	// ViaCost overrides the cost of every via shape when positive,
+	// implementing the paper's "alternative routing cost definitions with
+	// different weighting of via count". Zero keeps each shape's own cost.
+	ViaCost int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WireCost == 0 {
+		o.WireCost = 1
+	}
+	if len(o.ViaShapes) == 0 {
+		o.ViaShapes = []tech.ViaShape{tech.SingleVia}
+	}
+	return o
+}
+
+// SideArcs are the in-plane arcs at a vertex toward/from its low-coordinate
+// ("lo", i.e. west or south) and high-coordinate ("hi") neighbors along the
+// layer's preferred direction. Missing arcs are -1.
+type SideArcs struct {
+	LoIn, LoOut int32 // lo-neighbor -> v, v -> lo-neighbor
+	HiIn, HiOut int32
+}
+
+// Graph is the routing graph of one clip under one rule configuration.
+type Graph struct {
+	Clip *clip.Clip
+	Opt  Options
+
+	NX, NY, NZ int
+	NumGrid    int // grid vertex count = NX*NY*NZ
+	NumVerts   int // total vertices (grid + via reps + super terminals)
+
+	Arcs []Arc
+	Pair []int32   // Pair[a] = reverse arc of a
+	Out  [][]int32 // outgoing arc ids per vertex
+	In   [][]int32 // incoming arc ids per vertex
+
+	Blocked []bool // per grid vertex (obstacles)
+
+	Sites   []ViaSite
+	SiteAdj [][]int32 // conflicting site ids per site (via adjacency rule)
+
+	// Per-net terminals. Source[k] is net k's supersource vertex;
+	// SinkVerts[k] lists one supersink per sink pin of net k.
+	Source    []int32
+	SinkVerts [][]int32
+
+	// PinOwner[v] is the net index owning grid vertex v as a pin access
+	// point, or -1. Other nets may not touch such vertices.
+	PinOwner []int32
+
+	// Side[v] caches in-plane side arcs for SADP constraint generation.
+	Side []SideArcs
+
+	// viaArcsAt[v] lists via arc ids incident to grid vertex v (either
+	// direction, any kind of via).
+	viaArcsAt [][]int32
+}
+
+// GridID maps track coordinates to a grid vertex id.
+func (g *Graph) GridID(x, y, z int) int32 { return int32((z*g.NY+y)*g.NX + x) }
+
+// XYZ inverts GridID for grid vertices.
+func (g *Graph) XYZ(v int32) (x, y, z int) {
+	x = int(v) % g.NX
+	y = (int(v) / g.NX) % g.NY
+	z = int(v) / (g.NX * g.NY)
+	return
+}
+
+// IsGrid reports whether vertex v is a grid vertex.
+func (g *Graph) IsGrid(v int32) bool { return int(v) < g.NumGrid }
+
+// LayerDir returns the preferred direction of layer z (even = horizontal,
+// matching the tech stack where M1 is horizontal).
+func LayerDir(z int) tech.Direction {
+	if z%2 == 0 {
+		return tech.Horizontal
+	}
+	return tech.Vertical
+}
+
+// ViaArcsAt returns via arc ids incident to grid vertex v.
+func (g *Graph) ViaArcsAt(v int32) []int32 { return g.viaArcsAt[v] }
+
+// Build constructs the routing graph.
+func Build(c *clip.Clip, opt Options) (*Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Bidirectional && opt.Rule.HasSADP() {
+		return nil, fmt.Errorf("rgraph: SADP rules (%s) require unidirectional routing", opt.Rule.Name)
+	}
+	opt = opt.withDefaults()
+	g := &Graph{
+		Clip:    c,
+		Opt:     opt,
+		NX:      c.NX,
+		NY:      c.NY,
+		NZ:      c.NZ,
+		NumGrid: c.NX * c.NY * c.NZ,
+	}
+	g.Blocked = make([]bool, g.NumGrid)
+	for _, o := range c.Obstacles {
+		g.Blocked[g.GridID(o.X, o.Y, o.Z)] = true
+	}
+	g.PinOwner = make([]int32, g.NumGrid)
+	for i := range g.PinOwner {
+		g.PinOwner[i] = -1
+	}
+	for k := range c.Nets {
+		for _, p := range c.Nets[k].Pins {
+			for _, a := range p.APs {
+				g.PinOwner[g.GridID(a.X, a.Y, a.Z)] = int32(k)
+			}
+		}
+	}
+
+	g.NumVerts = g.NumGrid
+	var addVertex = func() int32 {
+		v := int32(g.NumVerts)
+		g.NumVerts++
+		return v
+	}
+
+	// Arc helper: appends a directed arc pair and wires Pair[].
+	addPair := func(u, v int32, costUV, costVU int32, kindUV, kindVU ArcKind, site int32) (int32, int32) {
+		a := int32(len(g.Arcs))
+		g.Arcs = append(g.Arcs, Arc{From: u, To: v, Cost: costUV, Kind: kindUV, Site: site})
+		b := int32(len(g.Arcs))
+		g.Arcs = append(g.Arcs, Arc{From: v, To: u, Cost: costVU, Kind: kindVU, Site: site})
+		g.Pair = append(g.Pair, b, a)
+		return a, b
+	}
+
+	// In-plane wire arcs: the preferred direction per layer, plus the
+	// orthogonal direction when bidirectional routing is enabled.
+	for z := c.MinLayer; z < c.NZ; z++ {
+		dir := LayerDir(z)
+		for y := 0; y < c.NY; y++ {
+			for x := 0; x < c.NX; x++ {
+				u := g.GridID(x, y, z)
+				if g.Blocked[u] {
+					continue
+				}
+				emitX := dir == tech.Horizontal || opt.Bidirectional
+				emitY := dir == tech.Vertical || opt.Bidirectional
+				if emitX && x+1 < c.NX {
+					v := g.GridID(x+1, y, z)
+					if !g.Blocked[v] {
+						addPair(u, v, int32(opt.WireCost), int32(opt.WireCost), Wire, Wire, -1)
+					}
+				}
+				if emitY && y+1 < c.NY {
+					v := g.GridID(x, y+1, z)
+					if !g.Blocked[v] {
+						addPair(u, v, int32(opt.WireCost), int32(opt.WireCost), Wire, Wire, -1)
+					}
+				}
+			}
+		}
+	}
+
+	// Via sites and arcs.
+	for _, shape := range opt.ViaShapes {
+		for zc := c.MinLayer; zc < c.NZ-1; zc++ {
+			for y := 0; y+shape.RowsY <= c.NY; y++ {
+				for x := 0; x+shape.ColsX <= c.NX; x++ {
+					g.addViaSite(x, y, zc, shape, addVertex, addPair)
+				}
+			}
+		}
+	}
+	// Pin-access vias: pins sitting one layer below MinLayer (M1 pins)
+	// are reachable only through a via at the access point — the paper's
+	// V12 sites, which participate in via-adjacency restrictions and are
+	// the crux of the Fig. 9 pin-access analysis.
+	if c.MinLayer > 0 && c.MinLayer < c.NZ {
+		seen := map[[2]int]bool{}
+		for k := range c.Nets {
+			for _, p := range c.Nets[k].Pins {
+				for _, a := range p.APs {
+					if a.Z != c.MinLayer-1 {
+						continue
+					}
+					key := [2]int{a.X, a.Y}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					g.addViaSite(a.X, a.Y, a.Z, tech.SingleVia, addVertex, addPair)
+				}
+			}
+		}
+	}
+
+	// Super terminals.
+	g.Source = make([]int32, len(c.Nets))
+	g.SinkVerts = make([][]int32, len(c.Nets))
+	for k := range c.Nets {
+		n := &c.Nets[k]
+		s := addVertex()
+		g.Source[k] = s
+		for _, a := range n.Pins[0].APs {
+			addPair(s, g.GridID(a.X, a.Y, a.Z), 0, 0, Virtual, Virtual, -1)
+		}
+		for pi := 1; pi < len(n.Pins); pi++ {
+			t := addVertex()
+			g.SinkVerts[k] = append(g.SinkVerts[k], t)
+			for _, a := range n.Pins[pi].APs {
+				addPair(g.GridID(a.X, a.Y, a.Z), t, 0, 0, Virtual, Virtual, -1)
+			}
+		}
+	}
+
+	g.buildAdjacency()
+	g.buildSiteConflicts()
+	g.buildSideArcs()
+	return g, nil
+}
+
+// addViaSite creates the arcs for one via instance if its footprint is clear.
+func (g *Graph) addViaSite(x, y, zc int, shape tech.ViaShape,
+	addVertex func() int32,
+	addPair func(u, v int32, costUV, costVU int32, kindUV, kindVU ArcKind, site int32) (int32, int32),
+) {
+	var fp []int32
+	for dy := 0; dy < shape.RowsY; dy++ {
+		for dx := 0; dx < shape.ColsX; dx++ {
+			lo := g.GridID(x+dx, y+dy, zc)
+			hi := g.GridID(x+dx, y+dy, zc+1)
+			if g.Blocked[lo] || g.Blocked[hi] {
+				return
+			}
+			fp = append(fp, lo, hi)
+		}
+	}
+	siteID := int32(len(g.Sites))
+	site := ViaSite{X: x, Y: y, ZCut: zc, Shape: shape, Rep: -1, Footprint: fp}
+
+	cost := int32(shape.Cost)
+	if g.Opt.ViaCost > 0 {
+		cost = int32(g.Opt.ViaCost)
+	}
+	if shape.ColsX == 1 && shape.RowsY == 1 {
+		lo, hi := fp[0], fp[1]
+		a, b := addPair(lo, hi, cost, cost, Via, Via, siteID)
+		site.Arcs = []int32{a, b}
+	} else {
+		rep := addVertex()
+		site.Rep = rep
+		for _, v := range fp {
+			in, out := addPair(v, rep, cost, 0, ViaShapeIn, ViaShapeOut, siteID)
+			site.Arcs = append(site.Arcs, in, out)
+		}
+	}
+	g.Sites = append(g.Sites, site)
+}
+
+func (g *Graph) buildAdjacency() {
+	g.Out = make([][]int32, g.NumVerts)
+	g.In = make([][]int32, g.NumVerts)
+	g.viaArcsAt = make([][]int32, g.NumGrid)
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		g.Out[a.From] = append(g.Out[a.From], int32(i))
+		g.In[a.To] = append(g.In[a.To], int32(i))
+		if a.Kind.IsVia() {
+			if g.IsGrid(a.From) {
+				g.viaArcsAt[a.From] = append(g.viaArcsAt[a.From], int32(i))
+			}
+			if g.IsGrid(a.To) {
+				g.viaArcsAt[a.To] = append(g.viaArcsAt[a.To], int32(i))
+			}
+		}
+	}
+}
+
+// buildSiteConflicts fills SiteAdj per the rule's BlockedVias setting:
+// 4 blocks orthogonally adjacent cut positions, 8 also blocks diagonals.
+// Overlapping same-level footprints of distinct sites also conflict (two
+// vias cannot share a landing pad cell).
+func (g *Graph) buildSiteConflicts() {
+	g.SiteAdj = make([][]int32, len(g.Sites))
+	if len(g.Sites) == 0 {
+		return
+	}
+	// Spatial index: cut cells per (zcut) -> map[(x,y)] -> site ids.
+	type cell struct{ x, y int }
+	byLayer := make([]map[cell][]int32, g.NZ)
+	for i := range byLayer {
+		byLayer[i] = map[cell][]int32{}
+	}
+	cellsOf := func(s *ViaSite) []cell {
+		var cs []cell
+		for dy := 0; dy < s.Shape.RowsY; dy++ {
+			for dx := 0; dx < s.Shape.ColsX; dx++ {
+				cs = append(cs, cell{s.X + dx, s.Y + dy})
+			}
+		}
+		return cs
+	}
+	for i := range g.Sites {
+		s := &g.Sites[i]
+		for _, c := range cellsOf(s) {
+			byLayer[s.ZCut][c] = append(byLayer[s.ZCut][c], int32(i))
+		}
+	}
+	blocked := g.Opt.Rule.BlockedVias
+	conflict := map[[2]int32]bool{}
+	addConflict := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if conflict[[2]int32{a, b}] {
+			return
+		}
+		conflict[[2]int32{a, b}] = true
+		g.SiteAdj[a] = append(g.SiteAdj[a], b)
+		g.SiteAdj[b] = append(g.SiteAdj[b], a)
+	}
+	for i := range g.Sites {
+		s := &g.Sites[i]
+		for _, c := range cellsOf(s) {
+			// Overlap conflicts (distinct sites sharing a cut cell).
+			for _, o := range byLayer[s.ZCut][c] {
+				addConflict(int32(i), o)
+			}
+			// Neighborhood conflicts.
+			var neigh []cell
+			if blocked >= 4 {
+				neigh = append(neigh, cell{c.x + 1, c.y}, cell{c.x - 1, c.y}, cell{c.x, c.y + 1}, cell{c.x, c.y - 1})
+			}
+			if blocked >= 8 {
+				neigh = append(neigh, cell{c.x + 1, c.y + 1}, cell{c.x + 1, c.y - 1}, cell{c.x - 1, c.y + 1}, cell{c.x - 1, c.y - 1})
+			}
+			for _, nc := range neigh {
+				for _, o := range byLayer[s.ZCut][nc] {
+					addConflict(int32(i), o)
+				}
+			}
+		}
+	}
+}
+
+// buildSideArcs caches each grid vertex's in-plane lo/hi arcs.
+func (g *Graph) buildSideArcs() {
+	g.Side = make([]SideArcs, g.NumGrid)
+	for i := range g.Side {
+		g.Side[i] = SideArcs{LoIn: -1, LoOut: -1, HiIn: -1, HiOut: -1}
+	}
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		if a.Kind != Wire {
+			continue
+		}
+		fx, fy, fz := g.XYZ(a.From)
+		tx, ty, _ := g.XYZ(a.To)
+		// Classify only preferred-direction arcs: the SADP EOL machinery
+		// (the sole consumer) applies to unidirectional layers only.
+		if LayerDir(fz) == tech.Horizontal && fy != ty {
+			continue
+		}
+		if LayerDir(fz) == tech.Vertical && fx != tx {
+			continue
+		}
+		// Arc goes lo->hi if destination coordinate is larger.
+		if tx > fx || ty > fy {
+			// a.To's lo side, a.From's hi side.
+			g.Side[a.To].LoIn = int32(i)
+			g.Side[a.From].HiOut = int32(i)
+		} else {
+			g.Side[a.To].HiIn = int32(i)
+			g.Side[a.From].LoOut = int32(i)
+		}
+	}
+}
+
+// IsSADPLayer reports whether layer z is SADP-patterned under the graph's
+// rule configuration (z is 0-based; metal index is z+1).
+func (g *Graph) IsSADPLayer(z int) bool {
+	return g.Opt.Rule.Patterning(z+1) == tech.SADP
+}
+
+// EOLNeighborSets returns, for an EOL at grid vertex v opening toward the
+// low-coordinate side ("lo EOL": wire extends to the hi side) or hi side,
+// the vertices where a facing EOL and a same-direction EOL are forbidden
+// (paper Fig. 5; see DESIGN.md for the documented interpretation).
+//
+// The direction argument hiWire=true corresponds to the paper's p_r (wire
+// coming from the right / hi side).
+func (g *Graph) EOLNeighborSets(v int32, hiWire bool) (facing, sameDir []int32) {
+	x, y, z := g.XYZ(v)
+	dir := LayerDir(z)
+	// Work in (along, across) coordinates: along = preferred direction.
+	along, across := x, y
+	if dir == tech.Vertical {
+		along, across = y, x
+	}
+	sign := -1 // hiWire: EOL opens toward lower coordinates
+	if !hiWire {
+		sign = 1
+	}
+	mk := func(da, dc int) int32 {
+		na, nc := along+da, across+dc
+		var nx, ny int
+		if dir == tech.Horizontal {
+			nx, ny = na, nc
+		} else {
+			nx, ny = nc, na
+		}
+		if nx < 0 || nx >= g.NX || ny < 0 || ny >= g.NY {
+			return -1
+		}
+		return g.GridID(nx, ny, z)
+	}
+	add := func(list []int32, da, dc int) []int32 {
+		if id := mk(da, dc); id >= 0 {
+			list = append(list, id)
+		}
+		return list
+	}
+	// Shared sites j1..j3: adjacent tracks at same position, and one step
+	// into the opening.
+	facing = add(facing, 0, +1)
+	facing = add(facing, sign, 0)
+	facing = add(facing, 0, -1)
+	// Facing-only j4, j5: diagonal into the opening.
+	facing = add(facing, sign, +1)
+	facing = add(facing, sign, -1)
+
+	sameDir = add(sameDir, 0, +1)
+	sameDir = add(sameDir, sign, 0)
+	sameDir = add(sameDir, 0, -1)
+	// Same-direction-only j6, j7: diagonal behind the EOL.
+	sameDir = add(sameDir, -sign, +1)
+	sameDir = add(sameDir, -sign, -1)
+	return facing, sameDir
+}
+
+// Stats summarizes graph size for the paper's Section 4 model analysis.
+type Stats struct {
+	Verts, GridVerts, Arcs, ViaSites, SiteConflicts int
+}
+
+// Stats returns size statistics.
+func (g *Graph) Stats() Stats {
+	nc := 0
+	for _, adj := range g.SiteAdj {
+		nc += len(adj)
+	}
+	return Stats{
+		Verts:         g.NumVerts,
+		GridVerts:     g.NumGrid,
+		Arcs:          len(g.Arcs),
+		ViaSites:      len(g.Sites),
+		SiteConflicts: nc / 2,
+	}
+}
+
+// CheckInvariants verifies internal consistency; used by tests.
+func (g *Graph) CheckInvariants() error {
+	if len(g.Pair) != len(g.Arcs) {
+		return fmt.Errorf("pair table size %d != arcs %d", len(g.Pair), len(g.Arcs))
+	}
+	for i := range g.Arcs {
+		j := g.Pair[i]
+		if g.Pair[j] != int32(i) {
+			return fmt.Errorf("arc %d: pair not involutive", i)
+		}
+		if g.Arcs[i].From != g.Arcs[j].To || g.Arcs[i].To != g.Arcs[j].From {
+			return fmt.Errorf("arc %d: pair endpoints mismatch", i)
+		}
+		a := &g.Arcs[i]
+		if a.Kind == Wire {
+			fx, fy, fz := g.XYZ(a.From)
+			tx, ty, tz := g.XYZ(a.To)
+			if fz != tz {
+				return fmt.Errorf("wire arc %d crosses layers", i)
+			}
+			if geom.Abs(fx-tx)+geom.Abs(fy-ty) != 1 {
+				return fmt.Errorf("wire arc %d is not a unit step", i)
+			}
+			if !g.Opt.Bidirectional {
+				d := LayerDir(fz)
+				if d == tech.Horizontal && fy != ty {
+					return fmt.Errorf("wire arc %d violates horizontal direction", i)
+				}
+				if d == tech.Vertical && fx != tx {
+					return fmt.Errorf("wire arc %d violates vertical direction", i)
+				}
+			}
+		}
+	}
+	return nil
+}

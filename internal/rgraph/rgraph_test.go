@@ -1,0 +1,338 @@
+package rgraph
+
+import (
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/tech"
+)
+
+func testClip() *clip.Clip {
+	return &clip.Clip{
+		Name: "t", Tech: "N28-12T",
+		NX: 4, NY: 5, NZ: 3, MinLayer: 1,
+		Nets: []clip.Net{
+			{Name: "a", Pins: []clip.Pin{
+				{Name: "s", APs: []clip.AccessPoint{{X: 0, Y: 0, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 3, Y: 4, Z: 1}}},
+			}},
+			{Name: "b", Pins: []clip.Pin{
+				{Name: "s", APs: []clip.AccessPoint{{X: 1, Y: 1, Z: 1}, {X: 1, Y: 2, Z: 1}}},
+				{Name: "t", APs: []clip.AccessPoint{{X: 3, Y: 0, Z: 1}}},
+				{Name: "u", APs: []clip.AccessPoint{{X: 0, Y: 4, Z: 2}}},
+			}},
+		},
+	}
+}
+
+func build(t *testing.T, c *clip.Clip, opt Options) *Graph {
+	t.Helper()
+	g, err := Build(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	if g.NumGrid != 4*5*3 {
+		t.Fatalf("grid verts = %d", g.NumGrid)
+	}
+	// Super terminals: net a has 1 source + 1 sink, net b 1 source + 2 sinks.
+	wantVerts := g.NumGrid + 2 + 3
+	if g.NumVerts != wantVerts {
+		t.Fatalf("verts = %d, want %d", g.NumVerts, wantVerts)
+	}
+	if len(g.Source) != 2 || len(g.SinkVerts[1]) != 2 {
+		t.Fatalf("terminal bookkeeping wrong: %v %v", g.Source, g.SinkVerts)
+	}
+}
+
+func TestUnidirectionalArcs(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		if a.Kind != Wire {
+			continue
+		}
+		fx, fy, fz := g.XYZ(a.From)
+		tx, ty, _ := g.XYZ(a.To)
+		if LayerDir(fz) == tech.Horizontal && fy != ty {
+			t.Fatalf("horizontal layer %d has vertical wire arc (%d,%d)->(%d,%d)", fz, fx, fy, tx, ty)
+		}
+		if LayerDir(fz) == tech.Vertical && fx != tx {
+			t.Fatalf("vertical layer %d has horizontal wire arc", fz)
+		}
+	}
+}
+
+func TestMinLayerExcluded(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		if a.Kind == Virtual {
+			continue
+		}
+		for _, v := range []int32{a.From, a.To} {
+			if !g.IsGrid(v) {
+				continue
+			}
+			_, _, z := g.XYZ(v)
+			if z < 1 {
+				t.Fatalf("arc %d (%v) touches layer below MinLayer", i, a.Kind)
+			}
+		}
+	}
+}
+
+func TestGridIDRoundTrip(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 4; x++ {
+				id := g.GridID(x, y, z)
+				gx, gy, gz := g.XYZ(id)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("GridID/XYZ mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestViaSitesSingle(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	// 1x1 vias on cuts z=1->2 at every position: 4*5 = 20 sites.
+	if len(g.Sites) != 20 {
+		t.Fatalf("sites = %d, want 20", len(g.Sites))
+	}
+	for _, s := range g.Sites {
+		if s.Rep != -1 || len(s.Arcs) != 2 || len(s.Footprint) != 2 {
+			t.Fatalf("1x1 site malformed: %+v", s)
+		}
+	}
+}
+
+func TestViaCostMatchesPaper(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		switch a.Kind {
+		case Wire:
+			if a.Cost != 1 {
+				t.Fatalf("wire cost %d != 1", a.Cost)
+			}
+		case Via:
+			if a.Cost != 4 {
+				t.Fatalf("via cost %d != 4 (paper: cost = WL + 4*vias)", a.Cost)
+			}
+		case Virtual:
+			if a.Cost != 0 {
+				t.Fatalf("virtual arc has nonzero cost")
+			}
+		}
+	}
+}
+
+func TestSiteConflictsRule6(t *testing.T) {
+	rule6, _ := tech.RuleByName("RULE6") // 4 neighbors blocked
+	g := build(t, testClip(), Options{Rule: rule6})
+	// Interior site at (1,1) must conflict with exactly 4 orthogonal
+	// neighbors.
+	for i, s := range g.Sites {
+		if s.X == 1 && s.Y == 1 {
+			if len(g.SiteAdj[i]) != 4 {
+				t.Fatalf("interior site conflicts = %d, want 4", len(g.SiteAdj[i]))
+			}
+		}
+		if s.X == 0 && s.Y == 0 {
+			if len(g.SiteAdj[i]) != 2 {
+				t.Fatalf("corner site conflicts = %d, want 2", len(g.SiteAdj[i]))
+			}
+		}
+	}
+}
+
+func TestSiteConflictsRule9(t *testing.T) {
+	rule9, _ := tech.RuleByName("RULE9") // 8 neighbors blocked
+	g := build(t, testClip(), Options{Rule: rule9})
+	for i, s := range g.Sites {
+		if s.X == 1 && s.Y == 1 {
+			if len(g.SiteAdj[i]) != 8 {
+				t.Fatalf("interior site conflicts = %d, want 8", len(g.SiteAdj[i]))
+			}
+		}
+	}
+}
+
+func TestNoConflictsRule1(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	for i := range g.Sites {
+		if len(g.SiteAdj[i]) != 0 {
+			t.Fatalf("RULE1 should have no via conflicts, site %d has %d", i, len(g.SiteAdj[i]))
+		}
+	}
+}
+
+func TestObstaclesBlockArcs(t *testing.T) {
+	c := testClip()
+	c.Obstacles = []clip.AccessPoint{{X: 2, Y: 2, Z: 1}}
+	g := build(t, c, Options{})
+	blockedID := g.GridID(2, 2, 1)
+	if len(g.Out[blockedID]) != 0 || len(g.In[blockedID]) != 0 {
+		t.Fatal("obstacle vertex has incident arcs")
+	}
+}
+
+func TestPinOwner(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	if g.PinOwner[g.GridID(0, 0, 1)] != 0 {
+		t.Error("net a source AP not owned")
+	}
+	if g.PinOwner[g.GridID(1, 2, 1)] != 1 {
+		t.Error("net b alternate AP not owned")
+	}
+	if g.PinOwner[g.GridID(2, 2, 1)] != -1 {
+		t.Error("free vertex should be unowned")
+	}
+}
+
+func TestViaShapesCreateRepVertices(t *testing.T) {
+	g := build(t, testClip(), Options{ViaShapes: []tech.ViaShape{tech.SingleVia, tech.SquareVia}})
+	// Square vias: anchors (x,y) with x+2<=4, y+2<=5 -> 3*4=12 on one cut.
+	nSquare := 0
+	for _, s := range g.Sites {
+		if s.Shape.Name == "V2x2" {
+			nSquare++
+			if s.Rep < 0 || !(!g.IsGrid(s.Rep)) == false && g.IsGrid(s.Rep) {
+				t.Fatal("square via must have a non-grid representative vertex")
+			}
+			if len(s.Footprint) != 8 {
+				t.Fatalf("square via footprint = %d cells, want 8 (4 cells x 2 layers)", len(s.Footprint))
+			}
+			if len(s.Arcs) != 16 {
+				t.Fatalf("square via arcs = %d, want 16", len(s.Arcs))
+			}
+		}
+	}
+	if nSquare != 12 {
+		t.Fatalf("square via sites = %d, want 12", nSquare)
+	}
+	// Cost accounting: arcs into the rep carry the cost, arcs out are free.
+	for _, s := range g.Sites {
+		if s.Shape.Name != "V2x2" {
+			continue
+		}
+		for _, aid := range s.Arcs {
+			a := g.Arcs[aid]
+			if a.Kind == ViaShapeIn && a.Cost != int32(tech.SquareVia.Cost) {
+				t.Fatalf("via-in cost = %d", a.Cost)
+			}
+			if a.Kind == ViaShapeOut && a.Cost != 0 {
+				t.Fatalf("via-out cost = %d", a.Cost)
+			}
+		}
+	}
+}
+
+func TestSideArcs(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	// Vertex (1,0,2) on horizontal layer M3 (z=2): lo = (0,0,2), hi = (2,0,2).
+	v := g.GridID(1, 0, 2)
+	sa := g.Side[v]
+	if sa.LoIn < 0 || sa.LoOut < 0 || sa.HiIn < 0 || sa.HiOut < 0 {
+		t.Fatalf("interior vertex missing side arcs: %+v", sa)
+	}
+	if g.Arcs[sa.LoIn].To != v || g.Arcs[sa.LoOut].From != v {
+		t.Fatal("side arc orientation wrong")
+	}
+	lo := g.GridID(0, 0, 2)
+	if g.Arcs[sa.LoIn].From != lo {
+		t.Fatal("LoIn does not come from the west neighbor")
+	}
+	// Boundary vertex (0,0,2) has no lo arcs.
+	sb := g.Side[lo]
+	if sb.LoIn != -1 || sb.LoOut != -1 {
+		t.Fatal("boundary vertex should lack lo-side arcs")
+	}
+}
+
+func TestEOLNeighborSets(t *testing.T) {
+	g := build(t, testClip(), Options{Rule: tech.RuleConfig{SADPMinLayer: 2}})
+	// Horizontal layer z=2 (M3), interior vertex (2,2).
+	v := g.GridID(2, 2, 2)
+	facing, same := g.EOLNeighborSets(v, true) // p_r: wire on hi side, opens toward lo
+	if len(facing) != 5 || len(same) != 5 {
+		t.Fatalf("interior EOL sets: facing=%d same=%d, want 5/5", len(facing), len(same))
+	}
+	wantFacing := map[[2]int]bool{
+		{2, 3}: true, {1, 2}: true, {2, 1}: true, {1, 3}: true, {1, 1}: true,
+	}
+	for _, id := range facing {
+		x, y, z := g.XYZ(id)
+		if z != 2 || !wantFacing[[2]int{x, y}] {
+			t.Fatalf("unexpected facing vertex (%d,%d,%d)", x, y, z)
+		}
+	}
+	wantSame := map[[2]int]bool{
+		{2, 3}: true, {1, 2}: true, {2, 1}: true, {3, 3}: true, {3, 1}: true,
+	}
+	for _, id := range same {
+		x, y, z := g.XYZ(id)
+		if z != 2 || !wantSame[[2]int{x, y}] {
+			t.Fatalf("unexpected same-dir vertex (%d,%d,%d)", x, y, z)
+		}
+	}
+	// Corner clipping: vertex (0,0) has fewer neighbors.
+	f2, s2 := g.EOLNeighborSets(g.GridID(0, 0, 2), true)
+	if len(f2) >= 5 || len(s2) >= 5 {
+		t.Fatalf("corner EOL sets should be clipped: %d %d", len(f2), len(s2))
+	}
+}
+
+func TestIsSADPLayer(t *testing.T) {
+	rule3, _ := tech.RuleByName("RULE3") // SADP >= M3
+	g := build(t, testClip(), Options{Rule: rule3})
+	if g.IsSADPLayer(0) || g.IsSADPLayer(1) {
+		t.Error("M1/M2 must be LELE under RULE3")
+	}
+	if !g.IsSADPLayer(2) {
+		t.Error("M3 must be SADP under RULE3")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	st := g.Stats()
+	if st.GridVerts != 60 || st.Verts != g.NumVerts || st.Arcs != len(g.Arcs) || st.ViaSites != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestVirtualArcsConnectTerminals(t *testing.T) {
+	g := build(t, testClip(), Options{})
+	s := g.Source[1] // net b: 2 APs on its source pin
+	if len(g.Out[s]) != 2 {
+		t.Fatalf("supersource out-arcs = %d, want 2", len(g.Out[s]))
+	}
+	for _, t1 := range g.SinkVerts[1] {
+		if len(g.In[t1]) == 0 {
+			t.Fatal("supersink has no in-arcs")
+		}
+	}
+}
+
+func TestBlockedViaFootprintSkipsSite(t *testing.T) {
+	c := testClip()
+	c.Obstacles = []clip.AccessPoint{{X: 0, Y: 0, Z: 2}}
+	g := build(t, c, Options{})
+	for _, s := range g.Sites {
+		if s.X == 0 && s.Y == 0 {
+			t.Fatal("via site with blocked footprint must not exist")
+		}
+	}
+}

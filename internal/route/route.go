@@ -1,0 +1,454 @@
+// Package route is a full-design track router standing in for the
+// commercial detailed router that produced the paper's routed layouts. It
+// routes every net of a placed design on the 3-D track grid (unidirectional
+// layers, wire cost 1, via cost 4) with PathFinder-style negotiated
+// congestion: per-net sequential Steiner growth by multi-source Dijkstra,
+// then rip-up-and-reroute of conflicted nets under growing history costs
+// until the solution is vertex-disjoint.
+//
+// The output is the substrate for clip extraction (package clip/extract):
+// what matters is realistic local congestion and boundary-crossing patterns,
+// not sign-off DRC cleanliness.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"optrouter/internal/geom"
+	"optrouter/internal/place"
+	"optrouter/internal/tech"
+)
+
+// Step is one routing-graph move: a unit wire step or a via between
+// adjacent layers, in track coordinates.
+type Step struct {
+	FromX, FromY, FromZ int
+	ToX, ToY, ToZ       int
+}
+
+// IsVia reports whether the step changes layers.
+func (s Step) IsVia() bool { return s.FromZ != s.ToZ }
+
+// RoutedNet is one net's realized route.
+type RoutedNet struct {
+	NetIdx int
+	Steps  []Step
+}
+
+// Wirelength counts wire steps.
+func (r *RoutedNet) Wirelength() int {
+	n := 0
+	for _, s := range r.Steps {
+		if !s.IsVia() {
+			n++
+		}
+	}
+	return n
+}
+
+// Vias counts via steps.
+func (r *RoutedNet) Vias() int { return len(r.Steps) - r.Wirelength() }
+
+// Result is a routed design.
+type Result struct {
+	P          *place.Placement
+	NX, NY, NZ int
+	MinLayer   int
+	Nets       []RoutedNet
+	// Conflicts counts vertices still shared by multiple nets after the
+	// iteration budget (0 = fully legal).
+	Conflicts int
+	Iters     int
+}
+
+// Options configures the router.
+type Options struct {
+	// Layers is the metal stack depth (default 8).
+	Layers int
+	// MinLayer is the lowest routing layer, 0-based (default 1 = M2; the
+	// paper does not route on M1).
+	MinLayer int
+	// MaxIters bounds rip-up passes (default 12).
+	MaxIters int
+	// ViaCost is the via cost (default 4, the paper's weighting).
+	ViaCost int
+	// Margin is the search-window margin around a net's bounding box in
+	// tracks (default 14).
+	Margin int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Layers == 0 {
+		o.Layers = 8
+	}
+	if o.MinLayer == 0 {
+		o.MinLayer = 1
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 12
+	}
+	if o.ViaCost == 0 {
+		o.ViaCost = 4
+	}
+	if o.Margin == 0 {
+		o.Margin = 14
+	}
+	return o
+}
+
+type router struct {
+	nx, ny, nz int
+	minLayer   int
+	viaCost    int64
+	margin     int
+
+	owner    []int32 // vertex -> net or -1
+	pinOwner []int32 // vertex -> owning net's pin metal, or -1
+	hist     []int32 // history congestion
+
+	dist []int64
+	ver  []int32
+	prev []int32 // packed predecessor vertex (+1), 0 = none
+	cur  int32
+}
+
+func (r *router) id(x, y, z int) int32 { return int32((z*r.ny+y)*r.nx + x) }
+func (r *router) xyz(v int32) (int, int, int) {
+	x := int(v) % r.nx
+	y := (int(v) / r.nx) % r.ny
+	z := int(v) / (r.nx * r.ny)
+	return x, y, z
+}
+
+type rpq []rpqItem
+
+type rpqItem struct {
+	v int32
+	d int64
+}
+
+func (p rpq) Len() int            { return len(p) }
+func (p rpq) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p rpq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *rpq) Push(x interface{}) { *p = append(*p, x.(rpqItem)) }
+func (p *rpq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// Route routes all nets of the placement.
+func Route(p *place.Placement, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	nx, ny := p.DieTracks()
+	nz := opt.Layers
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("route: empty die")
+	}
+	r := &router{
+		nx: nx, ny: ny, nz: nz,
+		minLayer: opt.MinLayer,
+		viaCost:  int64(opt.ViaCost),
+		margin:   opt.Margin,
+		owner:    make([]int32, nx*ny*nz),
+		pinOwner: make([]int32, nx*ny*nz),
+		hist:     make([]int32, nx*ny*nz),
+		dist:     make([]int64, nx*ny*nz),
+		ver:      make([]int32, nx*ny*nz),
+		prev:     make([]int32, nx*ny*nz),
+	}
+	for i := range r.owner {
+		r.owner[i] = -1
+		r.pinOwner[i] = -1
+	}
+
+	nl := p.NL
+	res := &Result{P: p, NX: nx, NY: ny, NZ: nz, MinLayer: opt.MinLayer}
+	res.Nets = make([]RoutedNet, len(nl.Nets))
+
+	// Terminal vertices per net (on MinLayer).
+	terms := make([][][]int32, len(nl.Nets)) // [net][pin][]vertex
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		var pins [][]int32
+		addPin := func(aps []geom.Point) {
+			var vs []int32
+			for _, ap := range aps {
+				if ap.X >= 0 && ap.X < nx && ap.Y >= 0 && ap.Y < ny {
+					vs = append(vs, r.id(ap.X, ap.Y, opt.MinLayer))
+				}
+			}
+			pins = append(pins, vs)
+		}
+		addPin(p.PinAPs(n.Driver))
+		for _, s := range n.Sinks {
+			addPin(p.PinAPs(s))
+		}
+		terms[i] = pins
+		// Pin metal blocks the fabric for every other net, matching the
+		// switchbox formulation's access-point ownership (and real
+		// routers' pin avoidance).
+		for _, pv := range pins {
+			for _, v := range pv {
+				r.pinOwner[v] = int32(i)
+			}
+		}
+	}
+
+	needRoute := make([]bool, len(nl.Nets))
+	for i := range needRoute {
+		needRoute[i] = true
+	}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		res.Iters = iter + 1
+		present := int64(30 + 25*iter)
+		for i := range nl.Nets {
+			if !needRoute[i] {
+				continue
+			}
+			r.clearNet(int32(i), &res.Nets[i])
+			steps, ok := r.routeNet(int32(i), terms[i], present)
+			if ok {
+				res.Nets[i] = RoutedNet{NetIdx: i, Steps: steps}
+				r.claim(int32(i), steps)
+			} else {
+				res.Nets[i] = RoutedNet{NetIdx: i}
+			}
+		}
+		// Conflict scan.
+		conflictNets := r.findConflicts(res.Nets)
+		if len(conflictNets) == 0 {
+			res.Conflicts = 0
+			return res, nil
+		}
+		for i := range needRoute {
+			needRoute[i] = conflictNets[i]
+		}
+	}
+	// Count remaining conflicted vertices.
+	res.Conflicts = r.countConflictVerts(res.Nets)
+	return res, nil
+}
+
+// clearNet removes a net's prior claims.
+func (r *router) clearNet(net int32, old *RoutedNet) {
+	for _, s := range old.Steps {
+		for _, v := range []int32{r.id(s.FromX, s.FromY, s.FromZ), r.id(s.ToX, s.ToY, s.ToZ)} {
+			if r.owner[v] == net {
+				r.owner[v] = -1
+			}
+		}
+	}
+	old.Steps = nil
+}
+
+// claim marks route vertices as owned (first-come; conflicts are detected in
+// the scan phase).
+func (r *router) claim(net int32, steps []Step) {
+	for _, s := range steps {
+		for _, v := range []int32{r.id(s.FromX, s.FromY, s.FromZ), r.id(s.ToX, s.ToY, s.ToZ)} {
+			if r.owner[v] == -1 {
+				r.owner[v] = net
+			}
+		}
+	}
+}
+
+// routeNet grows a Steiner tree: multi-source Dijkstra from the current tree
+// to each remaining pin, nearest-first.
+func (r *router) routeNet(net int32, pins [][]int32, present int64) ([]Step, bool) {
+	if len(pins) < 2 {
+		return nil, true
+	}
+	// Search window: bbox of all terminals plus margin.
+	x1, y1 := r.nx, r.ny
+	x2, y2 := 0, 0
+	for _, pv := range pins {
+		for _, v := range pv {
+			x, y, _ := r.xyz(v)
+			x1, y1 = geom.Min(x1, x), geom.Min(y1, y)
+			x2, y2 = geom.Max(x2, x), geom.Max(y2, y)
+		}
+	}
+	x1 = geom.Max(0, x1-r.margin)
+	y1 = geom.Max(0, y1-r.margin)
+	x2 = geom.Min(r.nx-1, x2+r.margin)
+	y2 = geom.Min(r.ny-1, y2+r.margin)
+
+	tree := map[int32]bool{}
+	for _, v := range pins[0] {
+		tree[v] = true
+	}
+	// Copy: the nearest-first removal below must not disturb the caller's
+	// pin lists (nets are rerouted across rip-up iterations).
+	remaining := append([][]int32{}, pins[1:]...)
+	var steps []Step
+
+	for len(remaining) > 0 {
+		// Dijkstra from tree to the nearest remaining pin. Seed in sorted
+		// vertex order so tie-breaking (and thus the whole route) is
+		// deterministic.
+		r.cur++
+		seeds := make([]int32, 0, len(tree))
+		for v := range tree {
+			seeds = append(seeds, v)
+		}
+		sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+		var q rpq
+		for _, v := range seeds {
+			r.dist[v] = 0
+			r.ver[v] = r.cur
+			r.prev[v] = 0
+			q = append(q, rpqItem{v, 0})
+		}
+		heap.Init(&q)
+
+		targetOf := map[int32]int{}
+		for pi, pv := range remaining {
+			for _, v := range pv {
+				targetOf[v] = pi
+			}
+		}
+
+		foundPin := -1
+		var foundV int32
+		for q.Len() > 0 {
+			it := heap.Pop(&q).(rpqItem)
+			if r.ver[it.v] == r.cur && it.d > r.dist[it.v] {
+				continue
+			}
+			if pi, ok := targetOf[it.v]; ok {
+				foundPin, foundV = pi, it.v
+				break
+			}
+			x, y, z := r.xyz(it.v)
+			r.expand(net, it.v, x, y, z, it.d, present, x1, y1, x2, y2, &q)
+		}
+		if foundPin < 0 {
+			return nil, false
+		}
+		// Trace back to tree, claiming vertices into the tree.
+		v := foundV
+		for r.prev[v] != 0 {
+			u := r.prev[v] - 1
+			ux, uy, uz := r.xyz(u)
+			vx, vy, vz := r.xyz(v)
+			steps = append(steps, Step{ux, uy, uz, vx, vy, vz})
+			tree[v] = true
+			v = u
+		}
+		tree[v] = true
+		// Also add the whole traced path... (vertices added above). Remove
+		// the satisfied pin.
+		remaining = append(remaining[:foundPin], remaining[foundPin+1:]...)
+	}
+	return steps, true
+}
+
+// expand relaxes neighbors of vertex v.
+func (r *router) expand(net, v int32, x, y, z int, d, present int64, x1, y1, x2, y2 int, q *rpq) {
+	relax := func(nv int32, base int64) {
+		if po := r.pinOwner[nv]; po != -1 && po != net {
+			return // another net's pin metal is a hard block
+		}
+		cost := d + base + int64(r.hist[nv])
+		if o := r.owner[nv]; o != -1 && o != net {
+			cost += present
+		}
+		if r.ver[nv] != r.cur || cost < r.dist[nv] {
+			r.ver[nv] = r.cur
+			r.dist[nv] = cost
+			r.prev[nv] = v + 1
+			heap.Push(q, rpqItem{nv, cost})
+		}
+	}
+	dir := tech.Horizontal
+	if z%2 == 1 {
+		dir = tech.Vertical
+	}
+	if dir == tech.Horizontal {
+		if x > x1 {
+			relax(r.id(x-1, y, z), 1)
+		}
+		if x < x2 {
+			relax(r.id(x+1, y, z), 1)
+		}
+	} else {
+		if y > y1 {
+			relax(r.id(x, y-1, z), 1)
+		}
+		if y < y2 {
+			relax(r.id(x, y+1, z), 1)
+		}
+	}
+	if z > r.minLayer {
+		relax(r.id(x, y, z-1), r.viaCost)
+	}
+	if z < r.nz-1 {
+		relax(r.id(x, y, z+1), r.viaCost)
+	}
+}
+
+// findConflicts returns per-net flags for nets sharing vertices.
+func (r *router) findConflicts(nets []RoutedNet) map[int]bool {
+	users := map[int32]int32{} // vertex -> first net
+	conflicted := map[int]bool{}
+	for i := range nets {
+		seen := map[int32]bool{}
+		for _, s := range nets[i].Steps {
+			for _, v := range []int32{r.id(s.FromX, s.FromY, s.FromZ), r.id(s.ToX, s.ToY, s.ToZ)} {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if first, ok := users[v]; ok && first != int32(i) {
+					conflicted[int(first)] = true
+					conflicted[i] = true
+					r.hist[v] += 6
+				} else {
+					users[v] = int32(i)
+				}
+			}
+		}
+		if len(nets[i].Steps) == 0 && i < len(nets) {
+			// Unrouted net: force retry.
+			conflicted[i] = true
+		}
+	}
+	return conflicted
+}
+
+func (r *router) countConflictVerts(nets []RoutedNet) int {
+	users := map[int32]int32{}
+	n := 0
+	for i := range nets {
+		seen := map[int32]bool{}
+		for _, s := range nets[i].Steps {
+			for _, v := range []int32{r.id(s.FromX, s.FromY, s.FromZ), r.id(s.ToX, s.ToY, s.ToZ)} {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if first, ok := users[v]; ok && first != int32(i) {
+					n++
+				} else {
+					users[v] = int32(i)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// WirelengthVias sums metrics over all nets.
+func (res *Result) WirelengthVias() (wl, vias int) {
+	for i := range res.Nets {
+		wl += res.Nets[i].Wirelength()
+		vias += res.Nets[i].Vias()
+	}
+	return
+}

@@ -1,0 +1,225 @@
+// Package sta is a lightweight static timing analyzer over routed designs,
+// reproducing the paper's Section 4 BEOL-RC methodology: per-unit wire
+// resistance and capacitance are taken from the 28nm stack, and the 7nm
+// values are derived exactly as the paper derives them — R scaled up 15x for
+// resistivity, C unchanged, then both scaled by the 2.5x geometry factor of
+// the scaled-cell flow, giving R_N7 = 6 x R_N28 and C_N7 = C_N28 / 2.5 per
+// unit length.
+//
+// Net delays use the Elmore model over the routed topology; gate delays use
+// a fixed intrinsic delay plus load-dependent term per cell class. The
+// critical path over the (cycle-free view of the) netlist gives the
+// achievable clock period reported in Table 2.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+// RC holds per-unit-length wire parasitics.
+type RC struct {
+	ROhmPerUM float64 // resistance per micron
+	CfFPerUM  float64 // capacitance (fF) per micron
+}
+
+// N28RC is the reference 28nm-class wire parasitics (representative values
+// for an intermediate metal layer).
+var N28RC = RC{ROhmPerUM: 2.0, CfFPerUM: 0.20}
+
+// RCFor returns the wire RC for a technology following the paper's scaling:
+// R_N7 = 6 x R_N28 and C_N7 = C_N28 / 2.5 (per unit length, in the scaled
+// geometry); 28nm technologies use N28RC directly.
+func RCFor(t *tech.Technology) RC {
+	if t.Node == "N7" {
+		return RC{ROhmPerUM: 6 * N28RC.ROhmPerUM, CfFPerUM: N28RC.CfFPerUM / 2.5}
+	}
+	return N28RC
+}
+
+// GateDelay models a cell's intrinsic delay and drive resistance.
+type GateDelay struct {
+	IntrinsicPS float64 // fixed delay, picoseconds
+	DrivePS     float64 // additional ps per fF of load
+	InputCfF    float64 // input pin capacitance, fF
+}
+
+// delayFor returns a gate-delay model by cell archetype (coarse classes).
+func delayFor(cellName string) GateDelay {
+	switch {
+	case len(cellName) >= 3 && cellName[:3] == "DFF":
+		return GateDelay{IntrinsicPS: 60, DrivePS: 10, InputCfF: 1.2}
+	case len(cellName) >= 3 && cellName[:3] == "INV":
+		return GateDelay{IntrinsicPS: 12, DrivePS: 6, InputCfF: 0.8}
+	case len(cellName) >= 3 && cellName[:3] == "BUF":
+		return GateDelay{IntrinsicPS: 18, DrivePS: 5, InputCfF: 0.9}
+	case len(cellName) >= 3 && cellName[:3] == "XOR":
+		return GateDelay{IntrinsicPS: 35, DrivePS: 9, InputCfF: 1.4}
+	case len(cellName) >= 3 && cellName[:3] == "MUX":
+		return GateDelay{IntrinsicPS: 30, DrivePS: 9, InputCfF: 1.3}
+	default: // NAND/NOR/AOI/OAI and friends
+		return GateDelay{IntrinsicPS: 20, DrivePS: 8, InputCfF: 1.0}
+	}
+}
+
+// Result summarizes the timing of a routed design.
+type Result struct {
+	// CriticalPathPS is the longest register-to-register (or input-to-
+	// register) combinational path delay in picoseconds.
+	CriticalPathPS float64
+	// PeriodNS is the achievable clock period in nanoseconds (critical
+	// path plus a fixed setup margin).
+	PeriodNS float64
+	// MaxDepth is the critical path's logic depth.
+	MaxDepth int
+}
+
+const setupMarginPS = 40
+
+// Analyze computes the critical path of a routed design.
+func Analyze(res *route.Result) (Result, error) {
+	p := res.P
+	lib := p.Lib
+	rc := RCFor(lib.Tech)
+	vp := float64(lib.Tech.VPitchNM()) / 1000 // um per x-track step
+	hp := float64(lib.Tech.HPitchNM()) / 1000 // um per y-track step
+
+	nl := p.NL
+	// Net delay: Elmore approximation collapsed to lumped RC (the routed
+	// trees in clips are short): delay = 0.69 * Rw * (Cw/2 + Cload) with
+	// Rw, Cw from total length and Cload from sink input pins.
+	netDelay := make([]float64, len(nl.Nets))
+	netLoad := make([]float64, len(nl.Nets))
+	for i := range nl.Nets {
+		rn := &res.Nets[i]
+		lenUM := 0.0
+		for _, s := range rn.Steps {
+			if s.IsVia() {
+				lenUM += 0.05 // via resistance modeled as extra length
+				continue
+			}
+			if s.FromX != s.ToX {
+				lenUM += vp
+			} else {
+				lenUM += hp
+			}
+		}
+		load := 0.0
+		for _, snk := range nl.Nets[i].Sinks {
+			load += delayFor(nl.Instances[snk.Inst].Cell).InputCfF
+		}
+		rw := rc.ROhmPerUM * lenUM
+		cw := rc.CfFPerUM * lenUM
+		// ps = 0.69 * ohm * fF / 1000
+		netDelay[i] = 0.69 * rw * (cw/2 + load) / 1000
+		netLoad[i] = cw + load
+	}
+
+	// Arrival-time propagation in topological order over the combinational
+	// graph; registers (DFF*) are both endpoints and sources.
+	driverNet := make([]int, len(nl.Instances)) // net driven by instance, -1
+	for i := range driverNet {
+		driverNet[i] = -1
+	}
+	fanin := make([][]int, len(nl.Instances)) // nets feeding each instance
+	for ni := range nl.Nets {
+		n := &nl.Nets[ni]
+		driverNet[n.Driver.Inst] = ni
+		for _, s := range n.Sinks {
+			fanin[s.Inst] = append(fanin[s.Inst], ni)
+		}
+	}
+	isReg := func(i int) bool {
+		c := nl.Instances[i].Cell
+		return len(c) >= 3 && c[:3] == "DFF"
+	}
+
+	// Longest path via memoized DFS over instances; combinational cycles
+	// (possible in synthetic netlists) are cut by the visiting mark.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, len(nl.Instances))
+	arrive := make([]float64, len(nl.Instances)) // output arrival time
+	depth := make([]int, len(nl.Instances))
+
+	var visit func(i int) (float64, int)
+	visit = func(i int) (float64, int) {
+		if state[i] == done {
+			return arrive[i], depth[i]
+		}
+		if state[i] == visiting {
+			return 0, 0 // cycle cut
+		}
+		state[i] = visiting
+		gd := delayFor(nl.Instances[i].Cell)
+		in := 0.0
+		d := 0
+		if !isReg(i) {
+			for _, ni := range fanin[i] {
+				src := nl.Nets[ni].Driver.Inst
+				a, dep := visit(src)
+				a += netDelay[ni]
+				if a > in {
+					in = a
+				}
+				if dep > d {
+					d = dep
+				}
+			}
+		}
+		out := in + gd.IntrinsicPS
+		if dn := driverNet[i]; dn >= 0 {
+			out += gd.DrivePS * netLoad[dn]
+		}
+		state[i] = done
+		arrive[i] = out
+		depth[i] = d + 1
+		return out, depth[i]
+	}
+
+	worst := 0.0
+	maxDepth := 0
+	for i := range nl.Instances {
+		// Path endpoints: register inputs.
+		if !isReg(i) {
+			continue
+		}
+		for _, ni := range fanin[i] {
+			src := nl.Nets[ni].Driver.Inst
+			a, dep := visit(src)
+			a += netDelay[ni]
+			if a > worst {
+				worst = a
+			}
+			if dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+	}
+	if worst == 0 {
+		// Purely combinational design: take the worst output arrival.
+		for i := range nl.Instances {
+			a, dep := visit(i)
+			if a > worst {
+				worst = a
+			}
+			if dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+	}
+	if math.IsNaN(worst) || math.IsInf(worst, 0) {
+		return Result{}, fmt.Errorf("sta: degenerate critical path")
+	}
+	return Result{
+		CriticalPathPS: worst,
+		PeriodNS:       (worst + setupMarginPS) / 1000,
+		MaxDepth:       maxDepth,
+	}, nil
+}

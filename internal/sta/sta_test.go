@@ -1,0 +1,84 @@
+package sta
+
+import (
+	"testing"
+
+	"optrouter/internal/cells"
+	"optrouter/internal/netlist"
+	"optrouter/internal/place"
+	"optrouter/internal/route"
+	"optrouter/internal/tech"
+)
+
+func TestRCScalingMatchesPaper(t *testing.T) {
+	n28 := RCFor(tech.N28T12())
+	if n28 != N28RC {
+		t.Fatal("28nm tech must use reference RC")
+	}
+	if RCFor(tech.N28T8()) != N28RC {
+		t.Fatal("8T library shares the 28nm BEOL")
+	}
+	n7 := RCFor(tech.N7T9())
+	// Paper: R_N7 = 6 x R_N28 and C_N7 = C_N28 / 2.5.
+	if n7.ROhmPerUM != 6*n28.ROhmPerUM {
+		t.Errorf("R_N7 = %v, want 6x%v", n7.ROhmPerUM, n28.ROhmPerUM)
+	}
+	if n7.CfFPerUM != n28.CfFPerUM/2.5 {
+		t.Errorf("C_N7 = %v, want %v/2.5", n7.CfFPerUM, n28.CfFPerUM)
+	}
+}
+
+func analyzed(t *testing.T, tt *tech.Technology, n int, seed int64) Result {
+	t.Helper()
+	lib := cells.Generate(tt)
+	nl, err := netlist.Generate(lib, netlist.M0Class(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(lib, nl, place.Options{TargetUtil: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(pl, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeProducesPlausiblePeriod(t *testing.T) {
+	r := analyzed(t, tech.N28T12(), 200, 1)
+	if r.CriticalPathPS <= 0 {
+		t.Fatalf("critical path %v", r.CriticalPathPS)
+	}
+	if r.PeriodNS <= 0 || r.PeriodNS > 100 {
+		t.Fatalf("period %v ns implausible", r.PeriodNS)
+	}
+	if r.MaxDepth < 1 {
+		t.Fatalf("depth %d", r.MaxDepth)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := analyzed(t, tech.N28T12(), 150, 2)
+	b := analyzed(t, tech.N28T12(), 150, 2)
+	if a != b {
+		t.Fatalf("STA not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGateDelayClasses(t *testing.T) {
+	dff := delayFor("DFFX1")
+	inv := delayFor("INVX1")
+	nand := delayFor("NAND2X1")
+	if dff.IntrinsicPS <= nand.IntrinsicPS {
+		t.Error("register should be slower than a NAND")
+	}
+	if inv.IntrinsicPS >= nand.IntrinsicPS {
+		t.Error("inverter should be faster than a NAND")
+	}
+}
