@@ -10,6 +10,7 @@ package optrouter
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"optrouter/internal/improve"
 	"optrouter/internal/lp"
 	"optrouter/internal/netlist"
+	"optrouter/internal/obs"
 	"optrouter/internal/place"
 	"optrouter/internal/rgraph"
 	"optrouter/internal/route"
@@ -503,6 +505,46 @@ func BenchmarkRoutingGraphBuild(b *testing.B) {
 			b.Fatal("bad grid")
 		}
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of full instrumentation (metrics
+// registry, span tracer, per-node progress callbacks) on a representative
+// exact solve. The Off/On delta is the observability overhead; it must stay
+// under ~2% so -stats/-trace can be left on for production runs.
+func BenchmarkObsOverhead(b *testing.B) {
+	opt := clip.DefaultSynth(9)
+	opt.NX, opt.NY, opt.NZ = 6, 7, 4
+	opt.NumNets = 4
+	c := clip.Synthesize(opt)
+	rule6, _ := tech.RuleByName("RULE6")
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: 30 * time.Second}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("On", func(b *testing.B) {
+		m := obs.NewRegistry()
+		tr := obs.NewTracer(io.Discard)
+		for i := 0; i < b.N; i++ {
+			sol, err := core.SolveBnB(g, core.BnBOptions{
+				TimeLimit:     30 * time.Second,
+				Tracer:        tr,
+				ProgressEvery: 1,
+				Progress:      func(p core.BnBProgress) {},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Counter("nodes").Add(int64(sol.Stats.Nodes))
+			m.Histogram("solve_ms").Observe(float64(sol.Runtime.Microseconds()) / 1000)
+		}
+	})
 }
 
 // BenchmarkHeuristicRouter measures the stand-in commercial router at clip

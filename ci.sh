@@ -1,0 +1,18 @@
+#!/bin/sh
+# ci.sh — the repo's check suite: vet, race-test the concurrency-sensitive
+# packages (obs is updated from solver goroutines; ilp drives it hardest),
+# then the full test suite in short mode.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race (obs, ilp)"
+go test -race ./internal/obs/... ./internal/ilp/...
+
+echo "== go test -short ./..."
+go test -short ./...
+
+echo "ci: OK"

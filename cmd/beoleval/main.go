@@ -7,18 +7,25 @@
 //
 //	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s]
 //	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
+//	         [-stats] [-trace out.jsonl] [-pprof addr]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. -stats emits end-of-run metrics
+// JSON (to <csvdir>/metrics.json when -csv is set, stdout otherwise) and a
+// live per-clip progress line on stderr; -trace records a JSON-lines span
+// trace of every solve; -pprof serves net/http/pprof on the given address.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
 
 	"optrouter/internal/exp"
+	"optrouter/internal/obs"
 	"optrouter/internal/report"
 	"optrouter/internal/tech"
 )
@@ -40,8 +47,19 @@ func main() {
 		runtime  = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
 		validate = flag.Bool("validate", false, "run the Sec. 4.2 validation vs the heuristic router")
 		csvDir   = flag.String("csv", "", "also write figure data as CSV into this directory")
+		stats    = flag.Bool("stats", false, "collect per-solve metrics; emit metrics JSON and a live progress line")
+		traceOut = flag.String("trace", "", "write a JSON-lines span trace of every solve to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "beoleval: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	all := !*rules && !*table2 && !*fig8 && !*fig10 && !*fig9 && !*runtime && !*validate
 	if *rules || all {
@@ -91,6 +109,24 @@ func main() {
 		opt.MaxNets = *maxNets
 	}
 	solve := exp.SolveOptions{PerClipTimeout: *timeout}
+	var metrics *obs.Registry
+	if *stats {
+		metrics = obs.NewRegistry()
+		solve.Metrics = metrics
+		solve.Progress = progressLine(os.Stderr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beoleval: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr := obs.NewTracer(f)
+		defer tr.Flush()
+		solve.Tracer = tr
+	}
+	runStart := time.Now()
 
 	needTB := all || *table2 || *fig8 || *fig10 || *validate
 	for _, t := range techs {
@@ -129,6 +165,67 @@ func main() {
 			}
 		}
 	}
+
+	if metrics != nil {
+		if err := writeMetrics(metrics, *csvDir, time.Since(runStart)); err != nil {
+			fmt.Fprintf(os.Stderr, "beoleval: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// progressLine returns a ClipProgress sink that keeps one live status line
+// ("clip i/N rule elapsed incumbent/bound") updated on w, finishing each
+// solve with a newline-terminated summary.
+func progressLine(w *os.File) func(exp.ClipProgress) {
+	return func(p exp.ClipProgress) {
+		ib := func(v int64) string {
+			if v < 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		switch p.Phase {
+		case "start":
+			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s ...", p.Index, p.Total, p.Rule, p.Clip)
+		case "progress":
+			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s %6.1fs nodes=%d inc=%s bnd=%s",
+				p.Index, p.Total, p.Rule, p.Clip, p.Elapsed.Seconds(),
+				p.Nodes, ib(p.Incumbent), ib(p.Bound))
+		case "done":
+			verdict := "infeasible"
+			if p.Result != nil && p.Result.Feasible {
+				verdict = fmt.Sprintf("cost=%d", p.Result.Cost)
+				if !p.Result.Proven {
+					verdict += " (unproven)"
+				}
+			} else if p.Result != nil && !p.Result.Proven {
+				verdict = "unresolved"
+			}
+			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s %6.1fs nodes=%d %s\n",
+				p.Index, p.Total, p.Rule, p.Clip, p.Elapsed.Seconds(), p.Nodes, verdict)
+		}
+	}
+}
+
+// writeMetrics emits the run-wide metrics JSON: next to the result CSVs when
+// -csv is set, to stdout otherwise.
+func writeMetrics(m *obs.Registry, csvDir string, wall time.Duration) error {
+	doc := report.NewMetrics(m.Snapshot())
+	doc.Set("run_wall_ms", wall.Milliseconds())
+	if csvDir == "" {
+		return report.WriteMetrics(os.Stdout, doc)
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, "metrics.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(os.Stderr, "metrics: %s\n", f.Name())
+	return report.WriteMetrics(f, doc)
 }
 
 func printRuntime() {

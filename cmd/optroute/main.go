@@ -5,18 +5,25 @@
 //
 //	optroute -clip clip.json [-rule RULE1] [-solver bnb|ilp|heur]
 //	         [-timeout 30s] [-render] [-viashapes]
+//	         [-stats] [-trace out.jsonl] [-pprof addr]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
+//
+// -stats prints the solver's per-solve telemetry (nodes, LP solves, DRC
+// checks, termination reason); -trace writes a JSON-lines span trace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
+	"optrouter/internal/obs"
 	"optrouter/internal/rgraph"
 	"optrouter/internal/tech"
 )
@@ -34,8 +41,29 @@ func main() {
 		shapes   = flag.Bool("viashapes", false, "also allow bar and square via shapes")
 		bidir    = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
 		viaCost  = flag.Int("viacost", 0, "override via weight in the routing cost (0 = default 4)")
+		stats    = flag.Bool("stats", false, "print per-solve telemetry after the result")
+		traceOut = flag.String("trace", "", "write a JSON-lines span trace to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "optroute: pprof: %v\n", err)
+			}
+		}()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		defer tracer.Flush()
+	}
 
 	var c *clip.Clip
 	switch {
@@ -81,9 +109,9 @@ func main() {
 	var sol *core.Solution
 	switch *solver {
 	case "bnb":
-		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout})
+		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Tracer: tracer})
 	case "ilp":
-		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout})
+		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, Tracer: tracer})
 	case "heur":
 		sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 	default:
@@ -99,6 +127,10 @@ func main() {
 			verdict = "no solution found within budget"
 		}
 		fmt.Println(verdict)
+		if *stats {
+			printStats(sol)
+		}
+		tracer.Flush() // os.Exit skips the deferred flush
 		os.Exit(2)
 	}
 	proof := "optimal"
@@ -119,9 +151,28 @@ func main() {
 		}
 		fmt.Printf("  net %-8s wl=%-3d vias=%d\n", c.Nets[k].Name, wl, len(vias))
 	}
+	if *stats {
+		printStats(sol)
+	}
 	if *render {
 		fmt.Println()
 		fmt.Print(core.RenderASCII(g, sol))
+	}
+}
+
+func printStats(sol *core.Solution) {
+	st := sol.Stats
+	fmt.Printf("stats: nodes=%d incumbents=%d termination=%s elapsed=%s\n",
+		st.Nodes, st.Incumbents, st.Termination, st.Elapsed.Round(time.Millisecond))
+	if st.LPSolves > 0 {
+		fmt.Printf("       lp_solves=%d lp_iters=%d lp_time=%s\n",
+			st.LPSolves, st.LPIters, st.LPTime.Round(time.Millisecond))
+	}
+	if st.SteinerSolves > 0 || st.DRCChecks > 0 {
+		fmt.Printf("       steiner_solves=%d steiner_cache_hits=%d drc_checks=%d drc_time=%s\n",
+			st.SteinerSolves, st.SteinerCacheHits, st.DRCChecks, st.DRCTime.Round(time.Millisecond))
+		fmt.Printf("       bans=%d lagrangian_rounds=%d dives=%d\n",
+			st.BansGenerated, st.LagrangianRounds, st.Dives)
 	}
 }
 

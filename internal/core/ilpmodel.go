@@ -501,7 +501,18 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	}
 	opt.IntegralObjective = true
 	res := m.Model.Solve(opt)
-	sol := &Solution{Runtime: time.Since(start), Nodes: res.Nodes, LPIters: res.LPIters}
+	sol := &Solution{
+		Runtime: time.Since(start), Nodes: res.Nodes, LPIters: res.LPIters,
+		Stats: SolveStats{
+			Nodes:       res.Stats.Nodes,
+			Incumbents:  res.Stats.Incumbents,
+			LPSolves:    res.Stats.LPSolves,
+			LPIters:     res.Stats.LPIters,
+			LPTime:      res.Stats.LPTime,
+			Elapsed:     time.Since(start),
+			Termination: string(res.Stats.Termination),
+		},
+	}
 	switch res.Status {
 	case ilp.Infeasible:
 		sol.Feasible = false

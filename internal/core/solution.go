@@ -48,6 +48,37 @@ type Solution struct {
 	// Solver statistics (meaning depends on the solver).
 	Nodes   int // branch-and-bound nodes
 	LPIters int // simplex iterations (ILP solver only)
+
+	// Stats carries the full per-solve telemetry (see SolveStats); always
+	// populated by the exact solvers, partially by the heuristic.
+	Stats SolveStats
+}
+
+// SolveStats is the per-solve telemetry shared by both exact solvers.
+// Fields not applicable to a solver are left zero (e.g. LPSolves for the
+// combinatorial BnB, SteinerSolves for the MILP path).
+type SolveStats struct {
+	Nodes      int // search nodes explored
+	Incumbents int // incumbent updates (including the heuristic seed)
+
+	// CDC-BnB specific.
+	BansGenerated    int           // (net, arc) forbiddances pushed to children
+	SteinerSolves    int           // exact Steiner lower-bound computations
+	SteinerCacheHits int           // per-net route cache hits avoided recomputation
+	DRCChecks        int           // design-rule evaluations of candidate routings
+	DRCTime          time.Duration // wall time inside the DRC
+	LagrangianRounds int           // dual-bound strengthening rounds
+	Dives            int           // primal dive-repair attempts
+
+	// MILP path specific.
+	LPSolves int           // LP relaxations solved
+	LPIters  int           // total simplex iterations
+	LPTime   time.Duration // wall time inside the LP subsolver
+
+	Elapsed time.Duration // total wall time of the solve
+	// Termination says why the solve stopped: "optimal", "infeasible",
+	// "time-limit", "node-limit", or an LP failure reason.
+	Termination string
 }
 
 // summarize fills cost/wirelength/via counters from NetArcs.

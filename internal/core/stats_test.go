@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/ilp"
+	"optrouter/internal/obs"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+func statClip(t *testing.T, seed int64) *rgraph.Graph {
+	t.Helper()
+	opt := clip.DefaultSynth(seed)
+	opt.NX, opt.NY, opt.NZ = 5, 6, 3
+	opt.NumNets = 3
+	c := clip.Synthesize(opt)
+	g, err := rgraph.Build(c, rgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBnBStatsPopulated checks the acceptance criterion that SolveBnB
+// returns populated stats: nodes and Steiner lower-bound recomputations are
+// counted, DRC time is accounted, and the termination reason is set.
+func TestBnBStatsPopulated(t *testing.T) {
+	// NoHeuristicSeed guarantees the search itself runs DRC checks (a
+	// heuristic incumbent matching the root bound would end it at node 1).
+	g := statClip(t, 11)
+	sol, err := SolveBnB(g, BnBOptions{TimeLimit: 20 * time.Second, NoHeuristicSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.Stats
+	if st.Nodes <= 0 || st.Nodes != sol.Nodes {
+		t.Errorf("Nodes = %d (Solution.Nodes %d)", st.Nodes, sol.Nodes)
+	}
+	if st.SteinerSolves <= 0 {
+		t.Errorf("SteinerSolves = %d, want > 0", st.SteinerSolves)
+	}
+	if st.DRCChecks <= 0 {
+		t.Errorf("DRCChecks = %d, want > 0", st.DRCChecks)
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", st.Elapsed)
+	}
+	if sol.Proven && st.Termination != "optimal" && st.Termination != "infeasible" {
+		t.Errorf("proven solve has termination %q", st.Termination)
+	}
+	if sol.Feasible && st.Incumbents <= 0 {
+		t.Errorf("feasible solve recorded no incumbents")
+	}
+}
+
+// TestILPStatsPopulated checks the MILP path: nodes and LP solves counted.
+func TestILPStatsPopulated(t *testing.T) {
+	g := mustGraph(t, crossingClip(), rgraph.Options{})
+	sol, err := SolveILP(g, ilp.Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.Stats
+	if st.Nodes <= 0 {
+		t.Errorf("Nodes = %d, want > 0", st.Nodes)
+	}
+	if st.LPSolves <= 0 {
+		t.Errorf("LPSolves = %d, want > 0", st.LPSolves)
+	}
+	if st.LPTime <= 0 {
+		t.Errorf("LPTime = %v, want > 0", st.LPTime)
+	}
+	if st.Termination == "" {
+		t.Errorf("empty termination reason")
+	}
+}
+
+// TestBnBProgressAndTrace wires a progress callback and tracer through a
+// solve and checks both observe the search.
+func TestBnBProgressAndTrace(t *testing.T) {
+	g := statClip(t, 13)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	calls := 0
+	sol, err := SolveBnB(g, BnBOptions{
+		TimeLimit:     20 * time.Second,
+		ProgressEvery: 1,
+		Progress:      func(p BnBProgress) { calls++ },
+		Tracer:        tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Errorf("progress callback never invoked")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root *obs.SpanRecord
+	for i := range recs {
+		if recs[i].Name == "bnb.solve" {
+			root = &recs[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no bnb.solve span in trace (%d records)", len(recs))
+	}
+	if v, ok := root.Attrs["feasible"]; !ok || v.(bool) != sol.Feasible {
+		t.Errorf("span feasible attr = %v, solution %v", root.Attrs["feasible"], sol.Feasible)
+	}
+	if _, ok := root.Attrs["termination"]; !ok {
+		t.Errorf("span missing termination attr")
+	}
+}
+
+// TestBnBTimeLimitTermination forces a timeout on a harder rule instance
+// and checks it is reported as such.
+func TestBnBTimeLimitTermination(t *testing.T) {
+	opt := clip.DefaultSynth(21)
+	opt.NX, opt.NY, opt.NZ = 7, 10, 4
+	opt.NumNets = 5
+	c := clip.Synthesize(opt)
+	rule8, _ := tech.RuleByName("RULE8")
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveBnB(g, BnBOptions{TimeLimit: 1 * time.Nanosecond, NoHeuristicSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Proven {
+		t.Skip("solved within 1ns probe — instance too easy to force a timeout")
+	}
+	if st := sol.Stats.Termination; st != "time-limit" {
+		t.Errorf("Termination = %q, want time-limit", st)
+	}
+}

@@ -16,6 +16,7 @@ type steinerCtx struct {
 	net     int
 	banned  []bool  // per arc
 	penalty []int64 // per arc, added to base cost (nil = none)
+	solves  int     // steinerTree invocations (observability)
 }
 
 func (c *steinerCtx) arcCost(a int32) int64 {
@@ -68,6 +69,7 @@ type parentAction struct {
 // 2-4 pins), so the 3^t term is negligible and per-subset Dijkstra over the
 // clip graph dominates.
 func steinerTree(c *steinerCtx) (arcs []int32, cost int64, ok bool) {
+	c.solves++
 	g := c.g
 	src := g.Source[c.net]
 	sinks := g.SinkVerts[c.net]

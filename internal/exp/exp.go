@@ -27,6 +27,7 @@ import (
 	"optrouter/internal/core"
 	"optrouter/internal/extract"
 	"optrouter/internal/netlist"
+	"optrouter/internal/obs"
 	"optrouter/internal/pincost"
 	"optrouter/internal/place"
 	"optrouter/internal/rgraph"
@@ -178,10 +179,22 @@ func BuildTestbed(t *tech.Technology, opt TestbedOptions) (*Testbed, error) {
 	return tb, nil
 }
 
-// SolveOptions budgets the per-clip exact solves.
+// SolveOptions budgets the per-clip exact solves and carries the optional
+// observability sinks threaded through every study.
 type SolveOptions struct {
 	PerClipTimeout time.Duration // default 10s
 	MaxNodes       int
+
+	// Progress, if non-nil, receives per-clip lifecycle events ("start",
+	// "progress" during the solve, "done") — the source of cmd/beoleval's
+	// live progress line.
+	Progress func(ClipProgress)
+	// Metrics, if non-nil, accumulates run-wide counters and histograms
+	// (nodes, lp_solves, wall_ms, ...) across all solves.
+	Metrics *obs.Registry
+	// Tracer, if non-nil, records one span per clip solve plus the solver's
+	// own spans and events underneath it.
+	Tracer *obs.Tracer
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -189,6 +202,21 @@ func (o SolveOptions) withDefaults() SolveOptions {
 		o.PerClipTimeout = 10 * time.Second
 	}
 	return o
+}
+
+// ClipProgress is one per-clip lifecycle event for live reporting.
+type ClipProgress struct {
+	Phase     string // "start", "progress" (mid-solve), "done"
+	Clip      string
+	Rule      string
+	Index     int // 1-based solve index within the study
+	Total     int // total solves the study will perform (0 if unknown)
+	Elapsed   time.Duration
+	Nodes     int
+	Incumbent int64 // best cost so far (-1 if none)
+	Bound     int64 // proven lower bound (-1 before root)
+	// Result is set on "done" events.
+	Result *ClipRuleResult
 }
 
 // ClipRuleResult is one (clip, rule) cell of the Fig. 10 data.
@@ -202,6 +230,8 @@ type ClipRuleResult struct {
 	Vias     int
 	Runtime  time.Duration
 	Nodes    int
+	// Stats is the solver's full per-solve telemetry.
+	Stats core.SolveStats
 }
 
 // RuleCurve is one Fig. 10 curve: sorted delta-costs for a rule.
@@ -228,10 +258,13 @@ func DeltaCostStudy(t *tech.Technology, clips []*clip.Clip, opt SolveOptions) ([
 	base := map[string]float64{} // clip -> RULE1 cost
 	var curves []RuleCurve
 	var all []ClipRuleResult
+	total := len(rules) * len(clips)
+	idx := 0
 	for _, rule := range rules {
 		curve := RuleCurve{Rule: rule.Name}
 		for _, c := range clips {
-			r, err := SolveClip(c, rule, opt)
+			idx++
+			r, err := solveClipAt(c, rule, opt, idx, total)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -269,24 +302,92 @@ func DeltaCostStudy(t *tech.Technology, clips []*clip.Clip, opt SolveOptions) ([
 
 // SolveClip routes one clip under one rule with the exact CDC-BnB solver.
 func SolveClip(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions) (ClipRuleResult, error) {
+	return solveClipAt(c, rule, opt, 1, 1)
+}
+
+// solveClipAt is SolveClip plus the study position (solve idx of total) for
+// progress reporting and metrics accounting.
+func solveClipAt(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int) (ClipRuleResult, error) {
 	opt = opt.withDefaults()
 	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
 	if err != nil {
 		return ClipRuleResult{}, err
 	}
-	sol, err := core.SolveBnB(g, core.BnBOptions{
+	if opt.Progress != nil {
+		opt.Progress(ClipProgress{
+			Phase: "start", Clip: c.Name, Rule: rule.Name,
+			Index: idx, Total: total, Incumbent: -1, Bound: -1,
+		})
+	}
+	bnbOpt := core.BnBOptions{
 		TimeLimit: opt.PerClipTimeout,
 		MaxNodes:  opt.MaxNodes,
-	})
+		Tracer:    opt.Tracer,
+	}
+	if opt.Progress != nil {
+		bnbOpt.Progress = func(p core.BnBProgress) {
+			opt.Progress(ClipProgress{
+				Phase: "progress", Clip: c.Name, Rule: rule.Name,
+				Index: idx, Total: total, Elapsed: p.Elapsed,
+				Nodes: p.Nodes, Incumbent: p.Incumbent, Bound: p.Bound,
+			})
+		}
+	}
+	sol, err := core.SolveBnB(g, bnbOpt)
 	if err != nil {
 		return ClipRuleResult{}, err
 	}
-	return ClipRuleResult{
+	r := ClipRuleResult{
 		Clip: c.Name, Rule: rule.Name,
 		Feasible: sol.Feasible, Proven: sol.Proven,
 		Cost: sol.Cost, WL: sol.Wirelength, Vias: sol.Vias,
 		Runtime: sol.Runtime, Nodes: sol.Nodes,
-	}, nil
+		Stats: sol.Stats,
+	}
+	recordSolveMetrics(opt.Metrics, r)
+	if opt.Progress != nil {
+		inc := int64(-1)
+		if sol.Feasible {
+			inc = int64(sol.Cost)
+		}
+		opt.Progress(ClipProgress{
+			Phase: "done", Clip: c.Name, Rule: rule.Name,
+			Index: idx, Total: total, Elapsed: sol.Runtime,
+			Nodes: sol.Nodes, Incumbent: inc, Bound: inc, Result: &r,
+		})
+	}
+	return r, nil
+}
+
+// recordSolveMetrics folds one solve's stats into the run-wide registry.
+// The flat key set (nodes, lp_solves, wall_ms, ...) is the metrics schema
+// cmd/beoleval -stats emits; see README "Observability".
+func recordSolveMetrics(m *obs.Registry, r ClipRuleResult) {
+	if m == nil {
+		return
+	}
+	st := r.Stats
+	m.Counter("solves").Inc()
+	m.Counter("nodes").Add(int64(st.Nodes))
+	m.Counter("lp_solves").Add(int64(st.LPSolves))
+	m.Counter("lp_iters").Add(int64(st.LPIters))
+	m.Counter("steiner_solves").Add(int64(st.SteinerSolves))
+	m.Counter("steiner_cache_hits").Add(int64(st.SteinerCacheHits))
+	m.Counter("drc_checks").Add(int64(st.DRCChecks))
+	m.Counter("drc_ms").Add(st.DRCTime.Milliseconds())
+	m.Counter("bans_generated").Add(int64(st.BansGenerated))
+	m.Counter("lagrangian_rounds").Add(int64(st.LagrangianRounds))
+	m.Counter("dives").Add(int64(st.Dives))
+	m.Counter("incumbents").Add(int64(st.Incumbents))
+	m.Counter("wall_ms").Add(r.Runtime.Milliseconds())
+	if !r.Feasible {
+		m.Counter("infeasible").Inc()
+	}
+	if !r.Proven {
+		m.Counter("unproven").Inc()
+	}
+	m.Histogram("solve_ms").Observe(float64(r.Runtime.Microseconds()) / 1000)
+	m.Histogram("nodes_per_solve").Observe(float64(st.Nodes))
 }
 
 // ValidationResult compares OptRouter to the heuristic router on one clip

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"optrouter/internal/lp"
+	"optrouter/internal/obs"
 )
 
 // Status is the outcome of a MILP solve.
@@ -115,6 +116,14 @@ type Options struct {
 	NoPresolve bool
 	// LP tunes the LP subsolver.
 	LP lp.Options
+	// Progress, if non-nil, is invoked every ProgressEvery explored nodes
+	// and on every incumbent update with a live view of the search.
+	Progress func(Progress)
+	// ProgressEvery is the node interval between Progress calls (default 128).
+	ProgressEvery int
+	// Tracer, if non-nil, receives a span for the solve with incumbent and
+	// termination events (see package obs). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -124,7 +133,72 @@ func (o Options) withDefaults() Options {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = 128
+	}
 	return o
+}
+
+// TerminationReason says why Solve stopped — unlike Status it distinguishes
+// a time limit from a node limit from an LP failure, so timeout runs are
+// separable from proven-optimal runs in experiment output.
+type TerminationReason string
+
+const (
+	TermOptimal     TerminationReason = "optimal"       // full tree explored
+	TermInfeasible  TerminationReason = "infeasible"    // proven empty
+	TermTimeLimit   TerminationReason = "time-limit"    // Options.TimeLimit hit
+	TermNodeLimit   TerminationReason = "node-limit"    // Options.MaxNodes hit
+	TermLPIterLimit TerminationReason = "lp-iter-limit" // LP subsolver gave up
+	TermUnbounded   TerminationReason = "lp-unbounded"  // relaxation unbounded
+)
+
+// BoundPoint is one sample of the best-bound / incumbent gap over time.
+type BoundPoint struct {
+	Elapsed   time.Duration // since the start of the solve
+	Nodes     int           // nodes explored at sample time
+	Bound     float64       // proven lower bound (-Inf before root solve)
+	Incumbent float64       // best integer objective (+Inf before first)
+}
+
+// Stats are per-solve branch-and-bound statistics.
+type Stats struct {
+	Nodes         int           // nodes explored
+	LPSolves      int           // LP relaxations solved
+	LPIters       int           // total simplex iterations
+	LPPivots      int           // total simplex basis exchanges
+	LPTime        time.Duration // wall time inside the LP subsolver
+	BranchTime    time.Duration // wall time outside the LP (Elapsed - LPTime)
+	Incumbents    int           // incumbent updates (including warm start)
+	HeuristicHits int           // incumbents found by the rounding heuristic
+	Elapsed       time.Duration // total wall time of the solve
+	Termination   TerminationReason
+	// BoundTrace samples the (bound, incumbent) pair at the root, at every
+	// incumbent update and at termination (capped at 1024 points).
+	BoundTrace []BoundPoint
+}
+
+// Gap returns the relative optimality gap (0 when proven optimal, +Inf
+// when no incumbent or no bound exists).
+func (s Stats) Gap() float64 {
+	if len(s.BoundTrace) == 0 {
+		return math.Inf(1)
+	}
+	last := s.BoundTrace[len(s.BoundTrace)-1]
+	if math.IsInf(last.Incumbent, 1) || math.IsInf(last.Bound, -1) {
+		return math.Inf(1)
+	}
+	denom := math.Max(1, math.Abs(last.Incumbent))
+	return (last.Incumbent - last.Bound) / denom
+}
+
+// Progress is the live view handed to Options.Progress.
+type Progress struct {
+	Nodes     int           // nodes explored so far
+	Open      int           // nodes still on the stack
+	Incumbent float64       // best integer objective (+Inf if none yet)
+	Bound     float64       // proven lower bound (-Inf before root solve)
+	Elapsed   time.Duration // since the start of the solve
 }
 
 // Result is the outcome of Solve.
@@ -135,6 +209,7 @@ type Result struct {
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex iterations
 	BestBound float64   // proven lower bound on the optimum
+	Stats     Stats     // detailed per-solve statistics
 }
 
 // boundChange records one branching decision for undo.
@@ -162,13 +237,62 @@ func (m *Model) Solve(opt Options) Result {
 		lpIters  int
 		bestBnd  = math.Inf(-1)
 		hitLimit bool
+		stats    Stats
+		term     TerminationReason
+		openLen  int
 	)
+	span := opt.Tracer.Start("ilp.solve",
+		obs.A("vars", m.Prob.NumVars()),
+		obs.A("int_vars", m.NumIntegerVars()),
+		obs.A("rows", m.Prob.NumRows()))
+	sample := func() {
+		if len(stats.BoundTrace) >= 1024 {
+			return
+		}
+		stats.BoundTrace = append(stats.BoundTrace, BoundPoint{
+			Elapsed: time.Since(start), Nodes: nodes, Bound: bestBnd, Incumbent: bestObj,
+		})
+	}
+	progress := func() {
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Nodes: nodes, Open: openLen, Incumbent: bestObj,
+				Bound: bestBnd, Elapsed: time.Since(start),
+			})
+		}
+	}
+	finish := func(r Result) Result {
+		stats.Nodes = nodes
+		stats.LPIters = lpIters
+		stats.Elapsed = time.Since(start)
+		stats.BranchTime = stats.Elapsed - stats.LPTime
+		switch {
+		case term != "":
+			stats.Termination = term
+		case r.Status == Optimal:
+			stats.Termination = TermOptimal
+		case r.Status == Infeasible:
+			stats.Termination = TermInfeasible
+		default:
+			stats.Termination = TermNodeLimit
+		}
+		sample()
+		r.Stats = stats
+		span.SetAttr("nodes", nodes)
+		span.SetAttr("lp_solves", stats.LPSolves)
+		span.SetAttr("status", r.Status.String())
+		span.SetAttr("termination", string(stats.Termination))
+		span.End()
+		return r
+	}
 
 	if opt.Incumbent != nil {
 		if ok, obj := m.CheckFeasible(opt.Incumbent, opt.IntTol); ok {
 			bestX = append([]float64(nil), opt.Incumbent...)
 			bestObj = obj
 			haveInc = true
+			stats.Incumbents++
+			span.Event("incumbent", obs.A("obj", obj), obs.A("source", "warm-start"))
 		}
 	}
 
@@ -211,9 +335,10 @@ func (m *Model) Solve(opt Options) Result {
 				// The incumbent passed CheckFeasible against the original
 				// bounds; a presolve infeasibility then indicates numerical
 				// tolerance mismatch — trust the incumbent.
-				return Result{Status: Optimal, Obj: bestObj, X: bestX, BestBound: bestObj}
+				bestBnd = bestObj
+				return finish(Result{Status: Optimal, Obj: bestObj, X: bestX, BestBound: bestObj})
 			}
-			return Result{Status: Infeasible}
+			return finish(Result{Status: Infeasible})
 		}
 		presolvedLo = make([]float64, nv)
 		presolvedHi = make([]float64, nv)
@@ -231,10 +356,17 @@ func (m *Model) Solve(opt Options) Result {
 	rootBoundSet := false
 
 	for len(stack) > 0 {
-		if nodes >= opt.MaxNodes || (opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit) {
+		if nodes >= opt.MaxNodes {
 			hitLimit = true
+			term = TermNodeLimit
 			break
 		}
+		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			hitLimit = true
+			term = TermTimeLimit
+			break
+		}
+		openLen = len(stack)
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
@@ -258,9 +390,16 @@ func (m *Model) Solve(opt Options) Result {
 			continue
 		}
 
+		lpStart := time.Now()
 		res := m.Prob.Solve(opt.LP)
+		stats.LPTime += time.Since(lpStart)
 		nodes++
 		lpIters += res.Iters
+		stats.LPSolves++
+		stats.LPPivots += res.Stats.Pivots
+		if nodes%opt.ProgressEvery == 0 {
+			progress()
+		}
 		switch res.Status {
 		case lp.Infeasible:
 			continue
@@ -269,9 +408,15 @@ func (m *Model) Solve(opt Options) Result {
 			// and branch on first fractional... with no LP point we cannot
 			// branch meaningfully; report as limit.
 			hitLimit = true
+			if term == "" {
+				term = TermUnbounded
+			}
 			continue
 		case lp.IterLimit:
 			hitLimit = true
+			if term == "" {
+				term = TermLPIterLimit
+			}
 			continue
 		}
 
@@ -282,6 +427,7 @@ func (m *Model) Solve(opt Options) Result {
 		if !rootBoundSet {
 			bestBnd = lb
 			rootBoundSet = true
+			sample()
 		}
 		if haveInc && lb > cutoff() {
 			continue
@@ -309,6 +455,10 @@ func (m *Model) Solve(opt Options) Result {
 				bestObj = obj
 				bestX = roundX(m, res.X)
 				haveInc = true
+				stats.Incumbents++
+				sample()
+				span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes))
+				progress()
 			}
 			continue
 		}
@@ -320,6 +470,11 @@ func (m *Model) Solve(opt Options) Result {
 				bestObj = obj
 				bestX = cand
 				haveInc = true
+				stats.Incumbents++
+				stats.HeuristicHits++
+				sample()
+				span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes), obs.A("source", "rounding"))
+				progress()
 			}
 		}
 
@@ -350,6 +505,7 @@ func (m *Model) Solve(opt Options) Result {
 		r.Obj = bestObj
 		r.X = bestX
 		r.BestBound = bestObj
+		bestBnd = bestObj
 	case haveInc:
 		r.Status = Feasible
 		r.Obj = bestObj
@@ -359,7 +515,7 @@ func (m *Model) Solve(opt Options) Result {
 	default:
 		r.Status = Infeasible
 	}
-	return r
+	return finish(r)
 }
 
 // roundX snaps integer variables of x to the nearest integer.

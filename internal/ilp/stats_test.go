@@ -1,0 +1,127 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"optrouter/internal/lp"
+)
+
+// knapsack builds a model whose tree is big enough to exercise counters.
+func knapsack(items int) *Model {
+	m := NewModel()
+	var cs []lp.Coef
+	for j := 0; j < items; j++ {
+		v := m.AddBinary(-float64(3 + (j*7)%13))
+		cs = append(cs, lp.Coef{Var: v, Val: float64(2 + (j*5)%9)})
+	}
+	m.AddConstraint(cs, lp.LE, float64(items*7/4))
+	return m
+}
+
+func TestSolveStatsPopulated(t *testing.T) {
+	m := knapsack(20)
+	res := m.Solve(Options{IntegralObjective: true})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	st := res.Stats
+	if st.Nodes <= 0 || st.Nodes != res.Nodes {
+		t.Errorf("Nodes = %d (Result.Nodes %d)", st.Nodes, res.Nodes)
+	}
+	if st.LPSolves <= 0 {
+		t.Errorf("LPSolves = %d, want > 0", st.LPSolves)
+	}
+	if st.LPIters != res.LPIters {
+		t.Errorf("LPIters %d != Result.LPIters %d", st.LPIters, res.LPIters)
+	}
+	if st.Incumbents <= 0 {
+		t.Errorf("no incumbent updates recorded for an optimal solve")
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", st.Elapsed)
+	}
+	if st.LPTime < 0 || st.LPTime > st.Elapsed {
+		t.Errorf("LPTime %v outside [0, %v]", st.LPTime, st.Elapsed)
+	}
+	if st.Termination != TermOptimal {
+		t.Errorf("Termination = %q, want %q", st.Termination, TermOptimal)
+	}
+	if len(st.BoundTrace) == 0 {
+		t.Fatalf("empty bound trace")
+	}
+	last := st.BoundTrace[len(st.BoundTrace)-1]
+	if last.Incumbent != res.Obj || last.Bound != res.Obj {
+		t.Errorf("final trace point %+v, want bound=incumbent=%g", last, res.Obj)
+	}
+	if g := st.Gap(); g != 0 {
+		t.Errorf("Gap = %g on a proven-optimal solve", g)
+	}
+}
+
+// TestTimeLimitTermination is the satellite fix: a timeout must be
+// distinguishable from proven optimality via the termination reason and
+// carry the elapsed time.
+func TestTimeLimitTermination(t *testing.T) {
+	m := knapsack(64)
+	res := m.Solve(Options{TimeLimit: 1 * time.Nanosecond})
+	if res.Stats.Termination != TermTimeLimit {
+		t.Fatalf("Termination = %q, want %q (status %v)", res.Stats.Termination, TermTimeLimit, res.Status)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Stats.Elapsed)
+	}
+	if res.Status == Optimal {
+		t.Errorf("status optimal despite 1ns budget")
+	}
+}
+
+func TestNodeLimitTermination(t *testing.T) {
+	m := knapsack(64)
+	res := m.Solve(Options{MaxNodes: 3})
+	if res.Stats.Termination != TermNodeLimit {
+		t.Fatalf("Termination = %q, want %q", res.Stats.Termination, TermNodeLimit)
+	}
+	if res.Stats.Nodes > 3 {
+		t.Errorf("explored %d nodes over the limit", res.Stats.Nodes)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	m := knapsack(24)
+	var calls int
+	var lastP Progress
+	res := m.Solve(Options{
+		ProgressEvery: 1,
+		Progress: func(p Progress) {
+			calls++
+			if p.Nodes < lastP.Nodes {
+				t.Errorf("node count went backwards: %d -> %d", lastP.Nodes, p.Nodes)
+			}
+			lastP = p
+		},
+	})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if calls == 0 {
+		t.Fatalf("progress callback never invoked")
+	}
+	if math.IsInf(lastP.Incumbent, 1) {
+		t.Errorf("final progress has no incumbent")
+	}
+}
+
+func TestInfeasibleTermination(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary(1)
+	m.AddConstraint([]lp.Coef{{Var: x, Val: 1}}, lp.GE, 2)
+	res := m.Solve(Options{})
+	if res.Status != Infeasible {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Stats.Termination != TermInfeasible {
+		t.Errorf("Termination = %q, want %q", res.Stats.Termination, TermInfeasible)
+	}
+}

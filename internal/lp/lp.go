@@ -192,6 +192,18 @@ type Result struct {
 	Obj    float64   // objective value (valid when Status == Optimal)
 	X      []float64 // primal values for structural variables
 	Iters  int       // simplex iterations used (both phases)
+	Stats  Stats     // detailed per-solve statistics
+}
+
+// Stats are per-solve simplex statistics, the LP layer's contribution to
+// the solver observability stack (package obs).
+type Stats struct {
+	Iters            int // total simplex iterations (both phases)
+	Phase1Iters      int // iterations spent driving artificials out
+	Pivots           int // basis exchanges performed
+	BoundFlips       int // nonbasic bound-to-bound moves (no basis change)
+	Refactorizations int // basis-inverse rebuilds (numerical recovery)
+	DegeneratePivots int // zero-step iterations (stalling indicator)
 }
 
 // Options tunes the simplex solver.

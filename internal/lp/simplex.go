@@ -36,6 +36,7 @@ type simplex struct {
 	y     []float64 // dual vector workspace
 	w     []float64 // pivot column workspace
 	iters int
+	stats Stats
 	bland bool // Bland's anti-cycling rule active
 	stall int  // consecutive degenerate pivots
 }
@@ -190,6 +191,12 @@ func (s *simplex) nbValue(j int) float64 {
 	}
 }
 
+// result assembles a Result carrying the accumulated statistics.
+func (s *simplex) result(st Status) Result {
+	s.stats.Iters = s.iters
+	return Result{Status: st, Iters: s.iters, Stats: s.stats}
+}
+
 // solve runs phase 1 (drive artificials to zero) then phase 2.
 func (s *simplex) solve() Result {
 	tol := s.opt.Tol
@@ -201,8 +208,9 @@ func (s *simplex) solve() Result {
 			phase1[j] = 1
 		}
 		st := s.iterate(phase1)
+		s.stats.Phase1Iters = s.iters
 		if st == IterLimit {
-			return Result{Status: IterLimit, Iters: s.iters}
+			return s.result(IterLimit)
 		}
 		infeas := 0.0
 		for i, j := range s.basis {
@@ -211,7 +219,7 @@ func (s *simplex) solve() Result {
 			}
 		}
 		if infeas > 1e-7 {
-			return Result{Status: Infeasible, Iters: s.iters}
+			return s.result(Infeasible)
 		}
 		// Freeze artificials at zero for phase 2.
 		for j := s.n + s.m; j < s.ncols; j++ {
@@ -223,7 +231,7 @@ func (s *simplex) solve() Result {
 	copy(phase2, s.cost[:s.ncols])
 	st := s.iterate(phase2)
 	if st != Optimal {
-		return Result{Status: st, Iters: s.iters}
+		return s.result(st)
 	}
 
 	x := make([]float64, s.n)
@@ -242,7 +250,10 @@ func (s *simplex) solve() Result {
 		obj += s.p.cost[j] * x[j]
 	}
 	_ = tol
-	return Result{Status: Optimal, Obj: obj, X: x, Iters: s.iters}
+	r := s.result(Optimal)
+	r.Obj = obj
+	r.X = x
+	return r
 }
 
 // iterate runs primal simplex iterations under the given cost vector until
@@ -377,6 +388,7 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		// Track degeneracy to toggle Bland's rule.
 		if t <= 1e-10 {
+			s.stats.DegeneratePivots++
 			s.stall++
 			if s.stall > 60 {
 				s.bland = true
@@ -395,6 +407,7 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		if leave == -1 {
 			// Bound-to-bound flip of the entering variable.
+			s.stats.BoundFlips++
 			if s.state[enter] == stAtLower {
 				s.state[enter] = stAtUpper
 			} else if s.state[enter] == stAtUpper {
@@ -421,6 +434,7 @@ func (s *simplex) iterate(cost []float64) Status {
 		}
 
 		// Basis exchange.
+		s.stats.Pivots++
 		out := s.basis[leave]
 		if leaveToUpper {
 			s.state[out] = stAtUpper
@@ -485,6 +499,7 @@ func (s *simplex) refresh() {
 // refactorize rebuilds the dense basis inverse by Gauss-Jordan elimination of
 // the current basis matrix. Returns false if the basis is singular.
 func (s *simplex) refactorize() bool {
+	s.stats.Refactorizations++
 	m := s.m
 	// Assemble dense basis matrix.
 	bm := make([]float64, m*m)

@@ -1,0 +1,40 @@
+package lp
+
+import "testing"
+
+// TestSolveStats checks that a nontrivial solve reports consistent simplex
+// statistics: iterations match, pivots happen, phase-1 work is recorded
+// when artificials are needed.
+func TestSolveStats(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(0, Inf, 1)
+	y := p.AddVariable(0, Inf, 2)
+	z := p.AddVariable(0, Inf, 3)
+	p.AddConstraint([]Coef{{x, 1}, {y, 1}}, GE, 4)
+	p.AddConstraint([]Coef{{y, 1}, {z, 1}}, GE, 3)
+	p.AddConstraint([]Coef{{x, 1}, {z, 2}}, EQ, 5)
+
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	st := res.Stats
+	if st.Iters != res.Iters {
+		t.Errorf("Stats.Iters %d != Result.Iters %d", st.Iters, res.Iters)
+	}
+	if st.Iters <= 0 {
+		t.Errorf("no iterations recorded")
+	}
+	if st.Phase1Iters <= 0 {
+		t.Errorf("GE/EQ system needs artificials, want Phase1Iters > 0, got %d", st.Phase1Iters)
+	}
+	if st.Phase1Iters > st.Iters {
+		t.Errorf("Phase1Iters %d > Iters %d", st.Phase1Iters, st.Iters)
+	}
+	if st.Pivots <= 0 {
+		t.Errorf("no pivots recorded")
+	}
+	if st.Pivots+st.BoundFlips > st.Iters {
+		t.Errorf("pivots %d + flips %d exceed iterations %d", st.Pivots, st.BoundFlips, st.Iters)
+	}
+}

@@ -1,0 +1,271 @@
+// Package obs is a zero-dependency observability substrate for the solver
+// stack: lightweight concurrent-safe counters, gauges and histograms
+// gathered in a Registry, plus hierarchical timed spans (trace.go) exported
+// as JSON lines.
+//
+// Solvers accept an optional *Registry / *Tracer and record into them;
+// everything is nil-safe, so instrumentation sites never need guards and
+// cost a few nanoseconds when observability is off. A Registry Snapshot is
+// a plain data structure that serializes to the machine-readable metrics
+// JSON emitted by cmd/beoleval -stats.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (or adjustable) int64 metric.
+// The zero value is ready to use; methods are safe for concurrent use and
+// no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 metric. The zero value is ready; all
+// methods are concurrent-safe and nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations with count/sum/min/max and fixed
+// bucket boundaries. The zero value uses default buckets on first Observe.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; implicit +Inf tail
+	counts  []int64   // len(bounds)+1
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64 // bounded reservoir for percentile estimates
+}
+
+// defaultBounds suit millisecond-scale durations and small count metrics.
+var defaultBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+const maxSamples = 1024
+
+// Observe records one observation; safe for concurrent use, no-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		if h.bounds == nil {
+			h.bounds = defaultBounds
+		}
+		h.counts = make([]int64, len(h.bounds)+1)
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, v)
+	} else {
+		// Deterministic decimating reservoir: overwrite round-robin.
+		h.samples[int(h.count)%maxSamples] = v
+	}
+}
+
+// HistogramStat is the exported state of a Histogram.
+type HistogramStat struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P90     float64   `json:"p90"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Stat returns a consistent snapshot of the histogram.
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistogramStat{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: append([]int64(nil), h.counts...),
+	}
+	if h.count > 0 {
+		st.Mean = h.sum / float64(h.count)
+	}
+	if len(h.samples) > 0 {
+		s := append([]float64(nil), h.samples...)
+		sort.Float64s(s)
+		q := func(p float64) float64 { return s[int(p*float64(len(s)-1))] }
+		st.P50, st.P90, st.P99 = q(0.50), q(0.90), q(0.99)
+	}
+	return st
+}
+
+// Registry is a named collection of metrics. Metric accessors get-or-create
+// under a lock and are safe for concurrent use; a nil Registry yields nil
+// metrics, which are themselves safe no-ops — so call sites never branch.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil on nil r).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil on nil r).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (default bounds when none) if needed (nil on nil r).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		if len(bounds) == 0 {
+			h.bounds = nil // fall back to defaults on first Observe
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramStat `json:"histograms"`
+}
+
+// Snapshot captures all metrics. Safe on nil (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range ctrs {
+		snap.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.Stat()
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

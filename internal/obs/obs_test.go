@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers counters, gauges and histograms from many
+// goroutines; run under -race (ci.sh does) to prove concurrent safety.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("nodes").Inc()
+				r.Counter("lp_solves").Add(2)
+				r.Gauge("bound").Set(float64(w*perWorker + i))
+				r.Histogram("solve_ms").Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["nodes"]; got != workers*perWorker {
+		t.Errorf("nodes = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Counters["lp_solves"]; got != 2*workers*perWorker {
+		t.Errorf("lp_solves = %d, want %d", got, 2*workers*perWorker)
+	}
+	h := snap.Histograms["solve_ms"]
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	if h.Min != 0 || h.Max != 99 {
+		t.Errorf("histogram min/max = %g/%g, want 0/99", h.Min, h.Max)
+	}
+	if h.Mean <= 0 {
+		t.Errorf("histogram mean = %g, want > 0", h.Mean)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	st := h.Stat()
+	if st.Count != 100 || st.Sum != 5050 || st.Min != 1 || st.Max != 100 {
+		t.Fatalf("bad stat: %+v", st)
+	}
+	if st.P50 < 40 || st.P50 > 60 {
+		t.Errorf("p50 = %g, want ~50", st.P50)
+	}
+	if st.P99 < 90 {
+		t.Errorf("p99 = %g, want >= 90", st.P99)
+	}
+	// Bucket totals must account for every observation.
+	var n int64
+	for _, c := range st.Buckets {
+		n += c
+	}
+	if n != st.Count {
+		t.Errorf("bucket total %d != count %d", n, st.Count)
+	}
+}
+
+// TestNilSafety ensures a disabled observability layer (nil registry,
+// tracer, spans) never panics: call sites are guard-free by contract.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot not empty")
+	}
+
+	var tr *Tracer
+	sp := tr.Start("root")
+	sp.SetAttr("k", 1)
+	sp.Event("e")
+	child := sp.Child("c")
+	child.End()
+	sp.End()
+	tr.Event(nil, "e2")
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil tracer flush: %v", err)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nodes").Add(7)
+	r.Gauge("gap").Set(0.25)
+	r.Histogram("ms", 10, 100).Observe(42)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["nodes"] != 7 || back.Gauges["gap"] != 0.25 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	if back.Histograms["ms"].Count != 1 {
+		t.Errorf("histogram lost: %+v", back.Histograms)
+	}
+}

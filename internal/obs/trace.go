@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key string
+	Val interface{}
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, val interface{}) Attr { return Attr{Key: key, Val: val} }
+
+// SpanRecord is one line of a JSON-lines trace: a completed span or a
+// zero-duration event.
+type SpanRecord struct {
+	ID      int64                  `json:"id"`
+	Parent  int64                  `json:"parent,omitempty"` // 0 = root
+	Name    string                 `json:"name"`
+	StartUS int64                  `json:"start_us"` // offset from trace epoch
+	DurUS   int64                  `json:"dur_us"`
+	Event   bool                   `json:"event,omitempty"`
+	Attrs   map[string]interface{} `json:"attrs,omitempty"`
+}
+
+// Tracer emits hierarchical timed spans as JSON lines. Create one with
+// NewTracer; a nil *Tracer (and the nil *Span values it then returns) is a
+// valid no-op, so instrumented code never guards trace calls.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	err   error
+	epoch time.Time
+	seq   atomic.Int64
+}
+
+// NewTracer returns a Tracer writing JSON lines to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), epoch: time.Now()}
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	return t.start(0, name, attrs)
+}
+
+func (t *Tracer) start(parent int64, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		id:     t.seq.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+}
+
+// Event emits a zero-duration record, optionally parented (parent may be
+// nil for a root event).
+func (t *Tracer) Event(parent *Span, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	var pid int64
+	if parent != nil {
+		pid = parent.id
+	}
+	t.emit(SpanRecord{
+		ID:      t.seq.Add(1),
+		Parent:  pid,
+		Name:    name,
+		StartUS: time.Since(t.epoch).Microseconds(),
+		Event:   true,
+		Attrs:   attrMap(attrs),
+	})
+}
+
+func (t *Tracer) emit(rec SpanRecord) {
+	b, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains buffered records to the underlying writer and returns the
+// first error encountered by the tracer, if any. Safe on nil.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Span is one timed region. End writes its record; Child opens a nested
+// span. All methods are safe on nil receivers.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	attrs  []Attr
+	ended  bool
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(s.id, name, attrs)
+}
+
+// SetAttr attaches (or overwrites) an annotation on the span.
+func (s *Span) SetAttr(key string, val interface{}) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// Event emits a zero-duration record parented to s.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tracer.Event(s, name, attrs...)
+}
+
+// End closes the span, writing its JSON-lines record. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := attrMap(s.attrs)
+	s.mu.Unlock()
+	s.tracer.emit(SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.tracer.epoch).Microseconds(),
+		DurUS:   time.Since(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}
+
+func attrMap(attrs []Attr) map[string]interface{} {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]interface{}, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// ReadTrace parses a JSON-lines trace produced by a Tracer.
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanNesting verifies parent/child ids across three levels plus events.
+func TestSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	root := tr.Start("solve", A("nets", 4))
+	lp := root.Child("lp")
+	inner := lp.Child("pivot")
+	inner.End()
+	lp.SetAttr("iters", 12)
+	lp.End()
+	root.Event("incumbent", A("cost", 42))
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(recs), recs)
+	}
+	if byName["solve"].Parent != 0 {
+		t.Errorf("root has parent %d", byName["solve"].Parent)
+	}
+	if byName["lp"].Parent != byName["solve"].ID {
+		t.Errorf("lp parent = %d, want %d", byName["lp"].Parent, byName["solve"].ID)
+	}
+	if byName["pivot"].Parent != byName["lp"].ID {
+		t.Errorf("pivot parent = %d, want %d", byName["pivot"].Parent, byName["lp"].ID)
+	}
+	if !byName["incumbent"].Event {
+		t.Errorf("incumbent not marked as event")
+	}
+	if byName["incumbent"].Parent != byName["solve"].ID {
+		t.Errorf("event parent = %d, want %d", byName["incumbent"].Parent, byName["solve"].ID)
+	}
+	if v, ok := byName["lp"].Attrs["iters"]; !ok || v.(float64) != 12 {
+		t.Errorf("lp attrs = %v", byName["lp"].Attrs)
+	}
+	// Spans emit at End, so inner spans appear before their parents; the
+	// reader still links them by id.
+	if recs[0].Name != "pivot" {
+		t.Errorf("first record = %q, want pivot (spans emit on End)", recs[0].Name)
+	}
+}
+
+// TestTraceRoundTrip writes spans concurrently and checks every line parses
+// and ids are unique — the JSON-lines invariants downstream tools rely on.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("run")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := root.Child("clip", A("worker", w), A("i", i))
+				sp.Event("tick")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 8*50*2
+	if len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	seen := map[int64]bool{}
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if r.DurUS < 0 || r.StartUS < 0 {
+			t.Fatalf("negative timing: %+v", r)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.Start("s")
+	sp.End()
+	sp.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("double End wrote %d records", len(recs))
+	}
+}

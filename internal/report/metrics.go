@@ -1,0 +1,72 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"optrouter/internal/obs"
+)
+
+// Metrics is the machine-readable end-of-run metrics document emitted next
+// to the result CSVs by cmd/beoleval -stats. Counters and gauges are
+// flattened to the top level (so consumers address `nodes`, `lp_solves`,
+// `wall_ms` directly); histograms keep their structured form.
+type Metrics struct {
+	flat  map[string]interface{}
+	hists map[string]obs.HistogramStat
+}
+
+// NewMetrics flattens a snapshot into a Metrics document.
+func NewMetrics(snap obs.Snapshot) Metrics {
+	m := Metrics{flat: map[string]interface{}{}, hists: snap.Histograms}
+	for k, v := range snap.Counters {
+		m.flat[k] = v
+	}
+	for k, v := range snap.Gauges {
+		m.flat[k] = v
+	}
+	return m
+}
+
+// Set adds (or overwrites) one top-level key, e.g. run labels.
+func (m Metrics) Set(key string, val interface{}) { m.flat[key] = val }
+
+// MarshalJSON renders the flattened document with histograms inlined under
+// their metric name.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	out := make(map[string]interface{}, len(m.flat)+len(m.hists))
+	for k, v := range m.flat {
+		out[k] = v
+	}
+	for k, v := range m.hists {
+		out[k] = v
+	}
+	return json.Marshal(out)
+}
+
+// Keys returns the sorted top-level key set (handy for schema tests).
+func (m Metrics) Keys() []string {
+	keys := make([]string, 0, len(m.flat)+len(m.hists))
+	for k := range m.flat {
+		keys = append(keys, k)
+	}
+	for k := range m.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetricsJSON writes a registry snapshot as the flattened, indented
+// metrics JSON document.
+func WriteMetricsJSON(w io.Writer, snap obs.Snapshot) error {
+	return WriteMetrics(w, NewMetrics(snap))
+}
+
+// WriteMetrics writes a prepared Metrics document as indented JSON.
+func WriteMetrics(w io.Writer, m Metrics) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"optrouter/internal/obs"
+)
+
+func TestWriteMetricsJSONFlattens(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("nodes").Add(42)
+	reg.Counter("lp_solves").Add(7)
+	reg.Counter("wall_ms").Add(1234)
+	reg.Gauge("gap").Set(0.25)
+	h := reg.Histogram("solve_ms")
+	h.Observe(3)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	for k, want := range map[string]float64{"nodes": 42, "lp_solves": 7, "wall_ms": 1234} {
+		v, ok := doc[k].(float64)
+		if !ok || v != want {
+			t.Errorf("doc[%q] = %v, want %v", k, doc[k], want)
+		}
+	}
+	if v, ok := doc["gap"].(float64); !ok || v != 0.25 {
+		t.Errorf("doc[gap] = %v, want 0.25", doc["gap"])
+	}
+	hist, ok := doc["solve_ms"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("doc[solve_ms] = %T, want histogram object", doc["solve_ms"])
+	}
+	if c, _ := hist["count"].(float64); c != 2 {
+		t.Errorf("solve_ms count = %v, want 2", hist["count"])
+	}
+}
+
+func TestMetricsSetAndKeys(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("solves").Inc()
+	m := NewMetrics(reg.Snapshot())
+	m.Set("tech", "N28-12T")
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["tech"] != "N28-12T" {
+		t.Errorf("doc[tech] = %v", doc["tech"])
+	}
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != "solves" || keys[1] != "tech" {
+		t.Errorf("Keys() = %v", keys)
+	}
+}

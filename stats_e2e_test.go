@@ -1,0 +1,87 @@
+package optrouter
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"optrouter/internal/obs"
+)
+
+// TestStatsEndToEnd is the observability golden test: beoleval -stats on a
+// tiny multi-clip run must emit a metrics JSON document with the documented
+// schema keys populated, and -trace must produce a parseable JSON-lines span
+// trace containing the solver spans.
+func TestStatsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/beoleval")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	outDir := t.TempDir()
+	tracePath := filepath.Join(outDir, "trace.jsonl")
+	cmd := exec.Command(filepath.Join(bin, "beoleval"),
+		"-tech", "N28-12T", "-fig10", "-stats",
+		"-trace", tracePath, "-csv", outDir,
+		"-insts", "120", "-topk", "1", "-maxnets", "3", "-timeout", "3s")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("beoleval: %v\n%s", err, out)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(outDir, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics.json not written: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics.json does not parse: %v\n%s", err, raw)
+	}
+	for _, key := range []string{
+		"nodes", "lp_solves", "wall_ms", "solves",
+		"steiner_solves", "drc_checks", "incumbents", "run_wall_ms",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("metrics.json missing key %q", key)
+		}
+	}
+	if v, _ := doc["nodes"].(float64); v <= 0 {
+		t.Errorf("nodes = %v, want > 0", doc["nodes"])
+	}
+	if v, _ := doc["solves"].(float64); v <= 0 {
+		t.Errorf("solves = %v, want > 0", doc["solves"])
+	}
+	if hist, ok := doc["solve_ms"].(map[string]interface{}); !ok {
+		t.Errorf("solve_ms histogram missing or malformed: %v", doc["solve_ms"])
+	} else if c, _ := hist["count"].(float64); c != doc["solves"].(float64) {
+		t.Errorf("solve_ms count = %v, want %v", hist["count"], doc["solves"])
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	defer tf.Close()
+	recs, err := obs.ReadTrace(tf)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	solves := 0
+	for _, r := range recs {
+		if r.Name == "bnb.solve" {
+			solves++
+			if _, ok := r.Attrs["termination"]; !ok {
+				t.Errorf("bnb.solve span missing termination attr: %+v", r)
+			}
+		}
+	}
+	if solves == 0 {
+		t.Fatalf("no bnb.solve spans among %d trace records", len(recs))
+	}
+}
