@@ -1,18 +1,38 @@
 #!/bin/sh
-# ci.sh — the repo's check suite: vet, race-test the concurrency-sensitive
-# packages (obs is updated from solver goroutines; ilp drives it hardest),
-# then the full test suite in short mode.
+# ci.sh — the repo's check suite: vet (plus the shadow analyzer when it is
+# installed), race-test the concurrency-sensitive packages (sched runs the
+# worker pool; exp/core/ilp/lp execute inside it; obs is updated from solver
+# goroutines), the full test suite in short mode, and a parallel end-to-end
+# smoke run of both CLIs at -j 4.
 set -eu
 
 cd "$(dirname "$0")"
 
 echo "== go vet"
 go vet ./...
+if shadow_bin=$(command -v shadow 2>/dev/null); then
+	echo "== go vet -vettool=shadow"
+	go vet -vettool="$shadow_bin" ./...
+else
+	echo "== shadow check skipped (analyzer not installed)"
+fi
 
-echo "== go test -race (obs, ilp)"
-go test -race ./internal/obs/... ./internal/ilp/...
+echo "== go test -race (sched, exp, core, ilp, lp, obs)"
+go test -race -short -timeout 20m \
+	./internal/sched/... \
+	./internal/exp/... \
+	./internal/core/... \
+	./internal/ilp/... \
+	./internal/lp/... \
+	./internal/obs/...
 
 echo "== go test -short ./..."
 go test -short ./...
+
+echo "== smoke: optroute -rule all -j 4"
+go run ./cmd/optroute -synth 5x6x3 -nets 3 -seed 7 -rule all -j 4 -timeout 20s >/dev/null
+
+echo "== smoke: beoleval -fig10 -j 4"
+go run ./cmd/beoleval -tech N28-12T -fig10 -j 4 -timeout 5s >/dev/null
 
 echo "ci: OK"

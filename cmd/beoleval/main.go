@@ -5,23 +5,30 @@
 //
 // Usage:
 //
-//	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s]
+//	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s] [-j N]
 //	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
 //	         [-stats] [-trace out.jsonl] [-pprof addr]
 //
-// With no selection flags, everything runs. -stats emits end-of-run metrics
-// JSON (to <csvdir>/metrics.json when -csv is set, stdout otherwise) and a
-// live per-clip progress line on stderr; -trace records a JSON-lines span
-// trace of every solve; -pprof serves net/http/pprof on the given address.
+// With no selection flags, everything runs. -j dispatches the independent
+// (clip, rule) solves to N parallel workers (default: all CPUs); outputs are
+// assembled in study order, so CSVs and tables are byte-identical for any N.
+// -stats emits end-of-run metrics JSON (to <csvdir>/metrics.json when -csv
+// is set, stdout otherwise) and a live merged progress line on stderr
+// (done/in-flight/total across all workers); -trace records a JSON-lines
+// span trace of every solve; -pprof serves net/http/pprof on the given
+// address. Interrupt (Ctrl-C) cancels in-flight solves and drains cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"optrouter/internal/exp"
@@ -39,6 +46,7 @@ func main() {
 		topK     = flag.Int("topk", 0, "override top-K clip selection (0 = preset)")
 		maxNets  = flag.Int("maxnets", 0, "override per-clip net cap (0 = preset)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-clip solve budget")
+		jobs     = flag.Int("j", runtime.NumCPU(), "parallel solve workers (1 = serial; output is identical for any value)")
 		rules    = flag.Bool("rules", false, "print Table 3 rule configurations")
 		table2   = flag.Bool("table2", false, "print Table 2 benchmark matrix")
 		fig8     = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
@@ -108,7 +116,12 @@ func main() {
 	if *maxNets > 0 {
 		opt.MaxNets = *maxNets
 	}
-	solve := exp.SolveOptions{PerClipTimeout: *timeout}
+	// Ctrl-C cancels the sweep: in-flight solves stop at their next node,
+	// queued jobs drain, and the run exits with the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs}
 	var metrics *obs.Registry
 	if *stats {
 		metrics = obs.NewRegistry()
@@ -147,7 +160,7 @@ func main() {
 			printFig8(tb, *csvDir)
 		}
 		if *fig10 || all {
-			if err := printFig10(tb, solve, *csvDir); err != nil {
+			if err := printFig10(ctx, tb, solve, *csvDir); err != nil {
 				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
 				os.Exit(1)
 			}
@@ -174,9 +187,12 @@ func main() {
 	}
 }
 
-// progressLine returns a ClipProgress sink that keeps one live status line
-// ("clip i/N rule elapsed incumbent/bound") updated on w, finishing each
-// solve with a newline-terminated summary.
+// progressLine returns a ClipProgress sink that keeps one live merged
+// status line on w. With parallel workers many solves are in flight at
+// once, so the line leads with the study-wide "done/total in-flight=k"
+// aggregate, then shows the reporting solve's study position and state.
+// Each finished solve is flushed as a newline-terminated summary. The study
+// serializes the callback, so concurrent workers cannot garble the line.
 func progressLine(w *os.File) func(exp.ClipProgress) {
 	return func(p exp.ClipProgress) {
 		ib := func(v int64) string {
@@ -185,12 +201,16 @@ func progressLine(w *os.File) func(exp.ClipProgress) {
 			}
 			return fmt.Sprintf("%d", v)
 		}
+		agg := fmt.Sprintf("%d/%d", p.Done, p.Total)
+		if p.InFlight > 1 {
+			agg += fmt.Sprintf(" ~%d", p.InFlight)
+		}
 		switch p.Phase {
 		case "start":
-			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s ...", p.Index, p.Total, p.Rule, p.Clip)
+			fmt.Fprintf(w, "\r\x1b[K[%s] #%d %s %s ...", agg, p.Index, p.Rule, p.Clip)
 		case "progress":
-			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s %6.1fs nodes=%d inc=%s bnd=%s",
-				p.Index, p.Total, p.Rule, p.Clip, p.Elapsed.Seconds(),
+			fmt.Fprintf(w, "\r\x1b[K[%s] #%d %s %s %6.1fs nodes=%d inc=%s bnd=%s",
+				agg, p.Index, p.Rule, p.Clip, p.Elapsed.Seconds(),
 				p.Nodes, ib(p.Incumbent), ib(p.Bound))
 		case "done":
 			verdict := "infeasible"
@@ -202,8 +222,8 @@ func progressLine(w *os.File) func(exp.ClipProgress) {
 			} else if p.Result != nil && !p.Result.Proven {
 				verdict = "unresolved"
 			}
-			fmt.Fprintf(w, "\r\x1b[K[%d/%d] %s %s %6.1fs nodes=%d %s\n",
-				p.Index, p.Total, p.Rule, p.Clip, p.Elapsed.Seconds(), p.Nodes, verdict)
+			fmt.Fprintf(w, "\r\x1b[K[%s] #%d %s %s %6.1fs nodes=%d %s\n",
+				agg, p.Index, p.Rule, p.Clip, p.Elapsed.Seconds(), p.Nodes, verdict)
 		}
 	}
 }
@@ -319,8 +339,8 @@ func printFig8(tb *exp.Testbed, csvDir string) {
 	writeCSVSeries(csvDir, fmt.Sprintf("fig8-%s.csv", tb.Tech.Name), series)
 }
 
-func printFig10(tb *exp.Testbed, solve exp.SolveOptions, csvDir string) error {
-	curves, _, err := exp.DeltaCostStudy(tb.Tech, tb.Top, solve)
+func printFig10(ctx context.Context, tb *exp.Testbed, solve exp.SolveOptions, csvDir string) error {
+	curves, _, err := exp.DeltaCostStudyCtx(ctx, tb.Tech, tb.Top, solve)
 	if err != nil {
 		return err
 	}

@@ -3,28 +3,37 @@
 //
 // Usage:
 //
-//	optroute -clip clip.json [-rule RULE1] [-solver bnb|ilp|heur]
-//	         [-timeout 30s] [-render] [-viashapes]
+//	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur]
+//	         [-timeout 30s] [-j N] [-render] [-viashapes]
 //	         [-stats] [-trace out.jsonl] [-pprof addr]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
 //
+// -rule all sweeps the clip through every Table 3 rule configuration,
+// dispatching the independent solves to -j parallel workers (default: all
+// CPUs) with a merged done/in-flight/total progress line on stderr; the
+// summary table is printed in rule order regardless of worker count.
 // -stats prints the solver's per-solve telemetry (nodes, LP solves, DRC
 // checks, termination reason); -trace writes a JSON-lines span trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
 	"optrouter/internal/obs"
+	"optrouter/internal/report"
 	"optrouter/internal/rgraph"
+	"optrouter/internal/sched"
 	"optrouter/internal/tech"
 )
 
@@ -34,9 +43,10 @@ func main() {
 		synth    = flag.String("synth", "", "synthesize a clip instead: WxHxL, e.g. 7x10x4")
 		nets     = flag.Int("nets", 4, "net count for -synth")
 		seed     = flag.Int64("seed", 1, "seed for -synth")
-		ruleName = flag.String("rule", "RULE1", "rule configuration (Table 3 name)")
+		ruleName = flag.String("rule", "RULE1", "rule configuration (Table 3 name), or \"all\" to sweep every rule")
 		solver   = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), heur")
-		timeout  = flag.Duration("timeout", 30*time.Second, "solve budget")
+		timeout  = flag.Duration("timeout", 30*time.Second, "solve budget (per rule with -rule all)")
+		jobsN    = flag.Int("j", runtime.NumCPU(), "parallel workers for -rule all")
 		render   = flag.Bool("render", false, "print an ASCII layer-by-layer rendering")
 		shapes   = flag.Bool("viashapes", false, "also allow bar and square via shapes")
 		bidir    = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
@@ -88,6 +98,13 @@ func main() {
 		c = clip.Synthesize(opt)
 	default:
 		fatal(fmt.Errorf("need -clip or -synth; see -h"))
+	}
+
+	if *ruleName == "all" {
+		if err := runAllRules(c, *solver, *timeout, *jobsN, *shapes, *bidir, *viaCost, *stats, tracer); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	rule, ok := tech.RuleByName(*ruleName)
@@ -158,6 +175,82 @@ func main() {
 		fmt.Println()
 		fmt.Print(core.RenderASCII(g, sol))
 	}
+}
+
+// runAllRules solves the clip under every Table 3 rule configuration on a
+// -j worker pool and prints one summary row per rule, in rule order. The
+// merged stderr progress line shows jobs done/in-flight/total; Ctrl-C
+// cancels in-flight solves cleanly.
+func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int, shapes, bidir bool, viaCost int, stats bool, tracer *obs.Tracer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rules := tech.StandardRules()
+
+	type row struct {
+		rule tech.RuleConfig
+		sol  *core.Solution
+	}
+	jobs := make([]sched.Job[row], len(rules))
+	for i := range rules {
+		rule := rules[i]
+		jobs[i] = func(jctx context.Context) (row, error) {
+			gOpt := rgraph.Options{Rule: rule, Bidirectional: bidir, ViaCost: viaCost}
+			if shapes {
+				gOpt.ViaShapes = []tech.ViaShape{tech.SingleVia, tech.HBarVia, tech.VBarVia, tech.SquareVia}
+			}
+			g, err := rgraph.Build(c, gOpt)
+			if err != nil {
+				return row{}, err
+			}
+			var sol *core.Solution
+			switch solver {
+			case "bnb":
+				sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: timeout, Tracer: tracer, Ctx: jctx})
+			case "ilp":
+				sol, err = core.SolveILP(g, ilp.Options{TimeLimit: timeout, Tracer: tracer, Ctx: jctx})
+			case "heur":
+				sol = core.SolveHeuristic(g, core.HeuristicOptions{})
+			default:
+				err = fmt.Errorf("unknown solver %q", solver)
+			}
+			if err != nil {
+				return row{}, err
+			}
+			return row{rule: rule, sol: sol}, nil
+		}
+	}
+
+	results := sched.Run(ctx, jobs, sched.Options{
+		Workers: workers,
+		OnUpdate: func(u sched.Update) {
+			// Serialized by the scheduler: one coherent line, never garbled.
+			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d in-flight=%d] %s",
+				u.Done, u.Total, u.InFlight, rules[u.Job].Name)
+			if u.Done == u.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+
+	t := report.NewTable(
+		fmt.Sprintf("clip %s under all rules (%s, %d workers)", c.Name, solver, workers),
+		"Rule", "Feasible", "Proven", "Cost", "WL", "Vias", "Nodes", "Runtime")
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", rules[i].Name, r.Err)
+		}
+		sol := r.Value.sol
+		t.AddRow(r.Value.rule.Name, sol.Feasible, sol.Proven, sol.Cost,
+			sol.Wirelength, sol.Vias, sol.Nodes, sol.Runtime.Round(time.Millisecond))
+	}
+	t.Write(os.Stdout)
+	if stats {
+		for i, r := range results {
+			fmt.Printf("%s ", rules[i].Name)
+			printStats(r.Value.sol)
+		}
+	}
+	return nil
 }
 
 func printStats(sol *core.Solution) {

@@ -12,6 +12,7 @@ package drc
 
 import (
 	"fmt"
+	"sort"
 
 	"optrouter/internal/rgraph"
 )
@@ -91,7 +92,59 @@ func Check(g *rgraph.Graph, netArcs [][]int32) []Violation {
 	out = append(out, checkViaAdjacency(g, netArcs)...)
 	out = append(out, checkViaShapes(g, netArcs)...)
 	out = append(out, CheckSADP(g, netArcs)...)
+	sortViolations(out)
 	return out
+}
+
+// sortViolations puts violations in a canonical total order. Several
+// checkers discover violations by iterating maps, so without this the
+// output order varies run to run — and the solver's strong branching is
+// order-sensitive, which would make search traces (node counts, bans)
+// nondeterministic even for serial solves.
+func sortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if c := cmpInts(a.Nets, b.Nets); c != 0 {
+			return c < 0
+		}
+		if c := cmpInt32s(a.Verts, b.Verts); c != 0 {
+			return c < 0
+		}
+		if c := cmpInt32s(a.Arcs, b.Arcs); c != 0 {
+			return c < 0
+		}
+		if c := cmpInt32s(a.Sites, b.Sites); c != 0 {
+			return c < 0
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+func cmpInts(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+func cmpInt32s(a, b []int32) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
 }
 
 func checkArcCapacity(g *rgraph.Graph, netArcs [][]int32) []Violation {
@@ -252,6 +305,7 @@ func UsedSites(g *rgraph.Graph, netArcs [][]int32) map[int32][]int {
 		for k := range nets {
 			out[s] = append(out[s], k)
 		}
+		sort.Ints(out[s]) // map-iteration order would leak into Violation.Nets
 	}
 	return out
 }

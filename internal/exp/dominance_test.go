@@ -64,6 +64,12 @@ func TestRuleDominanceOnExtractedClips(t *testing.T) {
 
 // The two exact solvers agree on extracted (not just synthetic) clips.
 func TestSolversAgreeOnExtractedClips(t *testing.T) {
+	if testing.Short() {
+		// The MILP path needs minutes on extracted clips; short runs get
+		// solver-agreement coverage from TestDifferentialILPvsBnB's
+		// synthetic corpus instead.
+		t.Skip("MILP on extracted clips exceeds the short-mode budget")
+	}
 	tb := quickTB(t, tech.N28T8())
 	clips := tb.Top
 	if len(clips) > 2 {

@@ -17,9 +17,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"optrouter/internal/cells"
@@ -32,6 +34,7 @@ import (
 	"optrouter/internal/place"
 	"optrouter/internal/rgraph"
 	"optrouter/internal/route"
+	"optrouter/internal/sched"
 	"optrouter/internal/sta"
 	"optrouter/internal/tech"
 )
@@ -185,9 +188,17 @@ type SolveOptions struct {
 	PerClipTimeout time.Duration // default 10s
 	MaxNodes       int
 
+	// Workers is the solve-concurrency of the parallel studies: (clip, rule)
+	// jobs are dispatched to this many scheduler workers (0 = NumCPU, 1 =
+	// serial). Study outputs are assembled in study order, so results are
+	// identical for any worker count (see README "Parallel evaluation").
+	Workers int
+
 	// Progress, if non-nil, receives per-clip lifecycle events ("start",
 	// "progress" during the solve, "done") — the source of cmd/beoleval's
-	// live progress line.
+	// live progress line. Studies serialize the callback (it is never
+	// invoked concurrently with itself), and Index/Total always refer to
+	// the solve's fixed position in study order, not dispatch order.
 	Progress func(ClipProgress)
 	// Metrics, if non-nil, accumulates run-wide counters and histograms
 	// (nodes, lp_solves, wall_ms, ...) across all solves.
@@ -209,14 +220,61 @@ type ClipProgress struct {
 	Phase     string // "start", "progress" (mid-solve), "done"
 	Clip      string
 	Rule      string
-	Index     int // 1-based solve index within the study
+	Index     int // 1-based solve index in study order (not dispatch order)
 	Total     int // total solves the study will perform (0 if unknown)
 	Elapsed   time.Duration
 	Nodes     int
 	Incumbent int64 // best cost so far (-1 if none)
 	Bound     int64 // proven lower bound (-1 before root)
+	// Done and InFlight are the study-wide completion count and the number
+	// of solves currently executing (both maintained by the study's
+	// serialized progress aggregation; InFlight <= SolveOptions.Workers).
+	Done     int
+	InFlight int
 	// Result is set on "done" events.
 	Result *ClipRuleResult
+}
+
+// progressMux serializes a study's progress callback across worker
+// goroutines and maintains the study-wide Done/InFlight counters, so a
+// single live status line never interleaves across workers.
+type progressMux struct {
+	mu             sync.Mutex
+	fn             func(ClipProgress)
+	done, inflight int
+}
+
+func newProgressMux(fn func(ClipProgress)) *progressMux {
+	if fn == nil {
+		return nil
+	}
+	return &progressMux{fn: fn}
+}
+
+// emit forwards one event with aggregate counts attached. Nil-safe.
+func (m *progressMux) emit(p ClipProgress) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch p.Phase {
+	case "start":
+		m.inflight++
+	case "done":
+		m.inflight--
+		m.done++
+	}
+	p.Done, p.InFlight = m.done, m.inflight
+	m.fn(p)
+}
+
+// sink adapts the mux back to a plain Progress callback.
+func (m *progressMux) sink() func(ClipProgress) {
+	if m == nil {
+		return nil
+	}
+	return m.emit
 }
 
 // ClipRuleResult is one (clip, rule) cell of the Fig. 10 data.
@@ -230,6 +288,10 @@ type ClipRuleResult struct {
 	Vias     int
 	Runtime  time.Duration
 	Nodes    int
+	// Err is non-empty when the solve itself failed (e.g. a panic isolated
+	// by the scheduler); such cells chart as unresolved, not as a proven
+	// verdict.
+	Err string
 	// Stats is the solver's full per-solve telemetry.
 	Stats core.SolveStats
 }
@@ -244,70 +306,134 @@ type RuleCurve struct {
 	Infeasible int
 	// Unproven counts clips whose verdict hit the solve budget.
 	Unproven int
+	// Failed counts clips whose solve crashed (panic isolated by the
+	// scheduler); they chart at InfeasibleDelta and also count as Unproven.
+	Failed int
 }
 
 // DeltaCostStudy runs OptRouter on each clip under each rule and assembles
-// the sorted delta-cost curves of Fig. 10 for one technology.
+// the sorted delta-cost curves of Fig. 10 for one technology. The (clip,
+// rule) solves are independent MILPs; they are dispatched to
+// SolveOptions.Workers scheduler workers and the curves are assembled in
+// study order, so the output is identical for any worker count.
 func DeltaCostStudy(t *tech.Technology, clips []*clip.Clip, opt SolveOptions) ([]RuleCurve, []ClipRuleResult, error) {
+	return DeltaCostStudyCtx(context.Background(), t, clips, opt)
+}
+
+// DeltaCostStudyCtx is DeltaCostStudy with cancellation: cancelling ctx
+// aborts in-flight solves at their next branch-and-bound node, drains the
+// worker pool and returns the context's error.
+func DeltaCostStudyCtx(ctx context.Context, t *tech.Technology, clips []*clip.Clip, opt SolveOptions) ([]RuleCurve, []ClipRuleResult, error) {
 	opt = opt.withDefaults()
 	rules := tech.RulesFor(t)
 	if len(rules) == 0 || rules[0].Name != "RULE1" {
 		return nil, nil, fmt.Errorf("exp: RULE1 must head the rule list")
 	}
 
+	if len(clips) == 0 {
+		curves := make([]RuleCurve, 0, len(rules))
+		for _, rule := range rules {
+			curves = append(curves, RuleCurve{Rule: rule.Name})
+		}
+		return curves, nil, nil
+	}
+
+	// Decompose into one job per (rule, clip) cell, in study order: job i
+	// is rule i/len(clips), clip i%len(clips), and reports Index i+1.
+	type cell struct {
+		rule tech.RuleConfig
+		clip *clip.Clip
+	}
+	total := len(rules) * len(clips)
+	cells := make([]cell, 0, total)
+	for _, rule := range rules {
+		for _, c := range clips {
+			cells = append(cells, cell{rule, c})
+		}
+	}
+	prog := newProgressMux(opt.Progress)
+	jobs := make([]sched.Job[ClipRuleResult], total)
+	for i := range cells {
+		i := i
+		jobs[i] = func(jctx context.Context) (ClipRuleResult, error) {
+			jopt := opt
+			jopt.Progress = prog.sink()
+			return solveClipCtx(jctx, cells[i].clip, cells[i].rule, jopt, i+1, total)
+		}
+	}
+	results := sched.Run(ctx, jobs, sched.Options{
+		Workers: opt.Workers,
+		Metrics: opt.Metrics,
+	})
+
+	// Surface hard errors (graph construction, cancellation) in study
+	// order; isolated panics degrade to failed cells below instead.
+	for i, r := range results {
+		if r.Err != nil && !r.Panicked {
+			return nil, nil, fmt.Errorf("exp: %s under %s: %w",
+				cells[i].clip.Name, cells[i].rule.Name, r.Err)
+		}
+	}
+
+	// Assemble in study order — identical for any worker count.
 	base := map[string]float64{} // clip -> RULE1 cost
 	var curves []RuleCurve
-	var all []ClipRuleResult
-	total := len(rules) * len(clips)
-	idx := 0
-	for _, rule := range rules {
-		curve := RuleCurve{Rule: rule.Name}
-		for _, c := range clips {
-			idx++
-			r, err := solveClipAt(c, rule, opt, idx, total)
-			if err != nil {
-				return nil, nil, err
+	all := make([]ClipRuleResult, 0, total)
+	for i, r := range results {
+		cr := r.Value
+		if r.Panicked {
+			cr = ClipRuleResult{
+				Clip: cells[i].clip.Name, Rule: cells[i].rule.Name,
+				Err: r.Err.Error(),
 			}
-			all = append(all, r)
-			if rule.Name == "RULE1" {
-				if r.Feasible {
-					base[c.Name] = float64(r.Cost)
-				} else {
-					// A clip unroutable even under RULE1 contributes no
-					// meaningful baseline; chart it at infinity for every
-					// rule.
-					base[c.Name] = math.Inf(1)
-				}
-			}
-			var delta float64
-			switch {
-			case !r.Feasible:
-				delta = InfeasibleDelta
-				curve.Infeasible++
-			case math.IsInf(base[c.Name], 1):
-				delta = InfeasibleDelta
-			default:
-				delta = float64(r.Cost) - base[c.Name]
-			}
-			if !r.Proven {
-				curve.Unproven++
-			}
-			curve.Deltas = append(curve.Deltas, delta)
 		}
-		sort.Float64s(curve.Deltas)
-		curves = append(curves, curve)
+		if i%len(clips) == 0 {
+			curves = append(curves, RuleCurve{Rule: cells[i].rule.Name})
+		}
+		curve := &curves[len(curves)-1]
+		all = append(all, cr)
+		if cr.Rule == "RULE1" {
+			if cr.Feasible {
+				base[cr.Clip] = float64(cr.Cost)
+			} else {
+				// A clip unroutable even under RULE1 contributes no
+				// meaningful baseline; chart it at infinity for every rule.
+				base[cr.Clip] = math.Inf(1)
+			}
+		}
+		var delta float64
+		switch {
+		case cr.Err != "":
+			delta = InfeasibleDelta
+			curve.Failed++
+		case !cr.Feasible:
+			delta = InfeasibleDelta
+			curve.Infeasible++
+		case math.IsInf(base[cr.Clip], 1):
+			delta = InfeasibleDelta
+		default:
+			delta = float64(cr.Cost) - base[cr.Clip]
+		}
+		if !cr.Proven {
+			curve.Unproven++
+		}
+		curve.Deltas = append(curve.Deltas, delta)
+	}
+	for i := range curves {
+		sort.Float64s(curves[i].Deltas)
 	}
 	return curves, all, nil
 }
 
 // SolveClip routes one clip under one rule with the exact CDC-BnB solver.
 func SolveClip(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions) (ClipRuleResult, error) {
-	return solveClipAt(c, rule, opt, 1, 1)
+	return solveClipCtx(context.Background(), c, rule, opt, 1, 1)
 }
 
-// solveClipAt is SolveClip plus the study position (solve idx of total) for
-// progress reporting and metrics accounting.
-func solveClipAt(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int) (ClipRuleResult, error) {
+// solveClipCtx is SolveClip plus the study position (solve idx of total) for
+// progress reporting and metrics accounting, and a context that cancels the
+// solve between branch-and-bound nodes.
+func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int) (ClipRuleResult, error) {
 	opt = opt.withDefaults()
 	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
 	if err != nil {
@@ -323,6 +449,7 @@ func solveClipAt(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, tota
 		TimeLimit: opt.PerClipTimeout,
 		MaxNodes:  opt.MaxNodes,
 		Tracer:    opt.Tracer,
+		Ctx:       ctx,
 	}
 	if opt.Progress != nil {
 		bnbOpt.Progress = func(p core.BnBProgress) {
@@ -400,30 +527,49 @@ type ValidationResult struct {
 	Delta         int // optimal - heuristic (expected <= 0)
 }
 
-// ValidationStudy runs both routers on each clip under RULE1.
+// ValidationStudy runs both routers on each clip under RULE1. Clips are
+// independent, so they are dispatched to SolveOptions.Workers scheduler
+// workers; the result list keeps clip order.
 func ValidationStudy(clips []*clip.Clip, opt SolveOptions) ([]ValidationResult, error) {
 	opt = opt.withDefaults()
+	jobs := make([]sched.Job[*ValidationResult], len(clips))
+	for i := range clips {
+		c := clips[i]
+		jobs[i] = func(ctx context.Context) (*ValidationResult, error) {
+			g, err := rgraph.Build(c, rgraph.Options{})
+			if err != nil {
+				return nil, err
+			}
+			h := core.SolveHeuristic(g, core.HeuristicOptions{})
+			if !h.Feasible {
+				return nil, nil // no heuristic baseline to compare against
+			}
+			o, err := core.SolveBnB(g, core.BnBOptions{
+				TimeLimit: opt.PerClipTimeout, MaxNodes: opt.MaxNodes, Ctx: ctx,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !o.Feasible {
+				return nil, nil
+			}
+			return &ValidationResult{
+				Clip: c.Name, HeuristicCost: h.Cost, OptimalCost: o.Cost,
+				Delta: o.Cost - h.Cost,
+			}, nil
+		}
+	}
+	results := sched.Run(context.Background(), jobs, sched.Options{
+		Workers: opt.Workers, Metrics: opt.Metrics,
+	})
 	var out []ValidationResult
-	for _, c := range clips {
-		g, err := rgraph.Build(c, rgraph.Options{})
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		h := core.SolveHeuristic(g, core.HeuristicOptions{})
-		if !h.Feasible {
-			continue // no heuristic baseline to compare against
+		if r.Value != nil {
+			out = append(out, *r.Value)
 		}
-		o, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: opt.PerClipTimeout, MaxNodes: opt.MaxNodes})
-		if err != nil {
-			return nil, err
-		}
-		if !o.Feasible {
-			continue
-		}
-		out = append(out, ValidationResult{
-			Clip: c.Name, HeuristicCost: h.Cost, OptimalCost: o.Cost,
-			Delta: o.Cost - h.Cost,
-		})
 	}
 	return out, nil
 }
@@ -443,24 +589,37 @@ type ModelSize struct {
 	ProductVars int
 }
 
-// ModelSizeStudy builds (without solving) the ILP for each rule.
+// ModelSizeStudy builds (without solving) the ILP for each rule. Builds are
+// independent per rule and run on the scheduler (NumCPU workers); the output
+// keeps rule order.
 func ModelSizeStudy(c *clip.Clip, rules []tech.RuleConfig) ([]ModelSize, error) {
-	var out []ModelSize
-	for _, rule := range rules {
-		g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
-		if err != nil {
-			return nil, err
+	jobs := make([]sched.Job[ModelSize], len(rules))
+	for i := range rules {
+		rule := rules[i]
+		jobs[i] = func(ctx context.Context) (ModelSize, error) {
+			g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+			if err != nil {
+				return ModelSize{}, err
+			}
+			m := core.BuildILP(g)
+			st := g.Stats()
+			return ModelSize{
+				Rule:  rule.Name,
+				Verts: st.Verts, Arcs: st.Arcs, Nets: len(c.Nets),
+				Vars:        m.Model.NumVars(),
+				Constraints: m.Model.NumConstraints(),
+				EVars:       m.NumEVars, FVars: m.NumFVars,
+				PVars: m.NumPVars, ProductVars: m.NumProductVars,
+			}, nil
 		}
-		m := core.BuildILP(g)
-		st := g.Stats()
-		out = append(out, ModelSize{
-			Rule:  rule.Name,
-			Verts: st.Verts, Arcs: st.Arcs, Nets: len(c.Nets),
-			Vars:        m.Model.NumVars(),
-			Constraints: m.Model.NumConstraints(),
-			EVars:       m.NumEVars, FVars: m.NumFVars,
-			PVars: m.NumPVars, ProductVars: m.NumProductVars,
-		})
+	}
+	results := sched.Run(context.Background(), jobs, sched.Options{})
+	out := make([]ModelSize, 0, len(rules))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out = append(out, r.Value)
 	}
 	return out, nil
 }

@@ -97,11 +97,15 @@ func TestRuleMonotonicityOnClip(t *testing.T) {
 	// RULE4 >= RULE5 >= RULE1 cost on the same clip (when feasible).
 	opt := clip.DefaultSynth(5)
 	opt.NX, opt.NY, opt.NZ = 5, 6, 4
+	if testing.Short() {
+		opt.NZ = 3 // solves in milliseconds instead of tens of seconds
+	}
 	opt.NumNets = 3
 	c := clip.Synthesize(opt)
 	c.Tech = "N28-12T"
 	costs := map[string]int{}
 	feas := map[string]bool{}
+	proven := map[string]bool{}
 	for _, rn := range []string{"RULE1", "RULE5", "RULE4", "RULE3", "RULE2"} {
 		rule, _ := tech.RuleByName(rn)
 		r, err := SolveClip(c, rule, SolveOptions{PerClipTimeout: 20 * time.Second})
@@ -110,10 +114,16 @@ func TestRuleMonotonicityOnClip(t *testing.T) {
 		}
 		costs[rn] = r.Cost
 		feas[rn] = r.Feasible
+		proven[rn] = r.Proven
 	}
 	order := []string{"RULE1", "RULE5", "RULE4", "RULE3", "RULE2"}
 	for i := 1; i < len(order); i++ {
 		a, b := order[i-1], order[i]
+		// Only proven verdicts are comparable: an unproven incumbent on the
+		// weaker rule can legitimately exceed the stronger rule's optimum.
+		if !proven[a] || !proven[b] {
+			continue
+		}
 		if feas[a] && feas[b] && costs[b] < costs[a] {
 			t.Fatalf("%s cost %d < %s cost %d: optimality violated", b, costs[b], a, costs[a])
 		}

@@ -10,6 +10,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -104,6 +105,9 @@ type Options struct {
 	MaxNodes int
 	// TimeLimit stops the search after the given wall time; 0 = none.
 	TimeLimit time.Duration
+	// Ctx, if non-nil, cancels the search between nodes (termination
+	// TermCancelled). Used by the parallel scheduler to abort a sweep.
+	Ctx context.Context
 	// Incumbent optionally provides a known integer-feasible solution
 	// (a warm start); it must satisfy all constraints.
 	Incumbent []float64
@@ -151,6 +155,7 @@ const (
 	TermNodeLimit   TerminationReason = "node-limit"    // Options.MaxNodes hit
 	TermLPIterLimit TerminationReason = "lp-iter-limit" // LP subsolver gave up
 	TermUnbounded   TerminationReason = "lp-unbounded"  // relaxation unbounded
+	TermCancelled   TerminationReason = "cancelled"     // Options.Ctx cancelled
 )
 
 // BoundPoint is one sample of the best-bound / incumbent gap over time.
@@ -364,6 +369,11 @@ func (m *Model) Solve(opt Options) Result {
 		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
 			hitLimit = true
 			term = TermTimeLimit
+			break
+		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			hitLimit = true
+			term = TermCancelled
 			break
 		}
 		openLen = len(stack)

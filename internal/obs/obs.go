@@ -57,6 +57,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add accumulates d into the gauge atomically (CAS loop), so it can serve
+// as an up/down counter — e.g. the scheduler's in-flight job gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {

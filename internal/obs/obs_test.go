@@ -47,6 +47,33 @@ func TestConcurrentCounters(t *testing.T) {
 	}
 }
 
+// TestGaugeAdd proves the CAS accumulator: concurrent +1/-1 pairs from many
+// goroutines must cancel exactly (run under -race in ci.sh).
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(2.5)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 2.5*workers {
+		t.Errorf("gauge = %g, want %g", got, 2.5*float64(workers))
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
 func TestHistogramStats(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {

@@ -1,0 +1,282 @@
+// Package sched is the repository's parallel-evaluation substrate: a
+// work-stealing worker pool that runs a fixed set of independent jobs —
+// typically one exact (clip, rule) solve each — across N workers while
+// keeping the *results* deterministic.
+//
+// Design points, in the order the rule-evaluation pipeline needs them:
+//
+//   - Deterministic assembly: Run returns one Result per job, indexed by the
+//     job's position in the input slice, regardless of which worker ran it or
+//     in what order. Callers that assemble output in input order therefore
+//     produce byte-identical reports for any worker count.
+//   - Fault isolation: a panicking job is captured (with its stack) and
+//     recorded as that job's failure; the sweep continues and Run returns
+//     normally. One poisoned clip cannot take down an hours-long study.
+//   - Cancellation: cancelling the context stops dispatch; jobs not yet
+//     started complete immediately with the context's error, so the pool
+//     drains cleanly and every job is still accounted for in the results.
+//   - Budgets: Options.JobTimeout bounds each job via its context. Jobs that
+//     also take wall-clock budgets (e.g. solver time limits) keep those; the
+//     context is the hard backstop.
+//   - Observability: with Options.Metrics set, the pool maintains an
+//     in-flight gauge, per-worker job gauges, steal/failure counters and a
+//     job-latency histogram; Options.OnUpdate receives serialized lifecycle
+//     events (never two concurrently), so a single live progress line cannot
+//     interleave across workers.
+//
+// Scheduling is work-stealing over per-worker deques: jobs are dealt
+// round-robin, each worker consumes its own deque front-to-back (preserving
+// rough input order, which tends to group similar solves), and an idle
+// worker steals from the back of a victim's deque. For hundreds of
+// multi-second MILP solves the steal path is cold, but it keeps the pool
+// balanced when per-job cost is wildly skewed — the paper's hardest clips
+// run 100x longer than the easy ones.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"optrouter/internal/obs"
+)
+
+// Job is one unit of work. The context is cancelled when the pool's parent
+// context is cancelled or the per-job timeout expires; long-running jobs
+// should poll it.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Options tunes a Run.
+type Options struct {
+	// Workers is the worker-goroutine count (default runtime.NumCPU();
+	// 1 degenerates to a serial run through the same code path).
+	Workers int
+	// JobTimeout, when positive, bounds each job via its context.
+	JobTimeout time.Duration
+	// Metrics, if non-nil, receives pool gauges/counters/histograms under
+	// the "sched_" prefix (see package comment).
+	Metrics *obs.Registry
+	// OnUpdate, if non-nil, receives serialized per-job lifecycle events.
+	// It is never invoked concurrently with itself.
+	OnUpdate func(Update)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Update is one lifecycle event handed to Options.OnUpdate.
+type Update struct {
+	Phase  string // "start" or "done"
+	Job    int    // index of the job in the input slice
+	Worker int    // worker that ran (or is running) it
+	Err    error  // set on failed "done" events
+
+	// Aggregate pool state at the time of the event (consistent: the
+	// callback is serialized).
+	Done     int // jobs finished, including failures and cancellations
+	Failed   int // jobs finished with a non-nil error
+	InFlight int // jobs currently executing
+	Total    int // len(jobs)
+}
+
+// Result is the outcome of one job, at the job's input index.
+type Result[T any] struct {
+	Value T
+	// Err is the job's error; for a cancelled-before-start job it is the
+	// context's error, for a panicked job a *PanicError.
+	Err error
+	// Panicked reports that the job panicked (Err is the *PanicError).
+	Panicked bool
+	// Worker is the worker that executed the job (-1 if never started).
+	Worker int
+	// Runtime is the job's wall time (0 if never started).
+	Runtime time.Duration
+}
+
+// PanicError wraps a recovered job panic with its stack trace.
+type PanicError struct {
+	Value interface{} // the value passed to panic
+	Stack []byte      // debug.Stack() at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job panicked: %v", e.Value)
+}
+
+// deque is one worker's job queue (indices into the job slice). The owner
+// pops from the front; thieves pop from the back.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return j, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[len(d.jobs)-1]
+	d.jobs = d.jobs[:len(d.jobs)-1]
+	return j, true
+}
+
+// Run executes the jobs on a work-stealing pool and returns one Result per
+// job, in input order. It always returns len(jobs) results: jobs skipped
+// because ctx was cancelled carry ctx's error. Run itself never panics on a
+// job panic; the panic is recorded in that job's Result.
+func Run[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
+	opt = opt.withDefaults()
+	n := len(jobs)
+	results := make([]Result[T], n)
+	for i := range results {
+		results[i].Worker = -1
+	}
+	if n == 0 {
+		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nw := opt.Workers
+	if nw > n {
+		nw = n
+	}
+
+	m := opt.Metrics
+	m.Gauge("sched_workers").Set(float64(nw))
+	m.Gauge("sched_jobs_total").Set(float64(n))
+	inflight := m.Gauge("sched_inflight")
+	jobMS := m.Histogram("sched_job_ms")
+
+	// Deal jobs round-robin so each worker starts on a contiguous-ish slice
+	// of the input order.
+	deques := make([]*deque, nw)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for i := 0; i < n; i++ {
+		w := i % nw
+		deques[w].jobs = append(deques[w].jobs, i)
+	}
+
+	// agg serializes OnUpdate and owns the aggregate counters.
+	var agg struct {
+		sync.Mutex
+		done, failed, inflight int
+	}
+	notify := func(phase string, job, worker int, err error) {
+		agg.Lock()
+		defer agg.Unlock()
+		switch phase {
+		case "start":
+			agg.inflight++
+		case "done":
+			agg.inflight--
+			agg.done++
+			if err != nil {
+				agg.failed++
+			}
+		}
+		if opt.OnUpdate != nil {
+			opt.OnUpdate(Update{
+				Phase: phase, Job: job, Worker: worker, Err: err,
+				Done: agg.done, Failed: agg.failed,
+				InFlight: agg.inflight, Total: n,
+			})
+		}
+	}
+
+	runOne := func(worker, idx int) {
+		r := &results[idx]
+		r.Worker = worker
+		if err := ctx.Err(); err != nil {
+			// Cancelled before start: account for the job without running
+			// it so the pool drains deterministically.
+			r.Err = err
+			m.Counter("sched_jobs_cancelled").Inc()
+			notify("start", idx, worker, nil)
+			notify("done", idx, worker, err)
+			return
+		}
+		jctx := ctx
+		var cancel context.CancelFunc
+		if opt.JobTimeout > 0 {
+			jctx, cancel = context.WithTimeout(ctx, opt.JobTimeout)
+		}
+		notify("start", idx, worker, nil)
+		inflight.Add(1)
+		start := time.Now()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.Panicked = true
+					r.Err = &PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}()
+			r.Value, r.Err = jobs[idx](jctx)
+		}()
+		r.Runtime = time.Since(start)
+		if cancel != nil {
+			cancel()
+		}
+		inflight.Add(-1)
+		jobMS.Observe(float64(r.Runtime.Microseconds()) / 1000)
+		m.Gauge(fmt.Sprintf("sched_worker_%02d_jobs", worker)).Add(1)
+		if r.Panicked {
+			m.Counter("sched_jobs_panicked").Inc()
+		}
+		if r.Err != nil {
+			m.Counter("sched_jobs_failed").Inc()
+		} else {
+			m.Counter("sched_jobs_done").Inc()
+		}
+		notify("done", idx, worker, r.Err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques[worker].popFront()
+				if !ok {
+					// Own deque empty: steal from the back of the first
+					// non-empty victim, scanning from our right neighbor so
+					// thieves spread out.
+					for off := 1; off < nw && !ok; off++ {
+						idx, ok = deques[(worker+off)%nw].popBack()
+					}
+					if ok {
+						m.Counter("sched_steals").Inc()
+					}
+				}
+				if !ok {
+					return // all deques drained; in-flight jobs are others'
+				}
+				runOne(worker, idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
