@@ -17,14 +17,15 @@ else
 	echo "== shadow check skipped (analyzer not installed)"
 fi
 
-echo "== go test -race (sched, exp, core, ilp, lp, obs)"
+echo "== go test -race (sched, exp, core, ilp, lp, obs, report)"
 go test -race -short -timeout 20m \
 	./internal/sched/... \
 	./internal/exp/... \
 	./internal/core/... \
 	./internal/ilp/... \
 	./internal/lp/... \
-	./internal/obs/...
+	./internal/obs/... \
+	./internal/report/...
 
 echo "== go test -short ./..."
 go test -short ./...
@@ -34,5 +35,15 @@ go run ./cmd/optroute -synth 5x6x3 -nets 3 -seed 7 -rule all -j 4 -timeout 20s >
 
 echo "== smoke: beoleval -fig10 -j 4"
 go run ./cmd/beoleval -tech N28-12T -fig10 -j 4 -timeout 5s >/dev/null
+
+echo "== bench: short corpus + schema validation"
+bench_tmp=$(mktemp -d)
+trap 'rm -rf "$bench_tmp"' EXIT
+go run ./cmd/benchrun -short -timeout 30s -o "$bench_tmp/BENCH_ci.json"
+go run ./cmd/benchrun -check "$bench_tmp/BENCH_ci.json"
+for doc in BENCH_*.json; do
+	[ -e "$doc" ] || continue
+	go run ./cmd/benchrun -check "$doc"
+done
 
 echo "ci: OK"

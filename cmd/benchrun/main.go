@@ -1,0 +1,124 @@
+// Command benchrun runs the pinned benchmark corpus — synthesized clips
+// crossed with representative rule configurations, solved by both exact
+// engines — and emits one schema-versioned benchmark-trajectory document
+// (BENCH_<n>.json) recording wall time, branch-and-bound nodes, simplex
+// iterations and the per-phase wall-time breakdown of every case. Committing
+// one document per repository revision builds the performance trajectory
+// that makes solver regressions visible in review.
+//
+// Usage:
+//
+//	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir]
+//	benchrun -check file.json
+//
+// -short runs the CI corpus (seconds); the default full corpus takes on the
+// order of a minute. -o writes to the named file ("-" = stdout); -dir picks
+// the first free BENCH_<n>.json in the directory (default "."). -check only
+// validates an existing document against the schema and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"optrouter/internal/exp"
+	"optrouter/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		short   = flag.Bool("short", false, "run the reduced CI corpus")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-case solve budget")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel solve workers")
+		out     = flag.String("o", "", "output file (\"-\" = stdout; default: first free BENCH_<n>.json in -dir)")
+		dir     = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json output")
+		check   = flag.String("check", "", "validate an existing benchmark document and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		doc, err := report.ValidateBench(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *check, err)
+		}
+		fmt.Printf("%s: valid (schema %d, %s corpus, %d cases, %d failed)\n",
+			*check, doc.SchemaVersion, doc.Corpus, doc.Totals.Cases, doc.Totals.Failed)
+		return nil
+	}
+
+	corpus := "full"
+	if *short {
+		corpus = "short"
+	}
+	specs := exp.BenchCorpus(*short)
+	fmt.Fprintf(os.Stderr, "benchrun: %s corpus, %d cases, %d workers\n", corpus, len(specs), *jobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	doc, err := exp.RunBenchCorpus(ctx, specs, exp.BenchRunOptions{
+		Timeout: *timeout, Workers: *jobs, Corpus: corpus,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Self-validate before writing: an emitted document that fails its own
+	// schema is a bug worth failing loudly on, not committing.
+	data, err := report.MarshalBench(doc)
+	if err != nil {
+		return err
+	}
+	if _, err := report.ValidateBench(data); err != nil {
+		return fmt.Errorf("emitted document fails validation: %w", err)
+	}
+
+	if *out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	path := *out
+	if path == "" {
+		path, err = nextBenchPath(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d cases, %d failed, %.0fms total solve wall)\n",
+		path, doc.Totals.Cases, doc.Totals.Failed, doc.Totals.WallMS)
+	if doc.Totals.Failed > 0 {
+		return fmt.Errorf("%d of %d cases failed", doc.Totals.Failed, doc.Totals.Cases)
+	}
+	return nil
+}
+
+// nextBenchPath returns the first BENCH_<n>.json not yet present in dir.
+func nextBenchPath(dir string) (string, error) {
+	for n := 0; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}

@@ -7,16 +7,20 @@
 //
 //	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s] [-j N]
 //	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
-//	         [-stats] [-trace out.jsonl] [-pprof addr]
+//	         [-stats] [-quiet] [-trace out.jsonl] [-converge out.jsonl]
+//	         [-pprof addr]
 //
 // With no selection flags, everything runs. -j dispatches the independent
 // (clip, rule) solves to N parallel workers (default: all CPUs); outputs are
 // assembled in study order, so CSVs and tables are byte-identical for any N.
 // -stats emits end-of-run metrics JSON (to <csvdir>/metrics.json when -csv
 // is set, stdout otherwise) and a live merged progress line on stderr
-// (done/in-flight/total across all workers); -trace records a JSON-lines
-// span trace of every solve; -pprof serves net/http/pprof on the given
-// address. Interrupt (Ctrl-C) cancels in-flight solves and drains cleanly.
+// (done/in-flight/total across all workers; -quiet suppresses the line);
+// -trace records a JSON-lines span trace of every solve; -converge dumps one
+// JSON line per solve with its incumbent/bound convergence trace; -pprof
+// serves net/http/pprof plus /metrics (Prometheus text exposition) and
+// /statusz (live sweep state) on the given address. Interrupt (Ctrl-C)
+// cancels in-flight solves, drains cleanly and still flushes every sink.
 package main
 
 import (
@@ -38,6 +42,16 @@ import (
 )
 
 func main() {
+	// All teardown (trace flush/close, converge flush) is deferred inside
+	// run, so every exit path — including a SIGINT-cancelled sweep — leaves
+	// complete, newline-terminated JSONL files behind.
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		techName = flag.String("tech", "all", "technology: N28-12T, N28-8T, N7-9T or all")
 		full     = flag.Bool("full", false, "use the large testbed (paper-scale clip geometry; slower)")
@@ -52,16 +66,30 @@ func main() {
 		fig8     = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
 		fig10    = flag.Bool("fig10", false, "print Fig. 10 delta-cost study")
 		fig9     = flag.Bool("fig9", false, "print Fig. 9 pin-access analysis")
-		runtime  = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
+		runtimeF = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
 		validate = flag.Bool("validate", false, "run the Sec. 4.2 validation vs the heuristic router")
 		csvDir   = flag.String("csv", "", "also write figure data as CSV into this directory")
 		stats    = flag.Bool("stats", false, "collect per-solve metrics; emit metrics JSON and a live progress line")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line (metrics are still collected)")
 		traceOut = flag.String("trace", "", "write a JSON-lines span trace of every solve to this file")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		convOut  = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs}
+	var metrics *obs.Registry
+	if *stats || *pprofA != "" {
+		// /metrics needs a registry even without -stats; the end-of-run
+		// metrics document stays opt-in.
+		metrics = obs.NewRegistry()
+		solve.Metrics = metrics
+	}
+	var status *obs.Status
 	if *pprofA != "" {
+		status = obs.NewStatus()
+		http.Handle("/metrics", obs.MetricsHandler(metrics))
+		http.Handle("/statusz", obs.StatusHandler(status))
 		go func() {
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "beoleval: pprof: %v\n", err)
@@ -69,12 +97,14 @@ func main() {
 		}()
 	}
 
-	all := !*rules && !*table2 && !*fig8 && !*fig10 && !*fig9 && !*runtime && !*validate
+	all := !*rules && !*table2 && !*fig8 && !*fig10 && !*fig9 && !*runtimeF && !*validate
 	if *rules || all {
 		printRules()
 	}
-	if *runtime || all {
-		printRuntime()
+	if *runtimeF || all {
+		if err := printRuntime(); err != nil {
+			return err
+		}
 	}
 
 	var techs []*tech.Technology
@@ -88,14 +118,13 @@ func main() {
 			}
 		}
 		if len(techs) == 0 {
-			fmt.Fprintf(os.Stderr, "beoleval: unknown technology %q\n", *techName)
-			os.Exit(1)
+			return fmt.Errorf("unknown technology %q", *techName)
 		}
 	}
 
 	perTech := all || *table2 || *fig8 || *fig10 || *fig9 || *validate
 	if !perTech {
-		return
+		return nil
 	}
 
 	opt := exp.QuickTestbed()
@@ -117,40 +146,64 @@ func main() {
 		opt.MaxNets = *maxNets
 	}
 	// Ctrl-C cancels the sweep: in-flight solves stop at their next node,
-	// queued jobs drain, and the run exits with the context error.
+	// queued jobs drain, and the run exits with the context error (through
+	// run's deferred teardown, so trace/converge files are still flushed).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs}
-	var metrics *obs.Registry
-	if *stats {
-		metrics = obs.NewRegistry()
-		solve.Metrics = metrics
-		solve.Progress = progressLine(os.Stderr)
-	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "beoleval: trace: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("trace: %w", err)
+		}
+		tr := obs.NewTracer(f)
+		// Close flushes buffered spans and closes f on every exit path.
+		defer tr.Close()
+		solve.Tracer = tr
+	}
+	var conv *report.ConvergenceWriter
+	if *convOut != "" {
+		f, err := os.Create(*convOut)
+		if err != nil {
+			return fmt.Errorf("converge: %w", err)
 		}
 		defer f.Close()
-		tr := obs.NewTracer(f)
-		defer tr.Flush()
-		solve.Tracer = tr
+		conv = report.NewConvergenceWriter(f)
+		defer conv.Flush()
+	}
+
+	// Progress fan-out: the throttled live line (unless -quiet), the /statusz
+	// tracker and the convergence dump all feed off the same serialized
+	// per-clip events.
+	var sinks []func(exp.ClipProgress)
+	if *stats && !*quiet {
+		sinks = append(sinks, progressLine(os.Stderr))
+	}
+	if status != nil {
+		sinks = append(sinks, statusSink(status))
+	}
+	if conv != nil {
+		sinks = append(sinks, convergeSink(conv))
+	}
+	if len(sinks) > 0 {
+		solve.Progress = func(p exp.ClipProgress) {
+			for _, s := range sinks {
+				s(p)
+			}
+		}
 	}
 	runStart := time.Now()
 
 	needTB := all || *table2 || *fig8 || *fig10 || *validate
 	for _, t := range techs {
 		fmt.Printf("=== %s ===\n", t.Name)
+		status.SetLabel(t.Name)
 		var tb *exp.Testbed
 		if needTB {
 			var err error
 			tb, err = exp.BuildTestbed(t, opt)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		if *table2 || all {
@@ -161,28 +214,58 @@ func main() {
 		}
 		if *fig10 || all {
 			if err := printFig10(ctx, tb, solve, *csvDir); err != nil {
-				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		if *fig9 || all {
 			if err := printFig9(t, solve); err != nil {
-				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		if *validate || all {
 			if err := printValidation(tb, solve); err != nil {
-				fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 
-	if metrics != nil {
+	if *stats {
 		if err := writeMetrics(metrics, *csvDir, time.Since(runStart)); err != nil {
-			fmt.Fprintf(os.Stderr, "beoleval: metrics: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// statusSink feeds the /statusz tracker from per-clip lifecycle events.
+func statusSink(s *obs.Status) func(exp.ClipProgress) {
+	return func(p exp.ClipProgress) {
+		switch p.Phase {
+		case "start":
+			s.SetTotal(p.Total)
+			s.JobStart(p.Worker, p.Rule+" "+p.Clip)
+		case "done":
+			s.JobDone(p.Worker, p.Result != nil && p.Result.Err != "")
+		}
+	}
+}
+
+// convergeSink appends one convergence record per finished solve.
+func convergeSink(c *report.ConvergenceWriter) func(exp.ClipProgress) {
+	return func(p exp.ClipProgress) {
+		if p.Phase != "done" || p.Result == nil || p.Result.Err != "" {
+			return
+		}
+		r := p.Result
+		if err := c.Write(report.ConvergenceRecord{
+			Clip: r.Clip, Rule: r.Rule, Solver: "bnb",
+			Termination: r.Stats.Termination,
+			Feasible:    r.Feasible, Cost: r.Cost,
+			Nodes: r.Stats.Nodes, MaxDepth: r.Stats.MaxDepth,
+			WallMS: float64(r.Runtime.Microseconds()) / 1000,
+			Trace:  r.Stats.BoundTrace,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "beoleval: converge: %v\n", err)
 		}
 	}
 }
@@ -192,9 +275,15 @@ func main() {
 // once, so the line leads with the study-wide "done/total in-flight=k"
 // aggregate, then shows the reporting solve's study position and state.
 // Each finished solve is flushed as a newline-terminated summary. The study
-// serializes the callback, so concurrent workers cannot garble the line.
+// serializes the callback, so concurrent workers cannot garble the line;
+// in-place redraws are throttled to at most 10 per second so fast parallel
+// sweeps don't saturate the terminal ("done" summaries always print).
 func progressLine(w *os.File) func(exp.ClipProgress) {
+	redraw := obs.NewThrottle(100 * time.Millisecond)
 	return func(p exp.ClipProgress) {
+		if p.Phase != "done" && !redraw.Allow() {
+			return
+		}
 		ib := func(v int64) string {
 			if v < 0 {
 				return "-"
@@ -248,11 +337,10 @@ func writeMetrics(m *obs.Registry, csvDir string, wall time.Duration) error {
 	return report.WriteMetrics(f, doc)
 }
 
-func printRuntime() {
+func printRuntime() error {
 	recs, err := exp.RuntimeStudy(exp.RuntimeStudyOptions{})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "beoleval: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	t := report.NewTable("Sec 5 runtime study (reduced depth; paper: 842->1047s, 925->1340s on CPLEX)",
 		"Switchbox", "Rules", "Feasible", "Proven", "Cost", "Nodes", "Runtime")
@@ -266,6 +354,7 @@ func printRuntime() {
 	}
 	t.Write(os.Stdout)
 	fmt.Println()
+	return nil
 }
 
 func printFig9(tt *tech.Technology, solve exp.SolveOptions) error {

@@ -5,15 +5,19 @@
 //
 //	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur]
 //	         [-timeout 30s] [-j N] [-render] [-viashapes]
-//	         [-stats] [-trace out.jsonl] [-pprof addr]
+//	         [-stats] [-quiet] [-trace out.jsonl] [-converge out.jsonl]
+//	         [-pprof addr]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
 //
 // -rule all sweeps the clip through every Table 3 rule configuration,
 // dispatching the independent solves to -j parallel workers (default: all
-// CPUs) with a merged done/in-flight/total progress line on stderr; the
-// summary table is printed in rule order regardless of worker count.
-// -stats prints the solver's per-solve telemetry (nodes, LP solves, DRC
-// checks, termination reason); -trace writes a JSON-lines span trace.
+// CPUs) with a merged done/in-flight/total progress line on stderr (throttled
+// to 10 redraws/s; -quiet suppresses it); the summary table is printed in
+// rule order regardless of worker count. -stats prints the solver's per-solve
+// telemetry (nodes, LP solves, DRC checks, phase breakdown, termination
+// reason); -trace writes a JSON-lines span trace; -converge dumps each
+// solve's incumbent/bound convergence trace as JSON lines; -pprof serves
+// net/http/pprof plus /metrics and /statusz on the given address.
 package main
 
 import (
@@ -38,6 +42,20 @@ import (
 )
 
 func main() {
+	// run owns all teardown in defers (trace close, converge flush), so a
+	// proven-infeasible exit (code 2) or an error still leaves complete
+	// JSONL files behind — os.Exit lives only here, after run returns.
+	code, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optroute: %v\n", err)
+		os.Exit(1)
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run() (int, error) {
 	var (
 		clipPath = flag.String("clip", "", "clip JSON file (see internal/clip)")
 		synth    = flag.String("synth", "", "synthesize a clip instead: WxHxL, e.g. 7x10x4")
@@ -52,12 +70,20 @@ func main() {
 		bidir    = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
 		viaCost  = flag.Int("viacost", 0, "override via weight in the routing cost (0 = default 4)")
 		stats    = flag.Bool("stats", false, "print per-solve telemetry after the result")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
 		traceOut = flag.String("trace", "", "write a JSON-lines span trace to this file")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		convOut  = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	var metrics *obs.Registry
+	var status *obs.Status
 	if *pprofA != "" {
+		metrics = obs.NewRegistry()
+		status = obs.NewStatus()
+		http.Handle("/metrics", obs.MetricsHandler(metrics))
+		http.Handle("/statusz", obs.StatusHandler(status))
 		go func() {
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "optroute: pprof: %v\n", err)
@@ -68,11 +94,22 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return 0, err
+		}
+		tracer = obs.NewTracer(f)
+		// Close flushes buffered spans and closes f on every exit path,
+		// including the infeasible exit and Ctrl-C cancellation.
+		defer tracer.Close()
+	}
+	var conv *report.ConvergenceWriter
+	if *convOut != "" {
+		f, err := os.Create(*convOut)
+		if err != nil {
+			return 0, err
 		}
 		defer f.Close()
-		tracer = obs.NewTracer(f)
-		defer tracer.Flush()
+		conv = report.NewConvergenceWriter(f)
+		defer conv.Flush()
 	}
 
 	var c *clip.Clip
@@ -80,49 +117,55 @@ func main() {
 	case *clipPath != "":
 		f, err := os.Open(*clipPath)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		defer f.Close()
 		c, err = clip.ReadJSON(f)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 	case *synth != "":
 		var w, h, l int
 		if _, err := fmt.Sscanf(*synth, "%dx%dx%d", &w, &h, &l); err != nil {
-			fatal(fmt.Errorf("bad -synth %q: %v", *synth, err))
+			return 0, fmt.Errorf("bad -synth %q: %v", *synth, err)
 		}
 		opt := clip.DefaultSynth(*seed)
 		opt.NX, opt.NY, opt.NZ = w, h, l
 		opt.NumNets = *nets
 		c = clip.Synthesize(opt)
 	default:
-		fatal(fmt.Errorf("need -clip or -synth; see -h"))
+		return 0, fmt.Errorf("need -clip or -synth; see -h")
 	}
 
+	sw := sweepEnv{
+		solver: *solver, timeout: *timeout, workers: *jobsN,
+		shapes: *shapes, bidir: *bidir, viaCost: *viaCost,
+		stats: *stats, quiet: *quiet,
+		tracer: tracer, conv: conv, metrics: metrics, status: status,
+	}
 	if *ruleName == "all" {
-		if err := runAllRules(c, *solver, *timeout, *jobsN, *shapes, *bidir, *viaCost, *stats, tracer); err != nil {
-			fatal(err)
-		}
-		return
+		return 0, sw.runAllRules(c)
 	}
 
 	rule, ok := tech.RuleByName(*ruleName)
 	if !ok {
-		fatal(fmt.Errorf("unknown rule %q", *ruleName))
+		return 0, fmt.Errorf("unknown rule %q", *ruleName)
 	}
+	status.SetLabel(rule.Name + " " + c.Name)
+	status.SetTotal(1)
 	gOpt := rgraph.Options{Rule: rule, Bidirectional: *bidir, ViaCost: *viaCost}
 	if *shapes {
 		gOpt.ViaShapes = []tech.ViaShape{tech.SingleVia, tech.HBarVia, tech.VBarVia, tech.SquareVia}
 	}
 	g, err := rgraph.Build(c, gOpt)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	st := g.Stats()
 	fmt.Printf("clip %s: %d nets, graph |V|=%d |A|=%d, %d via sites, rule %s\n",
 		c.Name, len(c.Nets), st.Verts, st.Arcs, st.ViaSites, rule)
 
+	status.JobStart(0, rule.Name+" "+c.Name)
 	var sol *core.Solution
 	switch *solver {
 	case "bnb":
@@ -135,8 +178,10 @@ func main() {
 		err = fmt.Errorf("unknown solver %q", *solver)
 	}
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
+	status.JobDone(0, false)
+	writeConvergence(conv, c.Name, rule.Name, *solver, sol)
 
 	if !sol.Feasible {
 		verdict := "infeasible (proven)"
@@ -147,8 +192,7 @@ func main() {
 		if *stats {
 			printStats(sol)
 		}
-		tracer.Flush() // os.Exit skips the deferred flush
-		os.Exit(2)
+		return 2, nil
 	}
 	proof := "optimal"
 	if !sol.Proven {
@@ -175,16 +219,34 @@ func main() {
 		fmt.Println()
 		fmt.Print(core.RenderASCII(g, sol))
 	}
+	return 0, nil
+}
+
+// sweepEnv bundles the flags and sinks the -rule all sweep threads through
+// its worker jobs.
+type sweepEnv struct {
+	solver        string
+	timeout       time.Duration
+	workers       int
+	shapes, bidir bool
+	viaCost       int
+	stats, quiet  bool
+	tracer        *obs.Tracer
+	conv          *report.ConvergenceWriter
+	metrics       *obs.Registry
+	status        *obs.Status
 }
 
 // runAllRules solves the clip under every Table 3 rule configuration on a
 // -j worker pool and prints one summary row per rule, in rule order. The
 // merged stderr progress line shows jobs done/in-flight/total; Ctrl-C
 // cancels in-flight solves cleanly.
-func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int, shapes, bidir bool, viaCost int, stats bool, tracer *obs.Tracer) error {
+func (e sweepEnv) runAllRules(c *clip.Clip) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	rules := tech.StandardRules()
+	e.status.SetLabel("rule sweep " + c.Name)
+	e.status.SetTotal(len(rules))
 
 	type row struct {
 		rule tech.RuleConfig
@@ -194,8 +256,8 @@ func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int
 	for i := range rules {
 		rule := rules[i]
 		jobs[i] = func(jctx context.Context) (row, error) {
-			gOpt := rgraph.Options{Rule: rule, Bidirectional: bidir, ViaCost: viaCost}
-			if shapes {
+			gOpt := rgraph.Options{Rule: rule, Bidirectional: e.bidir, ViaCost: e.viaCost}
+			if e.shapes {
 				gOpt.ViaShapes = []tech.ViaShape{tech.SingleVia, tech.HBarVia, tech.VBarVia, tech.SquareVia}
 			}
 			g, err := rgraph.Build(c, gOpt)
@@ -203,27 +265,43 @@ func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int
 				return row{}, err
 			}
 			var sol *core.Solution
-			switch solver {
+			switch e.solver {
 			case "bnb":
-				sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: timeout, Tracer: tracer, Ctx: jctx})
+				sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: e.timeout, Tracer: e.tracer, Ctx: jctx})
 			case "ilp":
-				sol, err = core.SolveILP(g, ilp.Options{TimeLimit: timeout, Tracer: tracer, Ctx: jctx})
+				sol, err = core.SolveILP(g, ilp.Options{TimeLimit: e.timeout, Tracer: e.tracer, Ctx: jctx})
 			case "heur":
 				sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 			default:
-				err = fmt.Errorf("unknown solver %q", solver)
+				err = fmt.Errorf("unknown solver %q", e.solver)
 			}
 			if err != nil {
 				return row{}, err
 			}
+			writeConvergence(e.conv, c.Name, rule.Name, e.solver, sol)
 			return row{rule: rule, sol: sol}, nil
 		}
 	}
 
+	redraw := obs.NewThrottle(100 * time.Millisecond)
 	results := sched.Run(ctx, jobs, sched.Options{
-		Workers: workers,
+		Workers: e.workers,
+		Metrics: e.metrics,
 		OnUpdate: func(u sched.Update) {
+			switch u.Phase {
+			case "start":
+				e.status.JobStart(u.Worker, rules[u.Job].Name)
+			case "done":
+				e.status.JobDone(u.Worker, u.Err != nil)
+			}
+			if e.quiet {
+				return
+			}
 			// Serialized by the scheduler: one coherent line, never garbled.
+			// Redraws are throttled; the final completion always prints.
+			if u.Done != u.Total && !redraw.Allow() {
+				return
+			}
 			fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d in-flight=%d] %s",
 				u.Done, u.Total, u.InFlight, rules[u.Job].Name)
 			if u.Done == u.Total {
@@ -233,7 +311,7 @@ func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int
 	})
 
 	t := report.NewTable(
-		fmt.Sprintf("clip %s under all rules (%s, %d workers)", c.Name, solver, workers),
+		fmt.Sprintf("clip %s under all rules (%s, %d workers)", c.Name, e.solver, e.workers),
 		"Rule", "Feasible", "Proven", "Cost", "WL", "Vias", "Nodes", "Runtime")
 	for i, r := range results {
 		if r.Err != nil {
@@ -244,7 +322,7 @@ func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int
 			sol.Wirelength, sol.Vias, sol.Nodes, sol.Runtime.Round(time.Millisecond))
 	}
 	t.Write(os.Stdout)
-	if stats {
+	if e.stats {
 		for i, r := range results {
 			fmt.Printf("%s ", rules[i].Name)
 			printStats(r.Value.sol)
@@ -253,10 +331,28 @@ func runAllRules(c *clip.Clip, solver string, timeout time.Duration, workers int
 	return nil
 }
 
+// writeConvergence dumps one solve's convergence trace (nil-safe on every
+// argument; heuristic solves have no trace and are skipped).
+func writeConvergence(conv *report.ConvergenceWriter, clipName, ruleName, solver string, sol *core.Solution) {
+	if conv == nil || sol == nil || len(sol.Stats.BoundTrace) == 0 {
+		return
+	}
+	if err := conv.Write(report.ConvergenceRecord{
+		Clip: clipName, Rule: ruleName, Solver: solver,
+		Termination: sol.Stats.Termination,
+		Feasible:    sol.Feasible, Cost: sol.Cost,
+		Nodes: sol.Stats.Nodes, MaxDepth: sol.Stats.MaxDepth,
+		WallMS: float64(sol.Stats.Elapsed.Microseconds()) / 1000,
+		Trace:  sol.Stats.BoundTrace,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "optroute: converge: %v\n", err)
+	}
+}
+
 func printStats(sol *core.Solution) {
 	st := sol.Stats
-	fmt.Printf("stats: nodes=%d incumbents=%d termination=%s elapsed=%s\n",
-		st.Nodes, st.Incumbents, st.Termination, st.Elapsed.Round(time.Millisecond))
+	fmt.Printf("stats: nodes=%d max_depth=%d incumbents=%d termination=%s elapsed=%s\n",
+		st.Nodes, st.MaxDepth, st.Incumbents, st.Termination, st.Elapsed.Round(time.Millisecond))
 	if st.LPSolves > 0 {
 		fmt.Printf("       lp_solves=%d lp_iters=%d lp_time=%s\n",
 			st.LPSolves, st.LPIters, st.LPTime.Round(time.Millisecond))
@@ -267,9 +363,20 @@ func printStats(sol *core.Solution) {
 		fmt.Printf("       bans=%d lagrangian_rounds=%d dives=%d\n",
 			st.BansGenerated, st.LagrangianRounds, st.Dives)
 	}
+	printPhases("phases", st.Phases)
+	printPhases("lp_phases", st.LPPhases)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "optroute: %v\n", err)
-	os.Exit(1)
+// printPhases renders a wall-time breakdown as "name=12.3ms" pairs in sorted
+// phase order.
+func printPhases(label string, b obs.Breakdown) {
+	if len(b) == 0 {
+		return
+	}
+	fmt.Printf("       %s:", label)
+	ms := b.MS()
+	for _, name := range b.Names() {
+		fmt.Printf(" %s=%.1fms", name, ms[name])
+	}
+	fmt.Println()
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"optrouter/internal/ilp"
 	"optrouter/internal/lp"
+	"optrouter/internal/obs"
 	"optrouter/internal/rgraph"
 )
 
@@ -492,25 +494,37 @@ func (m *ILPModel) addSADPConstraints() {
 func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	start := time.Now()
 	m := BuildILP(g)
+	buildDur := time.Since(start)
+	var seedDur time.Duration
 	if opt.Incumbent == nil {
+		seedStart := time.Now()
 		if h := SolveHeuristic(g, HeuristicOptions{}); h.Feasible {
 			if inc := m.EncodeSolution(h); inc != nil {
 				opt.Incumbent = inc
 			}
 		}
+		seedDur = time.Since(seedStart)
 	}
 	opt.IntegralObjective = true
 	res := m.Model.Solve(opt)
+	// The MILP engine's breakdown covers the solve; prepend the model build
+	// and heuristic warm start so the phases still partition SolveILP's wall
+	// time (decode is the only unattributed tail, and it is tiny).
+	phases := res.Stats.Phases.Merge(obs.Breakdown{PhaseSetup: buildDur, PhaseSeed: seedDur})
 	sol := &Solution{
 		Runtime: time.Since(start), Nodes: res.Nodes, LPIters: res.LPIters,
 		Stats: SolveStats{
 			Nodes:       res.Stats.Nodes,
+			MaxDepth:    res.Stats.MaxDepth,
 			Incumbents:  res.Stats.Incumbents,
 			LPSolves:    res.Stats.LPSolves,
 			LPIters:     res.Stats.LPIters,
 			LPTime:      res.Stats.LPTime,
 			Elapsed:     time.Since(start),
 			Termination: string(res.Stats.Termination),
+			Phases:      phases,
+			LPPhases:    res.Stats.LPPhases,
+			BoundTrace:  ilpBoundTrace(res.Stats.BoundTrace),
 		},
 	}
 	switch res.Status {
@@ -529,6 +543,31 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	sol.NetArcs = m.DecodeSolution(res.X)
 	summarize(g, sol)
 	return sol, nil
+}
+
+// ilpBoundTrace converts the MILP engine's float-valued convergence trace to
+// the shared integer BoundSample form (-1 sentinels for "no bound yet" /
+// "no incumbent yet"; rounding is exact since the objective is integral).
+func ilpBoundTrace(pts []ilp.BoundPoint) []BoundSample {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]BoundSample, len(pts))
+	for i, p := range pts {
+		bound, inc := int64(-1), int64(-1)
+		if !math.IsInf(p.Bound, -1) {
+			bound = int64(math.Round(p.Bound))
+		}
+		if !math.IsInf(p.Incumbent, 1) {
+			inc = int64(math.Round(p.Incumbent))
+		}
+		out[i] = BoundSample{
+			ElapsedMS: float64(p.Elapsed.Microseconds()) / 1000.0,
+			Nodes:     p.Nodes, Depth: p.Depth, Open: p.Open,
+			Bound: bound, Incumbent: inc,
+		}
+	}
+	return out
 }
 
 // DecodeSolution converts an ILP variable assignment to per-net arc lists.

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"optrouter/internal/obs"
 	"optrouter/internal/rgraph"
 )
 
@@ -54,11 +55,25 @@ type Solution struct {
 	Stats SolveStats
 }
 
+// BoundSample is one point of a solve's convergence trace: the proven lower
+// bound and best incumbent cost at a moment of the search. Samples are taken
+// at the root, at every incumbent update and at termination (capped at 1024
+// per solve) and dump as JSONL through report.ConvergenceWriter.
+type BoundSample struct {
+	ElapsedMS float64 `json:"elapsed_ms"` // since the start of the solve
+	Nodes     int     `json:"nodes"`      // nodes explored at the sample
+	Depth     int     `json:"depth"`      // depth of the node being processed
+	Open      int     `json:"open"`       // open nodes at the sample
+	Bound     int64   `json:"bound"`      // proven lower bound (-1 before root)
+	Incumbent int64   `json:"incumbent"`  // best feasible cost (-1 if none)
+}
+
 // SolveStats is the per-solve telemetry shared by both exact solvers.
 // Fields not applicable to a solver are left zero (e.g. LPSolves for the
 // combinatorial BnB, SteinerSolves for the MILP path).
 type SolveStats struct {
 	Nodes      int // search nodes explored
+	MaxDepth   int // deepest search node processed
 	Incumbents int // incumbent updates (including the heuristic seed)
 
 	// CDC-BnB specific.
@@ -79,6 +94,28 @@ type SolveStats struct {
 	// Termination says why the solve stopped: "optimal", "infeasible",
 	// "time-limit", "node-limit", or an LP failure reason.
 	Termination string
+
+	// Phases attributes the solve's wall time to solver-internal phases.
+	// CDC-BnB: seed, steiner, drc, lagrangian, dive, branch, search.
+	// MILP: setup, presolve, root_lp, node_lp, heuristic, branch, search.
+	// The phases partition the solve, so Phases.Total() ~= Elapsed.
+	Phases obs.Breakdown
+	// LPPhases is the aggregated simplex-internal breakdown (pricing, ratio
+	// test, pivot, refactorize) of the MILP path; empty unless the solve ran
+	// with lp.Options.CollectPhases.
+	LPPhases obs.Breakdown
+	// BoundTrace is the incumbent/bound convergence trace of the search.
+	BoundTrace []BoundSample
+}
+
+// maxTraceSamples caps BoundTrace per solve (the last entry is always the
+// terminal state).
+const maxTraceSamples = 1024
+
+// msSince returns the time since t in fractional milliseconds, the unit of
+// BoundSample.ElapsedMS.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000.0
 }
 
 // summarize fills cost/wirelength/via counters from NetArcs.

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/ilp"
+	"optrouter/internal/lp"
+	"optrouter/internal/report"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/sched"
+	"optrouter/internal/tech"
+)
+
+// BenchSpec is one pinned benchmark case: a synthesized clip (fully
+// determined by the seed and dimensions) solved under one rule with one
+// solver. The corpus is versioned by construction — identical specs produce
+// identical instances on every checkout — so BENCH_<n>.json documents are
+// comparable across the repository's history.
+type BenchSpec struct {
+	Name       string // case name, unique per (spec, solver)
+	Seed       int64
+	NX, NY, NZ int
+	Nets       int
+	Sinks      int // MaxSinks
+	Rule       string
+	Solver     string // "bnb" or "ilp"
+}
+
+// BenchCorpus returns the pinned corpus. The short corpus is the CI gate
+// (about a second); the full corpus is what cmd/benchrun commits as a
+// trajectory point: feasible searches from tens to thousands of BnB nodes,
+// proven-infeasible searches (the expensive half of rule-impact evaluation),
+// and MILP cases with enough simplex iterations to make the LP-phase
+// breakdown meaningful. Instances were picked from a seed×dims×rule
+// feasibility scan; dims/seed/rule pin each one exactly.
+func BenchCorpus(short bool) []BenchSpec {
+	mk := func(nx, ny, nz int, seed int64, rule, solver string) BenchSpec {
+		return BenchSpec{
+			Name: fmt.Sprintf("%dx%dx%d-s%d-%s-%s", nx, ny, nz, seed, rule, solver),
+			Seed: seed, NX: nx, NY: ny, NZ: nz, Nets: 3, Sinks: 2,
+			Rule: rule, Solver: solver,
+		}
+	}
+	if short {
+		return []BenchSpec{
+			mk(6, 7, 4, 3, "RULE8", "bnb"),  // feasible, ~400-node search
+			mk(6, 7, 4, 8, "RULE7", "bnb"),  // feasible, ~100-node search
+			mk(5, 6, 3, 4, "RULE7", "bnb"),  // proven infeasible, ~1300 nodes
+			mk(4, 5, 3, 10, "RULE1", "ilp"), // feasible, ~13k simplex iters
+		}
+	}
+	return []BenchSpec{
+		// Trivial baseline: the relaxed rule routes at the root node.
+		mk(6, 7, 4, 3, "RULE1", "bnb"),
+		// Feasible searches, ~100 to ~4000 nodes.
+		mk(6, 7, 4, 3, "RULE7", "bnb"),
+		mk(6, 7, 4, 3, "RULE8", "bnb"),
+		mk(6, 7, 4, 6, "RULE7", "bnb"),
+		mk(6, 7, 4, 6, "RULE8", "bnb"),
+		mk(6, 7, 4, 8, "RULE7", "bnb"),
+		mk(6, 7, 4, 10, "RULE8", "bnb"),
+		mk(7, 10, 4, 1, "RULE7", "bnb"),
+		mk(7, 10, 4, 9, "RULE8", "bnb"),
+		mk(7, 10, 4, 10, "RULE7", "bnb"),
+		// The big case: a multi-thousand-node search, seconds of wall time.
+		mk(7, 10, 4, 3, "RULE8", "bnb"),
+		// Proven-infeasible searches (restrictive rules kill the clip).
+		mk(5, 6, 3, 4, "RULE7", "bnb"),
+		mk(5, 6, 3, 7, "RULE8", "bnb"),
+		// MILP trajectory points, root-only through ~70-node trees.
+		mk(4, 5, 3, 3, "RULE1", "ilp"),
+		mk(4, 5, 3, 10, "RULE1", "ilp"),
+		mk(5, 6, 3, 1, "RULE1", "ilp"),
+		mk(5, 6, 3, 2, "RULE8", "ilp"),
+		mk(5, 6, 3, 3, "RULE7", "ilp"), // infeasible at the root relaxation
+	}
+}
+
+// BenchRunOptions tunes RunBenchCorpus.
+type BenchRunOptions struct {
+	Timeout time.Duration // per-case solve budget (default 30s)
+	Workers int           // scheduler workers (0 = NumCPU)
+	Corpus  string        // "short" or "full", recorded in the document
+}
+
+// RunBenchCorpus solves every spec and assembles the schema-versioned
+// benchmark document. Case failures (budget exhaustion, panics) are recorded
+// in the document rather than aborting the run, so a trajectory point is
+// always produced; the error return is reserved for invalid specs.
+func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions) (*report.BenchDoc, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	for _, s := range specs {
+		if _, ok := tech.RuleByName(s.Rule); !ok {
+			return nil, fmt.Errorf("exp: bench spec %q: unknown rule %s", s.Name, s.Rule)
+		}
+		if s.Solver != "bnb" && s.Solver != "ilp" {
+			return nil, fmt.Errorf("exp: bench spec %q: unknown solver %s", s.Name, s.Solver)
+		}
+	}
+
+	jobs := make([]sched.Job[report.BenchCase], len(specs))
+	for i := range specs {
+		s := specs[i]
+		jobs[i] = func(jctx context.Context) (report.BenchCase, error) {
+			return runBenchCase(jctx, s, opt.Timeout)
+		}
+	}
+	results := sched.Run(ctx, jobs, sched.Options{Workers: opt.Workers})
+
+	doc := &report.BenchDoc{
+		SchemaVersion: report.BenchSchemaVersion,
+		Corpus:        opt.Corpus,
+		GoVersion:     runtime.Version(),
+		Workers:       opt.Workers,
+	}
+	for i, r := range results {
+		bc := r.Value
+		if r.Err != nil {
+			bc = report.BenchCase{
+				Name: specs[i].Name, Rule: specs[i].Rule, Solver: specs[i].Solver,
+				Err: r.Err.Error(),
+			}
+		}
+		doc.Cases = append(doc.Cases, bc)
+	}
+	doc.Finalize()
+	return doc, nil
+}
+
+// runBenchCase synthesizes and solves one pinned instance.
+func runBenchCase(ctx context.Context, s BenchSpec, timeout time.Duration) (report.BenchCase, error) {
+	sopt := clip.DefaultSynth(s.Seed)
+	sopt.NX, sopt.NY, sopt.NZ = s.NX, s.NY, s.NZ
+	sopt.NumNets = s.Nets
+	sopt.MaxSinks = s.Sinks
+	c := clip.Synthesize(sopt)
+	c.Tech = "N28-12T"
+
+	rule, _ := tech.RuleByName(s.Rule)
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		return report.BenchCase{}, err
+	}
+
+	var sol *core.Solution
+	switch s.Solver {
+	case "bnb":
+		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: timeout, Ctx: ctx})
+	case "ilp":
+		sol, err = core.SolveILP(g, ilp.Options{
+			TimeLimit: timeout,
+			Ctx:       ctx,
+			LP:        lp.Options{CollectPhases: true},
+		})
+	}
+	bc := report.BenchCase{Name: s.Name, Rule: s.Rule, Solver: s.Solver}
+	if err != nil {
+		bc.Err = err.Error()
+		return bc, nil
+	}
+	st := sol.Stats
+	bc.Feasible = sol.Feasible
+	bc.Proven = sol.Proven
+	bc.Cost = sol.Cost
+	bc.WallMS = float64(st.Elapsed.Microseconds()) / 1000
+	bc.Nodes = st.Nodes
+	bc.MaxDepth = st.MaxDepth
+	bc.LPSolves = st.LPSolves
+	bc.SimplexIters = st.LPIters
+	bc.PhasesMS = st.Phases.MS()
+	bc.LPPhasesMS = st.LPPhases.MS()
+	return bc, nil
+}

@@ -222,6 +222,7 @@ type ClipProgress struct {
 	Rule      string
 	Index     int // 1-based solve index in study order (not dispatch order)
 	Total     int // total solves the study will perform (0 if unknown)
+	Worker    int // scheduler worker executing the solve (-1 outside a pool)
 	Elapsed   time.Duration
 	Nodes     int
 	Incumbent int64 // best cost so far (-1 if none)
@@ -435,6 +436,7 @@ func SolveClip(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions) (ClipRuleRe
 // solve between branch-and-bound nodes.
 func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int) (ClipRuleResult, error) {
 	opt = opt.withDefaults()
+	worker := sched.WorkerID(ctx)
 	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
 	if err != nil {
 		return ClipRuleResult{}, err
@@ -442,7 +444,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 	if opt.Progress != nil {
 		opt.Progress(ClipProgress{
 			Phase: "start", Clip: c.Name, Rule: rule.Name,
-			Index: idx, Total: total, Incumbent: -1, Bound: -1,
+			Index: idx, Total: total, Worker: worker, Incumbent: -1, Bound: -1,
 		})
 	}
 	bnbOpt := core.BnBOptions{
@@ -455,7 +457,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 		bnbOpt.Progress = func(p core.BnBProgress) {
 			opt.Progress(ClipProgress{
 				Phase: "progress", Clip: c.Name, Rule: rule.Name,
-				Index: idx, Total: total, Elapsed: p.Elapsed,
+				Index: idx, Total: total, Worker: worker, Elapsed: p.Elapsed,
 				Nodes: p.Nodes, Incumbent: p.Incumbent, Bound: p.Bound,
 			})
 		}
@@ -479,7 +481,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 		}
 		opt.Progress(ClipProgress{
 			Phase: "done", Clip: c.Name, Rule: rule.Name,
-			Index: idx, Total: total, Elapsed: sol.Runtime,
+			Index: idx, Total: total, Worker: worker, Elapsed: sol.Runtime,
 			Nodes: sol.Nodes, Incumbent: inc, Bound: inc, Result: &r,
 		})
 	}
@@ -513,8 +515,18 @@ func recordSolveMetrics(m *obs.Registry, r ClipRuleResult) {
 	if !r.Proven {
 		m.Counter("unproven").Inc()
 	}
-	m.Histogram("solve_ms").Observe(float64(r.Runtime.Microseconds()) / 1000)
+	m.Histogram("solve_ms").ObserveDuration(r.Runtime)
 	m.Histogram("nodes_per_solve").Observe(float64(st.Nodes))
+	m.Histogram("depth_per_solve").Observe(float64(st.MaxDepth))
+	// Per-sweep phase attribution: fold each solve's breakdown into
+	// microsecond counters (milliseconds would truncate the many sub-ms
+	// phases of small clips to zero).
+	for name, d := range st.Phases {
+		m.Counter("phase_" + name + "_us").Add(d.Microseconds())
+	}
+	for name, d := range st.LPPhases {
+		m.Counter("lp_phase_" + name + "_us").Add(d.Microseconds())
+	}
 }
 
 // ValidationResult compares OptRouter to the heuristic router on one clip

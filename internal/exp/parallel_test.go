@@ -55,6 +55,9 @@ func TestDeltaCostStudyDeterministic(t *testing.T) {
 		a.Stats.Elapsed, b.Stats.Elapsed = 0, 0
 		a.Stats.LPTime, b.Stats.LPTime = 0, 0
 		a.Stats.DRCTime, b.Stats.DRCTime = 0, 0
+		a.Stats.Phases, b.Stats.Phases = nil, nil
+		a.Stats.LPPhases, b.Stats.LPPhases = nil, nil
+		a.Stats.BoundTrace, b.Stats.BoundTrace = nil, nil
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("result[%d] differs:\n%+v\nvs\n%+v", i, res1[i], res8[i])
 		}

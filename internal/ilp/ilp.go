@@ -162,13 +162,28 @@ const (
 type BoundPoint struct {
 	Elapsed   time.Duration // since the start of the solve
 	Nodes     int           // nodes explored at sample time
+	Depth     int           // depth of the node being processed at the sample
+	Open      int           // nodes still on the stack at the sample
 	Bound     float64       // proven lower bound (-Inf before root solve)
 	Incumbent float64       // best integer objective (+Inf before first)
 }
 
+// MILP phase names used in Stats.Phases (a partition of the solve's wall
+// time, so the breakdown sums to Stats.Elapsed).
+const (
+	PhaseSetup     = "setup"     // incumbent check, bound snapshots
+	PhasePresolve  = "presolve"  // root bound propagation
+	PhaseRootLP    = "root_lp"   // the first LP relaxation
+	PhaseNodeLP    = "node_lp"   // all subsequent LP re-solves
+	PhaseHeuristic = "heuristic" // rounding heuristic + feasibility checks
+	PhaseBranch    = "branch"    // branching-variable selection + child push
+	PhaseSearch    = "search"    // node pop, bound application, pruning
+)
+
 // Stats are per-solve branch-and-bound statistics.
 type Stats struct {
 	Nodes         int           // nodes explored
+	MaxDepth      int           // deepest node processed
 	LPSolves      int           // LP relaxations solved
 	LPIters       int           // total simplex iterations
 	LPPivots      int           // total simplex basis exchanges
@@ -181,6 +196,13 @@ type Stats struct {
 	// BoundTrace samples the (bound, incumbent) pair at the root, at every
 	// incumbent update and at termination (capped at 1024 points).
 	BoundTrace []BoundPoint
+	// Phases attributes the solve's wall time to the Phase* constants above;
+	// always collected (the clock ticks at node granularity, which is cheap).
+	Phases obs.Breakdown
+	// LPPhases aggregates the simplex-internal breakdown (pricing, ratio
+	// test, ...) across all LP solves; populated only when
+	// Options.LP.CollectPhases is set.
+	LPPhases obs.Breakdown
 }
 
 // Gap returns the relative optimality gap (0 when proven optimal, +Inf
@@ -245,17 +267,21 @@ func (m *Model) Solve(opt Options) Result {
 		stats    Stats
 		term     TerminationReason
 		openLen  int
+		curDepth int
 	)
 	span := opt.Tracer.Start("ilp.solve",
 		obs.A("vars", m.Prob.NumVars()),
 		obs.A("int_vars", m.NumIntegerVars()),
 		obs.A("rows", m.Prob.NumRows()))
+	clock := obs.NewPhaseClock()
+	clock.Enter(PhaseSetup)
 	sample := func() {
 		if len(stats.BoundTrace) >= 1024 {
 			return
 		}
 		stats.BoundTrace = append(stats.BoundTrace, BoundPoint{
-			Elapsed: time.Since(start), Nodes: nodes, Bound: bestBnd, Incumbent: bestObj,
+			Elapsed: time.Since(start), Nodes: nodes, Depth: curDepth,
+			Open: openLen, Bound: bestBnd, Incumbent: bestObj,
 		})
 	}
 	progress := func() {
@@ -267,6 +293,8 @@ func (m *Model) Solve(opt Options) Result {
 		}
 	}
 	finish := func(r Result) Result {
+		clock.Stop()
+		stats.Phases = clock.Breakdown()
 		stats.Nodes = nodes
 		stats.LPIters = lpIters
 		stats.Elapsed = time.Since(start)
@@ -333,6 +361,7 @@ func (m *Model) Solve(opt Options) Result {
 	// top of them via presolvedLo/Hi.
 	presolvedLo := rootLo
 	presolvedHi := rootHi
+	clock.Enter(PhasePresolve)
 	if !opt.NoPresolve {
 		if !m.presolve(8) {
 			restore()
@@ -359,6 +388,7 @@ func (m *Model) Solve(opt Options) Result {
 
 	stack := []node{{bound: math.Inf(-1)}}
 	rootBoundSet := false
+	clock.Enter(PhaseSearch)
 
 	for len(stack) > 0 {
 		if nodes >= opt.MaxNodes {
@@ -379,6 +409,10 @@ func (m *Model) Solve(opt Options) Result {
 		openLen = len(stack)
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		curDepth = nd.depth
+		if nd.depth > stats.MaxDepth {
+			stats.MaxDepth = nd.depth
+		}
 
 		if haveInc && nd.bound > cutoff() {
 			continue // parent bound already dominated
@@ -400,9 +434,16 @@ func (m *Model) Solve(opt Options) Result {
 			continue
 		}
 
+		if stats.LPSolves == 0 {
+			clock.Enter(PhaseRootLP)
+		} else {
+			clock.Enter(PhaseNodeLP)
+		}
 		lpStart := time.Now()
 		res := m.Prob.Solve(opt.LP)
 		stats.LPTime += time.Since(lpStart)
+		clock.Enter(PhaseSearch)
+		stats.LPPhases = stats.LPPhases.Merge(res.Stats.Phases)
 		nodes++
 		lpIters += res.Iters
 		stats.LPSolves++
@@ -444,6 +485,7 @@ func (m *Model) Solve(opt Options) Result {
 		}
 
 		// Find most fractional integer variable.
+		clock.Enter(PhaseBranch)
 		branchVar := -1
 		worst := opt.IntTol
 		for j := 0; j < nv; j++ {
@@ -475,6 +517,7 @@ func (m *Model) Solve(opt Options) Result {
 
 		// Rounding heuristic: snap all integer vars and test feasibility.
 		if nd.depth < 12 {
+			clock.Enter(PhaseHeuristic)
 			cand := roundX(m, res.X)
 			if ok, obj := m.CheckFeasible(cand, opt.IntTol); ok && obj < bestObj-1e-9 {
 				bestObj = obj
@@ -486,6 +529,7 @@ func (m *Model) Solve(opt Options) Result {
 				span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes), obs.A("source", "rounding"))
 				progress()
 			}
+			clock.Enter(PhaseBranch)
 		}
 
 		// Branch: explore the side nearest the LP value first (pushed last).

@@ -17,6 +17,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"optrouter/internal/obs"
 )
 
 // Inf is positive infinity, for unbounded variable bounds.
@@ -204,7 +206,22 @@ type Stats struct {
 	BoundFlips       int // nonbasic bound-to-bound moves (no basis change)
 	Refactorizations int // basis-inverse rebuilds (numerical recovery)
 	DegeneratePivots int // zero-step iterations (stalling indicator)
+
+	// Phases attributes the solve's wall time to the simplex internals —
+	// PhaseBuild, PhasePricing, PhaseRatioTest, PhasePivot, PhaseRefactorize
+	// — and is populated only when Options.CollectPhases is set (the
+	// per-iteration clock reads are not free on tiny LPs).
+	Phases obs.Breakdown
 }
+
+// Simplex phase names used in Stats.Phases.
+const (
+	PhaseBuild       = "build"       // column/basis assembly before iterating
+	PhasePricing     = "pricing"     // dual computation + entering-column scan
+	PhaseRatioTest   = "ratio_test"  // bounded ratio test for the leaving row
+	PhasePivot       = "pivot"       // step application + basis-inverse update
+	PhaseRefactorize = "refactorize" // basis-inverse rebuilds and refreshes
+)
 
 // Options tunes the simplex solver.
 type Options struct {
@@ -213,6 +230,9 @@ type Options struct {
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
 	Tol float64
+	// CollectPhases enables per-phase wall-time attribution (Stats.Phases).
+	// It costs a few clock reads per iteration, so it is opt-in.
+	CollectPhases bool
 }
 
 func (o Options) withDefaults(m, n int) Options {

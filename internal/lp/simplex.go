@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"optrouter/internal/obs"
+)
 
 // varState classifies a nonbasic variable's current position.
 type varState uint8
@@ -37,8 +41,9 @@ type simplex struct {
 	w     []float64 // pivot column workspace
 	iters int
 	stats Stats
-	bland bool // Bland's anti-cycling rule active
-	stall int  // consecutive degenerate pivots
+	bland bool            // Bland's anti-cycling rule active
+	stall int             // consecutive degenerate pivots
+	clock *obs.PhaseClock // nil unless Options.CollectPhases
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
@@ -50,6 +55,10 @@ func newSimplex(p *Problem, opt Options) *simplex {
 		m:   m,
 		n:   n,
 	}
+	if s.opt.CollectPhases {
+		s.clock = obs.NewPhaseClock()
+	}
+	s.clock.Enter(PhaseBuild)
 	s.build()
 	return s
 }
@@ -194,6 +203,8 @@ func (s *simplex) nbValue(j int) float64 {
 // result assembles a Result carrying the accumulated statistics.
 func (s *simplex) result(st Status) Result {
 	s.stats.Iters = s.iters
+	s.clock.Stop()
+	s.stats.Phases = s.clock.Breakdown()
 	return Result{Status: st, Iters: s.iters, Stats: s.stats}
 }
 
@@ -266,6 +277,7 @@ func (s *simplex) iterate(cost []float64) Status {
 			return IterLimit
 		}
 		s.iters++
+		s.clock.Enter(PhasePricing)
 
 		// Duals: y = cB^T * Binv.
 		for i := 0; i < m; i++ {
@@ -331,6 +343,7 @@ func (s *simplex) iterate(cost []float64) Status {
 		if enter == -1 {
 			return Optimal
 		}
+		s.clock.Enter(PhaseRatioTest)
 
 		// Pivot column w = Binv * A_enter.
 		for i := 0; i < m; i++ {
@@ -385,6 +398,7 @@ func (s *simplex) iterate(cost []float64) Status {
 		if math.IsInf(t, 1) {
 			return Unbounded
 		}
+		s.clock.Enter(PhasePivot)
 
 		// Track degeneracy to toggle Bland's rule.
 		if t <= 1e-10 {
@@ -500,6 +514,7 @@ func (s *simplex) refresh() {
 // the current basis matrix. Returns false if the basis is singular.
 func (s *simplex) refactorize() bool {
 	s.stats.Refactorizations++
+	s.clock.Enter(PhaseRefactorize)
 	m := s.m
 	// Assemble dense basis matrix.
 	bm := make([]float64, m*m)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ObserveDuration records a duration in the histogram in milliseconds, the
+// repository's metric convention (defaultBounds are millisecond-scaled).
+// Safe on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Microseconds()) / 1000)
+}
+
+// Timer measures one region and records it into a histogram. Obtain one with
+// Histogram.StartTimer; the timer works (and still measures) when the
+// histogram is nil, so call sites that need the elapsed time anyway — the
+// scheduler's per-job runtime — use one code path with or without metrics.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts a Timer recording into h. Valid on a nil histogram.
+func (h *Histogram) StartTimer() Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// ObserveDuration records the elapsed time since StartTimer into the
+// histogram (no-op when nil) and returns it.
+func (t Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}
+
+// Throttle rate-limits an action to at most one per interval. Allow reports
+// whether the action should run now; the first call always allows. It is
+// concurrency-safe and nil-safe (a nil Throttle always allows), used to cap
+// live progress-line redraws so fast parallel solves don't spam the
+// terminal.
+type Throttle struct {
+	mu    sync.Mutex
+	every time.Duration
+	last  time.Time
+}
+
+// NewThrottle returns a Throttle allowing one action per interval; a
+// non-positive interval allows everything.
+func NewThrottle(every time.Duration) *Throttle {
+	return &Throttle{every: every}
+}
+
+// Allow reports whether the action may run now, consuming the slot if so.
+func (t *Throttle) Allow() bool {
+	if t == nil || t.every <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if now.Sub(t.last) < t.every {
+		return false
+	}
+	t.last = now
+	return true
+}

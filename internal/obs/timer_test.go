@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	st := h.Stat()
+	if st.Count != 1 || st.Sum != 1.5 {
+		t.Errorf("stat = %+v, want one 1.5ms observation", st)
+	}
+	var nilH *Histogram
+	nilH.ObserveDuration(time.Second) // must not panic
+}
+
+func TestTimer(t *testing.T) {
+	var h Histogram
+	tm := h.StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	d := tm.ObserveDuration()
+	if d < time.Millisecond {
+		t.Errorf("timer measured %v, want >= ~2ms", d)
+	}
+	if st := h.Stat(); st.Count != 1 || st.Sum < 1 {
+		t.Errorf("stat = %+v, want the timed region recorded in ms", st)
+	}
+
+	// A nil histogram's timer still measures (the scheduler depends on this).
+	var nilH *Histogram
+	tm = nilH.StartTimer()
+	time.Sleep(time.Millisecond)
+	if d := tm.ObserveDuration(); d < 500*time.Microsecond {
+		t.Errorf("nil-histogram timer measured %v", d)
+	}
+}
+
+func TestThrottle(t *testing.T) {
+	th := NewThrottle(time.Hour)
+	if !th.Allow() {
+		t.Fatal("first Allow must pass")
+	}
+	if th.Allow() {
+		t.Fatal("second Allow within the interval must be rejected")
+	}
+
+	th = NewThrottle(time.Millisecond)
+	th.Allow()
+	time.Sleep(3 * time.Millisecond)
+	if !th.Allow() {
+		t.Error("Allow after the interval elapsed must pass")
+	}
+
+	var nilTh *Throttle
+	if !nilTh.Allow() || !NewThrottle(0).Allow() || !NewThrottle(0).Allow() {
+		t.Error("nil or zero-interval throttles must always allow")
+	}
+}

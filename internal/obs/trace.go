@@ -35,16 +35,18 @@ type SpanRecord struct {
 // NewTracer; a nil *Tracer (and the nil *Span values it then returns) is a
 // valid no-op, so instrumented code never guards trace calls.
 type Tracer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	err   error
-	epoch time.Time
-	seq   atomic.Int64
+	mu     sync.Mutex
+	w      *bufio.Writer
+	sink   io.Writer // the unbuffered writer, for Close
+	err    error
+	closed bool
+	epoch  time.Time
+	seq    atomic.Int64
 }
 
 // NewTracer returns a Tracer writing JSON lines to w.
 func NewTracer(w io.Writer) *Tracer {
-	return &Tracer{w: bufio.NewWriter(w), epoch: time.Now()}
+	return &Tracer{w: bufio.NewWriter(w), sink: w, epoch: time.Now()}
 }
 
 // Start opens a root span.
@@ -90,7 +92,7 @@ func (t *Tracer) emit(rec SpanRecord) {
 	b, err := json.Marshal(rec)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.err != nil {
+	if t.err != nil || t.closed {
 		return
 	}
 	if err != nil {
@@ -110,10 +112,38 @@ func (t *Tracer) Flush() error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tracer) flushLocked() error {
 	if err := t.w.Flush(); err != nil && t.err == nil {
 		t.err = err
 	}
 	return t.err
+}
+
+// Close flushes buffered records and, when the underlying writer is an
+// io.Closer (the CLIs hand the Tracer an *os.File), closes it. Subsequent
+// emits are dropped. Idempotent and safe on nil, so CLIs can Close both on
+// the normal path and on the interrupt path without double-close errors.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	err := t.flushLocked()
+	if c, ok := t.sink.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && t.err == nil {
+			t.err = cerr
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Span is one timed region. End writes its record; Child opens a nested

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// BenchSchemaVersion is the schema of the BENCH_<n>.json documents written by
+// cmd/benchrun. Bump it on any breaking change to BenchDoc; trajectory
+// tooling refuses documents from a different major schema.
+const BenchSchemaVersion = 1
+
+// BenchCase is the result of one pinned (clip, rule, solver) benchmark solve.
+type BenchCase struct {
+	Name   string `json:"name"`   // corpus case name ("seed3-RULE7" style)
+	Rule   string `json:"rule"`   // rule configuration solved under
+	Solver string `json:"solver"` // "bnb" or "ilp"
+
+	Feasible bool   `json:"feasible"`
+	Proven   bool   `json:"proven"`
+	Cost     int    `json:"cost"` // routing cost (0 when infeasible)
+	Err      string `json:"err,omitempty"`
+
+	WallMS       float64 `json:"wall_ms"`
+	Nodes        int     `json:"nodes"`
+	MaxDepth     int     `json:"max_depth"`
+	LPSolves     int     `json:"lp_solves"`
+	SimplexIters int     `json:"simplex_iters"`
+
+	// PhasesMS is the solver's wall-time attribution in milliseconds;
+	// LPPhasesMS the simplex-internal sub-breakdown (ilp cases only).
+	PhasesMS   map[string]float64 `json:"phases_ms,omitempty"`
+	LPPhasesMS map[string]float64 `json:"lp_phases_ms,omitempty"`
+}
+
+// BenchTotals aggregates the corpus for at-a-glance trajectory diffs.
+type BenchTotals struct {
+	Cases        int     `json:"cases"`
+	Failed       int     `json:"failed"`
+	WallMS       float64 `json:"wall_ms"`
+	Nodes        int     `json:"nodes"`
+	LPSolves     int     `json:"lp_solves"`
+	SimplexIters int     `json:"simplex_iters"`
+	// PhasesMS folds every case's attribution into one per-sweep breakdown.
+	PhasesMS map[string]float64 `json:"phases_ms,omitempty"`
+}
+
+// BenchDoc is one benchmark-trajectory document (one BENCH_<n>.json).
+type BenchDoc struct {
+	SchemaVersion int    `json:"schema_version"`
+	Corpus        string `json:"corpus"` // "short" or "full"
+	GoVersion     string `json:"go_version"`
+	Workers       int    `json:"workers"`
+
+	Cases  []BenchCase `json:"cases"`
+	Totals BenchTotals `json:"totals"`
+}
+
+// Finalize recomputes Totals from Cases (cmd/benchrun calls it before
+// writing, so Totals can never drift from the case list).
+func (d *BenchDoc) Finalize() {
+	t := BenchTotals{Cases: len(d.Cases)}
+	for _, c := range d.Cases {
+		if c.Err != "" {
+			t.Failed++
+		}
+		t.WallMS += c.WallMS
+		t.Nodes += c.Nodes
+		t.LPSolves += c.LPSolves
+		t.SimplexIters += c.SimplexIters
+		for k, v := range c.PhasesMS {
+			if t.PhasesMS == nil {
+				t.PhasesMS = map[string]float64{}
+			}
+			t.PhasesMS[k] += v
+		}
+	}
+	d.Totals = t
+}
+
+// MarshalBench renders the document as the indented, newline-terminated JSON
+// committed as BENCH_<n>.json (stable formatting keeps trajectory diffs
+// readable).
+func MarshalBench(d *BenchDoc) ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ValidateBench parses and validates one benchmark document, returning the
+// first schema violation. It is the gate ci.sh runs over both the freshly
+// emitted short-corpus document and the committed BENCH_<n>.json files.
+func ValidateBench(data []byte) (*BenchDoc, error) {
+	var doc BenchDoc
+	dec := jsonStrictDecoder(data)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bench: invalid JSON: %w", err)
+	}
+	if doc.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench: schema_version %d, want %d", doc.SchemaVersion, BenchSchemaVersion)
+	}
+	if doc.Corpus != "short" && doc.Corpus != "full" {
+		return nil, fmt.Errorf("bench: corpus %q, want short|full", doc.Corpus)
+	}
+	if doc.GoVersion == "" {
+		return nil, fmt.Errorf("bench: missing go_version")
+	}
+	if len(doc.Cases) == 0 {
+		return nil, fmt.Errorf("bench: no cases")
+	}
+	seen := map[string]bool{}
+	for i, c := range doc.Cases {
+		key := c.Name + "/" + c.Solver
+		switch {
+		case c.Name == "":
+			return nil, fmt.Errorf("bench: case %d: missing name", i)
+		case c.Rule == "":
+			return nil, fmt.Errorf("bench: case %q: missing rule", c.Name)
+		case c.Solver != "bnb" && c.Solver != "ilp":
+			return nil, fmt.Errorf("bench: case %q: solver %q, want bnb|ilp", c.Name, c.Solver)
+		case seen[key]:
+			return nil, fmt.Errorf("bench: duplicate case %q", key)
+		case c.WallMS < 0:
+			return nil, fmt.Errorf("bench: case %q: negative wall_ms", c.Name)
+		case c.Err == "" && c.Feasible && c.Nodes <= 0:
+			return nil, fmt.Errorf("bench: case %q: no nodes recorded", c.Name)
+		case c.Err == "" && len(c.PhasesMS) == 0:
+			return nil, fmt.Errorf("bench: case %q: missing phase breakdown", c.Name)
+		}
+		seen[key] = true
+	}
+	want := doc.Totals
+	check := doc
+	check.Finalize()
+	if got := check.Totals; got.Cases != want.Cases || got.Failed != want.Failed ||
+		got.Nodes != want.Nodes || got.LPSolves != want.LPSolves ||
+		got.SimplexIters != want.SimplexIters {
+		return nil, fmt.Errorf("bench: totals disagree with cases: have %+v, recomputed %+v", want, got)
+	}
+	return &doc, nil
+}
+
+// jsonStrictDecoder decodes rejecting unknown fields, so stale documents from
+// an older schema fail loudly instead of silently dropping data.
+func jsonStrictDecoder(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func validDoc() *BenchDoc {
+	d := &BenchDoc{
+		SchemaVersion: BenchSchemaVersion,
+		Corpus:        "short",
+		GoVersion:     "go1.24.0",
+		Workers:       4,
+		Cases: []BenchCase{
+			{
+				Name: "6x7x4-s3-RULE8-bnb", Rule: "RULE8", Solver: "bnb",
+				Feasible: true, Proven: true, Cost: 51,
+				WallMS: 200.5, Nodes: 404, MaxDepth: 9,
+				PhasesMS: map[string]float64{"search": 120, "steiner": 80.5},
+			},
+			{
+				Name: "4x5x3-s10-RULE1-ilp", Rule: "RULE1", Solver: "ilp",
+				Feasible: true, Proven: true, Cost: 41,
+				WallMS: 300, Nodes: 77, MaxDepth: 17,
+				LPSolves: 77, SimplexIters: 12968,
+				PhasesMS:   map[string]float64{"node_lp": 290, "root_lp": 10},
+				LPPhasesMS: map[string]float64{"pricing": 120, "pivot": 92},
+			},
+		},
+	}
+	d.Finalize()
+	return d
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	doc := validDoc()
+	data, err := MarshalBench(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("document must be newline-terminated")
+	}
+	back, err := ValidateBench(data)
+	if err != nil {
+		t.Fatalf("round-trip rejected: %v", err)
+	}
+	if back.Totals.Nodes != 481 || back.Totals.SimplexIters != 12968 || back.Totals.Cases != 2 {
+		t.Errorf("totals = %+v", back.Totals)
+	}
+	if back.Totals.PhasesMS["search"] != 120 || back.Totals.PhasesMS["node_lp"] != 290 {
+		t.Errorf("phase totals = %v", back.Totals.PhasesMS)
+	}
+}
+
+func TestValidateBenchRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*BenchDoc)
+		wantErr string
+	}{
+		{"wrong schema", func(d *BenchDoc) { d.SchemaVersion = 99 }, "schema_version"},
+		{"bad corpus", func(d *BenchDoc) { d.Corpus = "medium" }, "corpus"},
+		{"no go version", func(d *BenchDoc) { d.GoVersion = "" }, "go_version"},
+		{"no cases", func(d *BenchDoc) { d.Cases = nil }, "no cases"},
+		{"missing name", func(d *BenchDoc) { d.Cases[0].Name = "" }, "missing name"},
+		{"missing rule", func(d *BenchDoc) { d.Cases[0].Rule = "" }, "missing rule"},
+		{"bad solver", func(d *BenchDoc) { d.Cases[1].Solver = "gurobi" }, "solver"},
+		{"duplicate case", func(d *BenchDoc) {
+			d.Cases[1] = d.Cases[0]
+		}, "duplicate"},
+		{"negative wall", func(d *BenchDoc) { d.Cases[0].WallMS = -1 }, "wall_ms"},
+		{"feasible without nodes", func(d *BenchDoc) { d.Cases[0].Nodes = 0 }, "no nodes"},
+		{"missing phases", func(d *BenchDoc) { d.Cases[0].PhasesMS = nil }, "phase breakdown"},
+		{"stale totals", func(d *BenchDoc) { d.Totals.Nodes += 5 }, "totals"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := validDoc()
+			tc.mutate(doc)
+			// Only the stale-totals case wants Finalize skipped; the rest were
+			// finalized before mutation, which is exactly the drift scenario.
+			data, err := MarshalBench(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ValidateBench(data)
+			if err == nil {
+				t.Fatalf("validation accepted a %s document", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateBenchStrictJSON(t *testing.T) {
+	if _, err := ValidateBench([]byte("{nope")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	// Unknown fields mean a schema drift; the strict decoder must refuse.
+	data, err := MarshalBench(validDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(data), `"corpus"`, `"corpus_v2": "x", "corpus"`, 1)
+	if _, err := ValidateBench([]byte(drifted)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestValidateBenchFailedCase: a case that errored is valid without phases or
+// nodes — the failure itself is the trajectory point.
+func TestValidateBenchFailedCase(t *testing.T) {
+	doc := validDoc()
+	doc.Cases = append(doc.Cases, BenchCase{
+		Name: "7x10x4-s4-RULE7-bnb", Rule: "RULE7", Solver: "bnb",
+		Err: "context deadline exceeded",
+	})
+	doc.Finalize()
+	data, err := MarshalBench(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBench(data)
+	if err != nil {
+		t.Fatalf("failed case rejected: %v", err)
+	}
+	if back.Totals.Failed != 1 {
+		t.Errorf("failed total = %d, want 1", back.Totals.Failed)
+	}
+}

@@ -49,6 +49,19 @@ import (
 // should poll it.
 type Job[T any] func(ctx context.Context) (T, error)
 
+// workerKey carries the executing worker's id in the job context.
+type workerKey struct{}
+
+// WorkerID returns the id of the worker executing the job whose context this
+// is, or -1 when the context did not come from a pool worker. Jobs use it to
+// label progress/status reports with a stable worker identity.
+func WorkerID(ctx context.Context) int {
+	if v, ok := ctx.Value(workerKey{}).(int); ok {
+		return v
+	}
+	return -1
+}
+
 // Options tunes a Run.
 type Options struct {
 	// Workers is the worker-goroutine count (default runtime.NumCPU();
@@ -217,14 +230,14 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 			notify("done", idx, worker, err)
 			return
 		}
-		jctx := ctx
+		jctx := context.WithValue(ctx, workerKey{}, worker)
 		var cancel context.CancelFunc
 		if opt.JobTimeout > 0 {
-			jctx, cancel = context.WithTimeout(ctx, opt.JobTimeout)
+			jctx, cancel = context.WithTimeout(jctx, opt.JobTimeout)
 		}
 		notify("start", idx, worker, nil)
 		inflight.Add(1)
-		start := time.Now()
+		tm := jobMS.StartTimer()
 		func() {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -234,12 +247,11 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 			}()
 			r.Value, r.Err = jobs[idx](jctx)
 		}()
-		r.Runtime = time.Since(start)
+		r.Runtime = tm.ObserveDuration()
 		if cancel != nil {
 			cancel()
 		}
 		inflight.Add(-1)
-		jobMS.Observe(float64(r.Runtime.Microseconds()) / 1000)
 		m.Gauge(fmt.Sprintf("sched_worker_%02d_jobs", worker)).Add(1)
 		if r.Panicked {
 			m.Counter("sched_jobs_panicked").Inc()
