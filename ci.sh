@@ -36,10 +36,15 @@ go run ./cmd/optroute -synth 5x6x3 -nets 3 -seed 7 -rule all -j 4 -timeout 20s >
 echo "== smoke: beoleval -fig10 -j 4"
 go run ./cmd/beoleval -tech N28-12T -fig10 -j 4 -timeout 5s >/dev/null
 
-echo "== bench: short corpus + schema validation"
+echo "== bench: short corpus + schema validation + regression gate"
 bench_tmp=$(mktemp -d)
 trap 'rm -rf "$bench_tmp"' EXIT
-go run ./cmd/benchrun -short -timeout 30s -o "$bench_tmp/BENCH_ci.json"
+# The short corpus is a subset of the full trajectory corpus, so the freshly
+# run cases gate against the latest committed trajectory point: identical
+# answers required, and at most a 20% geomean wall-time regression.
+bench_latest=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
+go run ./cmd/benchrun -short -timeout 30s -o "$bench_tmp/BENCH_ci.json" \
+	-baseline "$bench_latest" -max-regress 1.2
 go run ./cmd/benchrun -check "$bench_tmp/BENCH_ci.json"
 for doc in BENCH_*.json; do
 	[ -e "$doc" ] || continue

@@ -8,13 +8,16 @@
 //
 // Usage:
 //
-//	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir]
+//	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir] [-baseline file [-max-regress R]]
 //	benchrun -check file.json
 //
 // -short runs the CI corpus (seconds); the default full corpus takes on the
 // order of a minute. -o writes to the named file ("-" = stdout); -dir picks
 // the first free BENCH_<n>.json in the directory (default "."). -check only
-// validates an existing document against the schema and exits.
+// validates an existing document against the schema and exits. -baseline
+// compares the run against a committed trajectory point (failing on any
+// answer mismatch) and -max-regress additionally fails the run when the
+// geomean wall-time ratio exceeds the given factor.
 package main
 
 import (
@@ -46,6 +49,10 @@ func run() error {
 		out     = flag.String("o", "", "output file (\"-\" = stdout; default: first free BENCH_<n>.json in -dir)")
 		dir     = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json output")
 		check   = flag.String("check", "", "validate an existing benchmark document and exit")
+
+		baseline   = flag.String("baseline", "", "baseline benchmark document to compare the run against")
+		maxRegress = flag.Float64("max-regress", 0,
+			"fail when the geomean wall ratio vs -baseline exceeds this (0 = report only)")
 	)
 	flag.Parse()
 
@@ -90,23 +97,62 @@ func run() error {
 	}
 
 	if *out == "-" {
-		_, err := os.Stdout.Write(data)
-		return err
-	}
-	path := *out
-	if path == "" {
-		path, err = nextBenchPath(*dir)
-		if err != nil {
+		if _, err := os.Stdout.Write(data); err != nil {
 			return err
 		}
+	} else {
+		path := *out
+		if path == "" {
+			path, err = nextBenchPath(*dir)
+			if err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d cases, %d failed, %.0fms total solve wall)\n",
+			path, doc.Totals.Cases, doc.Totals.Failed, doc.Totals.WallMS)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d cases, %d failed, %.0fms total solve wall)\n",
-		path, doc.Totals.Cases, doc.Totals.Failed, doc.Totals.WallMS)
 	if doc.Totals.Failed > 0 {
 		return fmt.Errorf("%d of %d cases failed", doc.Totals.Failed, doc.Totals.Cases)
+	}
+	if *baseline != "" {
+		return compareBaseline(doc, *baseline, *maxRegress)
+	}
+	return nil
+}
+
+// compareBaseline gates the freshly run document against a committed
+// trajectory point: identical answers on every shared case, and (when
+// maxRegress > 0) a geomean wall-time ratio within the budget.
+func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base, err := report.ValidateBench(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	cmp := report.CompareBench(base, doc)
+	fmt.Fprintf(os.Stderr, "benchrun: vs %s: %d cases matched, geomean wall ratio %.3f\n",
+		path, cmp.Matched, cmp.WallRatio)
+	for _, m := range cmp.Mismatches {
+		fmt.Fprintf(os.Stderr, "benchrun: answer mismatch: %s\n", m)
+	}
+	for _, k := range cmp.OnlyCur {
+		fmt.Fprintf(os.Stderr, "benchrun: case %s not in baseline\n", k)
+	}
+	if len(cmp.Mismatches) > 0 {
+		return fmt.Errorf("%d answer mismatches vs %s", len(cmp.Mismatches), path)
+	}
+	if cmp.Matched == 0 {
+		return fmt.Errorf("no comparable cases vs %s", path)
+	}
+	if maxRegress > 0 && cmp.WallRatio > maxRegress {
+		return fmt.Errorf("geomean wall ratio %.3f vs %s exceeds -max-regress %.2f",
+			cmp.WallRatio, path, maxRegress)
 	}
 	return nil
 }

@@ -33,6 +33,12 @@ type BnBOptions struct {
 	// Tracer, if non-nil, receives a span for the solve with incumbent and
 	// termination events (see package obs). Nil disables tracing.
 	Tracer *obs.Tracer
+	// Arena, if non-nil, supplies the Steiner kernel's reusable storage.
+	// Sharing one arena across sequential solves on related graphs (the
+	// eleven rule configurations of a clip in a sweep) amortizes the solver's
+	// working set; nil allocates a private arena. Arenas are not safe for
+	// concurrent use.
+	Arena *SteinerArena
 }
 
 func (o BnBOptions) withDefaults() BnBOptions {
@@ -74,12 +80,70 @@ type banKey struct {
 	arc int32
 }
 
+// splitmix64 is the finalizing mix of the SplitMix64 generator — cheap, and
+// enough avalanche that summing mixed values fingerprints a set well.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// banFingerprint hashes the subset of bans belonging to net k without
+// materializing a key: the per-arc mixes are combined by addition, so the
+// fingerprint is independent of Go's randomized map iteration order. Returns
+// the hash and the subset size.
+func banFingerprint(k int, bans map[banKey]bool) (uint64, int) {
+	h := uint64(0)
+	cnt := 0
+	for b := range bans {
+		if int(b.net) == k {
+			h += splitmix64(uint64(uint32(b.arc)) + 1)
+			cnt++
+		}
+	}
+	return h, cnt
+}
+
 // bnbNode is a search node: its bans are the chain to the root.
 type bnbNode struct {
 	parent *bnbNode
 	bans   []banKey // bans added at this node
 	lb     int64    // lower bound computed at creation (parent-estimate)
 	depth  int
+}
+
+// cachedRoute is one per-net route memo entry of SolveBnB's route cache.
+type cachedRoute struct {
+	ids  []int32 // the net's banned arc ids (set-equality verification)
+	arcs []int32
+	cost int64
+	ok   bool
+}
+
+// lookupRoute scans the same-fingerprint cache entries for one whose ban-id
+// set equals net k's subset of bans (known to have size cnt). Entries are
+// verified by size and membership rather than trusted on hash equality, so a
+// fingerprint collision degrades to a cache miss, never a wrong route (see
+// TestRouteCacheCollisionSafety).
+func lookupRoute(entries []cachedRoute, k, cnt int, bans map[banKey]bool) *cachedRoute {
+	for i := range entries {
+		e := &entries[i]
+		if len(e.ids) != cnt {
+			continue
+		}
+		match := true
+		for _, id := range e.ids {
+			if !bans[banKey{net: int32(k), arc: id}] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e
+		}
+	}
+	return nil
 }
 
 func (n *bnbNode) allBans(buf map[banKey]bool) map[banKey]bool {
@@ -129,6 +193,11 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	opt = opt.withDefaults()
 	own := newOwnership(g)
 	nNets := len(g.Clip.Nets)
+	arena := opt.Arena
+	if arena == nil {
+		arena = NewSteinerArena()
+	}
+	arena.resetBans() // recycle ban vectors from a previous solve on this arena
 
 	var stats SolveStats
 	gst := g.Stats()
@@ -147,7 +216,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	var bestCost int64 = 1 << 60
 	if !opt.NoHeuristicSeed {
 		hspan := span.Child("heuristic.seed")
-		h := SolveHeuristic(g, HeuristicOptions{})
+		h := SolveHeuristic(g, HeuristicOptions{Arena: arena})
 		hspan.SetAttr("feasible", h.Feasible)
 		hspan.End()
 		if h.Feasible {
@@ -178,34 +247,18 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	ctxs := make([]*steinerCtx, nNets)
 	baseBans := make([][]bool, nNets)
 	for k := 0; k < nNets; k++ {
-		ctxs[k] = newSteinerCtx(g, own, k)
+		ctxs[k] = newSteinerCtx(g, own, k, arena)
 		baseBans[k] = append([]bool(nil), ctxs[k].banned...)
 	}
 
 	// Per-net route memoization: most branches ban arcs for a single net,
-	// so sibling nodes share nearly all per-net Steiner solutions.
-	type cachedRoute struct {
-		arcs []int32
-		cost int64
-		ok   bool
-	}
-	caches := make([]map[string]cachedRoute, nNets)
+	// so sibling nodes share nearly all per-net Steiner solutions. Entries
+	// are keyed by an order-independent fingerprint of the net's ban set —
+	// probing allocates nothing — with same-hash entries verified by
+	// lookupRoute, so a collision degrades to a miss, never a wrong route.
+	caches := make([]map[uint64][]cachedRoute, nNets)
 	for k := range caches {
-		caches[k] = map[string]cachedRoute{}
-	}
-	netKey := func(k int, bans map[banKey]bool) string {
-		var ids []int32
-		for b := range bans {
-			if int(b.net) == k {
-				ids = append(ids, b.arc)
-			}
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		buf := make([]byte, 0, 4*len(ids))
-		for _, id := range ids {
-			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-		}
-		return string(buf)
+		caches[k] = map[uint64][]cachedRoute{}
 	}
 
 	// checkDRC wraps the rule checker with count/time accounting. Swap/Enter
@@ -227,20 +280,28 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		defer func() { clock.Enter(prev) }()
 		routes = make([][]int32, nNets)
 		for k := 0; k < nNets; k++ {
-			key := netKey(k, bans)
-			cr, hit := caches[k][key]
-			if hit {
+			h, cnt := banFingerprint(k, bans)
+			cr := lookupRoute(caches[k][h], k, cnt, bans)
+			if cr != nil {
 				stats.SteinerCacheHits++
-			}
-			if !hit {
+			} else {
 				copy(ctxs[k].banned, baseBans[k])
+				ids := make([]int32, 0, cnt)
 				for b := range bans {
 					if int(b.net) == k {
 						ctxs[k].banned[b.arc] = true
+						ids = append(ids, b.arc)
 					}
 				}
-				cr.arcs, cr.cost, cr.ok = steinerTree(ctxs[k])
-				caches[k][key] = cr
+				arcs, cost, ok := steinerTree(ctxs[k])
+				// The solver's arc buffer is arena-owned; the cache outlives
+				// the next solve, so it keeps a copy.
+				ent := cachedRoute{ids: ids, cost: cost, ok: ok}
+				if ok {
+					ent.arcs = append([]int32(nil), arcs...)
+				}
+				caches[k][h] = append(caches[k][h], ent)
+				cr = &caches[k][h][len(caches[k][h])-1]
 			}
 			if !cr.ok {
 				return nil, 0, false
@@ -257,6 +318,25 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	// from the tree — but it supplies early incumbents that best-first
 	// search needs for pruning, especially under SADP rules where the
 	// standalone heuristic router often fails.
+	// trialAdded is the rollback journal for speculative ban applications:
+	// child evaluations mutate the live ban map in place and undo afterwards
+	// instead of copying the whole map per trial.
+	var trialAdded []banKey
+	tryBans := func(bans map[banKey]bool, childBans []banKey) (int64, bool) {
+		trialAdded = trialAdded[:0]
+		for _, b := range childBans {
+			if !bans[b] {
+				bans[b] = true
+				trialAdded = append(trialAdded, b)
+			}
+		}
+		_, c, ok := evaluate(bans)
+		for _, b := range trialAdded {
+			delete(bans, b)
+		}
+		return c, ok
+	}
+
 	diveRepair := func(bans map[banKey]bool, cutoff int64) (int64, [][]int32) {
 		local := map[banKey]bool{}
 		for k, v := range bans {
@@ -278,14 +358,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 				if len(childBans) == 0 {
 					continue
 				}
-				trial := map[banKey]bool{}
-				for k2, v2 := range local {
-					trial[k2] = v2
-				}
-				for _, b := range childBans {
-					trial[b] = true
-				}
-				_, c, ok := evaluate(trial)
+				c, ok := tryBans(local, childBans)
 				if !ok {
 					continue
 				}
@@ -468,14 +541,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			anyFeasible := false
 			for _, childBans := range sets {
 				child := childEval{bans: childBans}
-				trial := map[banKey]bool{}
-				for k2, v2 := range banBuf {
-					trial[k2] = v2
-				}
-				for _, b := range childBans {
-					trial[b] = true
-				}
-				if _, clb, ok := evaluate(trial); ok && clb < bestCost {
+				if clb, ok := tryBans(banBuf, childBans); ok && clb < bestCost {
 					child.lb = clb
 					child.ok = true
 					anyFeasible = true

@@ -133,7 +133,7 @@ func TestSteinerSingleSinkIsShortestPath(t *testing.T) {
 	}
 	g := mustGraph(t, c, rgraph.Options{})
 	own := newOwnership(g)
-	ctx := newSteinerCtx(g, own, 0)
+	ctx := newSteinerCtx(g, own, 0, nil)
 	arcs, cost, ok := steinerTree(ctx)
 	if !ok {
 		t.Fatal("no tree found")
@@ -159,7 +159,7 @@ func TestSteinerBansRespected(t *testing.T) {
 	}
 	g := mustGraph(t, c, rgraph.Options{})
 	own := newOwnership(g)
-	ctx := newSteinerCtx(g, own, 0)
+	ctx := newSteinerCtx(g, own, 0, nil)
 	_, cost, ok := steinerTree(ctx)
 	if !ok || cost != 2 {
 		t.Fatalf("baseline: ok=%v cost=%d", ok, cost)
@@ -190,7 +190,7 @@ func TestSteinerMultiSinkOptimal(t *testing.T) {
 	}
 	g := mustGraph(t, c, rgraph.Options{})
 	own := newOwnership(g)
-	arcs, cost, ok := steinerTree(newSteinerCtx(g, own, 0))
+	arcs, cost, ok := steinerTree(newSteinerCtx(g, own, 0, nil))
 	if !ok || cost != 4 {
 		t.Fatalf("ok=%v cost=%d want 4", ok, cost)
 	}

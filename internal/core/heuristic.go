@@ -18,6 +18,10 @@ type HeuristicOptions struct {
 	// HistoryStep is the history-cost increment for conflicted resources
 	// (default 4).
 	HistoryStep int64
+	// Arena, if non-nil, supplies the Steiner kernel's reusable storage
+	// (SolveBnB shares its arena with the seeding heuristic). Nil allocates
+	// a private arena.
+	Arena *SteinerArena
 }
 
 func (o HeuristicOptions) withDefaults() HeuristicOptions {
@@ -48,20 +52,25 @@ func SolveHeuristic(g *rgraph.Graph, opt HeuristicOptions) *Solution {
 	own := newOwnership(g)
 	nNets := len(g.Clip.Nets)
 
+	arena := opt.Arena
+	if arena == nil {
+		arena = NewSteinerArena()
+	}
 	ctxs := make([]*steinerCtx, nNets)
 	for k := 0; k < nNets; k++ {
-		ctxs[k] = newSteinerCtx(g, own, k)
+		ctxs[k] = newSteinerCtx(g, own, k, arena)
 	}
 
 	// Unconstrained feasibility probe: if some net cannot route alone, the
-	// clip is infeasible for every solver.
+	// clip is infeasible for every solver. Solver results are arena-owned and
+	// routes persist across solves, so each is copied on store.
 	routes := make([][]int32, nNets)
 	for k := 0; k < nNets; k++ {
 		arcs, _, ok := steinerTree(ctxs[k])
 		if !ok {
 			return &Solution{Feasible: false, Proven: true, Runtime: time.Since(start)}
 		}
-		routes[k] = arcs
+		routes[k] = append([]int32(nil), arcs...)
 	}
 
 	history := make([]int64, len(g.Arcs))
@@ -129,7 +138,7 @@ func SolveHeuristic(g *rgraph.Graph, opt HeuristicOptions) *Solution {
 			arcs, _, ok := steinerTree(ctxs[k])
 			ctxs[k].penalty = nil
 			if ok {
-				routes[k] = arcs
+				routes[k] = append(routes[k][:0], arcs...)
 			}
 		}
 	}

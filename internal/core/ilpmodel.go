@@ -514,17 +514,18 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	sol := &Solution{
 		Runtime: time.Since(start), Nodes: res.Nodes, LPIters: res.LPIters,
 		Stats: SolveStats{
-			Nodes:       res.Stats.Nodes,
-			MaxDepth:    res.Stats.MaxDepth,
-			Incumbents:  res.Stats.Incumbents,
-			LPSolves:    res.Stats.LPSolves,
-			LPIters:     res.Stats.LPIters,
-			LPTime:      res.Stats.LPTime,
-			Elapsed:     time.Since(start),
-			Termination: string(res.Stats.Termination),
-			Phases:      phases,
-			LPPhases:    res.Stats.LPPhases,
-			BoundTrace:  ilpBoundTrace(res.Stats.BoundTrace),
+			Nodes:        res.Stats.Nodes,
+			MaxDepth:     res.Stats.MaxDepth,
+			Incumbents:   res.Stats.Incumbents,
+			LPSolves:     res.Stats.LPSolves,
+			LPIters:      res.Stats.LPIters,
+			LPWarmStarts: res.Stats.LPWarmStarts,
+			LPTime:       res.Stats.LPTime,
+			Elapsed:      time.Since(start),
+			Termination:  string(res.Stats.Termination),
+			Phases:       phases,
+			LPPhases:     res.Stats.LPPhases,
+			BoundTrace:   ilpBoundTrace(res.Stats.BoundTrace),
 		},
 	}
 	switch res.Status {

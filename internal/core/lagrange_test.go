@@ -31,7 +31,7 @@ func TestLagrangianBoundAdmissible(t *testing.T) {
 		own := newOwnership(g)
 		ctxs := make([]*steinerCtx, len(c.Nets))
 		for k := range ctxs {
-			ctxs[k] = newSteinerCtx(g, own, k)
+			ctxs[k] = newSteinerCtx(g, own, k, nil)
 		}
 		lag := newLagrangian(g)
 		for _, rounds := range []int{1, 4, 12} {
@@ -52,7 +52,7 @@ func TestLagrangianBoundAdmissible(t *testing.T) {
 func TestLagrangianTightWithoutConflicts(t *testing.T) {
 	g := mustGraph(t, twoNetClip(), rgraph.Options{})
 	own := newOwnership(g)
-	ctxs := []*steinerCtx{newSteinerCtx(g, own, 0), newSteinerCtx(g, own, 1)}
+	ctxs := []*steinerCtx{newSteinerCtx(g, own, 0, nil), newSteinerCtx(g, own, 1, nil)}
 	lag := newLagrangian(g)
 	lb := lag.bound(ctxs, 3)
 	if lb != 4 {
@@ -82,7 +82,7 @@ func TestLagrangianPenalizesContention(t *testing.T) {
 	}
 	g := mustGraph(t, c, rgraph.Options{})
 	own := newOwnership(g)
-	ctxs := []*steinerCtx{newSteinerCtx(g, own, 0), newSteinerCtx(g, own, 1)}
+	ctxs := []*steinerCtx{newSteinerCtx(g, own, 0, nil), newSteinerCtx(g, own, 1, nil)}
 	lag := newLagrangian(g)
 	lb := lag.bound(ctxs, 2)
 	if lb == -2 {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/ilp"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// synthGraph builds the differential-corpus clip for one seed under one rule
+// (the same geometry TestDifferentialILPvsBnB uses).
+func synthGraph(tb testing.TB, seed int64, ruleName string) *rgraph.Graph {
+	tb.Helper()
+	opt := clip.DefaultSynth(seed)
+	opt.NX, opt.NY, opt.NZ = 4, 5, 3
+	opt.NumNets = 3
+	opt.MaxSinks = 2
+	c := clip.Synthesize(opt)
+	c.Tech = "N28-12T"
+	rule, ok := tech.RuleByName(ruleName)
+	if !ok {
+		tb.Fatalf("unknown rule %s", ruleName)
+	}
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// TestRouteCacheCollisionSafety pins the two properties SolveBnB's route
+// cache rests on: the ban-set fingerprint is independent of map iteration
+// and insertion order, and lookupRoute never returns an entry whose ban-id
+// set differs from the probe — even when entries share a fingerprint bucket,
+// as they would after a hash collision.
+func TestRouteCacheCollisionSafety(t *testing.T) {
+	// Fingerprint order-independence: the same (net, arc) set inserted in
+	// different orders must fingerprint identically, and other nets' bans
+	// must not contribute.
+	arcs := []int32{3, 17, 255, 1024, 7}
+	fwd := map[banKey]bool{}
+	rev := map[banKey]bool{}
+	for _, a := range arcs {
+		fwd[banKey{net: 1, arc: a}] = true
+	}
+	for i := len(arcs) - 1; i >= 0; i-- {
+		rev[banKey{net: 1, arc: arcs[i]}] = true
+		rev[banKey{net: 2, arc: arcs[i] + 1}] = true // other net: must be ignored
+	}
+	h1, c1 := banFingerprint(1, fwd)
+	h2, c2 := banFingerprint(1, rev)
+	if h1 != h2 || c1 != c2 {
+		t.Fatalf("fingerprint depends on insertion order or foreign nets: (%x,%d) vs (%x,%d)", h1, c1, h2, c2)
+	}
+	if h3, c3 := banFingerprint(3, fwd); h3 != 0 || c3 != 0 {
+		t.Fatalf("empty ban subset fingerprints (%x,%d), want (0,0)", h3, c3)
+	}
+
+	// Collision safety: two entries in the same bucket with different ban-id
+	// sets. The probe must select by set equality, not bucket membership.
+	entries := []cachedRoute{
+		{ids: []int32{5}, cost: 50, ok: true},
+		{ids: []int32{9}, cost: 90, ok: true},
+		{ids: []int32{5, 9}, cost: 59, ok: true},
+	}
+	probe := func(ids ...int32) *cachedRoute {
+		bans := map[banKey]bool{banKey{net: 9, arc: 5}: true} // foreign net noise
+		for _, id := range ids {
+			bans[banKey{net: 0, arc: id}] = true
+		}
+		return lookupRoute(entries, 0, len(ids), bans)
+	}
+	if e := probe(5); e == nil || e.cost != 50 {
+		t.Fatalf("probe {5}: got %+v, want the cost-50 entry", e)
+	}
+	if e := probe(9); e == nil || e.cost != 90 {
+		t.Fatalf("probe {9}: got %+v, want the cost-90 entry", e)
+	}
+	if e := probe(5, 9); e == nil || e.cost != 59 {
+		t.Fatalf("probe {5,9}: got %+v, want the cost-59 entry", e)
+	}
+	if e := probe(7); e != nil {
+		t.Fatalf("probe {7}: got %+v, want a miss", e)
+	}
+	if e := probe(); e != nil {
+		t.Fatalf("empty probe: got %+v, want a miss", e)
+	}
+}
+
+// TestSteinerTreeAllocs pins the tentpole pooling property: after the first
+// solve has sized the arena, repeated Steiner solves on the same context
+// allocate nothing — DP tables, queues and the result buffer all recycle.
+func TestSteinerTreeAllocs(t *testing.T) {
+	g := synthGraph(t, 3, "RULE1")
+	own := newOwnership(g)
+	arena := NewSteinerArena()
+	ctx := newSteinerCtx(g, own, 0, arena)
+	if _, _, ok := steinerTree(ctx); !ok {
+		t.Fatal("net 0 unroutable under RULE1")
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if _, _, ok := steinerTree(ctx); !ok {
+			t.Error("net 0 became unroutable")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state steinerTree allocates %.1f objects/solve, want 0", allocs)
+	}
+}
+
+// TestColdVsWarmILP is the warm-start differential: over the differential
+// corpus, the MILP solver with node-LP warm starts disabled must agree with
+// the default warm-started solver on feasibility and optimal cost. Search
+// statistics (nodes, LP iterations) are allowed to differ — warm-started LPs
+// may land on a different optimal vertex and steer branching elsewhere — but
+// answers may not.
+func TestColdVsWarmILP(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	ruleNames := []string{"RULE1", "RULE7", "RULE8"}
+	for _, seed := range seeds {
+		for _, rn := range ruleNames {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, rn), func(t *testing.T) {
+				g := synthGraph(t, seed, rn)
+				warm, err := SolveILP(g, ilp.Options{TimeLimit: 60 * time.Second})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := SolveILP(g, ilp.Options{TimeLimit: 60 * time.Second, NoWarmStart: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !warm.Proven || !cold.Proven {
+					t.Skipf("no proof within budget (warm=%v cold=%v)", warm.Proven, cold.Proven)
+				}
+				if warm.Feasible != cold.Feasible {
+					t.Fatalf("feasibility disagreement: warm=%v cold=%v", warm.Feasible, cold.Feasible)
+				}
+				if warm.Feasible && warm.Cost != cold.Cost {
+					t.Fatalf("optimal cost disagreement: warm=%d cold=%d", warm.Cost, cold.Cost)
+				}
+				if cold.Stats.LPWarmStarts != 0 {
+					t.Fatalf("NoWarmStart solve recorded %d warm starts", cold.Stats.LPWarmStarts)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSteinerTree measures one pooled exact Steiner arborescence solve
+// (the inner loop of every CDC-BnB node evaluation).
+func BenchmarkSteinerTree(b *testing.B) {
+	g := synthGraph(b, 3, "RULE1")
+	own := newOwnership(g)
+	arena := NewSteinerArena()
+	ctx := newSteinerCtx(g, own, 0, arena)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := steinerTree(ctx); !ok {
+			b.Fatal("net 0 unroutable")
+		}
+	}
+}

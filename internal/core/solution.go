@@ -86,9 +86,10 @@ type SolveStats struct {
 	Dives            int           // primal dive-repair attempts
 
 	// MILP path specific.
-	LPSolves int           // LP relaxations solved
-	LPIters  int           // total simplex iterations
-	LPTime   time.Duration // wall time inside the LP subsolver
+	LPSolves     int           // LP relaxations solved
+	LPIters      int           // total simplex iterations
+	LPWarmStarts int           // node LPs reoptimized from the parent basis
+	LPTime       time.Duration // wall time inside the LP subsolver
 
 	Elapsed time.Duration // total wall time of the solve
 	// Termination says why the solve stopped: "optimal", "infeasible",

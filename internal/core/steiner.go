@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"optrouter/internal/rgraph"
@@ -17,6 +16,8 @@ type steinerCtx struct {
 	banned  []bool  // per arc
 	penalty []int64 // per arc, added to base cost (nil = none)
 	solves  int     // steinerTree invocations (observability)
+	maxBase int64   // max base arc cost, bounds the bucket-queue span
+	arena   *SteinerArena
 }
 
 func (c *steinerCtx) arcCost(a int32) int64 {
@@ -29,24 +30,53 @@ func (c *steinerCtx) arcCost(a int32) int64 {
 
 const infCost = math.MaxInt64 / 4
 
-// pqItem is a priority-queue entry for Dijkstra.
+// maxBucketSpan bounds the Dial's-queue label range: solves whose seed spread
+// plus worst-case path cost exceed it (Lagrangian rounds with large penalties)
+// fall back to the pooled binary heap.
+const maxBucketSpan = 1 << 16
+
+// pqItem is a priority-queue entry for the heap-fallback Dijkstra.
 type pqItem struct {
 	v    int32
 	dist int64
 }
 
-type pq []pqItem
+func heapPush(h []pqItem, it pqItem) []pqItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+func heapPop(h []pqItem) (pqItem, []pqItem) {
+	it := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].dist < h[s].dist {
+			s = l
+		}
+		if r < n && h[r].dist < h[s].dist {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return it, h
 }
 
 // parentAction reconstructs Dreyfus-Wagner decisions.
@@ -68,6 +98,10 @@ type parentAction struct {
 // incoming arcs. Terminal counts in clips are small (the paper's nets are
 // 2-4 pins), so the 3^t term is negligible and per-subset Dijkstra over the
 // clip graph dominates.
+//
+// All working storage lives in the ctx's arena; the returned arc slice is
+// arena-owned and valid only until the next solve on the same arena — callers
+// that persist it must copy.
 func steinerTree(c *steinerCtx) (arcs []int32, cost int64, ok bool) {
 	c.solves++
 	g := c.g
@@ -83,117 +117,259 @@ func steinerTree(c *steinerCtx) (arcs []int32, cost int64, ok bool) {
 	nV := g.NumVerts
 	full := (1 << t) - 1
 
-	// dp[mask][v], parent[mask][v]
-	dp := make([][]int64, full+1)
-	par := make([][]parentAction, full+1)
-	for m := 1; m <= full; m++ {
-		dp[m] = make([]int64, nV)
-		par[m] = make([]parentAction, nV)
-		for v := range dp[m] {
-			dp[m][v] = infCost
-		}
+	a := c.arena
+	if a == nil {
+		a = NewSteinerArena()
+		c.arena = a
 	}
+	a.prepare(full+1, nV)
+	dp, par, stamp := a.dp, a.par, a.stamp
+	epoch := a.epoch
+
 	for i, tv := range sinks {
-		dp[1<<i][tv] = 0
+		idx := (1<<i)*nV + int(tv)
+		dp[idx] = 0
+		par[idx] = parentAction{}
+		stamp[idx] = epoch
+		a.rowCnt[1<<i] = 1
 	}
 
+	// Per-mask Dijkstra label bound: seeds plus the longest simple path at
+	// the maximum (penalized) arc cost. When that span fits, the monotone
+	// bucket queue replaces the heap.
+	maxArc := c.maxCost()
+
 	for mask := 1; mask <= full; mask++ {
-		d := dp[mask]
-		p := par[mask]
+		base := mask * nV
 		// Subset merge: dp[mask][v] = min over proper submasks containing
-		// the lowest set bit (to halve enumeration).
+		// the lowest set bit (to halve enumeration). Rows with no finite
+		// cell cannot contribute and are skipped outright.
 		low := mask & (-mask)
 		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
 			if sub&low == 0 {
 				continue
 			}
 			other := mask ^ sub
-			ds, do := dp[sub], dp[other]
+			if a.rowCnt[sub] == 0 || a.rowCnt[other] == 0 {
+				continue
+			}
+			sb, ob := sub*nV, other*nV
 			for v := 0; v < nV; v++ {
-				if ds[v] >= infCost || do[v] >= infCost {
+				if stamp[sb+v] != epoch || stamp[ob+v] != epoch {
 					continue
 				}
-				if s := ds[v] + do[v]; s < d[v] {
-					d[v] = s
-					p[v] = parentAction{kind: 2, submask: uint16(sub)}
+				s := dp[sb+v] + dp[ob+v]
+				if stamp[base+v] != epoch {
+					stamp[base+v] = epoch
+					a.rowCnt[mask]++
+					dp[base+v] = s
+					par[base+v] = parentAction{kind: 2, submask: uint16(sub)}
+				} else if s < dp[base+v] {
+					dp[base+v] = s
+					par[base+v] = parentAction{kind: 2, submask: uint16(sub)}
 				}
 			}
+		}
+		if a.rowCnt[mask] == 0 {
+			continue // no seeds: relaxation cannot produce anything
 		}
 		// Dijkstra relaxation: propagate along reversed arcs (dp values
 		// live at tree roots; an arc u->v lets a root at u reach the
 		// subtree rooted at v paying cost(u->v)).
-		var q pq
+		minSeed, maxSeed := int64(infCost), int64(-infCost)
 		for v := 0; v < nV; v++ {
-			if d[v] < infCost {
-				q = append(q, pqItem{int32(v), d[v]})
+			if stamp[base+v] == epoch {
+				if d := dp[base+v]; d < minSeed {
+					minSeed = d
+				}
+				if d := dp[base+v]; d > maxSeed {
+					maxSeed = d
+				}
 			}
 		}
-		heap.Init(&q)
-		for q.Len() > 0 {
-			it := heap.Pop(&q).(pqItem)
-			if it.dist > d[it.v] {
-				continue
-			}
-			for _, aid := range g.In[it.v] {
-				if c.banned[aid] {
-					continue
-				}
-				u := g.Arcs[aid].From
-				nd := it.dist + c.arcCost(aid)
-				if nd < d[u] {
-					d[u] = nd
-					p[u] = parentAction{kind: 1, arc: aid}
-					heap.Push(&q, pqItem{u, nd})
-				}
-			}
+		span := maxSeed - minSeed + maxArc*int64(nV) + 1
+		if maxArc >= 0 && span <= maxBucketSpan {
+			c.dijkstraBuckets(a, base, nV, minSeed, epoch)
+		} else {
+			c.dijkstraHeap(a, base, nV, epoch)
 		}
 		if mask == full {
 			break
 		}
 	}
 
-	if dp[full][src] >= infCost {
+	rootIdx := full*nV + int(src)
+	if stamp[rootIdx] != epoch {
 		return nil, 0, false
 	}
 
-	// Reconstruct: walk (mask, vertex) pairs.
-	type frame struct {
-		mask int
-		v    int32
-	}
-	var stack []frame
-	stack = append(stack, frame{full, src})
-	seen := map[int32]bool{} // dedupe arcs (shouldn't repeat, but be safe)
+	// Reconstruct: walk (mask, vertex) pairs, deduping arcs via per-arc
+	// epoch stamps (shouldn't repeat, but be safe).
+	a.prepareSeen(len(g.Arcs))
+	a.arcBuf = a.arcBuf[:0]
+	stack := a.stack[:0]
+	stack = append(stack, dwFrame{full, src})
 	for len(stack) > 0 {
 		fr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		pa := par[fr.mask][fr.v]
+		pa := par[fr.mask*nV+int(fr.v)]
 		switch pa.kind {
 		case 0:
 			// Base case: fr.v is the sink of a singleton mask.
 		case 1:
-			if !seen[pa.arc] {
-				seen[pa.arc] = true
-				arcs = append(arcs, pa.arc)
+			if a.seen[pa.arc] != a.seenEpoch {
+				a.seen[pa.arc] = a.seenEpoch
+				a.arcBuf = append(a.arcBuf, pa.arc)
 			}
-			stack = append(stack, frame{fr.mask, c.g.Arcs[pa.arc].To})
+			stack = append(stack, dwFrame{fr.mask, g.Arcs[pa.arc].To})
 		case 2:
 			sub := int(pa.submask)
-			stack = append(stack, frame{sub, fr.v}, frame{fr.mask ^ sub, fr.v})
+			stack = append(stack, dwFrame{sub, fr.v}, dwFrame{fr.mask ^ sub, fr.v})
 		}
 	}
-	return arcs, dp[full][src], true
+	a.stack = stack
+	return a.arcBuf, dp[rootIdx], true
 }
 
-// newSteinerCtx builds the per-net context with ownership bans applied.
-func newSteinerCtx(g *rgraph.Graph, m ownership, k int) *steinerCtx {
-	banned := make([]bool, len(g.Arcs))
+// maxCost returns the maximum (penalized) arc cost, or -1 when a penalty is
+// negative (the bucket queue requires nonnegative monotone labels; the heap
+// path then reproduces the previous solver behavior exactly).
+func (c *steinerCtx) maxCost() int64 {
+	if c.maxBase == 0 {
+		m := int64(0)
+		for i := range c.g.Arcs {
+			if cc := int64(c.g.Arcs[i].Cost); cc > m {
+				m = cc
+			}
+		}
+		c.maxBase = m
+	}
+	if c.penalty == nil {
+		return c.maxBase
+	}
+	maxPen, minPen := int64(0), int64(0)
+	for _, p := range c.penalty {
+		if p > maxPen {
+			maxPen = p
+		}
+		if p < minPen {
+			minPen = p
+		}
+	}
+	if minPen < 0 {
+		return -1
+	}
+	return c.maxBase + maxPen
+}
+
+// dijkstraBuckets relaxes one dp row with a monotone bucket (Dial's) queue:
+// labels are offset by the minimum seed, every push lands at or after the
+// bucket being drained (arc costs are nonnegative), and stale entries are
+// detected by comparing the entry's implied label to the current cell value.
+func (c *steinerCtx) dijkstraBuckets(a *SteinerArena, base, nV int, off int64, epoch uint32) {
+	g := c.g
+	dp, par, stamp := a.dp, a.par, a.stamp
+	remaining := 0
+	for v := 0; v < nV; v++ {
+		if stamp[base+v] != epoch {
+			continue
+		}
+		b := int(dp[base+v] - off)
+		bk := a.bucketFor(b)
+		*bk = append(*bk, int32(v))
+		remaining++
+	}
+	// Index a.buckets[b] afresh on every access: pushing a new maximum label
+	// grows the bucket list, which may move it.
+	for b := 0; remaining > 0; b++ {
+		for len(a.buckets[b]) > 0 {
+			bk := a.buckets[b]
+			n := len(bk) - 1
+			v := bk[n]
+			a.buckets[b] = bk[:n]
+			remaining--
+			dist := off + int64(b)
+			if dp[base+int(v)] != dist {
+				continue // stale: relaxed to a smaller label after push
+			}
+			for _, aid := range g.In[v] {
+				if c.banned[aid] {
+					continue
+				}
+				u := int(g.Arcs[aid].From)
+				nd := dist + c.arcCost(aid)
+				if stamp[base+u] == epoch && nd >= dp[base+u] {
+					continue
+				}
+				if stamp[base+u] != epoch {
+					stamp[base+u] = epoch
+					a.rowCnt[base/nV]++
+				}
+				dp[base+u] = nd
+				par[base+u] = parentAction{kind: 1, arc: aid}
+				nb := int(nd - off)
+				nbk := a.bucketFor(nb)
+				*nbk = append(*nbk, int32(u))
+				remaining++
+			}
+		}
+	}
+}
+
+// dijkstraHeap is the pooled binary-heap Dijkstra used when labels don't fit
+// the bucket span (large Lagrangian penalties).
+func (c *steinerCtx) dijkstraHeap(a *SteinerArena, base, nV int, epoch uint32) {
+	g := c.g
+	dp, par, stamp := a.dp, a.par, a.stamp
+	h := a.heap[:0]
+	for v := 0; v < nV; v++ {
+		if stamp[base+v] == epoch {
+			h = heapPush(h, pqItem{int32(v), dp[base+v]})
+		}
+	}
+	for len(h) > 0 {
+		var it pqItem
+		it, h = heapPop(h)
+		if it.dist > dp[base+int(it.v)] {
+			continue
+		}
+		for _, aid := range g.In[it.v] {
+			if c.banned[aid] {
+				continue
+			}
+			u := int(g.Arcs[aid].From)
+			nd := it.dist + c.arcCost(aid)
+			if stamp[base+u] == epoch && nd >= dp[base+u] {
+				continue
+			}
+			if stamp[base+u] != epoch {
+				stamp[base+u] = epoch
+				a.rowCnt[base/nV]++
+			}
+			dp[base+u] = nd
+			par[base+u] = parentAction{kind: 1, arc: aid}
+			h = heapPush(h, pqItem{int32(u), nd})
+		}
+	}
+	a.heap = h
+}
+
+// newSteinerCtx builds the per-net context with ownership bans applied. The
+// arena (may be nil) supplies the ban vector and all solve-time storage;
+// sharing one arena across the sequential solves of a search amortizes it.
+func newSteinerCtx(g *rgraph.Graph, m ownership, k int, arena *SteinerArena) *steinerCtx {
+	var banned []bool
+	if arena != nil {
+		banned = arena.getBans(len(g.Arcs))
+	} else {
+		banned = make([]bool, len(g.Arcs))
+	}
 	for a := range g.Arcs {
 		if !m.allowed(k, int32(a)) {
 			banned[a] = true
 		}
 	}
-	return &steinerCtx{g: g, net: k, banned: banned}
+	return &steinerCtx{g: g, net: k, banned: banned, arena: arena}
 }
 
 // ownership answers per-net arc availability; both the ILP model and the
@@ -221,15 +397,20 @@ func newOwnership(g *rgraph.Graph) ownership {
 
 func (o ownership) allowed(k int, a int32) bool {
 	arc := o.g.Arcs[a]
-	for _, v := range []int32{arc.From, arc.To} {
-		if o.g.IsGrid(v) {
-			if owner := o.g.PinOwner[v]; owner >= 0 && owner != int32(k) {
-				return false
-			}
-		} else if int(v)-o.g.NumGrid < len(o.superOwner) {
-			if owner := o.superOwner[v-int32(o.g.NumGrid)]; owner >= 0 && owner != int32(k) {
-				return false
-			}
+	return o.vertAllowed(k, arc.From) && o.vertAllowed(k, arc.To)
+}
+
+// vertAllowed checks one endpoint; allowed unrolls it over From/To instead of
+// ranging a fresh slice literal (this sits in the innermost ban-construction
+// loop, once per arc per net per rule).
+func (o ownership) vertAllowed(k int, v int32) bool {
+	if o.g.IsGrid(v) {
+		if owner := o.g.PinOwner[v]; owner >= 0 && owner != int32(k) {
+			return false
+		}
+	} else if int(v)-o.g.NumGrid < len(o.superOwner) {
+		if owner := o.superOwner[v-int32(o.g.NumGrid)]; owner >= 0 && owner != int32(k) {
+			return false
 		}
 	}
 	return true

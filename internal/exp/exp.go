@@ -339,27 +339,34 @@ func DeltaCostStudyCtx(ctx context.Context, t *tech.Technology, clips []*clip.Cl
 		return curves, nil, nil
 	}
 
-	// Decompose into one job per (rule, clip) cell, in study order: job i
-	// is rule i/len(clips), clip i%len(clips), and reports Index i+1.
-	type cell struct {
-		rule tech.RuleConfig
-		clip *clip.Clip
-	}
+	// Decompose into one job per clip: the clip's solves under every rule run
+	// sequentially on one worker, sharing one Steiner arena. The rule graphs
+	// differ (each rule rebuilds the routing graph), but the solver's pooled
+	// DP tables, queues and ban buffers recycle across all rules of the clip,
+	// so the per-solve allocation cost is paid once per clip rather than once
+	// per (clip, rule) cell. Study order stays rule-major over clips: cell
+	// (ri, ci) reports Index ri*len(clips)+ci+1 and results are reassembled
+	// in that order, so output and progress indices are identical to the
+	// per-cell decomposition for any worker count.
 	total := len(rules) * len(clips)
-	cells := make([]cell, 0, total)
-	for _, rule := range rules {
-		for _, c := range clips {
-			cells = append(cells, cell{rule, c})
-		}
-	}
 	prog := newProgressMux(opt.Progress)
-	jobs := make([]sched.Job[ClipRuleResult], total)
-	for i := range cells {
-		i := i
-		jobs[i] = func(jctx context.Context) (ClipRuleResult, error) {
+	jobs := make([]sched.Job[[]ClipRuleResult], len(clips))
+	for ci := range clips {
+		ci := ci
+		c := clips[ci]
+		jobs[ci] = func(jctx context.Context) ([]ClipRuleResult, error) {
+			arena := core.NewSteinerArena()
 			jopt := opt
 			jopt.Progress = prog.sink()
-			return solveClipCtx(jctx, cells[i].clip, cells[i].rule, jopt, i+1, total)
+			out := make([]ClipRuleResult, len(rules))
+			for ri, rule := range rules {
+				r, err := solveClipCtx(jctx, c, rule, jopt, ri*len(clips)+ci+1, total, arena)
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s under %s: %w", c.Name, rule.Name, err)
+				}
+				out[ri] = r
+			}
+			return out, nil
 		}
 	}
 	results := sched.Run(ctx, jobs, sched.Options{
@@ -369,56 +376,56 @@ func DeltaCostStudyCtx(ctx context.Context, t *tech.Technology, clips []*clip.Cl
 
 	// Surface hard errors (graph construction, cancellation) in study
 	// order; isolated panics degrade to failed cells below instead.
-	for i, r := range results {
+	for _, r := range results {
 		if r.Err != nil && !r.Panicked {
-			return nil, nil, fmt.Errorf("exp: %s under %s: %w",
-				cells[i].clip.Name, cells[i].rule.Name, r.Err)
+			return nil, nil, r.Err
 		}
 	}
 
-	// Assemble in study order — identical for any worker count.
+	// Assemble in study order (rule-major) — identical for any worker count.
 	base := map[string]float64{} // clip -> RULE1 cost
 	var curves []RuleCurve
 	all := make([]ClipRuleResult, 0, total)
-	for i, r := range results {
-		cr := r.Value
-		if r.Panicked {
-			cr = ClipRuleResult{
-				Clip: cells[i].clip.Name, Rule: cells[i].rule.Name,
-				Err: r.Err.Error(),
-			}
-		}
-		if i%len(clips) == 0 {
-			curves = append(curves, RuleCurve{Rule: cells[i].rule.Name})
-		}
-		curve := &curves[len(curves)-1]
-		all = append(all, cr)
-		if cr.Rule == "RULE1" {
-			if cr.Feasible {
-				base[cr.Clip] = float64(cr.Cost)
+	for ri, rule := range rules {
+		curves = append(curves, RuleCurve{Rule: rule.Name})
+		curve := &curves[ri]
+		for ci, c := range clips {
+			var cr ClipRuleResult
+			if r := results[ci]; r.Panicked {
+				// A panicking solve takes the clip's whole job with it; every
+				// cell of the clip degrades to a failed cell.
+				cr = ClipRuleResult{Clip: c.Name, Rule: rule.Name, Err: r.Err.Error()}
 			} else {
-				// A clip unroutable even under RULE1 contributes no
-				// meaningful baseline; chart it at infinity for every rule.
-				base[cr.Clip] = math.Inf(1)
+				cr = r.Value[ri]
 			}
+			all = append(all, cr)
+			if cr.Rule == "RULE1" {
+				if cr.Feasible {
+					base[cr.Clip] = float64(cr.Cost)
+				} else {
+					// A clip unroutable even under RULE1 contributes no
+					// meaningful baseline; chart it at infinity for every rule.
+					base[cr.Clip] = math.Inf(1)
+				}
+			}
+			var delta float64
+			switch {
+			case cr.Err != "":
+				delta = InfeasibleDelta
+				curve.Failed++
+			case !cr.Feasible:
+				delta = InfeasibleDelta
+				curve.Infeasible++
+			case math.IsInf(base[cr.Clip], 1):
+				delta = InfeasibleDelta
+			default:
+				delta = float64(cr.Cost) - base[cr.Clip]
+			}
+			if !cr.Proven {
+				curve.Unproven++
+			}
+			curve.Deltas = append(curve.Deltas, delta)
 		}
-		var delta float64
-		switch {
-		case cr.Err != "":
-			delta = InfeasibleDelta
-			curve.Failed++
-		case !cr.Feasible:
-			delta = InfeasibleDelta
-			curve.Infeasible++
-		case math.IsInf(base[cr.Clip], 1):
-			delta = InfeasibleDelta
-		default:
-			delta = float64(cr.Cost) - base[cr.Clip]
-		}
-		if !cr.Proven {
-			curve.Unproven++
-		}
-		curve.Deltas = append(curve.Deltas, delta)
 	}
 	for i := range curves {
 		sort.Float64s(curves[i].Deltas)
@@ -428,13 +435,14 @@ func DeltaCostStudyCtx(ctx context.Context, t *tech.Technology, clips []*clip.Cl
 
 // SolveClip routes one clip under one rule with the exact CDC-BnB solver.
 func SolveClip(c *clip.Clip, rule tech.RuleConfig, opt SolveOptions) (ClipRuleResult, error) {
-	return solveClipCtx(context.Background(), c, rule, opt, 1, 1)
+	return solveClipCtx(context.Background(), c, rule, opt, 1, 1, nil)
 }
 
 // solveClipCtx is SolveClip plus the study position (solve idx of total) for
-// progress reporting and metrics accounting, and a context that cancels the
-// solve between branch-and-bound nodes.
-func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int) (ClipRuleResult, error) {
+// progress reporting and metrics accounting, a context that cancels the
+// solve between branch-and-bound nodes, and an optional Steiner arena reused
+// across the solves of one worker (nil = private arena per solve).
+func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt SolveOptions, idx, total int, arena *core.SteinerArena) (ClipRuleResult, error) {
 	opt = opt.withDefaults()
 	worker := sched.WorkerID(ctx)
 	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
@@ -452,6 +460,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 		MaxNodes:  opt.MaxNodes,
 		Tracer:    opt.Tracer,
 		Ctx:       ctx,
+		Arena:     arena,
 	}
 	if opt.Progress != nil {
 		bnbOpt.Progress = func(p core.BnBProgress) {
@@ -552,12 +561,14 @@ func ValidationStudy(clips []*clip.Clip, opt SolveOptions) ([]ValidationResult, 
 			if err != nil {
 				return nil, err
 			}
-			h := core.SolveHeuristic(g, core.HeuristicOptions{})
+			arena := core.NewSteinerArena() // shared by both solves of the clip
+			h := core.SolveHeuristic(g, core.HeuristicOptions{Arena: arena})
 			if !h.Feasible {
 				return nil, nil // no heuristic baseline to compare against
 			}
 			o, err := core.SolveBnB(g, core.BnBOptions{
 				TimeLimit: opt.PerClipTimeout, MaxNodes: opt.MaxNodes, Ctx: ctx,
+				Arena: arena,
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/tech"
+)
+
+// BenchmarkRuleSweepClip measures one full rule-evaluation sweep of a single
+// clip — the per-clip job of DeltaCostStudy: all rule configurations solved
+// sequentially with a shared Steiner arena. This is the unit of work the
+// experiment pipeline scales by, so it is the headline number for sweep
+// throughput.
+func BenchmarkRuleSweepClip(b *testing.B) {
+	opt := clip.DefaultSynth(3)
+	opt.NX, opt.NY, opt.NZ = 4, 5, 3
+	opt.NumNets = 3
+	opt.MaxSinks = 2
+	c := clip.Synthesize(opt)
+	c.Tech = "N28-12T"
+	tt := tech.N28T12()
+	sopt := SolveOptions{PerClipTimeout: 30 * time.Second, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DeltaCostStudy(tt, []*clip.Clip{c}, sopt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

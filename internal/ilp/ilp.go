@@ -118,6 +118,10 @@ type Options struct {
 	IntegralObjective bool
 	// NoPresolve disables root bound-propagation presolve.
 	NoPresolve bool
+	// NoWarmStart disables carrying a parent node's LP basis into its
+	// children (every node LP then solves cold from phase 1). Used by the
+	// differential tests that pin warm and cold solves to identical answers.
+	NoWarmStart bool
 	// LP tunes the LP subsolver.
 	LP lp.Options
 	// Progress, if non-nil, is invoked every ProgressEvery explored nodes
@@ -187,6 +191,8 @@ type Stats struct {
 	LPSolves      int           // LP relaxations solved
 	LPIters       int           // total simplex iterations
 	LPPivots      int           // total simplex basis exchanges
+	LPWarmStarts  int           // node LPs reoptimized from the parent basis
+	LPDualIters   int           // dual-simplex iterations across warm starts
 	LPTime        time.Duration // wall time inside the LP subsolver
 	BranchTime    time.Duration // wall time outside the LP (Elapsed - LPTime)
 	Incumbents    int           // incumbent updates (including warm start)
@@ -248,7 +254,8 @@ type boundChange struct {
 type node struct {
 	changes []boundChange // all changes from root (inherited + own)
 	depth   int
-	bound   float64 // parent LP bound (for pruning before re-solve)
+	bound   float64   // parent LP bound (for pruning before re-solve)
+	basis   *lp.Basis // parent's optimal basis (shared, read-only warm start)
 }
 
 // Solve runs branch-and-bound to proven optimality (or a limit).
@@ -439,11 +446,22 @@ func (m *Model) Solve(opt Options) Result {
 		} else {
 			clock.Enter(PhaseNodeLP)
 		}
+		lpOpt := opt.LP
+		if !opt.NoWarmStart {
+			// Snapshot every optimal basis so children can reoptimize with
+			// dual pivots instead of a cold phase-1 start.
+			lpOpt.SnapshotBasis = true
+			lpOpt.WarmStart = nd.basis
+		}
 		lpStart := time.Now()
-		res := m.Prob.Solve(opt.LP)
+		res := m.Prob.Solve(lpOpt)
 		stats.LPTime += time.Since(lpStart)
 		clock.Enter(PhaseSearch)
 		stats.LPPhases = stats.LPPhases.Merge(res.Stats.Phases)
+		if res.Stats.WarmStarted {
+			stats.LPWarmStarts++
+			stats.LPDualIters += res.Stats.DualIters
+		}
 		nodes++
 		lpIters += res.Iters
 		stats.LPSolves++
@@ -539,11 +557,13 @@ func (m *Model) Solve(opt Options) Result {
 			changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, math.Inf(-1), fl}),
 			depth:   nd.depth + 1,
 			bound:   lb,
+			basis:   res.Basis,
 		}
 		up := node{
 			changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, fl + 1, math.Inf(1)}),
 			depth:   nd.depth + 1,
 			bound:   lb,
+			basis:   res.Basis,
 		}
 		if xv-fl > 0.5 {
 			stack = append(stack, dn, up) // explore up first

@@ -1,0 +1,342 @@
+package lp
+
+import (
+	"math"
+
+	"optrouter/internal/obs"
+)
+
+// This file implements warm-started reoptimization. A branch-and-bound child
+// differs from its parent only in variable bounds, so the parent's optimal
+// basis is structurally valid for the child: after refactorizing it, basic
+// variables may sit outside their (tightened) bounds, and bounded
+// dual-simplex pivots restore primal feasibility far faster than the cold
+// two-phase method (no artificials, no phase 1). The warm path is strictly
+// best-effort: every exit that cannot be certified — stale shape, singular
+// basis, pivot-cap exhaustion, numerically gray infeasibility — falls back
+// to the cold solve, so warm starts can never change an answer.
+
+// reSolve reoptimizes a cached engine in place after bound changes on its
+// problem: bounds are reloaded, invalidated rest sides re-derived, basic
+// values refreshed under the retained (already factorized) basis inverse, and
+// primal feasibility restored by dual pivots. This is the fast warm path —
+// unlike the snapshot path below it pays no column rebuild and no O(m^3)
+// refactorization, which otherwise dominates small branch-and-bound node LPs.
+// The engine's current basis need not match Options.WarmStart: any basis of
+// the same problem shape is a valid starting point, and the final primal
+// phase-2 pass certifies optimality regardless of where the solve started.
+func (s *simplex) reSolve(opt Options) (Result, bool) {
+	s.opt = opt.withDefaults(s.m, s.n)
+	s.iters = 0
+	s.stats = Stats{WarmStarted: true}
+	s.bland = false
+	s.stall = 0
+	s.clock = nil
+	if s.opt.CollectPhases {
+		s.clock = obs.NewPhaseClock()
+	}
+	s.clock.Enter(PhaseBuild)
+
+	// Reload the (possibly changed) structural bounds; slack and frozen
+	// artificial bounds are untouched by the caller.
+	copy(s.lo[:s.n], s.p.lo)
+	copy(s.hi[:s.n], s.p.hi)
+	for j := 0; j < s.n; j++ {
+		switch s.state[j] {
+		case stAtLower:
+			if math.IsInf(s.lo[j], -1) {
+				s.state[j] = restState(s.lo[j], s.hi[j])
+			}
+		case stAtUpper:
+			if math.IsInf(s.hi[j], 1) {
+				s.state[j] = restState(s.lo[j], s.hi[j])
+			}
+		case stFreeZero:
+			if s.lo[j] > 0 || s.hi[j] < 0 {
+				s.state[j] = restState(s.lo[j], s.hi[j])
+			}
+		}
+	}
+	s.clock.Enter(PhaseRefactorize)
+	s.refresh()
+
+	st, ok := s.dualRestore()
+	if !ok {
+		s.clock.Stop()
+		return Result{}, false
+	}
+	if st != Optimal {
+		return s.result(st), true
+	}
+	pst := s.iterate(s.cost[:s.ncols])
+	if pst == IterLimit {
+		s.clock.Stop()
+		return Result{}, false
+	}
+	return s.primalResult(pst), true
+}
+
+// warmSolve attempts a warm-started solve from a basis snapshot, building a
+// fresh simplex around it. done=false means the caller must run the cold
+// path.
+func warmSolve(p *Problem, opt Options) (Result, bool) {
+	m, n := len(p.rows), len(p.cost)
+	bs := opt.WarmStart
+	if bs == nil || bs.n != n || bs.m != m {
+		return Result{}, false
+	}
+	s := &simplex{p: p, opt: opt.withDefaults(m, n), m: m, n: n, mutGen: p.mutGen}
+	if s.opt.CollectPhases {
+		s.clock = obs.NewPhaseClock()
+	}
+	s.clock.Enter(PhaseBuild)
+	s.buildColumns()
+	if !s.loadBasis(bs) {
+		s.clock.Stop()
+		return Result{}, false
+	}
+	s.stats.WarmStarted = true
+
+	st, ok := s.dualRestore()
+	if !ok {
+		s.clock.Stop()
+		return Result{}, false
+	}
+	if st != Optimal {
+		// Infeasibility proven by a tableau-row certificate (see dualRestore).
+		return s.result(st), true
+	}
+
+	// Primal feasible: certify optimality with ordinary phase-2 iterations.
+	// (Correctness rests entirely on this final primal pass — the dual pivots
+	// above only steer the basis, they prove nothing about optimality.)
+	pst := s.iterate(s.cost[:s.ncols])
+	if pst == IterLimit {
+		// The warm attempt consumed budget the cold solve would still have.
+		s.clock.Stop()
+		return Result{}, false
+	}
+	res := s.primalResult(pst)
+	if opt.SnapshotBasis && res.Status == Optimal {
+		p.engine = s // later warm solves reoptimize this engine in place
+	}
+	return res, true
+}
+
+// loadBasis installs a snapshot basis over freshly built columns: nonbasic
+// rest sides are re-derived where the new bounds invalidate them, the basis
+// is checked for duplicates, and the basis inverse is rebuilt from scratch.
+// Returns false if the snapshot is stale or the basis matrix is singular.
+func (s *simplex) loadBasis(bs *Basis) bool {
+	nm := s.ncols
+	s.state = make([]varState, nm, nm+s.m)
+	copy(s.state, bs.state)
+	for j := 0; j < nm; j++ {
+		switch s.state[j] {
+		case stAtLower:
+			if math.IsInf(s.lo[j], -1) {
+				s.state[j] = restState(s.lo[j], s.hi[j])
+			}
+		case stAtUpper:
+			if math.IsInf(s.hi[j], 1) {
+				s.state[j] = restState(s.lo[j], s.hi[j])
+			}
+		}
+	}
+	s.basis = make([]int, s.m)
+	seen := make([]bool, nm)
+	for i := 0; i < s.m; i++ {
+		j := int(bs.basis[i])
+		if j < 0 || j >= nm || seen[j] {
+			return false
+		}
+		seen[j] = true
+		s.basis[i] = j
+		s.state[j] = stBasic
+	}
+	for j := 0; j < nm; j++ {
+		if s.state[j] == stBasic && !seen[j] {
+			s.state[j] = restState(s.lo[j], s.hi[j])
+		}
+	}
+	s.xB = make([]float64, s.m)
+	s.binv = make([]float64, s.m*s.m)
+	s.y = make([]float64, s.m)
+	s.w = make([]float64, s.m)
+	return s.refactorize()
+}
+
+// dualRestore pivots until every basic variable is within its bounds.
+// Returns (Optimal, true) when primal feasibility is reached, (Infeasible,
+// true) when a tableau row certifies that no solution exists — the row's
+// basic variable violates a bound and no nonbasic movement can reduce the
+// violation, a Farkas-style certificate that needs no dual feasibility —
+// and ok=false when the path must fall back (pivot cap, singular basis,
+// or an infeasibility verdict resting on borderline pivot magnitudes).
+func (s *simplex) dualRestore() (Status, bool) {
+	m := s.m
+	tol := s.opt.Tol
+	cost := s.cost[:s.ncols]
+	maxIters := 40*m + 400
+	rho := make([]float64, m)
+	for it := 0; ; it++ {
+		if it >= maxIters || s.iters >= s.opt.MaxIters {
+			return 0, false
+		}
+		s.clock.Enter(PhasePricing)
+
+		// Leaving row: the largest bound violation among basic variables.
+		r := -1
+		worst := tol
+		above := false
+		for i := 0; i < m; i++ {
+			bj := s.basis[i]
+			if v := s.xB[i] - s.hi[bj]; v > worst {
+				worst, r, above = v, i, true
+			}
+			if v := s.lo[bj] - s.xB[i]; v > worst {
+				worst, r, above = v, i, false
+			}
+		}
+		if r == -1 {
+			return Optimal, true // primal feasible
+		}
+		s.iters++
+		s.stats.DualIters++
+
+		// Duals y = cB' Binv, for entering-column reduced costs.
+		for i := 0; i < m; i++ {
+			s.y[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := cost[s.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				s.y[k] += cb * row[k]
+			}
+		}
+		copy(rho, s.binv[r*m:r*m+m])
+		s.clock.Enter(PhaseRatioTest)
+
+		// Dual ratio test: among nonbasic columns whose movement off their
+		// rest side reduces the violation, pick the smallest |d|/|alpha|
+		// (the first reduced cost driven to zero), breaking ties toward the
+		// larger pivot for stability, then the lower index for determinism.
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		shaky := false
+		for j := 0; j < s.ncols; j++ {
+			st := s.state[j]
+			if st == stBasic {
+				continue
+			}
+			if s.hi[j]-s.lo[j] < 1e-13 && st != stFreeZero {
+				continue // fixed variable cannot move
+			}
+			alpha := 0.0
+			for k, i := range s.colIdx[j] {
+				alpha += rho[i] * s.colVal[j][k]
+			}
+			var eligible, wouldHelp bool
+			switch {
+			case st == stFreeZero:
+				eligible = math.Abs(alpha) > tol
+				wouldHelp = math.Abs(alpha) > 1e-12
+			case above: // basic above its upper bound: must decrease
+				eligible = (st == stAtLower && alpha > tol) || (st == stAtUpper && alpha < -tol)
+				wouldHelp = (st == stAtLower && alpha > 1e-12) || (st == stAtUpper && alpha < -1e-12)
+			default: // basic below its lower bound: must increase
+				eligible = (st == stAtLower && alpha < -tol) || (st == stAtUpper && alpha > tol)
+				wouldHelp = (st == stAtLower && alpha < -1e-12) || (st == stAtUpper && alpha > 1e-12)
+			}
+			if !eligible {
+				if wouldHelp {
+					shaky = true // certificate would rest on a borderline alpha
+				}
+				continue
+			}
+			d := cost[j]
+			for k, i := range s.colIdx[j] {
+				d -= s.y[i] * s.colVal[j][k]
+			}
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				bestRatio, enter, bestAlpha = ratio, j, alpha
+			}
+		}
+		if enter == -1 {
+			if shaky {
+				return 0, false // let the cold solve decide
+			}
+			return Infeasible, true
+		}
+		s.clock.Enter(PhasePivot)
+
+		// Full pivot column w = Binv A_enter.
+		for i := 0; i < m; i++ {
+			s.w[i] = 0
+		}
+		for k, rr := range s.colIdx[enter] {
+			v := s.colVal[enter][k]
+			for i := 0; i < m; i++ {
+				s.w[i] += s.binv[i*m+int(rr)] * v
+			}
+		}
+		piv := s.w[r]
+		if math.Abs(piv) < 1e-11 {
+			// The sparse alpha and the dense recomputation disagree badly:
+			// rebuild the inverse and retry the row.
+			if !s.refactorize() {
+				return 0, false
+			}
+			continue
+		}
+
+		// The leaving variable lands exactly on its violated bound.
+		bj := s.basis[r]
+		beta := s.lo[bj]
+		if above {
+			beta = s.hi[bj]
+		}
+		dx := (s.xB[r] - beta) / piv
+		enterVal := s.nbValue(enter) + dx
+		for i := 0; i < m; i++ {
+			s.xB[i] -= s.w[i] * dx
+		}
+		s.stats.Pivots++
+		if above {
+			s.state[bj] = stAtUpper
+		} else {
+			s.state[bj] = stAtLower
+		}
+		s.basis[r] = enter
+		s.state[enter] = stBasic
+		s.xB[r] = enterVal
+		prow := s.binv[r*m : r*m+m]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			prow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			irow := s.binv[i*m : i*m+m]
+			for k := 0; k < m; k++ {
+				irow[k] -= f * prow[k]
+			}
+		}
+		if s.iters%256 == 0 {
+			s.refresh()
+		}
+	}
+}

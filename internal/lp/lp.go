@@ -91,6 +91,16 @@ type Problem struct {
 	rows   []row
 	senses []Sense
 	rhs    []float64
+
+	// engine caches the simplex state of the last snapshot-enabled solve so a
+	// following warm-started solve can reoptimize in place — no column
+	// rebuild, no basis refactorization. mutGen invalidates it on structural
+	// mutations (new variables/rows, cost changes); bound changes keep it,
+	// which is exactly the branch-and-bound access pattern. Solves using
+	// SnapshotBasis/WarmStart are therefore not safe concurrently on a
+	// shared Problem (plain Solve remains read-only).
+	engine *simplex
+	mutGen uint64
 }
 
 type row struct {
@@ -117,6 +127,7 @@ func (p *Problem) AddVariable(lo, hi, cost float64) int {
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
 	p.names = append(p.names, "")
+	p.mutGen++
 	return len(p.cost) - 1
 }
 
@@ -144,7 +155,10 @@ func (p *Problem) SetVarBounds(j int, lo, hi float64) {
 func (p *Problem) VarBounds(j int) (lo, hi float64) { return p.lo[j], p.hi[j] }
 
 // SetCost replaces the objective coefficient of variable j.
-func (p *Problem) SetCost(j int, c float64) { p.cost[j] = c }
+func (p *Problem) SetCost(j int, c float64) {
+	p.cost[j] = c
+	p.mutGen++
+}
 
 // Cost returns the objective coefficient of variable j.
 func (p *Problem) Cost(j int) float64 { return p.cost[j] }
@@ -175,6 +189,7 @@ func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
 	p.rows = append(p.rows, r)
 	p.senses = append(p.senses, sense)
 	p.rhs = append(p.rhs, rhs)
+	p.mutGen++
 	return len(p.rows) - 1
 }
 
@@ -195,17 +210,34 @@ type Result struct {
 	X      []float64 // primal values for structural variables
 	Iters  int       // simplex iterations used (both phases)
 	Stats  Stats     // detailed per-solve statistics
+	// Basis is the final basis snapshot, populated on optimal solves when
+	// Options.SnapshotBasis is set. It can seed a later warm-started solve
+	// of the same problem shape via Options.WarmStart.
+	Basis *Basis
+}
+
+// Basis is an opaque snapshot of a simplex basis: which column is basic in
+// each row and where every nonbasic column rests. It is valid as a warm start
+// for any problem with the same variables and constraints, regardless of
+// bound changes — exactly the relationship between a branch-and-bound node
+// and its children.
+type Basis struct {
+	n, m  int
+	basis []int32
+	state []varState
 }
 
 // Stats are per-solve simplex statistics, the LP layer's contribution to
 // the solver observability stack (package obs).
 type Stats struct {
-	Iters            int // total simplex iterations (both phases)
-	Phase1Iters      int // iterations spent driving artificials out
-	Pivots           int // basis exchanges performed
-	BoundFlips       int // nonbasic bound-to-bound moves (no basis change)
-	Refactorizations int // basis-inverse rebuilds (numerical recovery)
-	DegeneratePivots int // zero-step iterations (stalling indicator)
+	Iters            int  // total simplex iterations (both phases)
+	Phase1Iters      int  // iterations spent driving artificials out
+	Pivots           int  // basis exchanges performed
+	BoundFlips       int  // nonbasic bound-to-bound moves (no basis change)
+	Refactorizations int  // basis-inverse rebuilds (numerical recovery)
+	DegeneratePivots int  // zero-step iterations (stalling indicator)
+	WarmStarted      bool // solve reused a parent basis (no phase 1 ran)
+	DualIters        int  // dual-simplex iterations restoring primal feasibility
 
 	// Phases attributes the solve's wall time to the simplex internals —
 	// PhaseBuild, PhasePricing, PhaseRatioTest, PhasePivot, PhaseRefactorize
@@ -233,6 +265,16 @@ type Options struct {
 	// CollectPhases enables per-phase wall-time attribution (Stats.Phases).
 	// It costs a few clock reads per iteration, so it is opt-in.
 	CollectPhases bool
+	// WarmStart, if non-nil, seeds the solve from a basis snapshot taken on
+	// a previous solve of the same problem shape (same variable and row
+	// counts). The snapshot basis is refactorized and primal feasibility is
+	// restored by bounded dual-simplex pivots, skipping phase 1 entirely; a
+	// stale, singular or non-converging basis silently falls back to the
+	// cold two-phase solve, so a warm start never changes the answer.
+	WarmStart *Basis
+	// SnapshotBasis records the final basis of an optimal solve in
+	// Result.Basis for use as a later WarmStart.
+	SnapshotBasis bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -246,8 +288,25 @@ func (o Options) withDefaults(m, n int) Options {
 }
 
 // Solve optimizes the problem with the bounded-variable two-phase primal
-// simplex method.
+// simplex method. With Options.WarmStart it first attempts a dual-simplex
+// reoptimization from a previous basis — preferring the live engine cached on
+// the problem (in-place reoptimization, no refactorization), then the
+// snapshot in Options.WarmStart — falling back to the cold solve whenever the
+// warm path cannot finish cleanly.
 func (p *Problem) Solve(opt Options) Result {
+	if opt.WarmStart != nil {
+		if s := p.engine; s != nil && s.mutGen == p.mutGen {
+			if res, done := s.reSolve(opt); done {
+				return res
+			}
+		} else if res, done := warmSolve(p, opt); done {
+			return res
+		}
+	}
 	s := newSimplex(p, opt)
-	return s.solve()
+	res := s.solve()
+	if opt.SnapshotBasis && res.Status == Optimal {
+		p.engine = s
+	}
+	return res
 }

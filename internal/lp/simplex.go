@@ -37,23 +37,25 @@ type simplex struct {
 	b     []float64  // rhs
 	nArt  int        // number of artificial columns appended
 
-	y     []float64 // dual vector workspace
-	w     []float64 // pivot column workspace
-	iters int
-	stats Stats
-	bland bool            // Bland's anti-cycling rule active
-	stall int             // consecutive degenerate pivots
-	clock *obs.PhaseClock // nil unless Options.CollectPhases
+	y      []float64 // dual vector workspace
+	w      []float64 // pivot column workspace
+	iters  int
+	stats  Stats
+	bland  bool            // Bland's anti-cycling rule active
+	stall  int             // consecutive degenerate pivots
+	clock  *obs.PhaseClock // nil unless Options.CollectPhases
+	mutGen uint64          // Problem.mutGen at build time (engine staleness check)
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
 	m := len(p.rows)
 	n := len(p.cost)
 	s := &simplex{
-		p:   p,
-		opt: opt.withDefaults(m, n),
-		m:   m,
-		n:   n,
+		p:      p,
+		opt:    opt.withDefaults(m, n),
+		m:      m,
+		n:      n,
+		mutGen: p.mutGen,
 	}
 	if s.opt.CollectPhases {
 		s.clock = obs.NewPhaseClock()
@@ -63,9 +65,15 @@ func newSimplex(p *Problem, opt Options) *simplex {
 	return s
 }
 
-// build assembles internal columns: structural, then one slack per row, then
-// (lazily sized) artificials for rows whose slack cannot absorb the residual.
+// build assembles internal columns then installs the cold initial basis.
 func (s *simplex) build() {
+	s.buildColumns()
+	s.coldBasis()
+}
+
+// buildColumns assembles the structural and slack columns (shared between the
+// cold and warm start paths).
+func (s *simplex) buildColumns() {
 	p := s.p
 	m, n := s.m, s.n
 
@@ -101,6 +109,11 @@ func (s *simplex) build() {
 		s.cost = append(s.cost, 0)
 	}
 	s.ncols = n + m
+}
+
+// coldBasis installs the slack-or-artificial initial basis (phase 1 start).
+func (s *simplex) coldBasis() {
+	m, n := s.m, s.n
 
 	// Nonbasic rest values for structural variables: nearest finite bound.
 	s.state = make([]varState, s.ncols, s.ncols+m)
@@ -241,10 +254,16 @@ func (s *simplex) solve() Result {
 	phase2 := make([]float64, s.ncols)
 	copy(phase2, s.cost[:s.ncols])
 	st := s.iterate(phase2)
+	_ = tol
+	return s.primalResult(st)
+}
+
+// primalResult assembles the solution (and optional basis snapshot) after the
+// final phase-2 iterate; shared by the cold and warm solve paths.
+func (s *simplex) primalResult(st Status) Result {
 	if st != Optimal {
 		return s.result(st)
 	}
-
 	x := make([]float64, s.n)
 	for j := 0; j < s.n; j++ {
 		if s.state[j] != stBasic {
@@ -260,11 +279,39 @@ func (s *simplex) solve() Result {
 	for j := 0; j < s.n; j++ {
 		obj += s.p.cost[j] * x[j]
 	}
-	_ = tol
 	r := s.result(Optimal)
 	r.Obj = obj
 	r.X = x
+	if s.opt.SnapshotBasis {
+		r.Basis = s.snapshot()
+	}
 	return r
+}
+
+// snapshot captures the final basis over the structural+slack columns. A
+// basic artificial (necessarily at value zero in an optimal solution) is
+// replaced by its row's slack — the two columns are parallel (±e_i), so the
+// substituted basis stays nonsingular; if that slack is already basic the
+// snapshot is abandoned (nil) rather than risking a broken warm start.
+func (s *simplex) snapshot() *Basis {
+	nm := s.n + s.m
+	bs := &Basis{n: s.n, m: s.m,
+		basis: make([]int32, s.m),
+		state: make([]varState, nm),
+	}
+	copy(bs.state, s.state[:nm])
+	for i, j := range s.basis {
+		if j >= nm {
+			sl := s.n + i
+			if bs.state[sl] == stBasic {
+				return nil
+			}
+			bs.state[sl] = stBasic
+			j = sl
+		}
+		bs.basis[i] = int32(j)
+	}
+	return bs
 }
 
 // iterate runs primal simplex iterations under the given cost vector until

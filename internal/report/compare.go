@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BenchComparison is the result of CompareBench: per-case answer agreement
+// and an aggregate wall-time ratio between two benchmark-trajectory
+// documents. It is the data behind cmd/benchrun's -baseline/-max-regress
+// regression gate.
+type BenchComparison struct {
+	// Matched counts cases present in both documents (keyed by name+solver)
+	// with agreeing answers and no recorded error on either side; only these
+	// contribute to WallRatio.
+	Matched int
+	// WallRatio is the geometric mean over matched cases of the per-case
+	// wall-time ratio current/base, with each wall clamped to a 1ms floor so
+	// scheduling jitter on trivial cases cannot dominate the mean. A value
+	// below 1 means the current document is faster; 1 when nothing matched.
+	WallRatio float64
+	// Mismatches lists matched cases whose answers disagree (cost, feasible
+	// or proven verdict). Any entry means the two documents do not describe
+	// the same solver behaviour, and a wall-time comparison of that case
+	// would be meaningless — mismatched cases are excluded from WallRatio.
+	Mismatches []string
+	// OnlyBase and OnlyCur list case keys present in one document only; they
+	// are excluded from the ratio. OnlyBase entries are expected when the
+	// short CI corpus is compared against a full-corpus trajectory point.
+	OnlyBase, OnlyCur []string
+}
+
+// CompareBench matches the cases of two benchmark documents by name+solver
+// and summarizes their agreement. Neither document is mutated.
+func CompareBench(base, cur *BenchDoc) BenchComparison {
+	key := func(c BenchCase) string { return c.Name + "/" + c.Solver }
+	baseByKey := make(map[string]BenchCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseByKey[key(c)] = c
+	}
+	var cmp BenchComparison
+	logSum := 0.0
+	seen := make(map[string]bool, len(cur.Cases))
+	for _, c := range cur.Cases {
+		k := key(c)
+		b, ok := baseByKey[k]
+		if !ok {
+			cmp.OnlyCur = append(cmp.OnlyCur, k)
+			continue
+		}
+		seen[k] = true
+		if c.Err != "" || b.Err != "" {
+			continue
+		}
+		if c.Cost != b.Cost || c.Feasible != b.Feasible || c.Proven != b.Proven {
+			cmp.Mismatches = append(cmp.Mismatches, fmt.Sprintf(
+				"%s: cost %d->%d, feasible %v->%v, proven %v->%v",
+				k, b.Cost, c.Cost, b.Feasible, c.Feasible, b.Proven, c.Proven))
+			continue
+		}
+		cmp.Matched++
+		logSum += math.Log(math.Max(c.WallMS, 1) / math.Max(b.WallMS, 1))
+	}
+	for k := range baseByKey {
+		if !seen[k] {
+			cmp.OnlyBase = append(cmp.OnlyBase, k)
+		}
+	}
+	sort.Strings(cmp.OnlyBase)
+	cmp.WallRatio = 1
+	if cmp.Matched > 0 {
+		cmp.WallRatio = math.Exp(logSum / float64(cmp.Matched))
+	}
+	return cmp
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCompareBench(t *testing.T) {
+	ok := func(name, solver string, cost int, wall float64) BenchCase {
+		return BenchCase{Name: name, Solver: solver, Feasible: true, Proven: true,
+			Cost: cost, WallMS: wall}
+	}
+	base := &BenchDoc{Cases: []BenchCase{
+		ok("a", "bnb", 10, 100),
+		ok("b", "bnb", 5, 400),
+		ok("c", "ilp", 7, 10),
+		{Name: "e", Solver: "bnb", Err: "boom", WallMS: 1},
+	}}
+	cur := &BenchDoc{Cases: []BenchCase{
+		ok("a", "bnb", 10, 50), // 2x faster
+		ok("b", "bnb", 6, 100), // answer mismatch: excluded from the ratio
+		ok("d", "ilp", 1, 5),   // only in current
+		ok("e", "bnb", 3, 1),   // errored in base: excluded
+	}}
+	cmp := CompareBench(base, cur)
+	if cmp.Matched != 1 {
+		t.Fatalf("Matched = %d, want 1", cmp.Matched)
+	}
+	if math.Abs(cmp.WallRatio-0.5) > 1e-9 {
+		t.Fatalf("WallRatio = %g, want 0.5", cmp.WallRatio)
+	}
+	if len(cmp.Mismatches) != 1 {
+		t.Fatalf("Mismatches = %v, want exactly the b/bnb cost change", cmp.Mismatches)
+	}
+	if want := []string{"c/ilp"}; !reflect.DeepEqual(cmp.OnlyBase, want) {
+		t.Fatalf("OnlyBase = %v, want %v", cmp.OnlyBase, want)
+	}
+	if want := []string{"d/ilp"}; !reflect.DeepEqual(cmp.OnlyCur, want) {
+		t.Fatalf("OnlyCur = %v, want %v", cmp.OnlyCur, want)
+	}
+}
+
+// TestCompareBenchWallFloor: sub-millisecond walls are clamped to 1ms so
+// jitter on trivial cases cannot swing the geomean.
+func TestCompareBenchWallFloor(t *testing.T) {
+	base := &BenchDoc{Cases: []BenchCase{
+		{Name: "tiny", Solver: "bnb", Feasible: true, Proven: true, Cost: 1, WallMS: 0.01},
+	}}
+	cur := &BenchDoc{Cases: []BenchCase{
+		{Name: "tiny", Solver: "bnb", Feasible: true, Proven: true, Cost: 1, WallMS: 0.99},
+	}}
+	cmp := CompareBench(base, cur)
+	if cmp.Matched != 1 || cmp.WallRatio != 1 {
+		t.Fatalf("Matched=%d WallRatio=%g, want 1 and 1 (both walls clamp to the 1ms floor)",
+			cmp.Matched, cmp.WallRatio)
+	}
+}
+
+func TestCompareBenchEmpty(t *testing.T) {
+	cmp := CompareBench(&BenchDoc{}, &BenchDoc{})
+	if cmp.Matched != 0 || cmp.WallRatio != 1 || len(cmp.Mismatches) != 0 {
+		t.Fatalf("empty comparison: %+v", cmp)
+	}
+}
