@@ -1,9 +1,10 @@
 #!/bin/sh
 # ci.sh — the repo's check suite: vet (plus the shadow analyzer when it is
 # installed), race-test the concurrency-sensitive packages (sched runs the
-# worker pool; exp/core/ilp/lp execute inside it; obs is updated from solver
-# goroutines), the full test suite in short mode, and a parallel end-to-end
-# smoke run of both CLIs at -j 4.
+# worker pool; exp/core/ilp/lp — including the sparse basis-factorization
+# kernels in lp/factor.go and lp/ftran.go — execute inside it; obs is updated
+# from solver goroutines), the full test suite in short mode, and a parallel
+# end-to-end smoke run of both CLIs at -j 4.
 set -eu
 
 cd "$(dirname "$0")"

@@ -520,7 +520,12 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 			LPSolves:     res.Stats.LPSolves,
 			LPIters:      res.Stats.LPIters,
 			LPWarmStarts: res.Stats.LPWarmStarts,
+			LPRefactors:  res.Stats.LPRefactors,
+			LPEtaPivots:  res.Stats.LPEtaPivots,
 			LPTime:       res.Stats.LPTime,
+			ModelRows:    m.Model.NumConstraints(),
+			ModelCols:    m.Model.NumVars(),
+			ModelNNZ:     m.Model.Prob.NumNonzeros(),
 			Elapsed:      time.Since(start),
 			Termination:  string(res.Stats.Termination),
 			Phases:       phases,

@@ -89,7 +89,17 @@ type SolveStats struct {
 	LPSolves     int           // LP relaxations solved
 	LPIters      int           // total simplex iterations
 	LPWarmStarts int           // node LPs reoptimized from the parent basis
+	LPRefactors  int           // basis refactorizations across all node LPs
+	LPEtaPivots  int           // basis exchanges absorbed by eta updates
 	LPTime       time.Duration // wall time inside the LP subsolver
+
+	// Model dimensions of the MILP path's LP relaxation (zero for the
+	// combinatorial BnB): constraint rows, variable columns, and structural
+	// matrix nonzeros. Benchmarks report these so speedups can be correlated
+	// with LP size.
+	ModelRows int
+	ModelCols int
+	ModelNNZ  int
 
 	Elapsed time.Duration // total wall time of the solve
 	// Termination says why the solve stopped: "optimal", "infeasible",

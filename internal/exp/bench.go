@@ -174,6 +174,9 @@ func runBenchCase(ctx context.Context, s BenchSpec, timeout time.Duration) (repo
 	bc.MaxDepth = st.MaxDepth
 	bc.LPSolves = st.LPSolves
 	bc.SimplexIters = st.LPIters
+	bc.Rows = st.ModelRows
+	bc.Cols = st.ModelCols
+	bc.NNZ = st.ModelNNZ
 	bc.PhasesMS = st.Phases.MS()
 	bc.LPPhasesMS = st.LPPhases.MS()
 	return bc, nil

@@ -193,6 +193,8 @@ type Stats struct {
 	LPPivots      int           // total simplex basis exchanges
 	LPWarmStarts  int           // node LPs reoptimized from the parent basis
 	LPDualIters   int           // dual-simplex iterations across warm starts
+	LPRefactors   int           // basis refactorizations across all node LPs
+	LPEtaPivots   int           // basis exchanges absorbed by eta updates
 	LPTime        time.Duration // wall time inside the LP subsolver
 	BranchTime    time.Duration // wall time outside the LP (Elapsed - LPTime)
 	Incumbents    int           // incumbent updates (including warm start)
@@ -466,6 +468,8 @@ func (m *Model) Solve(opt Options) Result {
 		lpIters += res.Iters
 		stats.LPSolves++
 		stats.LPPivots += res.Stats.Pivots
+		stats.LPRefactors += res.Stats.Refactorizations
+		stats.LPEtaPivots += res.Stats.EtaPivots
 		if nodes%opt.ProgressEvery == 0 {
 			progress()
 		}

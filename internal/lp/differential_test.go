@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLP generates a random bounded LP. Most instances are feasible and
+// bounded; the generator deliberately mixes in degenerate rows (duplicated
+// constraints), equality-heavy systems, free variables, and occasional
+// contradictory or unbounded constructions so every Status is exercised.
+func randomLP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	n := 2 + rng.Intn(10)
+	for j := 0; j < n; j++ {
+		lo, hi := 0.0, float64(1+rng.Intn(10))
+		switch rng.Intn(10) {
+		case 0:
+			lo = -Inf // one-sided above
+		case 1:
+			lo, hi = -hi, Inf
+		case 2:
+			lo, hi = -Inf, Inf // free
+		case 3:
+			v := float64(rng.Intn(5))
+			lo, hi = v, v // fixed
+		}
+		p.AddVariable(lo, hi, float64(rng.Intn(21)-10))
+	}
+	m := 1 + rng.Intn(12)
+	for i := 0; i < m; i++ {
+		var coeffs []Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				coeffs = append(coeffs, Coef{Var: j, Val: float64(rng.Intn(9) - 4)})
+			}
+		}
+		if len(coeffs) == 0 {
+			coeffs = append(coeffs, Coef{Var: rng.Intn(n), Val: 1})
+		}
+		sense := Sense(rng.Intn(3))
+		rhs := float64(rng.Intn(25) - 8)
+		p.AddConstraint(coeffs, sense, rhs)
+		if rng.Intn(6) == 0 {
+			// Duplicate the row (degeneracy) or contradict it (infeasibility).
+			if rng.Intn(3) == 0 && sense == LE {
+				p.AddConstraint(coeffs, GE, rhs+1+float64(rng.Intn(4)))
+			} else {
+				p.AddConstraint(coeffs, sense, rhs)
+			}
+		}
+	}
+	return p
+}
+
+// cloneProblem rebuilds an identical Problem (fresh caches) so the two
+// engines never share a cached simplex.
+func cloneProblem(p *Problem) *Problem {
+	q := NewProblem()
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.VarBounds(j)
+		q.AddVariable(lo, hi, p.Cost(j))
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coeffs, sense, rhs := p.Row(i)
+		q.AddConstraint(coeffs, sense, rhs)
+	}
+	return q
+}
+
+// TestEngineDifferential fuzzes random bounded LPs through both linear-
+// algebra engines and requires agreement on status and (when optimal)
+// objective within tolerance. This is the answer-preservation gate for the
+// sparse factorization: the dense inverse is the reference.
+func TestEngineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	counts := map[Status]int{}
+	for trial := 0; trial < 400; trial++ {
+		p := randomLP(rng)
+		sp := p.Solve(Options{Engine: EngineSparse})
+		de := cloneProblem(p).Solve(Options{Engine: EngineDense})
+		if sp.Status != de.Status {
+			t.Fatalf("trial %d: status sparse=%v dense=%v", trial, sp.Status, de.Status)
+		}
+		counts[sp.Status]++
+		if sp.Status == Optimal {
+			if math.Abs(sp.Obj-de.Obj) > 1e-6*(1+math.Abs(de.Obj)) {
+				t.Fatalf("trial %d: obj sparse=%.12g dense=%.12g", trial, sp.Obj, de.Obj)
+			}
+			// The sparse solution must itself be feasible — agreement on the
+			// objective alone could mask a corrupted primal vector.
+			checkFeasible(t, trial, p, sp.X)
+		}
+	}
+	for _, st := range []Status{Optimal, Infeasible, Unbounded} {
+		if counts[st] == 0 {
+			t.Errorf("fuzz corpus never produced status %v — generator drifted", st)
+		}
+	}
+}
+
+func checkFeasible(t *testing.T, trial int, p *Problem, x []float64) {
+	t.Helper()
+	const tol = 1e-6
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.VarBounds(j)
+		if x[j] < lo-tol || x[j] > hi+tol {
+			t.Fatalf("trial %d: x[%d]=%g outside [%g,%g]", trial, j, x[j], lo, hi)
+		}
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coeffs, sense, rhs := p.Row(i)
+		ax := 0.0
+		for _, c := range coeffs {
+			ax += c.Val * x[c.Var]
+		}
+		switch sense {
+		case LE:
+			if ax > rhs+tol {
+				t.Fatalf("trial %d: row %d: %g > %g", trial, i, ax, rhs)
+			}
+		case GE:
+			if ax < rhs-tol {
+				t.Fatalf("trial %d: row %d: %g < %g", trial, i, ax, rhs)
+			}
+		case EQ:
+			if math.Abs(ax-rhs) > tol {
+				t.Fatalf("trial %d: row %d: %g != %g", trial, i, ax, rhs)
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialWarm runs the same branch-and-bound-style dive under
+// both engines — warm starts, cached-engine reoptimization and snapshot
+// restores included — and requires identical statuses and objectives at every
+// node. This covers the dual-simplex restore path, which the cold fuzz above
+// never reaches.
+func TestEngineDifferentialWarm(t *testing.T) {
+	const n = 6
+	run := func(engine Engine) ([]Status, []float64) {
+		p := assignmentLP(n)
+		res := p.Solve(Options{SnapshotBasis: true, Engine: engine})
+		if res.Status != Optimal {
+			t.Fatalf("engine %v: root status %v", engine, res.Status)
+		}
+		basis := res.Basis
+		var sts []Status
+		var objs []float64
+		for step := 0; step < 3*n; step++ {
+			j := (step * 7) % (n * n)
+			v := float64(step % 2)
+			p.SetVarBounds(j, v, v)
+			r := p.Solve(Options{WarmStart: basis, SnapshotBasis: true, Engine: engine})
+			sts = append(sts, r.Status)
+			objs = append(objs, r.Obj)
+			if r.Status != Optimal {
+				break
+			}
+			if r.Basis != nil {
+				basis = r.Basis
+			}
+		}
+		return sts, objs
+	}
+	sSt, sObj := run(EngineSparse)
+	dSt, dObj := run(EngineDense)
+	if len(sSt) != len(dSt) {
+		t.Fatalf("dive lengths differ: sparse=%d dense=%d", len(sSt), len(dSt))
+	}
+	for k := range sSt {
+		if sSt[k] != dSt[k] {
+			t.Fatalf("node %d: status sparse=%v dense=%v", k, sSt[k], dSt[k])
+		}
+		if sSt[k] == Optimal && math.Abs(sObj[k]-dObj[k]) > 1e-6 {
+			t.Fatalf("node %d: obj sparse=%g dense=%g", k, sObj[k], dObj[k])
+		}
+	}
+}

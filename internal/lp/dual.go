@@ -29,6 +29,9 @@ func (s *simplex) reSolve(opt Options) (Result, bool) {
 	s.opt = opt.withDefaults(s.m, s.n)
 	s.iters = 0
 	s.stats = Stats{WarmStarted: true}
+	if s.lu != nil {
+		s.noteFactorization() // carry the retained factorization's size stats
+	}
 	s.bland = false
 	s.stall = 0
 	s.clock = nil
@@ -160,9 +163,12 @@ func (s *simplex) loadBasis(bs *Basis) bool {
 		}
 	}
 	s.xB = make([]float64, s.m)
-	s.binv = make([]float64, s.m*s.m)
-	s.y = make([]float64, s.m)
-	s.w = make([]float64, s.m)
+	s.growWorkspaces()
+	if s.opt.Engine == EngineDense {
+		s.binv = make([]float64, s.m*s.m)
+	} else {
+		s.lu = &luFactor{}
+	}
 	return s.refactorize()
 }
 
@@ -178,7 +184,6 @@ func (s *simplex) dualRestore() (Status, bool) {
 	tol := s.opt.Tol
 	cost := s.cost[:s.ncols]
 	maxIters := 40*m + 400
-	rho := make([]float64, m)
 	for it := 0; ; it++ {
 		if it >= maxIters || s.iters >= s.opt.MaxIters {
 			return 0, false
@@ -204,21 +209,11 @@ func (s *simplex) dualRestore() (Status, bool) {
 		s.iters++
 		s.stats.DualIters++
 
-		// Duals y = cB' Binv, for entering-column reduced costs.
-		for i := 0; i < m; i++ {
-			s.y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				s.y[k] += cb * row[k]
-			}
-		}
-		copy(rho, s.binv[r*m:r*m+m])
+		// Duals y = cB' B^{-1}, for entering-column reduced costs, and the
+		// tableau row rho = e_r' B^{-1} for the ratio-test alphas (both BTRANs
+		// under the sparse engine).
+		s.computeDuals(cost)
+		rho := s.binvRow(r)
 		s.clock.Enter(PhaseRatioTest)
 
 		// Dual ratio test: among nonbasic columns whose movement off their
@@ -277,16 +272,8 @@ func (s *simplex) dualRestore() (Status, bool) {
 		}
 		s.clock.Enter(PhasePivot)
 
-		// Full pivot column w = Binv A_enter.
-		for i := 0; i < m; i++ {
-			s.w[i] = 0
-		}
-		for k, rr := range s.colIdx[enter] {
-			v := s.colVal[enter][k]
-			for i := 0; i < m; i++ {
-				s.w[i] += s.binv[i*m+int(rr)] * v
-			}
-		}
+		// Full pivot column w = B^{-1} A_enter (an FTRAN).
+		s.computePivotColumn(enter)
 		piv := s.w[r]
 		if math.Abs(piv) < 1e-11 {
 			// The sparse alpha and the dense recomputation disagree badly:
@@ -305,7 +292,7 @@ func (s *simplex) dualRestore() (Status, bool) {
 		}
 		dx := (s.xB[r] - beta) / piv
 		enterVal := s.nbValue(enter) + dx
-		for i := 0; i < m; i++ {
+		for _, i := range s.wv.ind {
 			s.xB[i] -= s.w[i] * dx
 		}
 		s.stats.Pivots++
@@ -317,23 +304,8 @@ func (s *simplex) dualRestore() (Status, bool) {
 		s.basis[r] = enter
 		s.state[enter] = stBasic
 		s.xB[r] = enterVal
-		prow := s.binv[r*m : r*m+m]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == r {
-				continue
-			}
-			f := s.w[i]
-			if f == 0 {
-				continue
-			}
-			irow := s.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				irow[k] -= f * prow[k]
-			}
+		if !s.updateBasisRep(r) {
+			return 0, false
 		}
 		if s.iters%256 == 0 {
 			s.refresh()

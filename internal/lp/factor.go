@@ -1,0 +1,428 @@
+package lp
+
+import "math"
+
+// This file implements the sparse LU factorization behind the simplex
+// engine's default linear algebra (Options.Engine == EngineSparse). The
+// basis matrix B — flow-conservation rows, via-adjacency rows, EOL rows,
+// each with a handful of nonzeros — is factorized by Gaussian elimination
+// with Markowitz pivot selection (minimizing predicted fill-in subject to a
+// relative stability threshold), storing the elimination multipliers (L) and
+// the reduced pivot rows (U) as index/value triangles. Basis exchanges do
+// not refactorize: each pivot appends one product-form eta vector, and the
+// factorization is rebuilt only when the eta file grows past its budget or a
+// pivot is numerically unacceptable. FTRAN/BTRAN over this representation
+// live in ftran.go.
+
+const (
+	// markowitzThreshold rejects pivot candidates smaller than this fraction
+	// of the largest entry in their row (stability vs fill-in trade-off).
+	markowitzThreshold = 0.05
+	// pivotFloor is the absolute magnitude below which an entry can never
+	// pivot; a step with no candidate above it declares the basis singular.
+	pivotFloor = 1e-11
+	// dropTol discards entries this small during elimination (cancellation
+	// noise that would otherwise accumulate as structural fill).
+	dropTol = 1e-14
+	// etaPivotRel rejects a product-form update whose pivot entry is this
+	// much smaller than the largest entry of the transformed column; the
+	// caller refactorizes instead of compounding the error.
+	etaPivotRel = 1e-8
+)
+
+// luFactor is a sparse LU factorization of one simplex basis plus the
+// product-form eta file accumulated since. Rebuilt in place by factorize;
+// all backing slices are reused across refactorizations.
+type luFactor struct {
+	m int
+
+	// Pivot sequence: step k eliminated row prow[k] against basis position
+	// (column) pcol[k].
+	prow []int32
+	pcol []int32
+
+	// L: per-step elimination multipliers. The forward solve applies
+	// x[lInd] -= lVal * x[prow[k]] for each entry of step k.
+	lPtr []int32
+	lInd []int32
+	lVal []float64
+
+	// U: pivot values per step plus the off-pivot entries of each pivot row,
+	// stored row-wise (urInd = basis position) for BTRAN and column-wise
+	// (ucInd = step index of the row holding the entry) for FTRAN.
+	upiv  []float64
+	urPtr []int32
+	urInd []int32
+	urVal []float64
+	ucPtr []int32
+	ucInd []int32
+	ucVal []float64
+
+	// Product-form eta file, one eta per basis exchange since the last
+	// factorization, stored in applied form: the transformed column r gets
+	// value etaDiag*t and each (etaInd, etaVal) entry accumulates etaVal*t.
+	etaPtr  []int32
+	etaR    []int32
+	etaDiag []float64
+	etaInd  []int32
+	etaVal  []float64
+
+	basisNNZ  int // nonzeros of the basis matrix at the last factorization
+	factorNNZ int // nonzeros of L + U (incl. pivots) at the last factorization
+
+	// Factorization scratch, reused across calls.
+	rwIdx   [][]int32
+	rwVal   [][]float64
+	colCnt  []int32
+	colRows [][]int32
+	rowDone []bool
+	stepOf  []int32 // basis position -> elimination step
+	acc     []float64
+	accMark []int32
+	oldMark []int32
+	accList []int32
+	epoch   int32
+}
+
+// reset prepares the factor for a basis of m rows, clearing prior state.
+func (f *luFactor) reset(m int) {
+	f.m = m
+	f.prow = f.prow[:0]
+	f.pcol = f.pcol[:0]
+	f.lPtr = append(f.lPtr[:0], 0)
+	f.lInd = f.lInd[:0]
+	f.lVal = f.lVal[:0]
+	f.upiv = f.upiv[:0]
+	f.urPtr = append(f.urPtr[:0], 0)
+	f.urInd = f.urInd[:0]
+	f.urVal = f.urVal[:0]
+	f.clearEtas()
+}
+
+func (f *luFactor) clearEtas() {
+	f.etaPtr = append(f.etaPtr[:0], 0)
+	f.etaR = f.etaR[:0]
+	f.etaDiag = f.etaDiag[:0]
+	f.etaInd = f.etaInd[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+// etaCount returns the number of product-form updates accumulated since the
+// last factorization.
+func (f *luFactor) etaCount() int { return len(f.etaR) }
+
+// needRefactor reports whether the eta file has outgrown its budget: too
+// many updates, or more update nonzeros than the factorization itself (at
+// which point every FTRAN/BTRAN pays more for the etas than for the LU).
+func (f *luFactor) needRefactor() bool {
+	if len(f.etaR) >= 96 {
+		return true
+	}
+	return len(f.etaVal) > 2*f.factorNNZ+4*f.m
+}
+
+// update appends the product-form eta of one basis exchange: w is the
+// FTRAN-transformed entering column and leave the basis position it replaces.
+// Returns false when the pivot entry is too small relative to the column —
+// the caller must refactorize (the basis itself, already exchanged, stays
+// valid).
+func (f *luFactor) update(leave int32, w *spVec) bool {
+	wr := w.val[leave]
+	wmax := 0.0
+	for _, i := range w.ind {
+		if a := math.Abs(w.val[i]); a > wmax {
+			wmax = a
+		}
+	}
+	if math.Abs(wr) < etaPivotRel*wmax || wr == 0 {
+		return false
+	}
+	d := 1 / wr
+	for _, i := range w.ind {
+		if i == leave {
+			continue
+		}
+		v := w.val[i]
+		if v == 0 {
+			continue
+		}
+		f.etaInd = append(f.etaInd, i)
+		f.etaVal = append(f.etaVal, -v*d)
+	}
+	f.etaR = append(f.etaR, leave)
+	f.etaDiag = append(f.etaDiag, d)
+	f.etaPtr = append(f.etaPtr, int32(len(f.etaInd)))
+	return true
+}
+
+// factorize rebuilds the LU factorization from the basis columns (basis[pos]
+// names the column basic at position pos; colIdx/colVal are the column
+// nonzeros by row). Returns false when the basis matrix is numerically
+// singular. The eta file is cleared — the factorization alone represents
+// the basis afterwards.
+func (f *luFactor) factorize(m int, basis []int, colIdx [][]int32, colVal [][]float64) bool {
+	f.reset(m)
+	f.growScratch(m)
+
+	// Assemble the working rows (col = basis position).
+	nnz := 0
+	for i := 0; i < m; i++ {
+		f.rwIdx[i] = f.rwIdx[i][:0]
+		f.rwVal[i] = f.rwVal[i][:0]
+		f.colCnt[i] = 0
+		f.colRows[i] = f.colRows[i][:0]
+		f.rowDone[i] = false
+	}
+	for pos, j := range basis {
+		for k, i := range colIdx[j] {
+			v := colVal[j][k]
+			if v == 0 {
+				continue
+			}
+			f.rwIdx[i] = append(f.rwIdx[i], int32(pos))
+			f.rwVal[i] = append(f.rwVal[i], v)
+			f.colCnt[pos]++
+			f.colRows[pos] = append(f.colRows[pos], int32(i))
+			nnz++
+		}
+	}
+	f.basisNNZ = nnz
+
+	for step := 0; step < m; step++ {
+		pr, pk, ok := f.selectPivot(m)
+		if !ok {
+			return false
+		}
+		f.eliminate(pr, pk)
+	}
+	f.buildColumnwiseU(m)
+	f.factorNNZ = len(f.lVal) + len(f.urVal) + m
+	return true
+}
+
+// selectPivot scans the active rows for the entry minimizing the Markowitz
+// count (rowLen-1)*(colCnt-1) among entries passing the relative stability
+// threshold, breaking ties toward the larger magnitude. Returns the row and
+// the entry's index within it.
+func (f *luFactor) selectPivot(m int) (pr int, pk int, ok bool) {
+	bestCost := int64(math.MaxInt64)
+	bestAbs := 0.0
+	pr, pk = -1, -1
+	for i := 0; i < m; i++ {
+		if f.rowDone[i] {
+			continue
+		}
+		row := f.rwVal[i]
+		if len(row) == 0 {
+			return -1, -1, false // empty active row: structurally singular
+		}
+		rmax := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > rmax {
+				rmax = a
+			}
+		}
+		if rmax < pivotFloor {
+			return -1, -1, false
+		}
+		floor := markowitzThreshold * rmax
+		rl := int64(len(row) - 1)
+		for k, v := range row {
+			a := math.Abs(v)
+			if a < floor || a < pivotFloor {
+				continue
+			}
+			cost := rl * int64(f.colCnt[f.rwIdx[i][k]]-1)
+			if cost < bestCost || (cost == bestCost && a > bestAbs) {
+				bestCost, bestAbs, pr, pk = cost, a, i, k
+			}
+		}
+		if bestCost == 0 {
+			break // a zero-fill pivot (row or column singleton) cannot be beaten
+		}
+	}
+	return pr, pk, pr >= 0
+}
+
+// eliminate performs one elimination step with pivot entry pk of row pr:
+// the pivot row is emitted as a U row and subtracted (scaled) from every
+// active row sharing its pivot column, recording the multipliers in L.
+func (f *luFactor) eliminate(pr, pk int) {
+	prowIdx := f.rwIdx[pr]
+	prowVal := f.rwVal[pr]
+	pc := prowIdx[pk]
+	pv := prowVal[pk]
+
+	f.prow = append(f.prow, int32(pr))
+	f.pcol = append(f.pcol, pc)
+	f.upiv = append(f.upiv, pv)
+	for k, c := range prowIdx {
+		if k != pk {
+			f.urInd = append(f.urInd, c)
+			f.urVal = append(f.urVal, prowVal[k])
+		}
+		f.colCnt[c]--
+	}
+	f.urPtr = append(f.urPtr, int32(len(f.urInd)))
+	f.rowDone[pr] = true
+
+	uLo := f.urPtr[len(f.urPtr)-2]
+	uHi := f.urPtr[len(f.urPtr)-1]
+	for _, ri := range f.colRows[pc] {
+		i := int(ri)
+		if f.rowDone[i] {
+			continue
+		}
+		// Locate the pivot-column entry (colRows may hold stale rows whose
+		// entry has since cancelled).
+		kk := -1
+		for k, c := range f.rwIdx[i] {
+			if c == pc {
+				kk = k
+				break
+			}
+		}
+		if kk == -1 {
+			continue
+		}
+		mult := f.rwVal[i][kk] / pv
+		f.lInd = append(f.lInd, int32(i))
+		f.lVal = append(f.lVal, mult)
+		f.mergeRow(i, kk, mult, uLo, uHi)
+	}
+	f.colRows[pc] = f.colRows[pc][:0]
+	f.lPtr = append(f.lPtr, int32(len(f.lInd)))
+}
+
+// mergeRow applies row_i -= mult * pivotRow (off-pivot part in urInd/urVal
+// [uLo,uHi)), dropping the pivot-column entry kk, via the epoch-stamped
+// dense accumulator. Column counts and candidate lists track fill-in.
+func (f *luFactor) mergeRow(i, kk int, mult float64, uLo, uHi int32) {
+	f.epoch++
+	if f.epoch == math.MaxInt32 {
+		for j := range f.accMark {
+			f.accMark[j] = 0
+			f.oldMark[j] = 0
+		}
+		f.epoch = 1
+	}
+	ep := f.epoch
+	f.accList = f.accList[:0]
+	idx := f.rwIdx[i]
+	val := f.rwVal[i]
+	for k, c := range idx {
+		if k == kk {
+			continue // eliminated pivot-column entry
+		}
+		f.acc[c] = val[k]
+		f.accMark[c] = ep
+		f.oldMark[c] = ep
+		f.accList = append(f.accList, c)
+	}
+	f.colCnt[idx[kk]]-- // the removed pivot-column entry
+	for e := uLo; e < uHi; e++ {
+		c := f.urInd[e]
+		v := mult * f.urVal[e]
+		if f.accMark[c] == ep {
+			f.acc[c] -= v
+		} else {
+			f.acc[c] = -v
+			f.accMark[c] = ep
+			f.accList = append(f.accList, c)
+		}
+	}
+	idx = idx[:0]
+	val = val[:0]
+	for _, c := range f.accList {
+		v := f.acc[c]
+		keep := math.Abs(v) > dropTol
+		was := f.oldMark[c] == ep
+		switch {
+		case keep && !was: // fill-in
+			f.colCnt[c]++
+			f.colRows[c] = append(f.colRows[c], int32(i))
+		case !keep && was: // cancellation
+			f.colCnt[c]--
+		}
+		if keep {
+			idx = append(idx, c)
+			val = append(val, v)
+		}
+	}
+	f.rwIdx[i] = idx
+	f.rwVal[i] = val
+}
+
+// buildColumnwiseU transposes the row-wise U into the column-oriented form
+// the FTRAN back substitution scatters through: for each step k, the entries
+// U_j[pcol[k]] of earlier steps j, identified by step index.
+func (f *luFactor) buildColumnwiseU(m int) {
+	if cap(f.ucPtr) < m+1 {
+		f.ucPtr = make([]int32, m+1)
+	}
+	f.ucPtr = f.ucPtr[:m+1]
+	for k := range f.ucPtr {
+		f.ucPtr[k] = 0
+	}
+	for pos, k := range f.pcol {
+		f.stepOf[k] = int32(pos)
+	}
+	nnz := len(f.urInd)
+	if cap(f.ucInd) < nnz {
+		f.ucInd = make([]int32, nnz)
+		f.ucVal = make([]float64, nnz)
+	}
+	f.ucInd = f.ucInd[:nnz]
+	f.ucVal = f.ucVal[:nnz]
+	// Counting pass: entries per destination step.
+	for _, c := range f.urInd {
+		f.ucPtr[f.stepOf[c]+1]++
+	}
+	for k := 0; k < m; k++ {
+		f.ucPtr[k+1] += f.ucPtr[k]
+	}
+	// Scatter pass, cursoring through each step's span (accMark doubles as
+	// the cursor scratch; it is re-zeroed after, restoring the epoch-stamp
+	// invariant for the next factorization's mergeRow calls).
+	cursor := f.accMark[:m]
+	copy(cursor, f.ucPtr[:m])
+	for j := 0; j < m; j++ {
+		for e := f.urPtr[j]; e < f.urPtr[j+1]; e++ {
+			k := f.stepOf[f.urInd[e]]
+			f.ucInd[cursor[k]] = int32(j)
+			f.ucVal[cursor[k]] = f.urVal[e]
+			cursor[k]++
+		}
+	}
+	for k := range cursor {
+		cursor[k] = 0
+	}
+}
+
+// growScratch sizes the factorization workspaces for m rows.
+func (f *luFactor) growScratch(m int) {
+	if cap(f.rwIdx) < m {
+		f.rwIdx = make([][]int32, m)
+		f.rwVal = make([][]float64, m)
+		f.colRows = make([][]int32, m)
+	}
+	f.rwIdx = f.rwIdx[:m]
+	f.rwVal = f.rwVal[:m]
+	f.colRows = f.colRows[:m]
+	if cap(f.colCnt) < m {
+		f.colCnt = make([]int32, m)
+		f.rowDone = make([]bool, m)
+		f.stepOf = make([]int32, m)
+		f.acc = make([]float64, m)
+		f.accMark = make([]int32, m)
+		f.oldMark = make([]int32, m)
+		f.accList = make([]int32, 0, m)
+		f.epoch = 0
+	}
+	f.colCnt = f.colCnt[:m]
+	f.rowDone = f.rowDone[:m]
+	f.stepOf = f.stepOf[:m]
+	f.acc = f.acc[:m]
+	f.accMark = f.accMark[:m]
+	f.oldMark = f.oldMark[:m]
+}

@@ -193,6 +193,16 @@ func (p *Problem) AddConstraint(coeffs []Coef, sense Sense, rhs float64) int {
 	return len(p.rows) - 1
 }
 
+// NumNonzeros returns the number of structural nonzero coefficients across
+// all constraint rows (the model's matrix density, reported in benchmarks).
+func (p *Problem) NumNonzeros() int {
+	n := 0
+	for i := range p.rows {
+		n += len(p.rows[i].idx)
+	}
+	return n
+}
+
 // Row returns the coefficients, sense and rhs of constraint i.
 func (p *Problem) Row(i int) (coeffs []Coef, sense Sense, rhs float64) {
 	r := p.rows[i]
@@ -203,11 +213,41 @@ func (p *Problem) Row(i int) (coeffs []Coef, sense Sense, rhs float64) {
 	return coeffs, p.senses[i], p.rhs[i]
 }
 
+// Engine selects the linear-algebra kernel behind the simplex iterations.
+type Engine int
+
+const (
+	// EngineSparse (the default) represents the basis as a sparse LU
+	// factorization with Markowitz pivot selection, updated by product-form
+	// etas on each basis exchange, with FTRAN/BTRAN solves that exploit
+	// right-hand-side hyper-sparsity. See factor.go / ftran.go.
+	EngineSparse Engine = iota
+	// EngineDense maintains an explicit dense basis inverse with O(m^2)
+	// rank-1 pivot updates and O(m^3) refactorization. It is retained as the
+	// differential-testing reference for EngineSparse; both engines are
+	// answer-equivalent on every status and objective.
+	EngineDense
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSparse:
+		return "sparse"
+	case EngineDense:
+		return "dense"
+	}
+	return "?"
+}
+
 // Result holds the outcome of a Solve.
 type Result struct {
 	Status Status
-	Obj    float64   // objective value (valid when Status == Optimal)
-	X      []float64 // primal values for structural variables
+	Obj    float64 // objective value (valid when Status == Optimal)
+	// X holds the primal values of the structural variables. The slice is
+	// pooled on the solve engine: a later Solve of the same Problem (warm
+	// reoptimization of the cached engine) overwrites it in place, so copy it
+	// if it must outlive the next Solve call.
+	X []float64
 	Iters  int       // simplex iterations used (both phases)
 	Stats  Stats     // detailed per-solve statistics
 	// Basis is the final basis snapshot, populated on optimal solves when
@@ -239,6 +279,11 @@ type Stats struct {
 	WarmStarted      bool // solve reused a parent basis (no phase 1 ran)
 	DualIters        int  // dual-simplex iterations restoring primal feasibility
 
+	// Sparse-engine factorization statistics (zero under EngineDense).
+	FactorNNZ int     // nonzeros of L+U at the last refactorization
+	FillRatio float64 // FactorNNZ / basis-matrix nonzeros (fill-in factor)
+	EtaPivots int     // basis exchanges absorbed by eta updates (no refactorization)
+
 	// Phases attributes the solve's wall time to the simplex internals —
 	// PhaseBuild, PhasePricing, PhaseRatioTest, PhasePivot, PhaseRefactorize
 	// — and is populated only when Options.CollectPhases is set (the
@@ -251,8 +296,10 @@ const (
 	PhaseBuild       = "build"       // column/basis assembly before iterating
 	PhasePricing     = "pricing"     // dual computation + entering-column scan
 	PhaseRatioTest   = "ratio_test"  // bounded ratio test for the leaving row
-	PhasePivot       = "pivot"       // step application + basis-inverse update
-	PhaseRefactorize = "refactorize" // basis-inverse rebuilds and refreshes
+	PhasePivot       = "pivot"       // step application + basis-representation update
+	PhaseRefactorize = "refactorize" // basis-representation rebuilds and refreshes
+	PhaseFTRAN       = "ftran"       // sparse forward solves (pivot-column transforms)
+	PhaseBTRAN       = "btran"       // sparse backward solves (duals, tableau rows)
 )
 
 // Options tunes the simplex solver.
@@ -275,6 +322,10 @@ type Options struct {
 	// SnapshotBasis records the final basis of an optimal solve in
 	// Result.Basis for use as a later WarmStart.
 	SnapshotBasis bool
+	// Engine selects the basis linear-algebra kernel; the zero value is
+	// EngineSparse. EngineDense is the slower reference implementation kept
+	// for differential testing.
+	Engine Engine
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -295,7 +346,9 @@ func (o Options) withDefaults(m, n int) Options {
 // warm path cannot finish cleanly.
 func (p *Problem) Solve(opt Options) Result {
 	if opt.WarmStart != nil {
-		if s := p.engine; s != nil && s.mutGen == p.mutGen {
+		// The cached engine is reusable only if it was built by the same
+		// linear-algebra engine the caller is asking for now.
+		if s := p.engine; s != nil && s.mutGen == p.mutGen && s.opt.Engine == opt.Engine {
 			if res, done := s.reSolve(opt); done {
 				return res
 			}

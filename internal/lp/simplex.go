@@ -19,6 +19,14 @@ const (
 // simplex is the working state of one bounded-variable two-phase solve.
 // The column space is [structural | slacks | artificials]; slacks encode the
 // constraint senses and artificials make the initial basis feasible.
+//
+// The linear algebra behind the iterations is pluggable (Options.Engine):
+// the default sparse engine represents the basis as an LU factorization plus
+// a product-form eta file (factor.go/ftran.go); the dense engine maintains
+// an explicit m x m basis inverse and is kept as the differential-testing
+// reference. Both produce the pivot column in w/wv (dense values plus a
+// deduplicated nonzero index list) so the ratio test and value updates
+// iterate only the touched rows.
 type simplex struct {
 	p   *Problem
 	opt Options
@@ -33,12 +41,23 @@ type simplex struct {
 	basis []int      // basis[i] = column basic in row i
 	state []varState // per column
 	xB    []float64  // value of basic variable per row
-	binv  []float64  // dense m x m row-major basis inverse
 	b     []float64  // rhs
 	nArt  int        // number of artificial columns appended
 
-	y      []float64 // dual vector workspace
-	w      []float64 // pivot column workspace
+	binv []float64 // dense m x m row-major basis inverse (EngineDense only)
+	lu   *luFactor // sparse LU + eta file (EngineSparse only)
+
+	y    []float64 // dual vector (aliases yv.val)
+	w    []float64 // pivot column (aliases wv.val)
+	yv   spVec     // dual workspace; nonzero list used by the sparse engine
+	wv   spVec     // pivot-column workspace; wv.ind is the touched-row list
+	av   spVec     // FTRAN/BTRAN right-hand-side workspace
+	rhov spVec     // B^{-1} row workspace (dual ratio test)
+
+	costBuf  []float64 // pooled phase-1/phase-2 cost vector (solve())
+	residBuf []float64 // pooled residual for refresh()/coldBasis
+	xsol     []float64 // pooled Result.X buffer (see Result.X docs)
+
 	iters  int
 	stats  Stats
 	bland  bool            // Bland's anti-cycling rule active
@@ -122,7 +141,7 @@ func (s *simplex) coldBasis() {
 	}
 
 	// Residual per row given nonbasic structural values.
-	resid := append([]float64(nil), s.b...)
+	resid := s.residScratch()
 	for j := 0; j < n; j++ {
 		v := s.nbValue(j)
 		if v == 0 {
@@ -174,20 +193,60 @@ func (s *simplex) coldBasis() {
 		s.xB[i] = math.Abs(gap)
 	}
 
-	s.binv = make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = 1
-	}
-	// The initial basis matrix is not the identity when artificials carry a
-	// -1 coefficient or slacks... slacks are +1; artificials may be -1.
-	for i := 0; i < m; i++ {
-		j := s.basis[i]
-		if len(s.colVal[j]) == 1 && s.colVal[j][0] == -1 {
-			s.binv[i*s.m+i] = -1
+	s.growWorkspaces()
+	if s.opt.Engine == EngineDense {
+		// The initial basis matrix is diagonal: slacks are +1, artificials
+		// may be -1; the inverse is the same diagonal.
+		s.binv = make([]float64, m*m)
+		for i := 0; i < m; i++ {
+			s.binv[i*m+i] = 1
+			j := s.basis[i]
+			if len(s.colVal[j]) == 1 && s.colVal[j][0] == -1 {
+				s.binv[i*m+i] = -1
+			}
 		}
+		return
 	}
-	s.y = make([]float64, m)
-	s.w = make([]float64, m)
+	s.lu = &luFactor{}
+	// The diagonal initial basis factorizes trivially (all singletons); a
+	// failure here is impossible, but fall back to marking every stat anyway.
+	s.lu.factorize(m, s.basis, s.colIdx, s.colVal)
+	s.noteFactorization()
+}
+
+// growWorkspaces sizes the per-solve vector workspaces (idempotent).
+func (s *simplex) growWorkspaces() {
+	s.yv.grow(s.m)
+	s.wv.grow(s.m)
+	s.av.grow(s.m)
+	s.rhov.grow(s.m)
+	s.y = s.yv.val
+	s.w = s.wv.val
+}
+
+// binvRow materializes row r of B^{-1} (the tableau row of basis position r,
+// used by the dual ratio test) into the pooled rhov workspace and returns its
+// dense value array. Sparse engine: rho = BTRAN(e_r), touching only the
+// nonzero pattern; dense engine: a row copy.
+func (s *simplex) binvRow(r int) []float64 {
+	if s.lu != nil {
+		prev := s.clockSub(PhaseBTRAN)
+		s.av.reset()
+		s.av.set(int32(r), 1)
+		s.lu.btran(&s.av, &s.rhov)
+		s.clockBack(prev)
+		return s.rhov.val
+	}
+	copy(s.rhov.val[:s.m], s.binv[r*s.m:r*s.m+s.m])
+	return s.rhov.val
+}
+
+// noteFactorization records the last factorization's size in the stats.
+func (s *simplex) noteFactorization() {
+	s.stats.FactorNNZ = s.lu.factorNNZ
+	if s.lu.basisNNZ > 0 {
+		s.stats.FillRatio = float64(s.lu.factorNNZ) / float64(s.lu.basisNNZ)
+	}
 }
 
 func restState(lo, hi float64) varState {
@@ -213,6 +272,123 @@ func (s *simplex) nbValue(j int) float64 {
 	}
 }
 
+// clockSub switches the phase clock into a linear-algebra sub-phase (ftran,
+// btran), returning the phase to restore via clockBack. No-ops without
+// CollectPhases.
+func (s *simplex) clockSub(name string) string {
+	if s.clock == nil {
+		return ""
+	}
+	return s.clock.Swap(name)
+}
+
+func (s *simplex) clockBack(prev string) {
+	if prev != "" {
+		s.clock.Enter(prev)
+	}
+}
+
+// computeDuals fills s.y with the duals of the given cost vector:
+// y = cB^T B^{-1}, a BTRAN of the basic-cost vector. Entries of y outside
+// the sparse engine's tracked nonzeros are guaranteed zero.
+func (s *simplex) computeDuals(cost []float64) {
+	m := s.m
+	if s.lu != nil {
+		prev := s.clockSub(PhaseBTRAN)
+		s.av.reset()
+		for i := 0; i < m; i++ {
+			if cb := cost[s.basis[i]]; cb != 0 {
+				s.av.set(int32(i), cb)
+			}
+		}
+		s.lu.btran(&s.av, &s.yv)
+		s.clockBack(prev)
+		return
+	}
+	for i := 0; i < m; i++ {
+		s.y[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			s.y[k] += cb * row[k]
+		}
+	}
+}
+
+// computePivotColumn fills s.w (and the touched-row list s.wv.ind) with the
+// transformed entering column w = B^{-1} A_enter — an FTRAN.
+func (s *simplex) computePivotColumn(enter int) {
+	m := s.m
+	if s.lu != nil {
+		prev := s.clockSub(PhaseFTRAN)
+		s.av.reset()
+		for k, r := range s.colIdx[enter] {
+			s.av.set(r, s.colVal[enter][k])
+		}
+		s.lu.ftran(&s.av, &s.wv)
+		s.clockBack(prev)
+		return
+	}
+	for i := 0; i < m; i++ {
+		s.w[i] = 0
+	}
+	for k, r := range s.colIdx[enter] {
+		v := s.colVal[enter][k]
+		for i := 0; i < m; i++ {
+			s.w[i] += s.binv[i*m+int(r)] * v
+		}
+	}
+	s.wv.ind = s.wv.ind[:0]
+	for i := 0; i < m; i++ {
+		if s.w[i] != 0 {
+			s.wv.ind = append(s.wv.ind, int32(i))
+		}
+	}
+}
+
+// updateBasisRep folds the just-performed basis exchange (entering column's
+// transform in s.wv, leaving row leave) into the basis representation.
+// Returns false when the representation could not be repaired (singular
+// refactorization) — the caller must give up on the solve.
+func (s *simplex) updateBasisRep(leave int) bool {
+	if s.lu != nil {
+		if s.lu.update(int32(leave), &s.wv) && !s.lu.needRefactor() {
+			s.stats.EtaPivots++
+			return true
+		}
+		// Pivot numerically unacceptable or eta budget exhausted: rebuild
+		// from the (already exchanged) basis.
+		return s.refactorize()
+	}
+	m := s.m
+	piv := s.w[leave]
+	prow := s.binv[leave*m : leave*m+m]
+	inv := 1 / piv
+	for k := 0; k < m; k++ {
+		prow[k] *= inv
+	}
+	for _, i32 := range s.wv.ind {
+		i := int(i32)
+		if i == leave {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		irow := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			irow[k] -= f * prow[k]
+		}
+	}
+	return true
+}
+
 // result assembles a Result carrying the accumulated statistics.
 func (s *simplex) result(st Status) Result {
 	s.stats.Iters = s.iters
@@ -221,13 +397,35 @@ func (s *simplex) result(st Status) Result {
 	return Result{Status: st, Iters: s.iters, Stats: s.stats}
 }
 
+// costScratch returns the pooled per-phase cost vector, zeroed.
+func (s *simplex) costScratch() []float64 {
+	if cap(s.costBuf) < s.ncols {
+		s.costBuf = make([]float64, s.ncols)
+	}
+	s.costBuf = s.costBuf[:s.ncols]
+	for j := range s.costBuf {
+		s.costBuf[j] = 0
+	}
+	return s.costBuf
+}
+
+// residScratch returns the pooled residual vector, initialized to the rhs.
+func (s *simplex) residScratch() []float64 {
+	if cap(s.residBuf) < s.m {
+		s.residBuf = make([]float64, s.m)
+	}
+	s.residBuf = s.residBuf[:s.m]
+	copy(s.residBuf, s.b)
+	return s.residBuf
+}
+
 // solve runs phase 1 (drive artificials to zero) then phase 2.
 func (s *simplex) solve() Result {
 	tol := s.opt.Tol
 
 	if s.nArt > 0 {
 		// Phase-1 costs: 1 on artificial columns.
-		phase1 := make([]float64, s.ncols)
+		phase1 := s.costScratch()
 		for j := s.n + s.m; j < s.ncols; j++ {
 			phase1[j] = 1
 		}
@@ -242,7 +440,7 @@ func (s *simplex) solve() Result {
 				infeas += s.xB[i]
 			}
 		}
-		if infeas > 1e-7 {
+		if infeas > tol {
 			return s.result(Infeasible)
 		}
 		// Freeze artificials at zero for phase 2.
@@ -251,10 +449,9 @@ func (s *simplex) solve() Result {
 		}
 	}
 
-	phase2 := make([]float64, s.ncols)
+	phase2 := s.costScratch()
 	copy(phase2, s.cost[:s.ncols])
 	st := s.iterate(phase2)
-	_ = tol
 	return s.primalResult(st)
 }
 
@@ -264,7 +461,13 @@ func (s *simplex) primalResult(st Status) Result {
 	if st != Optimal {
 		return s.result(st)
 	}
-	x := make([]float64, s.n)
+	// The solution vector is pooled on the engine: every structural index is
+	// written below (nonbasic rest values, then basic values), so no zeroing
+	// is needed. See the Result.X aliasing contract in lp.go.
+	if cap(s.xsol) < s.n {
+		s.xsol = make([]float64, s.n)
+	}
+	x := s.xsol[:s.n]
 	for j := 0; j < s.n; j++ {
 		if s.state[j] != stBasic {
 			x[j] = s.nbValue(j)
@@ -317,7 +520,6 @@ func (s *simplex) snapshot() *Basis {
 // iterate runs primal simplex iterations under the given cost vector until
 // optimality, unboundedness or the iteration limit.
 func (s *simplex) iterate(cost []float64) Status {
-	m := s.m
 	tol := s.opt.Tol
 	for {
 		if s.iters >= s.opt.MaxIters {
@@ -326,20 +528,8 @@ func (s *simplex) iterate(cost []float64) Status {
 		s.iters++
 		s.clock.Enter(PhasePricing)
 
-		// Duals: y = cB^T * Binv.
-		for i := 0; i < m; i++ {
-			s.y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := cost[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				s.y[k] += cb * row[k]
-			}
-		}
+		// Duals: y = cB^T * Binv (a BTRAN).
+		s.computeDuals(cost)
 
 		// Pricing.
 		enter := -1
@@ -392,16 +582,9 @@ func (s *simplex) iterate(cost []float64) Status {
 		}
 		s.clock.Enter(PhaseRatioTest)
 
-		// Pivot column w = Binv * A_enter.
-		for i := 0; i < m; i++ {
-			s.w[i] = 0
-		}
-		for k, r := range s.colIdx[enter] {
-			v := s.colVal[enter][k]
-			for i := 0; i < m; i++ {
-				s.w[i] += s.binv[i*m+int(r)] * v
-			}
-		}
+		// Pivot column w = Binv * A_enter (an FTRAN); wv.ind lists the
+		// touched rows, so the ratio test skips every zero row.
+		s.computePivotColumn(enter)
 
 		// Bounded ratio test. Entering moves by t >= 0 in direction enterDir;
 		// basic variable i changes at rate delta_i = -enterDir * w[i].
@@ -412,7 +595,8 @@ func (s *simplex) iterate(cost []float64) Status {
 		leave := -1
 		leaveToUpper := false
 		t := tMax
-		for i := 0; i < m; i++ {
+		for _, i32 := range s.wv.ind {
+			i := int(i32)
 			delta := -enterDir * s.w[i]
 			bj := s.basis[i]
 			var ti float64
@@ -461,7 +645,7 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		// Apply the step to basic values.
 		if t != 0 {
-			for i := 0; i < m; i++ {
+			for _, i := range s.wv.ind {
 				s.xB[i] += t * (-enterDir * s.w[i])
 			}
 		}
@@ -484,7 +668,7 @@ func (s *simplex) iterate(cost []float64) Status {
 		if math.Abs(piv) < 1e-11 {
 			// Numerically hopeless pivot: undo the step, refactorize, retry.
 			if t != 0 {
-				for i := 0; i < m; i++ {
+				for _, i := range s.wv.ind {
 					s.xB[i] -= t * (-enterDir * s.w[i])
 				}
 			}
@@ -506,23 +690,8 @@ func (s *simplex) iterate(cost []float64) Status {
 		s.basis[leave] = enter
 		s.state[enter] = stBasic
 		s.xB[leave] = enterVal
-		prow := s.binv[leave*m : leave*m+m]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			prow[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leave {
-				continue
-			}
-			f := s.w[i]
-			if f == 0 {
-				continue
-			}
-			irow := s.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				irow[k] -= f * prow[k]
-			}
+		if !s.updateBasisRep(leave) {
+			return IterLimit
 		}
 
 		if s.iters%256 == 0 {
@@ -531,10 +700,11 @@ func (s *simplex) iterate(cost []float64) Status {
 	}
 }
 
-// refresh recomputes basic values from the basis inverse to curb drift.
+// refresh recomputes basic values from the basis representation to curb
+// drift: xB = B^{-1} (b - N x_N), a dense FTRAN.
 func (s *simplex) refresh() {
 	m := s.m
-	resid := append([]float64(nil), s.b...)
+	resid := s.residScratch()
 	for j := 0; j < s.ncols; j++ {
 		if s.state[j] == stBasic {
 			continue
@@ -547,6 +717,10 @@ func (s *simplex) refresh() {
 			resid[i] -= s.colVal[j][k] * v
 		}
 	}
+	if s.lu != nil {
+		s.lu.ftranDense(resid, s.xB)
+		return
+	}
 	for i := 0; i < m; i++ {
 		sum := 0.0
 		row := s.binv[i*m : i*m+m]
@@ -557,11 +731,21 @@ func (s *simplex) refresh() {
 	}
 }
 
-// refactorize rebuilds the dense basis inverse by Gauss-Jordan elimination of
-// the current basis matrix. Returns false if the basis is singular.
+// refactorize rebuilds the basis representation from the current basis —
+// sparse LU with Markowitz pivoting for the sparse engine, Gauss-Jordan
+// elimination of the dense inverse otherwise. Returns false if the basis is
+// singular. The basic values are refreshed from the new representation.
 func (s *simplex) refactorize() bool {
 	s.stats.Refactorizations++
 	s.clock.Enter(PhaseRefactorize)
+	if s.lu != nil {
+		if !s.lu.factorize(s.m, s.basis, s.colIdx, s.colVal) {
+			return false
+		}
+		s.noteFactorization()
+		s.refresh()
+		return true
+	}
 	m := s.m
 	// Assemble dense basis matrix.
 	bm := make([]float64, m*m)

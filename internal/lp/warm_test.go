@@ -184,6 +184,30 @@ func TestWarmSolveAllocs(t *testing.T) {
 	}
 }
 
+// TestColdSolveAllocs pins the allocation budget of the cold two-phase path.
+// Column assembly dominates (a few slices per structural column); the pooled
+// phase-cost vectors and solution buffer keep per-phase work out of the
+// count. A dense-inverse or per-iteration-slice regression multiplies this
+// figure and trips the pin.
+func TestColdSolveAllocs(t *testing.T) {
+	const n = 6
+	p := assignmentLP(n)
+	step := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		j := (step * 5) % (n * n)
+		p.SetVarBounds(j, 0, 0)
+		r := p.Solve(Options{})
+		p.SetVarBounds(j, 0, 1)
+		if r.Status != Optimal && r.Status != Infeasible {
+			t.Fatalf("status %v", r.Status)
+		}
+		step++
+	})
+	if allocs > 400 {
+		t.Errorf("cold solve allocates %.1f objects/solve, want <= 400 (per-iteration slice churn leaking in?)", allocs)
+	}
+}
+
 // BenchmarkNodeLPWarmStart measures one branch-and-bound node reoptimization:
 // flip one variable fixing, warm-solve, restore. Compare with
 // BenchmarkNodeLPColdStart for the warm-start speedup on the same sequence.

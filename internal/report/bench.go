@@ -8,8 +8,16 @@ import (
 
 // BenchSchemaVersion is the schema of the BENCH_<n>.json documents written by
 // cmd/benchrun. Bump it on any breaking change to BenchDoc; trajectory
-// tooling refuses documents from a different major schema.
-const BenchSchemaVersion = 1
+// tooling accepts committed documents from any version in
+// [BenchMinSchemaVersion, BenchSchemaVersion] (the trajectory spans schema
+// bumps) and refuses anything else.
+//
+// v2 added per-case model dimensions (rows/cols/nnz) for ilp cases.
+const BenchSchemaVersion = 2
+
+// BenchMinSchemaVersion is the oldest schema still readable (BENCH_0/BENCH_1
+// predate the model-dimension fields).
+const BenchMinSchemaVersion = 1
 
 // BenchCase is the result of one pinned (clip, rule, solver) benchmark solve.
 type BenchCase struct {
@@ -27,6 +35,13 @@ type BenchCase struct {
 	MaxDepth     int     `json:"max_depth"`
 	LPSolves     int     `json:"lp_solves"`
 	SimplexIters int     `json:"simplex_iters"`
+
+	// LP-relaxation model dimensions (ilp cases only; schema v2+). Rows and
+	// Cols are the constraint/variable counts, NNZ the structural matrix
+	// nonzeros — the axes wall-time speedups are correlated against.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	NNZ  int `json:"nnz,omitempty"`
 
 	// PhasesMS is the solver's wall-time attribution in milliseconds;
 	// LPPhasesMS the simplex-internal sub-breakdown (ilp cases only).
@@ -99,8 +114,9 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("bench: invalid JSON: %w", err)
 	}
-	if doc.SchemaVersion != BenchSchemaVersion {
-		return nil, fmt.Errorf("bench: schema_version %d, want %d", doc.SchemaVersion, BenchSchemaVersion)
+	if doc.SchemaVersion < BenchMinSchemaVersion || doc.SchemaVersion > BenchSchemaVersion {
+		return nil, fmt.Errorf("bench: schema_version %d, want %d..%d",
+			doc.SchemaVersion, BenchMinSchemaVersion, BenchSchemaVersion)
 	}
 	if doc.Corpus != "short" && doc.Corpus != "full" {
 		return nil, fmt.Errorf("bench: corpus %q, want short|full", doc.Corpus)
@@ -129,6 +145,9 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 			return nil, fmt.Errorf("bench: case %q: no nodes recorded", c.Name)
 		case c.Err == "" && len(c.PhasesMS) == 0:
 			return nil, fmt.Errorf("bench: case %q: missing phase breakdown", c.Name)
+		case doc.SchemaVersion >= 2 && c.Err == "" && c.Solver == "ilp" &&
+			(c.Rows <= 0 || c.Cols <= 0 || c.NNZ <= 0):
+			return nil, fmt.Errorf("bench: case %q: missing model dimensions (schema v2 ilp case)", c.Name)
 		}
 		seen[key] = true
 	}

@@ -23,6 +23,7 @@ func validDoc() *BenchDoc {
 				Feasible: true, Proven: true, Cost: 41,
 				WallMS: 300, Nodes: 77, MaxDepth: 17,
 				LPSolves: 77, SimplexIters: 12968,
+				Rows: 310, Cols: 444, NNZ: 1530,
 				PhasesMS:   map[string]float64{"node_lp": 290, "root_lp": 10},
 				LPPhasesMS: map[string]float64{"pricing": 120, "pivot": 92},
 			},
@@ -72,6 +73,7 @@ func TestValidateBenchRejections(t *testing.T) {
 		{"negative wall", func(d *BenchDoc) { d.Cases[0].WallMS = -1 }, "wall_ms"},
 		{"feasible without nodes", func(d *BenchDoc) { d.Cases[0].Nodes = 0 }, "no nodes"},
 		{"missing phases", func(d *BenchDoc) { d.Cases[0].PhasesMS = nil }, "phase breakdown"},
+		{"missing model dims", func(d *BenchDoc) { d.Cases[1].NNZ = 0 }, "model dimensions"},
 		{"stale totals", func(d *BenchDoc) { d.Totals.Nodes += 5 }, "totals"},
 	}
 	for _, tc := range cases {
@@ -92,6 +94,22 @@ func TestValidateBenchRejections(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestValidateBenchOldSchema: committed v1 trajectory documents (BENCH_0,
+// BENCH_1) predate the model-dimension fields and must stay readable — the
+// dims requirement applies from schema v2 on.
+func TestValidateBenchOldSchema(t *testing.T) {
+	doc := validDoc()
+	doc.SchemaVersion = BenchMinSchemaVersion
+	doc.Cases[1].Rows, doc.Cases[1].Cols, doc.Cases[1].NNZ = 0, 0, 0
+	data, err := MarshalBench(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateBench(data); err != nil {
+		t.Fatalf("v%d document rejected: %v", BenchMinSchemaVersion, err)
 	}
 }
 
