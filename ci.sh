@@ -31,18 +31,29 @@ go test -race -short -timeout 20m \
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== smoke: optroute -rule all -j 4"
-go run ./cmd/optroute -synth 5x6x3 -nets 3 -seed 7 -rule all -j 4 -timeout 20s >/dev/null
-
-echo "== smoke: beoleval -fig10 -j 4"
-go run ./cmd/beoleval -tech N28-12T -fig10 -j 4 -timeout 5s >/dev/null
-
-echo "== bench: short corpus + schema validation + regression gate"
+smoke_tmp=$(mktemp -d)
 bench_tmp=$(mktemp -d)
-trap 'rm -rf "$bench_tmp"' EXIT
+trap 'rm -rf "$smoke_tmp" "$bench_tmp"' EXIT
+
+echo "== smoke: optroute -rule all -j 4 (traced, flight-recorded)"
+go run ./cmd/optroute -synth 5x6x3 -nets 3 -seed 7 -rule all -j 4 -timeout 20s \
+	-trace "$smoke_tmp/optroute.jsonl" -flight >/dev/null
+
+echo "== smoke: beoleval -fig10 -j 4 (traced)"
+go run ./cmd/beoleval -tech N28-12T -fig10 -j 4 -timeout 5s \
+	-trace "$smoke_tmp/beoleval.jsonl" >/dev/null
+
+echo "== traceview: smoke traces well-formed"
+go run ./cmd/traceview -validate "$smoke_tmp/optroute.jsonl"
+go run ./cmd/traceview -validate "$smoke_tmp/beoleval.jsonl"
+go run ./cmd/traceview -top 5 "$smoke_tmp/optroute.jsonl" >/dev/null
+
+echo "== bench: short corpus + schema validation + phase-aware regression gate"
 # The short corpus is a subset of the full trajectory corpus, so the freshly
 # run cases gate against the latest committed trajectory point: identical
-# answers required, and at most a 20% geomean wall-time regression.
+# answers required, and at most a 20% geomean wall-time regression. The
+# comparison prints a per-phase attribution table (node_lp, steiner, drc,
+# lp.* simplex internals, ...) so a tripped gate names the phase that moved.
 bench_latest=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
 go run ./cmd/benchrun -short -timeout 30s -o "$bench_tmp/BENCH_ci.json" \
 	-baseline "$bench_latest" -max-regress 1.2

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir] [-baseline file [-max-regress R]]
+//	benchrun [-trace file [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]] ...
 //	benchrun -check file.json
 //
 // -short runs the CI corpus (seconds); the default full corpus takes on the
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"optrouter/internal/exp"
+	"optrouter/internal/obs"
 	"optrouter/internal/report"
 )
 
@@ -53,6 +55,13 @@ func run() error {
 		baseline   = flag.String("baseline", "", "baseline benchmark document to compare the run against")
 		maxRegress = flag.Float64("max-regress", 0,
 			"fail when the geomean wall ratio vs -baseline exceeds this (0 = report only)")
+
+		trace      = flag.String("trace", "", "write a JSONL span trace of every solve to this file")
+		traceMaxMB = flag.Int("trace-max-mb", 64, "rotate the trace when a file exceeds this size")
+		traceKeep  = flag.Int("trace-keep", 4, "trace files retained across rotation (live + archives)")
+		flight     = flag.Bool("flight", false,
+			"record per-node search events onto the trace (requires -trace; costs solve wall time)")
+		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
 	)
 	flag.Parse()
 
@@ -77,11 +86,32 @@ func run() error {
 	specs := exp.BenchCorpus(*short)
 	fmt.Fprintf(os.Stderr, "benchrun: %s corpus, %d cases, %d workers\n", corpus, len(specs), *jobs)
 
+	runOpt := exp.BenchRunOptions{Timeout: *timeout, Workers: *jobs, Corpus: corpus}
+	if *flight && *trace == "" {
+		return fmt.Errorf("-flight needs -trace (node events have nowhere to go)")
+	}
+	if *trace != "" {
+		tr, err := obs.NewRotatingTracer(*trace, int64(*traceMaxMB)<<20, *traceKeep)
+		if err != nil {
+			return err
+		}
+		// Close (not just flush) so SIGINT-shortened runs still leave a
+		// parseable trace behind; Close is idempotent.
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrun: trace: %v\n", err)
+			}
+			if n := tr.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "benchrun: trace dropped %d records (rotation)\n", n)
+			}
+		}()
+		runOpt.Tracer = tr
+		runOpt.Flight = obs.FlightOptions{Enabled: *flight, Every: *flightEvery}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	doc, err := exp.RunBenchCorpus(ctx, specs, exp.BenchRunOptions{
-		Timeout: *timeout, Workers: *jobs, Corpus: corpus,
-	})
+	doc, err := exp.RunBenchCorpus(ctx, specs, runOpt)
 	if err != nil {
 		return err
 	}
@@ -144,6 +174,16 @@ func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) erro
 	for _, k := range cmp.OnlyCur {
 		fmt.Fprintf(os.Stderr, "benchrun: case %s not in baseline\n", k)
 	}
+	for _, k := range cmp.OnlyBase {
+		fmt.Fprintf(os.Stderr, "benchrun: case %s only in baseline (not run)\n", k)
+	}
+	if len(cmp.PhaseDeltas) > 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: %-16s %10s %10s %8s\n", "phase", "base_ms", "cur_ms", "delta")
+		for _, d := range cmp.PhaseDeltas {
+			fmt.Fprintf(os.Stderr, "benchrun: %-16s %10.1f %10.1f %+7.0f%%\n",
+				d.Phase, d.BaseMS, d.CurMS, (d.Ratio-1)*100)
+		}
+	}
 	if len(cmp.Mismatches) > 0 {
 		return fmt.Errorf("%d answer mismatches vs %s", len(cmp.Mismatches), path)
 	}
@@ -151,8 +191,12 @@ func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) erro
 		return fmt.Errorf("no comparable cases vs %s", path)
 	}
 	if maxRegress > 0 && cmp.WallRatio > maxRegress {
-		return fmt.Errorf("geomean wall ratio %.3f vs %s exceeds -max-regress %.2f",
+		msg := fmt.Sprintf("geomean wall ratio %.3f vs %s exceeds -max-regress %.2f",
 			cmp.WallRatio, path, maxRegress)
+		if s := cmp.PhaseSummary(3); s != "" {
+			msg += " (largest phase movements: " + s + ")"
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
 }

@@ -7,7 +7,8 @@
 //
 //	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s] [-j N]
 //	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
-//	         [-stats] [-quiet] [-trace out.jsonl] [-converge out.jsonl]
+//	         [-stats] [-quiet] [-converge out.jsonl]
+//	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
 //	         [-pprof addr]
 //
 // With no selection flags, everything runs. -j dispatches the independent
@@ -16,7 +17,9 @@
 // -stats emits end-of-run metrics JSON (to <csvdir>/metrics.json when -csv
 // is set, stdout otherwise) and a live merged progress line on stderr
 // (done/in-flight/total across all workers; -quiet suppresses the line);
-// -trace records a JSON-lines span trace of every solve; -converge dumps one
+// -trace records a JSON-lines span trace of every solve (size-capped and
+// rotated by -trace-max-mb/-trace-keep; -flight adds per-node search events
+// for cmd/traceview); -converge dumps one
 // JSON line per solve with its incumbent/bound convergence trace; -pprof
 // serves net/http/pprof plus /metrics (Prometheus text exposition) and
 // /statusz (live sweep state) on the given address. Interrupt (Ctrl-C)
@@ -53,27 +56,32 @@ func main() {
 
 func run() error {
 	var (
-		techName = flag.String("tech", "all", "technology: N28-12T, N28-8T, N7-9T or all")
-		full     = flag.Bool("full", false, "use the large testbed (paper-scale clip geometry; slower)")
-		insts    = flag.Int("insts", 0, "override design instance count (0 = preset)")
-		layers   = flag.Int("nz", 0, "override clip stack depth (0 = preset)")
-		topK     = flag.Int("topk", 0, "override top-K clip selection (0 = preset)")
-		maxNets  = flag.Int("maxnets", 0, "override per-clip net cap (0 = preset)")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-clip solve budget")
-		jobs     = flag.Int("j", runtime.NumCPU(), "parallel solve workers (1 = serial; output is identical for any value)")
-		rules    = flag.Bool("rules", false, "print Table 3 rule configurations")
-		table2   = flag.Bool("table2", false, "print Table 2 benchmark matrix")
-		fig8     = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
-		fig10    = flag.Bool("fig10", false, "print Fig. 10 delta-cost study")
-		fig9     = flag.Bool("fig9", false, "print Fig. 9 pin-access analysis")
-		runtimeF = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
-		validate = flag.Bool("validate", false, "run the Sec. 4.2 validation vs the heuristic router")
-		csvDir   = flag.String("csv", "", "also write figure data as CSV into this directory")
-		stats    = flag.Bool("stats", false, "collect per-solve metrics; emit metrics JSON and a live progress line")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line (metrics are still collected)")
-		traceOut = flag.String("trace", "", "write a JSON-lines span trace of every solve to this file")
-		convOut  = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
+		techName   = flag.String("tech", "all", "technology: N28-12T, N28-8T, N7-9T or all")
+		full       = flag.Bool("full", false, "use the large testbed (paper-scale clip geometry; slower)")
+		insts      = flag.Int("insts", 0, "override design instance count (0 = preset)")
+		layers     = flag.Int("nz", 0, "override clip stack depth (0 = preset)")
+		topK       = flag.Int("topk", 0, "override top-K clip selection (0 = preset)")
+		maxNets    = flag.Int("maxnets", 0, "override per-clip net cap (0 = preset)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-clip solve budget")
+		jobs       = flag.Int("j", runtime.NumCPU(), "parallel solve workers (1 = serial; output is identical for any value)")
+		rules      = flag.Bool("rules", false, "print Table 3 rule configurations")
+		table2     = flag.Bool("table2", false, "print Table 2 benchmark matrix")
+		fig8       = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
+		fig10      = flag.Bool("fig10", false, "print Fig. 10 delta-cost study")
+		fig9       = flag.Bool("fig9", false, "print Fig. 9 pin-access analysis")
+		runtimeF   = flag.Bool("runtime", false, "print the Sec. 5 runtime study")
+		validate   = flag.Bool("validate", false, "run the Sec. 4.2 validation vs the heuristic router")
+		csvDir     = flag.String("csv", "", "also write figure data as CSV into this directory")
+		stats      = flag.Bool("stats", false, "collect per-solve metrics; emit metrics JSON and a live progress line")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line (metrics are still collected)")
+		traceOut   = flag.String("trace", "", "write a JSON-lines span trace of every solve to this file")
+		traceMaxMB = flag.Int("trace-max-mb", 64, "rotate the trace when a file exceeds this size")
+		traceKeep  = flag.Int("trace-keep", 4, "trace files retained across rotation (live + archives)")
+		flight     = flag.Bool("flight", false,
+			"record per-node search events onto the trace (requires -trace; costs solve wall time)")
+		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
+		convOut     = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
+		pprofA      = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -151,15 +159,26 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *flight && *traceOut == "" {
+		return fmt.Errorf("-flight needs -trace (node events have nowhere to go)")
+	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		tr, err := obs.NewRotatingTracer(*traceOut, int64(*traceMaxMB)<<20, *traceKeep)
 		if err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		tr := obs.NewTracer(f)
-		// Close flushes buffered spans and closes f on every exit path.
-		defer tr.Close()
+		// Close flushes buffered spans and closes the file on every exit path.
+		defer func() {
+			tr.Close()
+			if n := tr.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "beoleval: trace dropped %d records (rotation)\n", n)
+			}
+		}()
+		if metrics != nil {
+			tr.SetDropCounter(metrics.Counter("trace_dropped_total"))
+		}
 		solve.Tracer = tr
+		solve.Flight = obs.FlightOptions{Enabled: *flight, Every: *flightEvery}
 	}
 	var conv *report.ConvergenceWriter
 	if *convOut != "" {

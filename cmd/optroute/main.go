@@ -5,8 +5,8 @@
 //
 //	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur]
 //	         [-timeout 30s] [-j N] [-render] [-viashapes]
-//	         [-stats] [-quiet] [-trace out.jsonl] [-converge out.jsonl]
-//	         [-pprof addr]
+//	         [-stats] [-quiet] [-converge out.jsonl] [-pprof addr]
+//	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
 //
 // -rule all sweeps the clip through every Table 3 rule configuration,
@@ -15,7 +15,9 @@
 // to 10 redraws/s; -quiet suppresses it); the summary table is printed in
 // rule order regardless of worker count. -stats prints the solver's per-solve
 // telemetry (nodes, LP solves, DRC checks, phase breakdown, termination
-// reason); -trace writes a JSON-lines span trace; -converge dumps each
+// reason); -trace writes a JSON-lines span trace (size-capped and rotated by
+// -trace-max-mb/-trace-keep), and -flight additionally records per-node
+// search events onto it for cmd/traceview; -converge dumps each
 // solve's incumbent/bound convergence trace as JSON lines; -pprof serves
 // net/http/pprof plus /metrics and /statusz on the given address.
 package main
@@ -57,23 +59,28 @@ func main() {
 
 func run() (int, error) {
 	var (
-		clipPath = flag.String("clip", "", "clip JSON file (see internal/clip)")
-		synth    = flag.String("synth", "", "synthesize a clip instead: WxHxL, e.g. 7x10x4")
-		nets     = flag.Int("nets", 4, "net count for -synth")
-		seed     = flag.Int64("seed", 1, "seed for -synth")
-		ruleName = flag.String("rule", "RULE1", "rule configuration (Table 3 name), or \"all\" to sweep every rule")
-		solver   = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), heur")
-		timeout  = flag.Duration("timeout", 30*time.Second, "solve budget (per rule with -rule all)")
-		jobsN    = flag.Int("j", runtime.NumCPU(), "parallel workers for -rule all")
-		render   = flag.Bool("render", false, "print an ASCII layer-by-layer rendering")
-		shapes   = flag.Bool("viashapes", false, "also allow bar and square via shapes")
-		bidir    = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
-		viaCost  = flag.Int("viacost", 0, "override via weight in the routing cost (0 = default 4)")
-		stats    = flag.Bool("stats", false, "print per-solve telemetry after the result")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
-		traceOut = flag.String("trace", "", "write a JSON-lines span trace to this file")
-		convOut  = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
+		clipPath   = flag.String("clip", "", "clip JSON file (see internal/clip)")
+		synth      = flag.String("synth", "", "synthesize a clip instead: WxHxL, e.g. 7x10x4")
+		nets       = flag.Int("nets", 4, "net count for -synth")
+		seed       = flag.Int64("seed", 1, "seed for -synth")
+		ruleName   = flag.String("rule", "RULE1", "rule configuration (Table 3 name), or \"all\" to sweep every rule")
+		solver     = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), heur")
+		timeout    = flag.Duration("timeout", 30*time.Second, "solve budget (per rule with -rule all)")
+		jobsN      = flag.Int("j", runtime.NumCPU(), "parallel workers for -rule all")
+		render     = flag.Bool("render", false, "print an ASCII layer-by-layer rendering")
+		shapes     = flag.Bool("viashapes", false, "also allow bar and square via shapes")
+		bidir      = flag.Bool("bidir", false, "bidirectional (classic LELE) routing layers")
+		viaCost    = flag.Int("viacost", 0, "override via weight in the routing cost (0 = default 4)")
+		stats      = flag.Bool("stats", false, "print per-solve telemetry after the result")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
+		traceOut   = flag.String("trace", "", "write a JSON-lines span trace to this file")
+		traceMaxMB = flag.Int("trace-max-mb", 64, "rotate the trace when a file exceeds this size")
+		traceKeep  = flag.Int("trace-keep", 4, "trace files retained across rotation (live + archives)")
+		flight     = flag.Bool("flight", false,
+			"record per-node search events onto the trace (requires -trace; costs solve wall time)")
+		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
+		convOut     = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
+		pprofA      = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -90,16 +97,29 @@ func run() (int, error) {
 			}
 		}()
 	}
+	if *flight && *traceOut == "" {
+		return 0, fmt.Errorf("-flight needs -trace (node events have nowhere to go)")
+	}
 	var tracer *obs.Tracer
+	var flightOpt obs.FlightOptions
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		var err error
+		tracer, err = obs.NewRotatingTracer(*traceOut, int64(*traceMaxMB)<<20, *traceKeep)
 		if err != nil {
 			return 0, err
 		}
-		tracer = obs.NewTracer(f)
-		// Close flushes buffered spans and closes f on every exit path,
+		// Close flushes buffered spans and closes the file on every exit path,
 		// including the infeasible exit and Ctrl-C cancellation.
-		defer tracer.Close()
+		defer func() {
+			tracer.Close()
+			if n := tracer.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "optroute: trace dropped %d records (rotation)\n", n)
+			}
+		}()
+		if metrics != nil {
+			tracer.SetDropCounter(metrics.Counter("trace_dropped_total"))
+		}
+		flightOpt = obs.FlightOptions{Enabled: *flight, Every: *flightEvery}
 	}
 	var conv *report.ConvergenceWriter
 	if *convOut != "" {
@@ -141,7 +161,7 @@ func run() (int, error) {
 		solver: *solver, timeout: *timeout, workers: *jobsN,
 		shapes: *shapes, bidir: *bidir, viaCost: *viaCost,
 		stats: *stats, quiet: *quiet,
-		tracer: tracer, conv: conv, metrics: metrics, status: status,
+		tracer: tracer, flight: flightOpt, conv: conv, metrics: metrics, status: status,
 	}
 	if *ruleName == "all" {
 		return 0, sw.runAllRules(c)
@@ -169,9 +189,9 @@ func run() (int, error) {
 	var sol *core.Solution
 	switch *solver {
 	case "bnb":
-		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Tracer: tracer})
+		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Tracer: tracer, Flight: flightOpt})
 	case "ilp":
-		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, Tracer: tracer})
+		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, Tracer: tracer, Flight: flightOpt})
 	case "heur":
 		sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 	default:
@@ -232,6 +252,7 @@ type sweepEnv struct {
 	viaCost       int
 	stats, quiet  bool
 	tracer        *obs.Tracer
+	flight        obs.FlightOptions
 	conv          *report.ConvergenceWriter
 	metrics       *obs.Registry
 	status        *obs.Status
@@ -267,9 +288,11 @@ func (e sweepEnv) runAllRules(c *clip.Clip) error {
 			var sol *core.Solution
 			switch e.solver {
 			case "bnb":
-				sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: e.timeout, Tracer: e.tracer, Ctx: jctx})
+				sol, err = core.SolveBnB(g, core.BnBOptions{
+					TimeLimit: e.timeout, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "ilp":
-				sol, err = core.SolveILP(g, ilp.Options{TimeLimit: e.timeout, Tracer: e.tracer, Ctx: jctx})
+				sol, err = core.SolveILP(g, ilp.Options{
+					TimeLimit: e.timeout, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "heur":
 				sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 			default:

@@ -1,0 +1,222 @@
+// Command traceview analyses the JSONL span traces emitted by the solver
+// CLIs (-trace, optionally -flight). It reconstructs the span tree and
+// prints, per solve: the solver's own phase attribution (the flame summary),
+// search-tree statistics from the flight recorder's node events — depth
+// histogram, fathom-reason mix, bound-gap convergence — and the flight
+// sampling accounting. A pprof-style top-N table of hot span names (by self
+// time) covers everything outside the solvers.
+//
+// Usage:
+//
+//	traceview [-top N] [-csv file] trace.jsonl [trace.jsonl.1 ...]
+//	traceview -validate trace.jsonl
+//
+// Multiple files concatenate before reconstruction, so a rotated trace
+// (trace.jsonl plus its .1/.2 archives) can be analysed whole. With no file
+// arguments the trace is read from stdin. -validate only checks
+// well-formedness (every parent resolves, spans nest inside their parents)
+// and exits non-zero on problems — ci.sh pipes smoke traces through it.
+// -csv exports one row per recorded node event ("-" = stdout), a feature
+// table for offline analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"optrouter/internal/obs"
+	"optrouter/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		validate = flag.Bool("validate", false, "check trace well-formedness and exit")
+		topN     = flag.Int("top", 10, "hot-span table size (0 = skip, -1 = all)")
+		csvOut   = flag.String("csv", "", "write per-node-event CSV to this file (\"-\" = stdout)")
+	)
+	flag.Parse()
+
+	recs, err := readTraces(flag.Args())
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace holds no records")
+	}
+
+	if *validate {
+		if probs := obs.ValidateTrace(recs); len(probs) > 0 {
+			for _, p := range probs {
+				fmt.Fprintf(os.Stderr, "traceview: %s\n", p)
+			}
+			return fmt.Errorf("%d well-formedness problems in %d records", len(probs), len(recs))
+		}
+		fmt.Printf("%d records: well-formed\n", len(recs))
+		return nil
+	}
+
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		return err
+	}
+	solves := report.ExtractSolves(tree)
+
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, solves); err != nil {
+			return err
+		}
+		if *csvOut != "-" {
+			n := 0
+			for i := range solves {
+				n += len(solves[i].Events)
+			}
+			fmt.Fprintf(os.Stderr, "traceview: wrote %d node events to %s\n", n, *csvOut)
+		}
+		return nil
+	}
+
+	fmt.Printf("trace: %d spans, %d events, %d solves\n", tree.Spans, tree.Events, len(solves))
+	for i := range solves {
+		printSolve(i, &solves[i])
+	}
+	if *topN != 0 {
+		printTopSpans(tree, *topN)
+	}
+	return nil
+}
+
+// readTraces concatenates the records of every named file (stdin when none).
+// Rotated archives share one ID space with the live file, so the combined
+// record set reconstructs as a single tree.
+func readTraces(paths []string) ([]obs.SpanRecord, error) {
+	if len(paths) == 0 {
+		return obs.ReadTrace(os.Stdin)
+	}
+	var all []obs.SpanRecord
+	for _, path := range paths {
+		var r io.ReadCloser
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			r = f
+		}
+		recs, err := obs.ReadTrace(r)
+		if path != "-" {
+			r.Close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, recs...)
+	}
+	return all, nil
+}
+
+func printSolve(i int, s *report.SolveTrace) {
+	name := s.Clip
+	if name == "" {
+		name = "(unnamed clip)"
+	}
+	fmt.Printf("\nsolve %d: %s %s, %.1fms wall\n", i, s.Solver, name, s.WallMS())
+	if len(s.PhasesMS) > 0 {
+		fmt.Printf("  phases: %s (%.1fms attributed)\n", s.PhaseLine(), s.PhaseTotal())
+	}
+	if s.FlightSeen == 0 {
+		fmt.Printf("  flight: off (rerun with -flight for search-tree statistics)\n")
+		return
+	}
+	fmt.Printf("  flight: %d node events seen, %d kept, %d dropped by sampling\n",
+		s.FlightSeen, s.FlightKept, s.FlightDropped)
+	if len(s.Events) == 0 {
+		return
+	}
+	fmt.Printf("  depth:  %s\n", histLine(s.DepthHistogram()))
+	fmt.Printf("  acts:   %s\n", actLine(s.ActCounts()))
+	if gap := s.GapCurve(); len(gap) > 0 {
+		first, last := gap[0], gap[len(gap)-1]
+		fmt.Printf("  gap:    %d samples; bound %g / inc %g @ node %d -> bound %g / inc %g @ node %d\n",
+			len(gap), first.Bound, first.Inc, first.N, last.Bound, last.Inc, last.N)
+	}
+}
+
+// histLine renders a depth histogram as "0:12 1:40 2:7 ...".
+func histLine(h []int) string {
+	out := ""
+	for d, n := range h {
+		if n == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", d, n)
+	}
+	return out
+}
+
+// actLine renders action counts sorted by frequency, largest first.
+func actLine(m map[string]int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	pairs := make([]kv, 0, len(m))
+	for k, v := range m {
+		pairs = append(pairs, kv{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v > pairs[j].v
+		}
+		return pairs[i].k < pairs[j].k
+	})
+	out := ""
+	for _, p := range pairs {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", p.k, p.v)
+	}
+	return out
+}
+
+func printTopSpans(tree *obs.TraceTree, n int) {
+	tops := report.TopSpans(tree, n)
+	if len(tops) == 0 {
+		return
+	}
+	fmt.Printf("\n%-24s %8s %12s %12s\n", "span", "count", "self_ms", "total_ms")
+	for _, a := range tops {
+		fmt.Printf("%-24s %8d %12.1f %12.1f\n",
+			a.Name, a.Count, float64(a.SelfUS)/1000, float64(a.TotalUS)/1000)
+	}
+}
+
+func writeCSV(path string, solves []report.SolveTrace) error {
+	if path == "-" {
+		return report.WriteNodeCSV(os.Stdout, solves)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteNodeCSV(f, solves); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

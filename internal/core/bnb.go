@@ -33,6 +33,10 @@ type BnBOptions struct {
 	// Tracer, if non-nil, receives a span for the solve with incumbent and
 	// termination events (see package obs). Nil disables tracing.
 	Tracer *obs.Tracer
+	// Flight configures per-node search-event recording onto the solve span
+	// (see obs.FlightOptions). Disabled by default; it needs a Tracer to have
+	// anywhere to record to.
+	Flight obs.FlightOptions
 	// Arena, if non-nil, supplies the Steiner kernel's reusable storage.
 	// Sharing one arena across sequential solves on related graphs (the
 	// eleven rule configurations of a clip in a sweep) amortizes the solver's
@@ -238,6 +242,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			})
 			h.Stats = stats
 			span.SetAttr("termination", "infeasible")
+			span.SetAttr("phases_ms", stats.Phases.MS())
 			span.End()
 			return h, nil // proven infeasible by the probe
 		}
@@ -399,6 +404,29 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	curBound := int64(-1) // global lower bound (lb of last popped node)
 	curDepth := 0         // depth of the node being processed
 
+	// nodeEvent feeds the flight recorder one structured record per search
+	// node: the action taken (cutoff / infeasible / dominated / solved /
+	// lagrangian / fathom / branch), the node's position (n, d), its lower
+	// bound and the global bound/incumbent state at that moment. Every attr
+	// is integral, so records marshal unconditionally. With recording off
+	// (the default) fl is nil and each call costs one comparison.
+	fl := obs.NewFlight(span, opt.Flight)
+	nodeEvent := func(act string, depth int, lb int64, extra ...obs.Attr) {
+		if fl == nil {
+			return
+		}
+		attrs := make([]obs.Attr, 0, 6+len(extra))
+		attrs = append(attrs,
+			obs.A("act", act), obs.A("n", nodes), obs.A("d", depth), obs.A("lb", lb))
+		if curBound >= 0 {
+			attrs = append(attrs, obs.A("bnd", curBound))
+		}
+		if best != nil {
+			attrs = append(attrs, obs.A("inc", bestCost))
+		}
+		fl.Event("node", append(attrs, extra...)...)
+	}
+
 	sample := func() {
 		if len(stats.BoundTrace) >= maxTraceSamples {
 			return
@@ -447,6 +475,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		nd := heap.Pop(pq).(*bnbNode)
 		if nd.lb >= bestCost {
 			// Best-first: every remaining node is at least as bad.
+			nodeEvent("cutoff", nd.depth, nd.lb)
 			break
 		}
 		nodes++
@@ -467,7 +496,12 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		}
 		banBuf = nd.allBans(banBuf)
 		routes, lb, feasible := evaluate(banBuf)
-		if !feasible || lb >= bestCost {
+		if !feasible {
+			nodeEvent("infeasible", nd.depth, nd.lb)
+			continue
+		}
+		if lb >= bestCost {
+			nodeEvent("dominated", nd.depth, lb)
 			continue
 		}
 
@@ -484,6 +518,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 				span.Event("incumbent", obs.A("cost", best.Cost), obs.A("node", nodes))
 				reportProgress()
 			}
+			nodeEvent("solved", nd.depth, lb)
 			continue
 		}
 
@@ -500,6 +535,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			clock.Enter(PhaseSearch)
 			if lagLB == -2 || lagLB >= bestCost {
 				sinceProgress = 0
+				nodeEvent("lagrangian", nd.depth, lb, obs.A("lag_lb", lagLB))
 				continue
 			}
 		}
@@ -534,6 +570,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		}
 		bestScore := int64(-1)
 		var bestChildren []childEval
+		var bestKind string // violation kind branched on (flight-recorder attr)
 		for _, v := range cands {
 			sets := branchBans(g, v, routes)
 			evals := make([]childEval, 0, len(sets))
@@ -556,19 +593,28 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 				// the node itself is settled.
 				bestChildren = nil
 				bestScore = 1 << 60
+				bestKind = v.Kind.String()
 				break
 			}
 			if minLB > bestScore {
 				bestScore = minLB
 				bestChildren = evals
+				bestKind = v.Kind.String()
 			}
 		}
+		pushed := 0
 		for _, ce := range bestChildren {
 			if !ce.ok {
 				continue
 			}
 			stats.BansGenerated += len(ce.bans)
 			heap.Push(pq, &bnbNode{parent: nd, bans: ce.bans, lb: ce.lb, depth: nd.depth + 1})
+			pushed++
+		}
+		if pushed == 0 {
+			nodeEvent("fathom", nd.depth, lb, obs.A("kind", bestKind))
+		} else {
+			nodeEvent("branch", nd.depth, lb, obs.A("kind", bestKind), obs.A("kids", pushed))
 		}
 		clock.Enter(PhaseSearch)
 	}
@@ -611,6 +657,10 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	span.SetAttr("feasible", sol.Feasible)
 	span.SetAttr("proven", sol.Proven)
 	span.SetAttr("termination", stats.Termination)
+	// The phase breakdown rides on the span so trace consumers (traceview)
+	// can attribute solve wall time without access to SolveStats.
+	span.SetAttr("phases_ms", stats.Phases.MS())
+	fl.Finish()
 	span.End()
 	return sol, nil
 }

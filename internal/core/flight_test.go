@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"optrouter/internal/ilp"
+	"optrouter/internal/obs"
+)
+
+// TestBnBFlightRecorder runs a real CDC-BnB solve with per-node recording on
+// and checks the produced trace: it is structurally well-formed, carries one
+// "node" event per recorded search action with the bound/depth attrs, and the
+// solve span accounts for sampling (flight_seen/kept/dropped) and carries the
+// phase breakdown traceview reads.
+func TestBnBFlightRecorder(t *testing.T) {
+	g := synthGraph(t, 3, "RULE7")
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	sol, err := SolveBnB(g, BnBOptions{
+		Tracer: tr,
+		Flight: obs.FlightOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := obs.ValidateTrace(recs); len(probs) != 0 {
+		t.Fatalf("trace not well-formed: %v", probs)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var solve *obs.TraceNode
+	nodeEvents := 0
+	acts := map[string]int{}
+	tree.Walk(func(n *obs.TraceNode) {
+		if n.Name == "bnb.solve" {
+			solve = n
+		}
+		if n.Event && n.Name == "node" {
+			nodeEvents++
+			acts[n.AttrString("act")]++
+			if _, ok := n.AttrFloat("d"); !ok {
+				t.Errorf("node event without depth attr: %+v", n.Attrs)
+			}
+			if _, ok := n.AttrFloat("lb"); !ok {
+				t.Errorf("node event without lb attr: %+v", n.Attrs)
+			}
+		}
+	})
+	if solve == nil {
+		t.Fatal("no bnb.solve span in trace")
+	}
+	if nodeEvents == 0 {
+		t.Fatal("flight recorder produced no node events")
+	}
+	if acts[""] > 0 {
+		t.Errorf("%d node events missing act attr", acts[""])
+	}
+	if acts["branch"] == 0 && sol.Nodes > 1 {
+		t.Errorf("multi-node solve (%d nodes) recorded no branch events: %v", sol.Nodes, acts)
+	}
+
+	seen, _ := solve.AttrFloat("flight_seen")
+	kept, _ := solve.AttrFloat("flight_kept")
+	droppedAttr, _ := solve.AttrFloat("flight_dropped")
+	if int(kept) != nodeEvents {
+		t.Errorf("flight_kept = %v, but trace holds %d node events", kept, nodeEvents)
+	}
+	if int(seen) != int(kept)+int(droppedAttr) {
+		t.Errorf("flight accounting: seen %v != kept %v + dropped %v", seen, kept, droppedAttr)
+	}
+
+	// The span-level phase breakdown must cover the same phases as SolveStats.
+	phases, ok := solve.Attr("phases_ms").(map[string]interface{})
+	if !ok {
+		t.Fatalf("solve span phases_ms = %#v, want a map", solve.Attr("phases_ms"))
+	}
+	for name := range sol.Stats.Phases {
+		if _, ok := phases[name]; !ok {
+			t.Errorf("phases_ms missing phase %q (stats has it)", name)
+		}
+	}
+}
+
+// TestILPFlightRecorder does the same for the MILP engine's flight recorder:
+// node events carry the action plus per-node LP effort, and the solve span is
+// identified by the clip attr SolveILP stamps through SpanAttrs.
+func TestILPFlightRecorder(t *testing.T) {
+	g := synthGraph(t, 3, "RULE1")
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	sol, err := SolveILP(g, ilp.Options{
+		Tracer: tr,
+		Flight: obs.FlightOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("corpus clip became infeasible")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := obs.ValidateTrace(recs); len(probs) != 0 {
+		t.Fatalf("trace not well-formed: %v", probs)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solve *obs.TraceNode
+	lpAttrEvents, nodeEvents := 0, 0
+	tree.Walk(func(n *obs.TraceNode) {
+		if n.Name == "ilp.solve" {
+			solve = n
+		}
+		if n.Event && n.Name == "node" {
+			nodeEvents++
+			if _, ok := n.AttrFloat("lp_iters"); ok {
+				lpAttrEvents++
+			}
+		}
+	})
+	if solve == nil {
+		t.Fatal("no ilp.solve span in trace")
+	}
+	if got := solve.AttrString("clip"); got != g.Clip.Name {
+		t.Errorf("ilp.solve clip attr = %q, want %q", got, g.Clip.Name)
+	}
+	if nodeEvents == 0 {
+		t.Fatal("flight recorder produced no node events")
+	}
+	if lpAttrEvents == 0 {
+		t.Error("no node event carries per-node LP effort attrs")
+	}
+}

@@ -493,6 +493,8 @@ func (m *ILPModel) addSADPConstraints() {
 // started with a heuristic incumbent, and decodes the routing solution.
 func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	start := time.Now()
+	// Identify the solve in traces: the MILP engine knows nothing about clips.
+	opt.SpanAttrs = append(opt.SpanAttrs, obs.A("clip", g.Clip.Name))
 	m := BuildILP(g)
 	buildDur := time.Since(start)
 	var seedDur time.Duration

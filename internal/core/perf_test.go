@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"optrouter/internal/clip"
 	"optrouter/internal/ilp"
+	"optrouter/internal/obs"
 	"optrouter/internal/rgraph"
 	"optrouter/internal/tech"
 )
@@ -151,6 +153,29 @@ func TestColdVsWarmILP(t *testing.T) {
 			})
 		}
 	}
+}
+
+// benchmarkBnBFlight measures a full CDC-BnB solve with the flight recorder
+// in a given state; the Off/On pair quantifies recording overhead (the
+// acceptance bar for the flight recorder is <= 5% wall on the corpus, with
+// recording off by default — Off must stay indistinguishable from the
+// pre-instrumentation solver).
+func benchmarkBnBFlight(b *testing.B, fo obs.FlightOptions) {
+	g := synthGraph(b, 3, "RULE7")
+	tr := obs.NewTracer(io.Discard)
+	arena := NewSteinerArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBnB(g, BnBOptions{Tracer: tr, Flight: fo, Arena: arena}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBnBFlightOff(b *testing.B) { benchmarkBnBFlight(b, obs.FlightOptions{}) }
+func BenchmarkBnBFlightOn(b *testing.B) {
+	benchmarkBnBFlight(b, obs.FlightOptions{Enabled: true})
 }
 
 // BenchmarkSteinerTree measures one pooled exact Steiner arborescence solve

@@ -10,6 +10,7 @@ import (
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
 	"optrouter/internal/lp"
+	"optrouter/internal/obs"
 	"optrouter/internal/report"
 	"optrouter/internal/rgraph"
 	"optrouter/internal/sched"
@@ -86,6 +87,13 @@ type BenchRunOptions struct {
 	Timeout time.Duration // per-case solve budget (default 30s)
 	Workers int           // scheduler workers (0 = NumCPU)
 	Corpus  string        // "short" or "full", recorded in the document
+	// Tracer, if non-nil, receives every case's solve span (hand it a
+	// rotating tracer to bound the output of long corpus runs).
+	Tracer *obs.Tracer
+	// Flight configures per-node search-event recording on the solve spans
+	// (effective only with a Tracer). Off by default: the benchmark exists to
+	// measure the solvers, and recording costs wall time.
+	Flight obs.FlightOptions
 }
 
 // RunBenchCorpus solves every spec and assembles the schema-versioned
@@ -109,16 +117,54 @@ func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions)
 	for i := range specs {
 		s := specs[i]
 		jobs[i] = func(jctx context.Context) (report.BenchCase, error) {
-			return runBenchCase(jctx, s, opt.Timeout)
+			return runBenchCase(jctx, s, opt)
 		}
 	}
+
+	// Go runtime profile of the run (schema v3): process-wide deltas from
+	// here to after the sweep, plus a 10ms heap-in-use sampler for the peak.
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	stopPeak := make(chan struct{})
+	peakCh := make(chan float64, 1)
+	go func() {
+		peak := float64(ms0.HeapInuse) / (1 << 20)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stopPeak:
+				peakCh <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if h := float64(ms.HeapInuse) / (1 << 20); h > peak {
+					peak = h
+				}
+			}
+		}
+	}()
+
 	results := sched.Run(ctx, jobs, sched.Options{Workers: opt.Workers})
+
+	close(stopPeak)
+	peakMB := <-peakCh
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 
 	doc := &report.BenchDoc{
 		SchemaVersion: report.BenchSchemaVersion,
 		Corpus:        opt.Corpus,
 		GoVersion:     runtime.Version(),
 		Workers:       opt.Workers,
+		Runtime: &report.BenchRuntime{
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			TotalAllocMB: float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20),
+			GCPauseMS:    float64(ms1.PauseTotalNs-ms0.PauseTotalNs) / 1e6,
+			NumGC:        int(ms1.NumGC - ms0.NumGC),
+			PeakHeapMB:   peakMB,
+		},
 	}
 	for i, r := range results {
 		bc := r.Value
@@ -135,7 +181,7 @@ func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions)
 }
 
 // runBenchCase synthesizes and solves one pinned instance.
-func runBenchCase(ctx context.Context, s BenchSpec, timeout time.Duration) (report.BenchCase, error) {
+func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report.BenchCase, error) {
 	sopt := clip.DefaultSynth(s.Seed)
 	sopt.NX, sopt.NY, sopt.NZ = s.NX, s.NY, s.NZ
 	sopt.NumNets = s.Nets
@@ -149,18 +195,35 @@ func runBenchCase(ctx context.Context, s BenchSpec, timeout time.Duration) (repo
 		return report.BenchCase{}, err
 	}
 
+	// Runtime deltas across the solve. The counters are process-global:
+	// exact under one worker, approximate under parallel workers (see the
+	// BenchCase field docs).
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
 	var sol *core.Solution
 	switch s.Solver {
 	case "bnb":
-		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: timeout, Ctx: ctx})
+		sol, err = core.SolveBnB(g, core.BnBOptions{
+			TimeLimit: opt.Timeout, Ctx: ctx,
+			Tracer: opt.Tracer, Flight: opt.Flight,
+		})
 	case "ilp":
 		sol, err = core.SolveILP(g, ilp.Options{
-			TimeLimit: timeout,
+			TimeLimit: opt.Timeout,
 			Ctx:       ctx,
 			LP:        lp.Options{CollectPhases: true},
+			Tracer:    opt.Tracer,
+			Flight:    opt.Flight,
 		})
 	}
+
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	bc := report.BenchCase{Name: s.Name, Rule: s.Rule, Solver: s.Solver}
+	bc.AllocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
+	bc.GCPauseMS = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
+	bc.NumGC = int(m1.NumGC - m0.NumGC)
 	if err != nil {
 		bc.Err = err.Error()
 		return bc, nil

@@ -206,6 +206,10 @@ type SolveOptions struct {
 	// Tracer, if non-nil, records one span per clip solve plus the solver's
 	// own spans and events underneath it.
 	Tracer *obs.Tracer
+	// Flight configures per-node search-event recording on the solve spans
+	// (effective only with a Tracer). Off by default — it costs solve wall
+	// time on node-heavy sweeps.
+	Flight obs.FlightOptions
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -459,6 +463,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 		TimeLimit: opt.PerClipTimeout,
 		MaxNodes:  opt.MaxNodes,
 		Tracer:    opt.Tracer,
+		Flight:    opt.Flight,
 		Ctx:       ctx,
 		Arena:     arena,
 	}

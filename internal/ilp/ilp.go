@@ -132,6 +132,12 @@ type Options struct {
 	// Tracer, if non-nil, receives a span for the solve with incumbent and
 	// termination events (see package obs). Nil disables tracing.
 	Tracer *obs.Tracer
+	// SpanAttrs are extra attributes stamped onto the solve span (callers use
+	// them to identify the solve in a trace, e.g. the clip being routed).
+	SpanAttrs []obs.Attr
+	// Flight configures per-node search-event recording onto the solve span
+	// (see obs.FlightOptions). Disabled by default.
+	Flight obs.FlightOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -279,9 +285,12 @@ func (m *Model) Solve(opt Options) Result {
 		curDepth int
 	)
 	span := opt.Tracer.Start("ilp.solve",
-		obs.A("vars", m.Prob.NumVars()),
-		obs.A("int_vars", m.NumIntegerVars()),
-		obs.A("rows", m.Prob.NumRows()))
+		append([]obs.Attr{
+			obs.A("vars", m.Prob.NumVars()),
+			obs.A("int_vars", m.NumIntegerVars()),
+			obs.A("rows", m.Prob.NumRows()),
+		}, opt.SpanAttrs...)...)
+	flt := obs.NewFlight(span, opt.Flight)
 	clock := obs.NewPhaseClock()
 	clock.Enter(PhaseSetup)
 	sample := func() {
@@ -324,8 +333,35 @@ func (m *Model) Solve(opt Options) Result {
 		span.SetAttr("lp_solves", stats.LPSolves)
 		span.SetAttr("status", r.Status.String())
 		span.SetAttr("termination", string(stats.Termination))
+		// Phase breakdown on the span, so trace consumers (traceview) can
+		// attribute solve wall time without access to Stats.
+		span.SetAttr("phases_ms", stats.Phases.MS())
+		flt.Finish()
 		span.End()
 		return r
+	}
+
+	// nodeEvent feeds the flight recorder one structured record per search
+	// node: the action taken (prune / bounds-infeasible / infeasible /
+	// lp-limit / fathom / integer / branch), the node's position (n, d) and
+	// the global bound/incumbent state. bestBnd starts at -Inf and bestObj
+	// at +Inf; JSON cannot represent infinities (a marshal failure would
+	// permanently poison the tracer), so those attrs ride only once finite.
+	// With recording off (the default) fl is nil and each call costs one
+	// comparison.
+	nodeEvent := func(act string, depth int, extra ...obs.Attr) {
+		if flt == nil {
+			return
+		}
+		attrs := make([]obs.Attr, 0, 5+len(extra))
+		attrs = append(attrs, obs.A("act", act), obs.A("n", nodes), obs.A("d", depth))
+		if !math.IsInf(bestBnd, -1) {
+			attrs = append(attrs, obs.A("bnd", bestBnd))
+		}
+		if haveInc {
+			attrs = append(attrs, obs.A("inc", bestObj))
+		}
+		flt.Event("node", append(attrs, extra...)...)
 	}
 
 	if opt.Incumbent != nil {
@@ -424,6 +460,7 @@ func (m *Model) Solve(opt Options) Result {
 		}
 
 		if haveInc && nd.bound > cutoff() {
+			nodeEvent("prune", nd.depth, obs.A("lb", nd.bound))
 			continue // parent bound already dominated
 		}
 
@@ -440,6 +477,7 @@ func (m *Model) Solve(opt Options) Result {
 			m.Prob.SetVarBounds(bc.j, nlo, nhi)
 		}
 		if !feasibleBounds {
+			nodeEvent("bounds-infeasible", nd.depth)
 			continue
 		}
 
@@ -473,8 +511,20 @@ func (m *Model) Solve(opt Options) Result {
 		if nodes%opt.ProgressEvery == 0 {
 			progress()
 		}
+		// Per-node LP effort for the flight recorder (the guard keeps the
+		// attr slice from allocating when recording is off).
+		var lpAttrs []obs.Attr
+		if flt != nil {
+			lpAttrs = []obs.Attr{
+				obs.A("lp_iters", res.Iters),
+				obs.A("pivots", res.Stats.Pivots),
+				obs.A("etas", res.Stats.EtaPivots),
+				obs.A("warm", res.Stats.WarmStarted),
+			}
+		}
 		switch res.Status {
 		case lp.Infeasible:
+			nodeEvent("infeasible", nd.depth, lpAttrs...)
 			continue
 		case lp.Unbounded:
 			// Integer problem unbounded or LP artifact; treat as no-prune
@@ -490,6 +540,7 @@ func (m *Model) Solve(opt Options) Result {
 			if term == "" {
 				term = TermLPIterLimit
 			}
+			nodeEvent("lp-limit", nd.depth, lpAttrs...)
 			continue
 		}
 
@@ -503,6 +554,9 @@ func (m *Model) Solve(opt Options) Result {
 			sample()
 		}
 		if haveInc && lb > cutoff() {
+			if flt != nil {
+				nodeEvent("fathom", nd.depth, append(lpAttrs, obs.A("lb", lb))...)
+			}
 			continue
 		}
 
@@ -533,6 +587,9 @@ func (m *Model) Solve(opt Options) Result {
 				sample()
 				span.Event("incumbent", obs.A("obj", obj), obs.A("node", nodes))
 				progress()
+			}
+			if flt != nil {
+				nodeEvent("integer", nd.depth, append(lpAttrs, obs.A("lb", lb))...)
 			}
 			continue
 		}
@@ -573,6 +630,10 @@ func (m *Model) Solve(opt Options) Result {
 			stack = append(stack, dn, up) // explore up first
 		} else {
 			stack = append(stack, up, dn) // explore down first
+		}
+		if flt != nil {
+			nodeEvent("branch", nd.depth, append(lpAttrs,
+				obs.A("lb", lb), obs.A("var", branchVar), obs.A("frac", worst))...)
 		}
 	}
 

@@ -247,9 +247,9 @@ type Result struct {
 	// pooled on the solve engine: a later Solve of the same Problem (warm
 	// reoptimization of the cached engine) overwrites it in place, so copy it
 	// if it must outlive the next Solve call.
-	X []float64
-	Iters  int       // simplex iterations used (both phases)
-	Stats  Stats     // detailed per-solve statistics
+	X     []float64
+	Iters int   // simplex iterations used (both phases)
+	Stats Stats // detailed per-solve statistics
 	// Basis is the final basis snapshot, populated on optimal solves when
 	// Options.SnapshotBasis is set. It can seed a later warm-started solve
 	// of the same problem shape via Options.WarmStart.

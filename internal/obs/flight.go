@@ -1,0 +1,113 @@
+// Flight recorder: a sampling layer between the solvers' per-node search
+// events and the Tracer, so multi-thousand-node solves produce bounded
+// traces. The solvers emit one structured event per search node (open /
+// branch / fathom / prune, with bounds, depth and the chosen branching
+// variable); the Flight decides which of them reach the trace and counts the
+// rest in an explicit dropped counter — truncation is always visible, never
+// silent.
+package obs
+
+// FlightOptions configures per-node search-event recording. The zero value
+// is disabled (no events, zero overhead beyond a nil check); enabling it with
+// all other fields zero records every node up to the MaxEvents default.
+type FlightOptions struct {
+	// Enabled turns per-node event recording on. Off by default: node events
+	// cost one JSON record per search node, which full-corpus sweeps do not
+	// want unless a trace is being collected for analysis.
+	Enabled bool
+	// Every samples one in Every node events after the first Burst
+	// (default 1 = record all).
+	Every int
+	// Burst is the number of initial events always recorded before sampling
+	// starts (default 1024). The head of the search — root, first dives,
+	// first incumbents — is where most per-node variance lives.
+	Burst int
+	// MaxEvents caps recorded events per solve (default 100000, < 0 =
+	// unlimited). Events beyond the cap are counted as dropped.
+	MaxEvents int
+}
+
+func (o FlightOptions) withDefaults() FlightOptions {
+	if o.Every <= 0 {
+		o.Every = 1
+	}
+	if o.Burst == 0 {
+		o.Burst = 1024
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 100000
+	}
+	return o
+}
+
+// Flight is one solve's search-event recorder: events pass through sampling
+// and capping before reaching the span's tracer. A Flight belongs to a single
+// solve goroutine (like the PhaseClock) and is not safe for concurrent use;
+// all methods are no-ops on a nil receiver, so instrumentation sites never
+// guard — a disabled FlightOptions yields a nil *Flight.
+type Flight struct {
+	span    *Span
+	opt     FlightOptions
+	seen    int64
+	kept    int64
+	dropped int64
+}
+
+// NewFlight returns a recorder emitting sampled events under span, or nil
+// when recording is disabled or there is no span to attach to.
+func NewFlight(span *Span, opt FlightOptions) *Flight {
+	if !opt.Enabled || span == nil {
+		return nil
+	}
+	return &Flight{span: span, opt: opt.withDefaults()}
+}
+
+// Event records one search event, subject to sampling and the event cap.
+// It reports whether the event reached the trace, so callers can skip
+// building expensive attributes for dropped events.
+func (f *Flight) Event(name string, attrs ...Attr) bool {
+	if f == nil {
+		return false
+	}
+	f.seen++
+	keep := f.seen <= int64(f.opt.Burst) ||
+		(f.seen-int64(f.opt.Burst))%int64(f.opt.Every) == 0
+	if keep && f.opt.MaxEvents >= 0 && f.kept >= int64(f.opt.MaxEvents) {
+		keep = false
+	}
+	if !keep {
+		f.dropped++
+		return false
+	}
+	f.kept++
+	f.span.Event(name, attrs...)
+	return true
+}
+
+// Seen returns how many events were offered to the recorder.
+func (f *Flight) Seen() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.seen
+}
+
+// Dropped returns how many offered events did not reach the trace.
+func (f *Flight) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped
+}
+
+// Finish stamps the recorder's accounting onto the solve span, making
+// sampling visible to trace consumers: flight_seen / flight_kept /
+// flight_dropped. Call it just before ending the span.
+func (f *Flight) Finish() {
+	if f == nil {
+		return
+	}
+	f.span.SetAttr("flight_seen", f.seen)
+	f.span.SetAttr("flight_kept", f.kept)
+	f.span.SetAttr("flight_dropped", f.dropped)
+}

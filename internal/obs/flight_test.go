@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFlightDisabledIsNil(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	span := tr.Start("solve")
+	if f := NewFlight(span, FlightOptions{}); f != nil {
+		t.Fatalf("disabled FlightOptions must yield nil, got %+v", f)
+	}
+	var f *Flight
+	if f.Event("node") {
+		t.Error("nil Flight.Event must report not recorded")
+	}
+	f.Finish() // must not panic
+	if f.Seen() != 0 || f.Dropped() != 0 {
+		t.Errorf("nil Flight counters = %d/%d, want 0/0", f.Seen(), f.Dropped())
+	}
+}
+
+func TestFlightSamplingAndCap(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	span := tr.Start("solve")
+	f := NewFlight(span, FlightOptions{Enabled: true, Burst: 4, Every: 3, MaxEvents: 8})
+	total := 40
+	kept := 0
+	for i := 0; i < total; i++ {
+		if f.Event("node", A("n", i)) {
+			kept++
+		}
+	}
+	// First 4 always kept, then every 3rd of the remaining 36 (12 more), but
+	// capped at 8 total.
+	if kept != 8 {
+		t.Errorf("kept = %d, want 8 (cap)", kept)
+	}
+	if f.Seen() != int64(total) {
+		t.Errorf("seen = %d, want %d", f.Seen(), total)
+	}
+	if f.Dropped() != int64(total-kept) {
+		t.Errorf("dropped = %d, want %d", f.Dropped(), total-kept)
+	}
+	f.Finish()
+	span.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	var solve *SpanRecord
+	for i, r := range recs {
+		if r.Event {
+			events++
+		}
+		if r.Name == "solve" {
+			solve = &recs[i]
+		}
+	}
+	if events != kept {
+		t.Errorf("trace has %d events, want %d", events, kept)
+	}
+	if solve == nil {
+		t.Fatal("no solve span in trace")
+	}
+	if v, _ := solve.Attrs["flight_dropped"].(float64); int64(v) != f.Dropped() {
+		t.Errorf("flight_dropped attr = %v, want %d", solve.Attrs["flight_dropped"], f.Dropped())
+	}
+}
+
+func TestFlightBurstThenEvery(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	f := NewFlight(tr.Start("s"), FlightOptions{Enabled: true, Burst: 2, Every: 5, MaxEvents: -1})
+	var pattern []bool
+	for i := 0; i < 12; i++ {
+		pattern = append(pattern, f.Event("node"))
+	}
+	want := []bool{true, true, false, false, false, false, true, false, false, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("event %d recorded=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+}

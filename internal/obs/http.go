@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -103,12 +104,51 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// MetricsHandler serves the registry as Prometheus text exposition. The
-// snapshot is taken per request, so long sweeps can be scraped live.
+// RuntimeStats is a point-in-time sample of the Go runtime: scheduler and
+// heap pressure of the solver process itself. It backs the go_* families on
+// /metrics and the runtime block on /statusz.
+type RuntimeStats struct {
+	Goroutines  int     `json:"goroutines"`
+	HeapInuseMB float64 `json:"heap_inuse_mb"`
+	GCPauseMS   float64 `json:"gc_pause_ms"` // cumulative stop-the-world pause
+	NumGC       int64   `json:"num_gc"`      // completed GC cycles
+}
+
+// ReadRuntimeStats samples the runtime now. ReadMemStats stops the world
+// briefly, so callers poll it per scrape, not per solve node.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:  runtime.NumGoroutine(),
+		HeapInuseMB: float64(ms.HeapInuse) / (1 << 20),
+		GCPauseMS:   float64(ms.PauseTotalNs) / 1e6,
+		NumGC:       int64(ms.NumGC),
+	}
+}
+
+// WritePrometheus renders the runtime sample in Prometheus text exposition.
+func (rs RuntimeStats) WritePrometheus(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE go_goroutines gauge\ngo_goroutines %d\n"+
+			"# TYPE go_heap_inuse_mb gauge\ngo_heap_inuse_mb %s\n"+
+			"# TYPE go_gc_pause_total_ms counter\ngo_gc_pause_total_ms %s\n"+
+			"# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n",
+		rs.Goroutines, formatFloat(rs.HeapInuseMB), formatFloat(rs.GCPauseMS), rs.NumGC)
+	return err
+}
+
+// MetricsHandler serves the registry as Prometheus text exposition, followed
+// by the go_* runtime families. The snapshot is taken per request, so long
+// sweeps can be scraped live.
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := r.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := ReadRuntimeStats().WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -200,6 +240,9 @@ type StatusSnapshot struct {
 	// ETAMS is the projected remaining wall time from the mean completed-job
 	// rate; -1 before the first completion (or without a known total).
 	ETAMS int64 `json:"eta_ms"`
+	// Runtime is sampled at snapshot time by StatusHandler; zero when the
+	// snapshot was taken directly (tests, nil Status).
+	Runtime RuntimeStats `json:"runtime"`
 }
 
 // Snapshot captures the current sweep state. Safe on nil (zero snapshot).
@@ -240,7 +283,9 @@ func StatusHandler(s *Status) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.Snapshot()); err != nil {
+		snap := s.Snapshot()
+		snap.Runtime = ReadRuntimeStats()
+		if err := enc.Encode(snap); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

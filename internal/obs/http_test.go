@@ -166,6 +166,17 @@ func TestMetricsHandler(t *testing.T) {
 	if !strings.Contains(body, "# TYPE nodes counter\nnodes 7\n") {
 		t.Errorf("body missing counter sample:\n%s", body)
 	}
+	// The Go runtime families follow the registry families on every scrape.
+	for _, fam := range []string{
+		"# TYPE go_goroutines gauge\ngo_goroutines ",
+		"# TYPE go_heap_inuse_mb gauge\ngo_heap_inuse_mb ",
+		"# TYPE go_gc_pause_total_ms counter\ngo_gc_pause_total_ms ",
+		"# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total ",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("body missing runtime family %q:\n%s", fam, body)
+		}
+	}
 
 	// Scrapes must observe live updates.
 	r.Counter("nodes").Add(3)
@@ -208,6 +219,11 @@ func TestStatusHandler(t *testing.T) {
 	}
 	if snap.ETAMS < 0 {
 		t.Errorf("eta_ms = %d, want >= 0 after first completion", snap.ETAMS)
+	}
+	// The handler stamps a live runtime sample; a Go process always has at
+	// least one goroutine and some heap in use.
+	if snap.Runtime.Goroutines < 1 || snap.Runtime.HeapInuseMB <= 0 {
+		t.Errorf("runtime sample = %+v, want live goroutine/heap values", snap.Runtime)
 	}
 }
 

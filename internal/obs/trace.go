@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,18 +36,132 @@ type SpanRecord struct {
 // NewTracer; a nil *Tracer (and the nil *Span values it then returns) is a
 // valid no-op, so instrumented code never guards trace calls.
 type Tracer struct {
-	mu     sync.Mutex
-	w      *bufio.Writer
-	sink   io.Writer // the unbuffered writer, for Close
-	err    error
-	closed bool
-	epoch  time.Time
-	seq    atomic.Int64
+	mu      sync.Mutex
+	w       *bufio.Writer
+	sink    io.Writer // the unbuffered writer, for Close
+	err     error
+	closed  bool
+	epoch   time.Time
+	seq     atomic.Int64
+	dropped atomic.Int64 // records that did not reach the retained trace
+	dropCtr *Counter     // optional registry mirror (trace_dropped_total)
+	rot     *rotState    // nil = unbounded single-file output
+}
+
+// rotState is the size-cap bookkeeping of a rotating tracer: how many bytes
+// and records the live file holds, and the record counts of the archived
+// files (index 0 = <path>.1, the newest archive) so deleting the oldest
+// archive can credit its records to the dropped counter.
+type rotState struct {
+	path     string
+	maxBytes int64
+	keep     int // total files retained: the live file plus keep-1 archives
+	written  int64
+	recs     int64
+	archived []int64
 }
 
 // NewTracer returns a Tracer writing JSON lines to w.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bufio.NewWriter(w), sink: w, epoch: time.Now()}
+}
+
+// NewRotatingTracer returns a Tracer writing JSON lines to path, rotating to
+// path.1 .. path.(keep-1) whenever the live file would exceed maxBytes; the
+// oldest archive is deleted (keep <= 1 truncates in place). Records lost to
+// deletion are counted in Dropped — long sweeps get a bounded trace footprint
+// of roughly keep*maxBytes with explicit, never silent, truncation.
+func NewRotatingTracer(path string, maxBytes int64, keep int) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if maxBytes < 4096 {
+		maxBytes = 4096 // any single record must fit in the live file
+	}
+	t := NewTracer(f)
+	t.rot = &rotState{path: path, maxBytes: maxBytes, keep: keep}
+	return t, nil
+}
+
+// SetDropCounter mirrors every future dropped record into c (typically a
+// registry's trace_dropped_total), so live /metrics scrapes see trace loss
+// as it happens. Safe on nil tracer and nil counter.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropCtr = c
+}
+
+// Dropped returns how many records were dropped (rotation deletions, emits
+// after close, or write/marshal failures). Safe on nil.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// drop records n lost records; callers hold t.mu (or run before the tracer
+// is shared).
+func (t *Tracer) drop(n int64) {
+	if n <= 0 {
+		return
+	}
+	t.dropped.Add(n)
+	t.dropCtr.Add(n)
+}
+
+// rotateLocked shifts the archive chain and reopens a fresh live file. Called
+// with t.mu held, between whole records, so every retained file is valid
+// JSONL. Rename/remove failures surface as the tracer error.
+func (t *Tracer) rotateLocked() error {
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	r := t.rot
+	if c, ok := t.sink.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	if r.keep <= 1 {
+		// No archives: truncating the live file drops everything in it.
+		t.drop(r.recs)
+	} else {
+		if len(r.archived) == r.keep-1 {
+			oldest := fmt.Sprintf("%s.%d", r.path, r.keep-1)
+			if err := os.Remove(oldest); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			t.drop(r.archived[len(r.archived)-1])
+			r.archived = r.archived[:len(r.archived)-1]
+		}
+		for i := len(r.archived); i >= 1; i-- {
+			from := fmt.Sprintf("%s.%d", r.path, i)
+			if err := os.Rename(from, fmt.Sprintf("%s.%d", r.path, i+1)); err != nil {
+				return err
+			}
+		}
+		if err := os.Rename(r.path, r.path+".1"); err != nil {
+			return err
+		}
+		r.archived = append([]int64{r.recs}, r.archived...)
+	}
+	f, err := os.Create(r.path)
+	if err != nil {
+		return err
+	}
+	t.sink = f
+	t.w = bufio.NewWriter(f)
+	r.written, r.recs = 0, 0
+	return nil
 }
 
 // Start opens a root span.
@@ -93,14 +208,30 @@ func (t *Tracer) emit(rec SpanRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil || t.closed {
+		t.drop(1)
 		return
 	}
 	if err != nil {
 		t.err = err
+		t.drop(1)
 		return
 	}
-	if _, err := t.w.Write(append(b, '\n')); err != nil {
+	line := append(b, '\n')
+	if r := t.rot; r != nil && r.written > 0 && r.written+int64(len(line)) > r.maxBytes {
+		if err := t.rotateLocked(); err != nil {
+			t.err = err
+			t.drop(1)
+			return
+		}
+	}
+	if _, err := t.w.Write(line); err != nil {
 		t.err = err
+		t.drop(1)
+		return
+	}
+	if r := t.rot; r != nil {
+		r.written += int64(len(line))
+		r.recs++
 	}
 }
 

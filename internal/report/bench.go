@@ -13,7 +13,9 @@ import (
 // bumps) and refuses anything else.
 //
 // v2 added per-case model dimensions (rows/cols/nnz) for ilp cases.
-const BenchSchemaVersion = 2
+// v3 added Go runtime stats: per-case allocation/GC deltas and a document
+// level Runtime block (GOMAXPROCS, total allocations, GC pauses, peak heap).
+const BenchSchemaVersion = 3
 
 // BenchMinSchemaVersion is the oldest schema still readable (BENCH_0/BENCH_1
 // predate the model-dimension fields).
@@ -47,6 +49,15 @@ type BenchCase struct {
 	// LPPhasesMS the simplex-internal sub-breakdown (ilp cases only).
 	PhasesMS   map[string]float64 `json:"phases_ms,omitempty"`
 	LPPhasesMS map[string]float64 `json:"lp_phases_ms,omitempty"`
+
+	// Go runtime deltas across the case's solve (schema v3+). The counters
+	// are process-global, so they are exact under -j1 and approximate (the
+	// case's share plus concurrent cases') under parallel workers; wall-time
+	// regressions with flat allocation deltas point at algorithmic causes,
+	// rising deltas at allocation churn.
+	AllocMB   float64 `json:"alloc_mb,omitempty"`    // bytes allocated during the case
+	GCPauseMS float64 `json:"gc_pause_ms,omitempty"` // stop-the-world pause total
+	NumGC     int     `json:"num_gc,omitempty"`      // GC cycles completed
 }
 
 // BenchTotals aggregates the corpus for at-a-glance trajectory diffs.
@@ -61,12 +72,28 @@ type BenchTotals struct {
 	PhasesMS map[string]float64 `json:"phases_ms,omitempty"`
 }
 
+// BenchRuntime captures the Go runtime's view of the whole corpus run
+// (schema v3+): totals are process-wide deltas from run start to run end,
+// and PeakHeapMB is the largest heap-in-use observed by a sampler during the
+// run. Together with the per-case deltas it separates "the solver got
+// slower" from "the process allocated or paused more".
+type BenchRuntime struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	GCPauseMS    float64 `json:"gc_pause_ms"`
+	NumGC        int     `json:"num_gc"`
+	PeakHeapMB   float64 `json:"peak_heap_mb"`
+}
+
 // BenchDoc is one benchmark-trajectory document (one BENCH_<n>.json).
 type BenchDoc struct {
 	SchemaVersion int    `json:"schema_version"`
 	Corpus        string `json:"corpus"` // "short" or "full"
 	GoVersion     string `json:"go_version"`
 	Workers       int    `json:"workers"`
+
+	// Runtime is the Go runtime profile of the run (required from schema v3).
+	Runtime *BenchRuntime `json:"runtime,omitempty"`
 
 	Cases  []BenchCase `json:"cases"`
 	Totals BenchTotals `json:"totals"`
@@ -126,6 +153,12 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 	}
 	if len(doc.Cases) == 0 {
 		return nil, fmt.Errorf("bench: no cases")
+	}
+	if doc.SchemaVersion >= 3 && doc.Runtime == nil {
+		return nil, fmt.Errorf("bench: schema v3 document missing runtime block")
+	}
+	if doc.Runtime != nil && doc.Runtime.GOMAXPROCS <= 0 {
+		return nil, fmt.Errorf("bench: runtime block with gomaxprocs %d", doc.Runtime.GOMAXPROCS)
 	}
 	seen := map[string]bool{}
 	for i, c := range doc.Cases {

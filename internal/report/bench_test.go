@@ -11,6 +11,10 @@ func validDoc() *BenchDoc {
 		Corpus:        "short",
 		GoVersion:     "go1.24.0",
 		Workers:       4,
+		Runtime: &BenchRuntime{
+			GOMAXPROCS: 4, TotalAllocMB: 812.5, GCPauseMS: 3.2, NumGC: 41,
+			PeakHeapMB: 96.4,
+		},
 		Cases: []BenchCase{
 			{
 				Name: "6x7x4-s3-RULE8-bnb", Rule: "RULE8", Solver: "bnb",
@@ -74,6 +78,8 @@ func TestValidateBenchRejections(t *testing.T) {
 		{"feasible without nodes", func(d *BenchDoc) { d.Cases[0].Nodes = 0 }, "no nodes"},
 		{"missing phases", func(d *BenchDoc) { d.Cases[0].PhasesMS = nil }, "phase breakdown"},
 		{"missing model dims", func(d *BenchDoc) { d.Cases[1].NNZ = 0 }, "model dimensions"},
+		{"missing runtime", func(d *BenchDoc) { d.Runtime = nil }, "runtime block"},
+		{"bad gomaxprocs", func(d *BenchDoc) { d.Runtime.GOMAXPROCS = 0 }, "gomaxprocs"},
 		{"stale totals", func(d *BenchDoc) { d.Totals.Nodes += 5 }, "totals"},
 	}
 	for _, tc := range cases {
@@ -98,12 +104,13 @@ func TestValidateBenchRejections(t *testing.T) {
 }
 
 // TestValidateBenchOldSchema: committed v1 trajectory documents (BENCH_0,
-// BENCH_1) predate the model-dimension fields and must stay readable — the
-// dims requirement applies from schema v2 on.
+// BENCH_1) predate the model-dimension fields and the runtime block and must
+// stay readable — those requirements apply from schema v2/v3 on.
 func TestValidateBenchOldSchema(t *testing.T) {
 	doc := validDoc()
 	doc.SchemaVersion = BenchMinSchemaVersion
 	doc.Cases[1].Rows, doc.Cases[1].Cols, doc.Cases[1].NNZ = 0, 0, 0
+	doc.Runtime = nil
 	data, err := MarshalBench(doc)
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,40 @@ type BenchComparison struct {
 	// are excluded from the ratio. OnlyBase entries are expected when the
 	// short CI corpus is compared against a full-corpus trajectory point.
 	OnlyBase, OnlyCur []string
+	// PhaseDeltas attributes the wall-time movement to solver phases: per
+	// phase, the summed milliseconds over matched cases in each document.
+	// Simplex-internal phases appear with an "lp." prefix so they do not
+	// collide with the MILP engine's phase names. Sorted by the absolute
+	// millisecond movement, largest first — the head of the list names the
+	// phase a regression lives in.
+	PhaseDeltas []PhaseDelta
+}
+
+// PhaseDelta is one phase's wall-time movement between two documents.
+type PhaseDelta struct {
+	Phase  string
+	BaseMS float64
+	CurMS  float64
+	// Ratio is CurMS/BaseMS with both floored at 1ms, mirroring WallRatio's
+	// jitter clamp: phases measured in microseconds cannot produce dramatic
+	// ratios.
+	Ratio float64
+}
+
+// PhaseSummary renders the n largest phase movements as a compact
+// "node_lp +41%, steiner -3%" string (empty when no phase data matched).
+func (c BenchComparison) PhaseSummary(n int) string {
+	s := ""
+	for i, d := range c.PhaseDeltas {
+		if i >= n {
+			break
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %+.0f%%", d.Phase, (d.Ratio-1)*100)
+	}
+	return s
 }
 
 // CompareBench matches the cases of two benchmark documents by name+solver
@@ -41,6 +75,16 @@ func CompareBench(base, cur *BenchDoc) BenchComparison {
 	}
 	var cmp BenchComparison
 	logSum := 0.0
+	basePhase := map[string]float64{}
+	curPhase := map[string]float64{}
+	addPhases := func(into map[string]float64, c BenchCase) {
+		for p, ms := range c.PhasesMS {
+			into[p] += ms
+		}
+		for p, ms := range c.LPPhasesMS {
+			into["lp."+p] += ms
+		}
+	}
 	seen := make(map[string]bool, len(cur.Cases))
 	for _, c := range cur.Cases {
 		k := key(c)
@@ -61,7 +105,29 @@ func CompareBench(base, cur *BenchDoc) BenchComparison {
 		}
 		cmp.Matched++
 		logSum += math.Log(math.Max(c.WallMS, 1) / math.Max(b.WallMS, 1))
+		addPhases(basePhase, b)
+		addPhases(curPhase, c)
 	}
+	for p := range curPhase {
+		if _, ok := basePhase[p]; !ok {
+			basePhase[p] = 0
+		}
+	}
+	for p, bms := range basePhase {
+		cms := curPhase[p]
+		cmp.PhaseDeltas = append(cmp.PhaseDeltas, PhaseDelta{
+			Phase: p, BaseMS: bms, CurMS: cms,
+			Ratio: math.Max(cms, 1) / math.Max(bms, 1),
+		})
+	}
+	sort.Slice(cmp.PhaseDeltas, func(i, j int) bool {
+		di := math.Abs(cmp.PhaseDeltas[i].CurMS - cmp.PhaseDeltas[i].BaseMS)
+		dj := math.Abs(cmp.PhaseDeltas[j].CurMS - cmp.PhaseDeltas[j].BaseMS)
+		if di != dj {
+			return di > dj
+		}
+		return cmp.PhaseDeltas[i].Phase < cmp.PhaseDeltas[j].Phase
+	})
 	for k := range baseByKey {
 		if !seen[k] {
 			cmp.OnlyBase = append(cmp.OnlyBase, k)

@@ -62,4 +62,57 @@ func TestCompareBenchEmpty(t *testing.T) {
 	if cmp.Matched != 0 || cmp.WallRatio != 1 || len(cmp.Mismatches) != 0 {
 		t.Fatalf("empty comparison: %+v", cmp)
 	}
+	if len(cmp.PhaseDeltas) != 0 || cmp.PhaseSummary(3) != "" {
+		t.Fatalf("empty comparison has phase deltas: %+v", cmp.PhaseDeltas)
+	}
+}
+
+// TestCompareBenchPhaseDeltas: the per-phase attribution sums matched cases
+// only, prefixes simplex-internal phases with "lp.", floors ratios at 1ms,
+// and ranks by absolute millisecond movement.
+func TestCompareBenchPhaseDeltas(t *testing.T) {
+	mk := func(name string, phases, lpPhases map[string]float64) BenchCase {
+		return BenchCase{Name: name, Solver: "ilp", Feasible: true, Proven: true,
+			Cost: 3, WallMS: 100, PhasesMS: phases, LPPhasesMS: lpPhases}
+	}
+	base := &BenchDoc{Cases: []BenchCase{
+		mk("a", map[string]float64{"node_lp": 100, "search": 20}, map[string]float64{"pricing": 60}),
+		mk("b", map[string]float64{"node_lp": 100}, nil),
+		// Mismatched case: its phases must not contribute.
+		{Name: "m", Solver: "ilp", Feasible: true, Proven: true, Cost: 1, WallMS: 10,
+			PhasesMS: map[string]float64{"node_lp": 1e6}},
+	}}
+	cur := &BenchDoc{Cases: []BenchCase{
+		mk("a", map[string]float64{"node_lp": 150, "search": 19}, map[string]float64{"pricing": 90}),
+		mk("b", map[string]float64{"node_lp": 132, "heuristic": 4}, nil),
+		{Name: "m", Solver: "ilp", Feasible: true, Proven: true, Cost: 2, WallMS: 10,
+			PhasesMS: map[string]float64{"node_lp": 1}},
+	}}
+	cmp := CompareBench(base, cur)
+	if cmp.Matched != 2 {
+		t.Fatalf("Matched = %d, want 2", cmp.Matched)
+	}
+	byPhase := map[string]PhaseDelta{}
+	for _, d := range cmp.PhaseDeltas {
+		byPhase[d.Phase] = d
+	}
+	nl := byPhase["node_lp"]
+	if nl.BaseMS != 200 || nl.CurMS != 282 || math.Abs(nl.Ratio-1.41) > 1e-9 {
+		t.Errorf("node_lp delta = %+v, want 200 -> 282 (ratio 1.41)", nl)
+	}
+	if lp := byPhase["lp.pricing"]; lp.BaseMS != 60 || lp.CurMS != 90 {
+		t.Errorf("lp.pricing delta = %+v, want 60 -> 90", lp)
+	}
+	// heuristic exists only in cur: base side must be zero with the 1ms floor
+	// keeping the ratio sane.
+	if h := byPhase["heuristic"]; h.BaseMS != 0 || h.CurMS != 4 || h.Ratio != 4 {
+		t.Errorf("heuristic delta = %+v, want 0 -> 4 (ratio 4 via 1ms floor)", h)
+	}
+	// Largest absolute movement first: node_lp moved 82ms, lp.pricing 30ms.
+	if cmp.PhaseDeltas[0].Phase != "node_lp" || cmp.PhaseDeltas[1].Phase != "lp.pricing" {
+		t.Errorf("rank order = %v", cmp.PhaseDeltas)
+	}
+	if s := cmp.PhaseSummary(2); s != "node_lp +41%, lp.pricing +50%" {
+		t.Errorf("PhaseSummary(2) = %q", s)
+	}
 }

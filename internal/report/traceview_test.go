@@ -1,0 +1,321 @@
+package report_test
+
+// External test package: these tests drive the real solvers (internal/core)
+// to produce traces, which package report itself must not depend on.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/ilp"
+	"optrouter/internal/obs"
+	"optrouter/internal/report"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+func synthTracedGraph(t *testing.T, seed int64, ruleName string) *rgraph.Graph {
+	t.Helper()
+	sopt := clip.DefaultSynth(seed)
+	sopt.NX, sopt.NY, sopt.NZ = 4, 5, 3
+	sopt.NumNets = 3
+	sopt.MaxSinks = 2
+	c := clip.Synthesize(sopt)
+	c.Tech = "N28-12T"
+	rule, ok := tech.RuleByName(ruleName)
+	if !ok {
+		t.Fatalf("unknown rule %s", ruleName)
+	}
+	g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTraceviewPhaseAgreement is the acceptance pin: traceview's view of a
+// real solve — reconstructed from the trace alone — must agree with the
+// solver's own SolveStats phase attribution within 1% on every phase.
+func TestTraceviewPhaseAgreement(t *testing.T) {
+	g := synthTracedGraph(t, 3, "RULE7")
+
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	sol, err := core.SolveBnB(g, core.BnBOptions{
+		Tracer: tr,
+		Flight: obs.FlightOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := obs.ValidateTrace(recs); len(probs) > 0 {
+		t.Fatalf("trace not well-formed: %v", probs)
+	}
+
+	solves := report.ExtractSolves(tree)
+	if len(solves) != 1 {
+		t.Fatalf("ExtractSolves found %d solves, want 1", len(solves))
+	}
+	s := solves[0]
+	if s.Solver != "bnb" {
+		t.Errorf("solver = %q, want bnb", s.Solver)
+	}
+
+	want := sol.Stats.Phases.MS()
+	if len(want) == 0 {
+		t.Fatal("solver reported no phases; the pin has nothing to check")
+	}
+	for phase, wantMS := range want {
+		gotMS, ok := s.PhasesMS[phase]
+		if !ok {
+			t.Errorf("phase %q missing from trace attribution", phase)
+			continue
+		}
+		// Within 1% (with a 10µs absolute floor for near-zero phases).
+		if diff := math.Abs(gotMS - wantMS); diff > 0.01 && diff > 0.01*wantMS {
+			t.Errorf("phase %q: trace says %.3fms, SolveStats says %.3fms", phase, gotMS, wantMS)
+		}
+	}
+	wantTotal, gotTotal := 0.0, s.PhaseTotal()
+	for _, ms := range want {
+		wantTotal += ms
+	}
+	if diff := math.Abs(gotTotal - wantTotal); diff > 0.01 && diff > 0.01*wantTotal {
+		t.Errorf("phase total: trace %.3fms vs SolveStats %.3fms (>1%%)", gotTotal, wantTotal)
+	}
+
+	// Flight accounting must tie out against the events actually decoded.
+	if int64(len(s.Events)) != s.FlightKept {
+		t.Errorf("decoded %d events but flight_kept = %d", len(s.Events), s.FlightKept)
+	}
+	if s.FlightSeen != s.FlightKept+s.FlightDropped {
+		t.Errorf("flight seen %d != kept %d + dropped %d",
+			s.FlightSeen, s.FlightKept, s.FlightDropped)
+	}
+	if s.FlightSeen < int64(sol.Stats.Nodes) {
+		t.Errorf("flight saw %d events over a %d-node search", s.FlightSeen, sol.Stats.Nodes)
+	}
+
+	// The recorded search must have structure: depths start at 0, every event
+	// carries an action, and the wall clamps the phase total from above.
+	hist := s.DepthHistogram()
+	if len(hist) == 0 || hist[0] == 0 {
+		t.Errorf("depth histogram %v has no root-depth events", hist)
+	}
+	acts := s.ActCounts()
+	total := 0
+	for act, n := range acts {
+		if act == "" {
+			t.Error("node event with empty act")
+		}
+		total += n
+	}
+	if total != len(s.Events) {
+		t.Errorf("ActCounts sums to %d, want %d", total, len(s.Events))
+	}
+	if s.WallMS() <= 0 {
+		t.Errorf("solve span wall = %.3fms", s.WallMS())
+	}
+}
+
+// TestTraceviewILPSolve: the MILP engine's solves are found too, carry the
+// clip attr, and their node events include per-node LP effort.
+func TestTraceviewILPSolve(t *testing.T) {
+	g := synthTracedGraph(t, 3, "RULE1")
+
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	if _, err := core.SolveILP(g, ilp.Options{
+		Tracer: tr,
+		Flight: obs.FlightOptions{Enabled: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := report.ExtractSolves(tree)
+	if len(solves) != 1 || solves[0].Solver != "ilp" {
+		t.Fatalf("solves = %+v, want one ilp solve", solves)
+	}
+	s := solves[0]
+	if s.Clip != g.Clip.Name {
+		t.Errorf("clip attr = %q, want %q", s.Clip, g.Clip.Name)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no node events recorded")
+	}
+	sawLP := false
+	for _, ev := range s.Events {
+		if ev.LPIters > 0 {
+			sawLP = true
+		}
+	}
+	if !sawLP {
+		t.Error("no node event carries lp_iters")
+	}
+
+	// TopSpans over a real solve: ilp.solve must aggregate with positive
+	// cumulative time, and self time never exceeds it.
+	tops := report.TopSpans(tree, 0)
+	found := false
+	for _, a := range tops {
+		if a.SelfUS > a.TotalUS {
+			t.Errorf("span %s: self %dus > total %dus", a.Name, a.SelfUS, a.TotalUS)
+		}
+		if a.Name == "ilp.solve" {
+			found = true
+			if a.Count != 1 || a.TotalUS <= 0 {
+				t.Errorf("ilp.solve agg = %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Error("TopSpans lost ilp.solve")
+	}
+	if top3 := report.TopSpans(tree, 3); len(top3) > 3 {
+		t.Errorf("TopSpans(3) returned %d entries", len(top3))
+	}
+}
+
+// TestTraceviewSynthetic pins the analysis functions on a hand-built trace
+// with known node events.
+func TestTraceviewSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	solve := tr.Start("bnb.solve", obs.A("clip", "clip-x"))
+	tr.Event(solve, "node", obs.A("act", "branch"), obs.A("n", 1), obs.A("d", 0),
+		obs.A("lb", 4), obs.A("kind", "spacing"), obs.A("kids", 2))
+	tr.Event(solve, "node", obs.A("act", "branch"), obs.A("n", 2), obs.A("d", 1),
+		obs.A("lb", 5), obs.A("bnd", 4), obs.A("kids", 1))
+	tr.Event(solve, "node", obs.A("act", "solved"), obs.A("n", 3), obs.A("d", 2),
+		obs.A("lb", 7), obs.A("bnd", 4), obs.A("inc", 7))
+	tr.Event(solve, "node", obs.A("act", "dominated"), obs.A("n", 4), obs.A("d", 1),
+		obs.A("lb", 9), obs.A("bnd", 5), obs.A("inc", 7))
+	solve.SetAttr("phases_ms", map[string]float64{"search": 10, "steiner": 2.5})
+	solve.SetAttr("flight_seen", int64(4))
+	solve.SetAttr("flight_kept", int64(4))
+	solve.SetAttr("flight_dropped", int64(0))
+	solve.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := report.ExtractSolves(tree)
+	if len(solves) != 1 {
+		t.Fatalf("found %d solves", len(solves))
+	}
+	s := solves[0]
+	if s.Clip != "clip-x" || len(s.Events) != 4 {
+		t.Fatalf("solve = %+v", s)
+	}
+
+	if hist := s.DepthHistogram(); len(hist) != 3 || hist[0] != 1 || hist[1] != 2 || hist[2] != 1 {
+		t.Errorf("depth histogram = %v, want [1 2 1]", hist)
+	}
+	acts := s.ActCounts()
+	if acts["branch"] != 2 || acts["solved"] != 1 || acts["dominated"] != 1 {
+		t.Errorf("act counts = %v", acts)
+	}
+
+	// Only events carrying both bound and incumbent make the gap curve.
+	gap := s.GapCurve()
+	if len(gap) != 2 || gap[0].N != 3 || gap[0].Bound != 4 || gap[0].Inc != 7 || gap[1].N != 4 {
+		t.Errorf("gap curve = %+v", gap)
+	}
+
+	ev := s.Events[0]
+	if ev.Act != "branch" || ev.Depth != 0 || ev.LB != 4 || ev.Kind != "spacing" ||
+		ev.Kids != 2 || ev.HasBound || ev.HasIncumbent || ev.Var != -1 {
+		t.Errorf("first event = %+v", ev)
+	}
+
+	if got := s.PhaseTotal(); got != 12.5 {
+		t.Errorf("PhaseTotal = %g, want 12.5", got)
+	}
+	if line := s.PhaseLine(); line != "search 10.0ms, steiner 2.5ms" {
+		t.Errorf("PhaseLine = %q", line)
+	}
+}
+
+// TestWriteNodeCSV: every event of every solve becomes one row, in solve
+// order, with absent bound/incumbent left empty.
+func TestWriteNodeCSV(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	for i, clipName := range []string{"c0", "c1"} {
+		sp := tr.Start("ilp.solve", obs.A("clip", clipName))
+		tr.Event(sp, "node", obs.A("act", "branch"), obs.A("n", 1), obs.A("d", 0),
+			obs.A("lb", 10+i), obs.A("lp_iters", 42), obs.A("warm", true),
+			obs.A("var", 7), obs.A("frac", 0.25))
+		sp.End()
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := obs.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solves := report.ExtractSolves(tree)
+	if len(solves) != 2 {
+		t.Fatalf("found %d solves, want 2", len(solves))
+	}
+
+	var csvBuf bytes.Buffer
+	if err := report.WriteNodeCSV(&csvBuf, solves); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csvBuf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "solve,solver,clip,n,depth,act,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,ilp,c0,1,0,branch,10,,,42,") {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,ilp,c1,1,0,branch,11,,,42,") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	if !strings.Contains(lines[1], ",true,") || !strings.Contains(lines[1], ",7,0.25,") {
+		t.Errorf("row 0 lost warm/var/frac: %q", lines[1])
+	}
+}
