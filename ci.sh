@@ -3,7 +3,8 @@
 # installed), race-test the concurrency-sensitive packages (sched runs the
 # worker pool; exp/core/ilp/lp — including the sparse basis-factorization
 # kernels in lp/factor.go and lp/ftran.go — execute inside it; obs is updated
-# from solver goroutines), the full test suite in short mode, and a parallel
+# from solver goroutines; xchg is the lock-free portfolio exchange both race
+# engines hammer concurrently), the full test suite in short mode, and a parallel
 # end-to-end smoke run of both CLIs at -j 4.
 set -eu
 
@@ -18,7 +19,7 @@ else
 	echo "== shadow check skipped (analyzer not installed)"
 fi
 
-echo "== go test -race (sched, exp, core, ilp, lp, obs, report)"
+echo "== go test -race (sched, exp, core, ilp, lp, obs, report, xchg)"
 go test -race -short -timeout 20m \
 	./internal/sched/... \
 	./internal/exp/... \
@@ -26,7 +27,8 @@ go test -race -short -timeout 20m \
 	./internal/ilp/... \
 	./internal/lp/... \
 	./internal/obs/... \
-	./internal/report/...
+	./internal/report/... \
+	./internal/xchg/...
 
 echo "== go test -short ./..."
 go test -short ./...

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir] [-baseline file [-max-regress R]]
+//	benchrun [-par N] [-portfolio]
 //	benchrun [-trace file [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]] ...
 //	benchrun -check file.json
 //
@@ -19,6 +20,14 @@
 // compares the run against a committed trajectory point (failing on any
 // answer mismatch) and -max-regress additionally fails the run when the
 // geomean wall-time ratio exceeds the given factor.
+//
+// -par N runs every serial bnb and portfolio case with N in-solve workers
+// (the parallel engine is deterministic, so answers — and hence the -baseline
+// answer gate — are unaffected; pinned par twins keep their own worker
+// count); -portfolio additionally solves every bnb
+// case in portfolio mode under a "-portfolio" name suffix. Both are scaling
+// experiment knobs (the EXPERIMENTS.md 1/2/4/8-worker curve); committed
+// trajectory points use the pinned corpus unmodified.
 package main
 
 import (
@@ -52,6 +61,9 @@ func run() error {
 		dir     = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json output")
 		check   = flag.String("check", "", "validate an existing benchmark document and exit")
 
+		par       = flag.Int("par", 0, "run serial bnb/portfolio cases with this many in-solve workers (0 = as pinned; pinned par twins keep their worker count)")
+		portfolio = flag.Bool("portfolio", false, "also solve every bnb case in portfolio mode (\"-portfolio\" name suffix)")
+
 		baseline   = flag.String("baseline", "", "baseline benchmark document to compare the run against")
 		maxRegress = flag.Float64("max-regress", 0,
 			"fail when the geomean wall ratio vs -baseline exceeds this (0 = report only)")
@@ -84,6 +96,26 @@ func run() error {
 		corpus = "short"
 	}
 	specs := exp.BenchCorpus(*short)
+	if *par > 0 {
+		for i := range specs {
+			if specs[i].Solver != "ilp" && specs[i].Par == 0 {
+				specs[i].Par = *par
+			}
+		}
+	}
+	if *portfolio {
+		for _, s := range exp.BenchCorpus(*short) {
+			if s.Solver != "bnb" {
+				continue
+			}
+			s.Name += "-portfolio"
+			s.Solver = "portfolio"
+			if *par > 0 {
+				s.Par = *par
+			}
+			specs = append(specs, s)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "benchrun: %s corpus, %d cases, %d workers\n", corpus, len(specs), *jobs)
 
 	runOpt := exp.BenchRunOptions{Timeout: *timeout, Workers: *jobs, Corpus: corpus}

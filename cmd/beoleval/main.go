@@ -6,6 +6,7 @@
 // Usage:
 //
 //	beoleval [-tech N28-12T|N28-8T|N7-9T|all] [-full] [-timeout 10s] [-j N]
+//	         [-par N] [-portfolio]
 //	         [-rules] [-table2] [-fig8] [-fig10] [-validate] [-csv dir]
 //	         [-stats] [-quiet] [-converge out.jsonl]
 //	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
@@ -14,6 +15,9 @@
 // With no selection flags, everything runs. -j dispatches the independent
 // (clip, rule) solves to N parallel workers (default: all CPUs); outputs are
 // assembled in study order, so CSVs and tables are byte-identical for any N.
+// -par N additionally parallelizes each solve's branch-and-bound tree over N
+// workers (the engine is deterministic: outputs are identical for any N),
+// and -portfolio races the CDC-BnB against the MILP engine per solve.
 // -stats emits end-of-run metrics JSON (to <csvdir>/metrics.json when -csv
 // is set, stdout otherwise) and a live merged progress line on stderr
 // (done/in-flight/total across all workers; -quiet suppresses the line);
@@ -64,6 +68,8 @@ func run() error {
 		maxNets    = flag.Int("maxnets", 0, "override per-clip net cap (0 = preset)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-clip solve budget")
 		jobs       = flag.Int("j", runtime.NumCPU(), "parallel solve workers (1 = serial; output is identical for any value)")
+		par        = flag.Int("par", 0, "parallel tree-search workers inside each solve (0 = serial engine; output is identical for any value)")
+		portfolio  = flag.Bool("portfolio", false, "race the CDC-BnB and MILP engines on every solve (first proof wins)")
 		rules      = flag.Bool("rules", false, "print Table 3 rule configurations")
 		table2     = flag.Bool("table2", false, "print Table 2 benchmark matrix")
 		fig8       = flag.Bool("fig8", false, "print Fig. 8 pin-cost distributions")
@@ -85,7 +91,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs}
+	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs, Par: *par, Portfolio: *portfolio}
 	var metrics *obs.Registry
 	if *stats || *pprofA != "" {
 		// /metrics needs a registry even without -stats; the end-of-run

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur]
-//	         [-timeout 30s] [-j N] [-render] [-viashapes]
+//	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur|portfolio]
+//	         [-par N] [-timeout 30s] [-j N] [-render] [-viashapes]
 //	         [-stats] [-quiet] [-converge out.jsonl] [-pprof addr]
 //	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
+//
+// -solver portfolio races the exact engines (CDC-BnB vs MILP) through a
+// shared incumbent/bound exchange; the first optimality proof wins and
+// cancels the loser. -par N runs the CDC-BnB's deterministic round-parallel
+// tree search on N workers (answers and routes are identical for every N;
+// see README "Parallel search & portfolio").
 //
 // -rule all sweeps the clip through every Table 3 rule configuration,
 // dispatching the independent solves to -j parallel workers (default: all
@@ -64,7 +70,8 @@ func run() (int, error) {
 		nets       = flag.Int("nets", 4, "net count for -synth")
 		seed       = flag.Int64("seed", 1, "seed for -synth")
 		ruleName   = flag.String("rule", "RULE1", "rule configuration (Table 3 name), or \"all\" to sweep every rule")
-		solver     = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), heur")
+		solver     = flag.String("solver", "bnb", "solver: bnb (exact), ilp (exact via MILP), portfolio (race both), heur")
+		par        = flag.Int("par", 0, "parallel tree-search workers inside each bnb/portfolio solve (0 = serial)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "solve budget (per rule with -rule all)")
 		jobsN      = flag.Int("j", runtime.NumCPU(), "parallel workers for -rule all")
 		render     = flag.Bool("render", false, "print an ASCII layer-by-layer rendering")
@@ -158,7 +165,7 @@ func run() (int, error) {
 	}
 
 	sw := sweepEnv{
-		solver: *solver, timeout: *timeout, workers: *jobsN,
+		solver: *solver, par: *par, timeout: *timeout, workers: *jobsN,
 		shapes: *shapes, bidir: *bidir, viaCost: *viaCost,
 		stats: *stats, quiet: *quiet,
 		tracer: tracer, flight: flightOpt, conv: conv, metrics: metrics, status: status,
@@ -189,9 +196,11 @@ func run() (int, error) {
 	var sol *core.Solution
 	switch *solver {
 	case "bnb":
-		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Tracer: tracer, Flight: flightOpt})
+		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Par: *par, Tracer: tracer, Flight: flightOpt})
 	case "ilp":
 		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, Tracer: tracer, Flight: flightOpt})
+	case "portfolio":
+		sol, err = core.SolvePortfolio(g, core.BnBOptions{TimeLimit: *timeout, Par: *par, Tracer: tracer, Flight: flightOpt})
 	case "heur":
 		sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 	default:
@@ -246,6 +255,7 @@ func run() (int, error) {
 // its worker jobs.
 type sweepEnv struct {
 	solver        string
+	par           int
 	timeout       time.Duration
 	workers       int
 	shapes, bidir bool
@@ -289,10 +299,13 @@ func (e sweepEnv) runAllRules(c *clip.Clip) error {
 			switch e.solver {
 			case "bnb":
 				sol, err = core.SolveBnB(g, core.BnBOptions{
-					TimeLimit: e.timeout, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
+					TimeLimit: e.timeout, Par: e.par, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "ilp":
 				sol, err = core.SolveILP(g, ilp.Options{
 					TimeLimit: e.timeout, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
+			case "portfolio":
+				sol, err = core.SolvePortfolio(g, core.BnBOptions{
+					TimeLimit: e.timeout, Par: e.par, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "heur":
 				sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 			default:
@@ -385,6 +398,14 @@ func printStats(sol *core.Solution) {
 			st.SteinerSolves, st.SteinerCacheHits, st.DRCChecks, st.DRCTime.Round(time.Millisecond))
 		fmt.Printf("       bans=%d lagrangian_rounds=%d dives=%d\n",
 			st.BansGenerated, st.LagrangianRounds, st.Dives)
+	}
+	if st.Par > 0 {
+		fmt.Printf("       par=%d nodes_per_worker=%v steals=%d\n",
+			st.Par, st.NodesPerWorker, st.Steals)
+	}
+	if st.Winner != "" {
+		fmt.Printf("       portfolio: winner=%s incumbent_exchanges=%d\n",
+			st.Winner, st.IncumbentExchanges)
 	}
 	printPhases("phases", st.Phases)
 	printPhases("lp_phases", st.LPPhases)

@@ -135,6 +135,13 @@ func printSolve(i int, s *report.SolveTrace) {
 	if len(s.PhasesMS) > 0 {
 		fmt.Printf("  phases: %s (%.1fms attributed)\n", s.PhaseLine(), s.PhaseTotal())
 	}
+	if s.Par > 0 {
+		fmt.Printf("  par:    %d workers, %d steals, %d incumbent exchanges\n",
+			s.Par, s.Steals, s.IncumbentExchanges)
+	}
+	if s.Winner != "" {
+		fmt.Printf("  race:   winner=%s, %d incumbent exchanges\n", s.Winner, s.IncumbentExchanges)
+	}
 	if s.FlightSeen == 0 {
 		fmt.Printf("  flight: off (rerun with -flight for search-tree statistics)\n")
 		return
@@ -146,6 +153,21 @@ func printSolve(i int, s *report.SolveTrace) {
 	}
 	fmt.Printf("  depth:  %s\n", histLine(s.DepthHistogram()))
 	fmt.Printf("  acts:   %s\n", actLine(s.ActCounts()))
+	if wc := s.WorkerCounts(); len(wc) > 0 {
+		ids := make([]int, 0, len(wc))
+		for id := range wc {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		line := ""
+		for _, id := range ids {
+			if line != "" {
+				line += " "
+			}
+			line += fmt.Sprintf("%d:%d", id, wc[id])
+		}
+		fmt.Printf("  workers:%s\n", " "+line)
+	}
 	if gap := s.GapCurve(); len(gap) > 0 {
 		first, last := gap[0], gap[len(gap)-1]
 		fmt.Printf("  gap:    %d samples; bound %g / inc %g @ node %d -> bound %g / inc %g @ node %d\n",

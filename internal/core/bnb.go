@@ -10,6 +10,7 @@ import (
 	"optrouter/internal/drc"
 	"optrouter/internal/obs"
 	"optrouter/internal/rgraph"
+	"optrouter/internal/xchg"
 )
 
 // BnBOptions tunes the conflict-driven combinatorial branch-and-bound.
@@ -41,8 +42,28 @@ type BnBOptions struct {
 	// Sharing one arena across sequential solves on related graphs (the
 	// eleven rule configurations of a clip in a sweep) amortizes the solver's
 	// working set; nil allocates a private arena. Arenas are not safe for
-	// concurrent use.
+	// concurrent use, so the parallel tree search (Par > 0) ignores this and
+	// allocates one private arena per worker.
 	Arena *SteinerArena
+
+	// Par > 0 routes the solve through the deterministic round-parallel tree
+	// search with Par workers (see parbnb.go): open nodes are distributed
+	// over an internal/sched pool in fixed-width rounds whose results fold
+	// back serially, so the answer — objective, proof status and the routes
+	// themselves — is identical for every Par value, including Par=1.
+	// 0 keeps the classic serial best-first engine.
+	Par int
+	// Seed salts the parallel engine's deterministic node tie-break key.
+	// Two solves with the same Seed explore identically for any Par; changing
+	// the Seed permutes tie-broken siblings (a diversification knob).
+	Seed int64
+	// Exchange, if non-nil, connects the solve to a portfolio race (see
+	// SolvePortfolio): foreign incumbents tighten the pruning cutoff, local
+	// incumbents and bounds are published, and the solve terminates early
+	// when the race is decided. With an Exchange attached, Proven=true means
+	// the joint search completed — the returned solution is optimal only if
+	// its cost equals the exchange incumbent (SolvePortfolio composes this).
+	Exchange *xchg.Exchange
 }
 
 func (o BnBOptions) withDefaults() BnBOptions {
@@ -193,8 +214,12 @@ func (p *nodePQ) Pop() interface{} {
 // one involved net, one arc of the realized conflict — a cover of all
 // feasible solutions, so optimality is preserved (see DESIGN.md).
 func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
+	if opt.Par > 0 {
+		return solveParBnB(g, opt)
+	}
 	start := time.Now()
 	opt = opt.withDefaults()
+	ex := opt.Exchange
 	own := newOwnership(g)
 	nNets := len(g.Clip.Nets)
 	arena := opt.Arena
@@ -226,6 +251,9 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		if h.Feasible {
 			best = h
 			bestCost = int64(h.Cost)
+			if ex.OfferIncumbent(bestCost) {
+				stats.IncumbentExchanges++
+			}
 			stats.Incumbents++
 			stats.BoundTrace = append(stats.BoundTrace, BoundSample{
 				ElapsedMS: msSince(start), Bound: -1, Incumbent: bestCost,
@@ -472,8 +500,26 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			stats.Termination = "cancelled"
 			break
 		}
+		if ex.Decided() {
+			// The portfolio race is settled: the exchange bound reached the
+			// exchange incumbent, so that incumbent is jointly proven optimal.
+			// This solve's own result is the optimum only if it holds it.
+			inc, _ := ex.Incumbent()
+			proven = best != nil && bestCost == inc
+			stats.Termination = "decided"
+			break
+		}
+		// Effective pruning cutoff: the local incumbent, tightened by any
+		// foreign incumbent published on the portfolio exchange. Pruning
+		// against a foreign incumbent keeps the search exact: a completed
+		// search then proves no solution cheaper than the exchange incumbent
+		// exists, which is exactly the proof SolvePortfolio composes.
+		cut := bestCost
+		if f, ok := ex.Incumbent(); ok && f < cut {
+			cut = f
+		}
 		nd := heap.Pop(pq).(*bnbNode)
-		if nd.lb >= bestCost {
+		if nd.lb >= cut {
 			// Best-first: every remaining node is at least as bad.
 			nodeEvent("cutoff", nd.depth, nd.lb)
 			break
@@ -485,6 +531,11 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		}
 		if nd.lb > curBound {
 			curBound = nd.lb
+			// Publish the global lower bound: explored and pruned subtrees
+			// prove no solution below min(pq-min, cutoff) exists.
+			if b := min(curBound, cut); b > 0 {
+				ex.OfferBound(b)
+			}
 			// Leave headroom so incumbent/termination samples still fit when
 			// bound improvements alone would exhaust the trace cap.
 			if len(stats.BoundTrace) < maxTraceSamples-64 {
@@ -500,7 +551,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			nodeEvent("infeasible", nd.depth, nd.lb)
 			continue
 		}
-		if lb >= bestCost {
+		if lb >= cut {
 			nodeEvent("dominated", nd.depth, lb)
 			continue
 		}
@@ -513,6 +564,9 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 				best = &Solution{Feasible: true, NetArcs: routes, Proven: true}
 				summarize(g, best)
 				sinceProgress = 0
+				if ex.OfferIncumbent(bestCost) {
+					stats.IncumbentExchanges++
+				}
 				stats.Incumbents++
 				sample()
 				span.Event("incumbent", obs.A("cost", best.Cost), obs.A("node", nodes))
@@ -527,13 +581,13 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		// without branching. It costs one uncached Steiner pass per net per
 		// round, so it only runs once the plain search stalls.
 		sinceProgress++
-		if best != nil && lb < bestCost && sinceProgress > 24 {
+		if (best != nil || cut < bestCost) && lb < cut && sinceProgress > 24 {
 			clock.Enter(PhaseLagrangian)
 			applyBans(banBuf)
 			stats.LagrangianRounds++
 			lagLB := lag.bound(ctxs, 2)
 			clock.Enter(PhaseSearch)
-			if lagLB == -2 || lagLB >= bestCost {
+			if lagLB == -2 || lagLB >= cut {
 				sinceProgress = 0
 				nodeEvent("lagrangian", nd.depth, lb, obs.A("lag_lb", lagLB))
 				continue
@@ -545,10 +599,13 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		if nodes == 1 || nodes%512 == 0 {
 			clock.Enter(PhaseDive)
 			stats.Dives++
-			if c, r := diveRepair(banBuf, bestCost); c >= 0 && c < bestCost {
+			if c, r := diveRepair(banBuf, cut); c >= 0 && c < bestCost {
 				bestCost = c
 				best = &Solution{Feasible: true, NetArcs: r}
 				summarize(g, best)
+				if ex.OfferIncumbent(bestCost) {
+					stats.IncumbentExchanges++
+				}
 				stats.Incumbents++
 				sample()
 				span.Event("incumbent", obs.A("cost", best.Cost), obs.A("node", nodes), obs.A("source", "dive"))
@@ -578,7 +635,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 			anyFeasible := false
 			for _, childBans := range sets {
 				child := childEval{bans: childBans}
-				if clb, ok := tryBans(banBuf, childBans); ok && clb < bestCost {
+				if clb, ok := tryBans(banBuf, childBans); ok && clb < cut {
 					child.lb = clb
 					child.ok = true
 					anyFeasible = true

@@ -34,6 +34,16 @@ func newLagrangian(g *rgraph.Graph) *lagrangian {
 	}
 }
 
+// reset clears the penalty state, making the next bound call a pure function
+// of the graph and the applied bans. The parallel tree search resets before
+// every evaluation: worker-local lambda drift would otherwise make pruning
+// decisions depend on which worker evaluated a node, and the engine's
+// cross-worker-count determinism guarantee rests on a deterministic tree.
+func (l *lagrangian) reset() {
+	clear(l.lambdaArc)
+	clear(l.lambdaVert)
+}
+
 // canonArc maps a directed arc to its undirected resource id.
 func (l *lagrangian) canonArc(a int32) int32 {
 	if p := l.g.Pair[a]; p < a {

@@ -1,0 +1,761 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+
+	"optrouter/internal/drc"
+	"optrouter/internal/obs"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/sched"
+)
+
+// This file implements the deterministic round-parallel variant of the
+// CDC-BnB (BnBOptions.Par > 0). The search is bulk-synchronous: each round
+// pops a fixed-width batch of open nodes off the priority queue, evaluates
+// the batch concurrently on an internal/sched worker pool, and folds the
+// outcomes back serially in batch order. Three choices make the explored
+// tree — and therefore the objective, the proof status and the returned
+// routes — identical for every worker count, including Par=1:
+//
+//   - The round width is a fixed constant, independent of Par, so the batch
+//     boundaries (and with them dive/Lagrangian trigger points, node numbers
+//     and the pruning cutoff each node sees) never depend on parallelism.
+//   - Node evaluation is a pure function of (graph, bans, round-start
+//     cutoff): the Lagrangian penalties are reset before every bound call
+//     (see lagrangian.reset), and the shared route cache can only change
+//     *when* a route is computed, never what it is.
+//   - The priority queue breaks ties with a total order — (lb, deeper
+//     first, seed-salted mix, insertion sequence) — so the popped batch is
+//     a deterministic function of the fold history, not of arrival order.
+//
+// Scheduling-dependent quantities (which worker evaluated which node, steal
+// counts, cache hit counts, wall times) are reported in SolveStats but are
+// explicitly outside the determinism guarantee. With a portfolio Exchange
+// attached, foreign incumbents tighten round cutoffs at nondeterministic
+// times, so cross-run determinism is then also waived — exactness is not.
+
+// parRoundWidth is the fixed batch width of the round-synchronous search.
+// It must not depend on Par: the determinism guarantee rests on identical
+// batch boundaries for every worker count. 32 keeps 8 workers busy while
+// bounding how far the parallel engine speculates past a new incumbent.
+const parRoundWidth = 32
+
+// parNode is an open node of the parallel search tree.
+type parNode struct {
+	parent *parNode
+	bans   []banKey // bans added at this node
+	lb     int64    // lower bound computed at creation
+	depth  int
+	mix    uint64 // seed-salted tie-break key (diversification knob)
+	seq    int64  // fold-order insertion sequence (final tie-break)
+}
+
+func (n *parNode) allBans(buf map[banKey]bool) map[banKey]bool {
+	if buf == nil {
+		buf = map[banKey]bool{}
+	} else {
+		clear(buf)
+	}
+	for cur := n; cur != nil; cur = cur.parent {
+		for _, b := range cur.bans {
+			buf[b] = true
+		}
+	}
+	return buf
+}
+
+// parPQ is a min-heap with a total order: lower bound, then deeper first,
+// then the seed-salted mix, then insertion sequence. The last two keys make
+// sibling order a pure function of (Seed, fold history).
+type parPQ []*parNode
+
+func (p parPQ) Len() int { return len(p) }
+func (p parPQ) Less(i, j int) bool {
+	if p[i].lb != p[j].lb {
+		return p[i].lb < p[j].lb
+	}
+	if p[i].depth != p[j].depth {
+		return p[i].depth > p[j].depth
+	}
+	if p[i].mix != p[j].mix {
+		return p[i].mix < p[j].mix
+	}
+	return p[i].seq < p[j].seq
+}
+func (p parPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *parPQ) Push(x interface{}) { *p = append(*p, x.(*parNode)) }
+func (p *parPQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// parCache is the cross-worker per-net route memo: one mutex-guarded shard
+// per net (branches ban arcs for a single net, so contention concentrates on
+// the net being branched, and different nets never contend). Entries are
+// pointers and immutable after insertion, so a reader holds a stable route
+// even while other workers append to the same bucket. Lookups verify the
+// ban-id set like the serial cache, so a fingerprint collision degrades to a
+// miss, never a wrong route.
+type parCache struct {
+	shards []parCacheShard
+}
+
+type parCacheShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*cachedRoute
+}
+
+func newParCache(nNets int) *parCache {
+	c := &parCache{shards: make([]parCacheShard, nNets)}
+	for k := range c.shards {
+		c.shards[k].m = map[uint64][]*cachedRoute{}
+	}
+	return c
+}
+
+// lookupRoutePtr is lookupRoute over the shared cache's pointer entries.
+func lookupRoutePtr(entries []*cachedRoute, k, cnt int, bans map[banKey]bool) *cachedRoute {
+	for _, e := range entries {
+		if len(e.ids) != cnt {
+			continue
+		}
+		match := true
+		for _, id := range e.ids {
+			if !bans[banKey{net: int32(k), arc: id}] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *parCache) lookup(k int, h uint64, cnt int, bans map[banKey]bool) *cachedRoute {
+	s := &c.shards[k]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return lookupRoutePtr(s.m[h], k, cnt, bans)
+}
+
+// insert publishes a computed route, deduplicating against a racing worker
+// that computed the same ban set concurrently: the first insertion wins and
+// everyone shares its entry (the routes are identical either way, since the
+// Steiner kernel is deterministic).
+func (c *parCache) insert(k int, h uint64, cnt int, bans map[banKey]bool, ent *cachedRoute) *cachedRoute {
+	s := &c.shards[k]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev := lookupRoutePtr(s.m[h], k, cnt, bans); prev != nil {
+		return prev
+	}
+	s.m[h] = append(s.m[h], ent)
+	return ent
+}
+
+// parEngine is the shared, read-only solve state.
+type parEngine struct {
+	g     *rgraph.Graph
+	nNets int
+	cache *parCache
+}
+
+// parWorker is one worker's private solver state. A given sched worker id
+// only ever runs one job at a time, and round barriers order rounds, so no
+// field needs synchronization.
+type parWorker struct {
+	ctxs     []*steinerCtx
+	baseBans [][]bool
+	lag      *lagrangian
+	trial    []banKey
+	banBuf   map[banKey]bool
+
+	// Counters merged into SolveStats after the search. The per-worker split
+	// is scheduling-dependent; the sums are deterministic (except cacheHits,
+	// which depends on compute/lookup interleaving).
+	nodes     int
+	cacheHits int
+	drcChecks int
+	drcTime   time.Duration
+	lagRounds int
+	dives     int
+}
+
+func newParWorker(e *parEngine, own ownership) *parWorker {
+	arena := NewSteinerArena()
+	st := &parWorker{
+		lag:    newLagrangian(e.g),
+		banBuf: map[banKey]bool{},
+	}
+	st.ctxs = make([]*steinerCtx, e.nNets)
+	st.baseBans = make([][]bool, e.nNets)
+	for k := 0; k < e.nNets; k++ {
+		st.ctxs[k] = newSteinerCtx(e.g, own, k, arena)
+		st.baseBans[k] = append([]bool(nil), st.ctxs[k].banned...)
+	}
+	return st
+}
+
+// evaluate solves all per-net Steiner problems under the node's bans,
+// sharing routes through the cross-worker cache. The result is a pure
+// function of (graph, bans): the cache can only save recomputation.
+func (st *parWorker) evaluate(e *parEngine, bans map[banKey]bool) (routes [][]int32, lb int64, feasible bool) {
+	routes = make([][]int32, e.nNets)
+	for k := 0; k < e.nNets; k++ {
+		h, cnt := banFingerprint(k, bans)
+		cr := e.cache.lookup(k, h, cnt, bans)
+		if cr != nil {
+			st.cacheHits++
+		} else {
+			copy(st.ctxs[k].banned, st.baseBans[k])
+			ids := make([]int32, 0, cnt)
+			for b := range bans {
+				if int(b.net) == k {
+					st.ctxs[k].banned[b.arc] = true
+					ids = append(ids, b.arc)
+				}
+			}
+			arcs, cost, ok := steinerTree(st.ctxs[k])
+			ent := &cachedRoute{ids: ids, cost: cost, ok: ok}
+			if ok {
+				// The solver's arc buffer is arena-owned; the shared cache
+				// outlives the job, so it keeps a copy.
+				ent.arcs = append([]int32(nil), arcs...)
+			}
+			cr = e.cache.insert(k, h, cnt, bans, ent)
+		}
+		if !cr.ok {
+			return nil, 0, false
+		}
+		routes[k] = cr.arcs
+		lb += cr.cost
+	}
+	return routes, lb, true
+}
+
+func (st *parWorker) checkDRC(e *parEngine, routes [][]int32) []drc.Violation {
+	t0 := time.Now()
+	viols := drc.Check(e.g, routes)
+	st.drcChecks++
+	st.drcTime += time.Since(t0)
+	return viols
+}
+
+// tryBans speculatively applies child bans, evaluates, and rolls back.
+func (st *parWorker) tryBans(e *parEngine, bans map[banKey]bool, childBans []banKey) (int64, bool) {
+	st.trial = st.trial[:0]
+	for _, b := range childBans {
+		if !bans[b] {
+			bans[b] = true
+			st.trial = append(st.trial, b)
+		}
+	}
+	_, c, ok := st.evaluate(e, bans)
+	for _, b := range st.trial {
+		delete(bans, b)
+	}
+	return c, ok
+}
+
+// diveRepair is the serial engine's primal dive on worker-local state.
+func (st *parWorker) diveRepair(e *parEngine, bans map[banKey]bool, cutoff int64) (int64, [][]int32) {
+	local := map[banKey]bool{}
+	for k, v := range bans {
+		local[k] = v
+	}
+	for step := 0; step < 24; step++ {
+		routes, cost, feasible := st.evaluate(e, local)
+		if !feasible || cost >= cutoff {
+			return -1, nil
+		}
+		viols := st.checkDRC(e, routes)
+		if len(viols) == 0 {
+			return cost, routes
+		}
+		v := pickViolation(viols)
+		bestC := int64(-1)
+		var bestB []banKey
+		for _, cb := range branchBans(e.g, v, routes) {
+			if len(cb) == 0 {
+				continue
+			}
+			c, ok := st.tryBans(e, local, cb)
+			if !ok {
+				continue
+			}
+			if bestC < 0 || c < bestC {
+				bestC = c
+				bestB = cb
+			}
+		}
+		if bestB == nil {
+			return -1, nil
+		}
+		for _, b := range bestB {
+			local[b] = true
+		}
+	}
+	return -1, nil
+}
+
+// applyBans loads a node's forbiddances into the worker's net contexts (the
+// Lagrangian bound cannot go through the route cache).
+func (st *parWorker) applyBans(bans map[banKey]bool) {
+	for k := range st.ctxs {
+		copy(st.ctxs[k].banned, st.baseBans[k])
+	}
+	for b := range bans {
+		st.ctxs[b.net].banned[b.arc] = true
+	}
+}
+
+// parChild is one feasible, non-dominated child produced by strong branching.
+type parChild struct {
+	bans []banKey
+	lb   int64
+}
+
+// parOutcome is the result of evaluating one dispatched node. Everything the
+// fold needs is here; workers never touch shared search state directly.
+type parOutcome struct {
+	act        string // infeasible | dominated | solved | lagrangian | fathom | branch
+	lb         int64
+	routes     [][]int32 // solved: the jointly legal per-net optima
+	children   []parChild
+	kind       string    // violation kind branched on
+	diveCost   int64     // dive incumbent candidate (-1 = none)
+	diveRoutes [][]int32 // its routes
+	worker     int
+}
+
+// solveParBnB runs the deterministic round-parallel CDC-BnB. See the file
+// comment for the determinism argument; the search logic per node is the
+// serial engine's, restated against worker-local state and a round-start
+// pruning cutoff.
+func solveParBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
+	start := time.Now()
+	opt = opt.withDefaults()
+	par := opt.Par
+	ex := opt.Exchange
+	own := newOwnership(g)
+	nNets := len(g.Clip.Nets)
+	eng := &parEngine{g: g, nNets: nNets, cache: newParCache(nNets)}
+
+	var stats SolveStats
+	stats.Par = par
+	gst := g.Stats()
+	span := opt.Tracer.Start("bnb.solve",
+		obs.A("clip", g.Clip.Name),
+		obs.A("nets", nNets),
+		obs.A("verts", gst.Verts),
+		obs.A("arcs", gst.Arcs),
+		obs.A("par", par))
+
+	// Phase attribution runs on the main goroutine's clock only: seed, setup
+	// and search. Worker-internal Steiner/DRC/dive time is concurrent wall
+	// time and cannot partition the solve; DRCTime still aggregates the
+	// workers' in-check time for rate metrics.
+	clock := obs.NewPhaseClock()
+	clock.Enter(PhaseSeed)
+
+	var best *Solution
+	var bestCost int64 = 1 << 60
+	if !opt.NoHeuristicSeed {
+		hspan := span.Child("heuristic.seed")
+		h := SolveHeuristic(g, HeuristicOptions{Arena: NewSteinerArena()})
+		hspan.SetAttr("feasible", h.Feasible)
+		hspan.End()
+		if h.Feasible {
+			best = h
+			bestCost = int64(h.Cost)
+			if ex.OfferIncumbent(bestCost) {
+				stats.IncumbentExchanges++
+			}
+			stats.Incumbents++
+			stats.BoundTrace = append(stats.BoundTrace, BoundSample{
+				ElapsedMS: msSince(start), Bound: -1, Incumbent: bestCost,
+			})
+			span.Event("incumbent", obs.A("cost", h.Cost), obs.A("source", "heuristic-seed"))
+		} else if h.Proven {
+			h.Runtime = time.Since(start)
+			stats.Elapsed = h.Runtime
+			stats.Termination = "infeasible"
+			clock.Stop()
+			stats.Phases = clock.Breakdown()
+			stats.BoundTrace = append(stats.BoundTrace, BoundSample{
+				ElapsedMS: msSince(start), Bound: -1, Incumbent: -1,
+			})
+			h.Stats = stats
+			span.SetAttr("termination", "infeasible")
+			span.SetAttr("phases_ms", stats.Phases.MS())
+			span.End()
+			return h, nil // proven infeasible by the probe
+		}
+	}
+
+	clock.Enter(PhaseSetup)
+	ws := make([]*parWorker, par)
+	worker := func(id int) *parWorker {
+		if ws[id] == nil {
+			ws[id] = newParWorker(eng, own)
+		}
+		return ws[id]
+	}
+
+	// mixSeed salts every node's tie-break key; seq (assigned in fold order)
+	// keeps the key unique and deterministic.
+	mixSeed := splitmix64(uint64(opt.Seed) ^ 0xd1b54a32d192ed03)
+	seq := int64(0)
+	root := &parNode{mix: splitmix64(mixSeed)}
+	pq := &parPQ{root}
+	heap.Init(pq)
+
+	nodes := 0
+	sinceProgress := 0
+	proven := true
+	curBound := int64(-1)
+	curDepth := 0
+	var rs sched.RunStats
+	fl := obs.NewFlight(span, opt.Flight)
+
+	sample := func() {
+		if len(stats.BoundTrace) >= maxTraceSamples {
+			return
+		}
+		inc := int64(-1)
+		if best != nil {
+			inc = bestCost
+		}
+		stats.BoundTrace = append(stats.BoundTrace, BoundSample{
+			ElapsedMS: msSince(start), Nodes: nodes, Depth: curDepth,
+			Open: pq.Len(), Bound: curBound, Incumbent: inc,
+		})
+	}
+	reportProgress := func() {
+		if opt.Progress == nil {
+			return
+		}
+		inc := int64(-1)
+		if best != nil {
+			inc = bestCost
+		}
+		opt.Progress(BnBProgress{
+			Nodes: nodes, Open: pq.Len(), Incumbent: inc,
+			Bound: curBound, Elapsed: time.Since(start),
+		})
+	}
+
+	runCtx := opt.Ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+
+	clock.Enter(PhaseSearch)
+	batch := make([]*parNode, 0, parRoundWidth)
+	cancelled := false
+	for pq.Len() > 0 && !cancelled {
+		if nodes >= opt.MaxNodes {
+			proven = false
+			stats.Termination = "node-limit"
+			break
+		}
+		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			proven = false
+			stats.Termination = "time-limit"
+			break
+		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			proven = false
+			stats.Termination = "cancelled"
+			break
+		}
+		if ex.Decided() {
+			inc, _ := ex.Incumbent()
+			proven = best != nil && bestCost == inc
+			stats.Termination = "decided"
+			break
+		}
+		cut := bestCost
+		if f, ok := ex.Incumbent(); ok && f < cut {
+			cut = f
+		}
+
+		// Pop the round's batch; stop at the cutoff — best-first order means
+		// everything behind a dominated top is dominated too.
+		batch = batch[:0]
+		for len(batch) < parRoundWidth && pq.Len() > 0 && (*pq)[0].lb < cut {
+			batch = append(batch, heap.Pop(pq).(*parNode))
+		}
+		if len(batch) == 0 {
+			if fl != nil {
+				top := (*pq)[0]
+				fl.Event("node", obs.A("act", "cutoff"), obs.A("n", nodes),
+					obs.A("d", top.depth), obs.A("lb", top.lb))
+			}
+			break // every open node is dominated: search complete
+		}
+		if batch[0].lb > curBound {
+			curBound = batch[0].lb
+			// The round minimum is the global lower bound: every other open
+			// node and every dispatched node has lb >= batch[0].lb.
+			if b := min(curBound, cut); b > 0 {
+				ex.OfferBound(b)
+			}
+			if len(stats.BoundTrace) < maxTraceSamples-64 {
+				sample()
+			}
+		}
+		curDepth = batch[0].depth
+
+		// Dispatch-time flags: node numbers, dive triggers and the Lagrangian
+		// stall gate are all computed from round-start state, so they are
+		// identical for every worker count.
+		nodesBefore := nodes
+		nodes += len(batch)
+		roundInc := int64(-1)
+		if best != nil {
+			roundInc = bestCost
+		}
+		jobs := make([]sched.Job[parOutcome], len(batch))
+		for i := range batch {
+			nd := batch[i]
+			if nd.depth > stats.MaxDepth {
+				stats.MaxDepth = nd.depth
+			}
+			nodeNum := nodesBefore + i + 1
+			diveFlag := nodeNum == 1 || nodeNum%512 == 0
+			lagFlag := (best != nil || cut < bestCost) && sinceProgress+i > 24
+			roundCut := cut
+			roundBound := curBound
+			jobs[i] = func(jctx context.Context) (parOutcome, error) {
+				st := worker(sched.WorkerID(jctx))
+				st.nodes++
+				out := parOutcome{lb: nd.lb, diveCost: -1, worker: sched.WorkerID(jctx)}
+				emit := func(act string, lb int64, extra ...obs.Attr) {
+					out.act = act
+					if fl == nil {
+						return
+					}
+					attrs := make([]obs.Attr, 0, 7+len(extra))
+					attrs = append(attrs,
+						obs.A("act", act), obs.A("n", nodeNum), obs.A("d", nd.depth), obs.A("lb", lb),
+						obs.A("w", out.worker))
+					if roundBound >= 0 {
+						attrs = append(attrs, obs.A("bnd", roundBound))
+					}
+					if roundInc >= 0 {
+						attrs = append(attrs, obs.A("inc", roundInc))
+					}
+					fl.Event("node", append(attrs, extra...)...)
+				}
+
+				st.banBuf = nd.allBans(st.banBuf)
+				bans := st.banBuf
+				routes, lb, feasible := st.evaluate(eng, bans)
+				if !feasible {
+					emit("infeasible", nd.lb)
+					return out, nil
+				}
+				out.lb = lb
+				if lb >= roundCut {
+					emit("dominated", lb)
+					return out, nil
+				}
+				viols := st.checkDRC(eng, routes)
+				if len(viols) == 0 {
+					out.routes = routes
+					emit("solved", lb)
+					return out, nil
+				}
+				if lagFlag && lb < roundCut {
+					// Fresh penalties per call: the bound must be a pure
+					// function of (graph, bans) for tree determinism.
+					st.lag.reset()
+					st.applyBans(bans)
+					st.lagRounds++
+					lagLB := st.lag.bound(st.ctxs, 2)
+					if lagLB == -2 || lagLB >= roundCut {
+						emit("lagrangian", lb, obs.A("lag_lb", lagLB))
+						return out, nil
+					}
+				}
+				if diveFlag {
+					st.dives++
+					if c, r := st.diveRepair(eng, bans, roundCut); c >= 0 {
+						out.diveCost, out.diveRoutes = c, r
+					}
+				}
+
+				// Strong branching (identical policy to the serial engine).
+				cands := candidateViolations(viols, 3)
+				bestScore := int64(-1)
+				var bestKids []parChild
+				var bestKind string
+				for _, v := range cands {
+					sets := branchBans(eng.g, v, routes)
+					kids := make([]parChild, 0, len(sets))
+					minLB := int64(1) << 60
+					anyFeasible := false
+					for _, cb := range sets {
+						if clb, ok := st.tryBans(eng, bans, cb); ok && clb < roundCut {
+							kids = append(kids, parChild{bans: cb, lb: clb})
+							anyFeasible = true
+							if clb < minLB {
+								minLB = clb
+							}
+						}
+					}
+					if !anyFeasible {
+						// Every child of this violation is infeasible or
+						// dominated: the node itself is settled.
+						bestKids = nil
+						bestScore = 1 << 60
+						bestKind = v.Kind.String()
+						break
+					}
+					if minLB > bestScore {
+						bestScore = minLB
+						bestKids = kids
+						bestKind = v.Kind.String()
+					}
+				}
+				out.children = bestKids
+				out.kind = bestKind
+				if len(bestKids) == 0 {
+					emit("fathom", lb, obs.A("kind", bestKind))
+				} else {
+					emit("branch", lb, obs.A("kind", bestKind), obs.A("kids", len(bestKids)))
+				}
+				return out, nil
+			}
+		}
+
+		nw := par
+		if nw > len(batch) {
+			nw = len(batch)
+		}
+		res := sched.Run(runCtx, jobs, sched.Options{Workers: nw, Stats: &rs})
+
+		// Serial fold in batch order: incumbent updates, child insertion and
+		// sequence numbering depend only on the deterministic outcome list.
+		for i, r := range res {
+			nd := batch[i]
+			if r.Panicked {
+				return nil, r.Err
+			}
+			if r.Err != nil {
+				proven = false
+				cancelled = true
+				stats.Termination = "cancelled"
+				continue
+			}
+			out := r.Value
+			switch out.act {
+			case "infeasible", "dominated":
+				// Pruned; no bookkeeping.
+			case "solved":
+				if out.lb < bestCost {
+					bestCost = out.lb
+					best = &Solution{Feasible: true, NetArcs: out.routes, Proven: true}
+					summarize(g, best)
+					sinceProgress = 0
+					if ex.OfferIncumbent(bestCost) {
+						stats.IncumbentExchanges++
+					}
+					stats.Incumbents++
+					sample()
+					span.Event("incumbent", obs.A("cost", best.Cost), obs.A("node", nodesBefore+i+1))
+					reportProgress()
+				}
+			case "lagrangian":
+				sinceProgress = 0
+			case "fathom", "branch":
+				sinceProgress++
+				if out.diveCost >= 0 && out.diveCost < bestCost {
+					bestCost = out.diveCost
+					best = &Solution{Feasible: true, NetArcs: out.diveRoutes}
+					summarize(g, best)
+					if ex.OfferIncumbent(bestCost) {
+						stats.IncumbentExchanges++
+					}
+					stats.Incumbents++
+					sample()
+					span.Event("incumbent", obs.A("cost", best.Cost),
+						obs.A("node", nodesBefore+i+1), obs.A("source", "dive"))
+					reportProgress()
+				}
+				for _, ch := range out.children {
+					stats.BansGenerated += len(ch.bans)
+					seq++
+					heap.Push(pq, &parNode{
+						parent: nd, bans: ch.bans, lb: ch.lb, depth: nd.depth + 1,
+						mix: splitmix64(mixSeed + uint64(seq)), seq: seq,
+					})
+				}
+			}
+		}
+		reportProgress()
+	}
+
+	sol := best
+	if sol == nil {
+		sol = &Solution{Feasible: false}
+	}
+	sol.Proven = proven
+	sol.Nodes = nodes
+	sol.Runtime = time.Since(start)
+
+	stats.Nodes = nodes
+	stats.NodesPerWorker = make([]int, par)
+	for id, st := range ws {
+		if st == nil {
+			continue
+		}
+		stats.NodesPerWorker[id] = st.nodes
+		stats.SteinerCacheHits += st.cacheHits
+		stats.DRCChecks += st.drcChecks
+		stats.DRCTime += st.drcTime
+		stats.LagrangianRounds += st.lagRounds
+		stats.Dives += st.dives
+		for k := range st.ctxs {
+			stats.SteinerSolves += st.ctxs[k].solves
+		}
+	}
+	stats.Steals = int(rs.Steals.Load())
+	stats.Elapsed = sol.Runtime
+	if stats.Termination == "" {
+		if sol.Feasible {
+			stats.Termination = "optimal"
+		} else {
+			stats.Termination = "infeasible"
+		}
+	}
+	clock.Stop()
+	stats.Phases = clock.Breakdown()
+	if len(stats.BoundTrace) >= maxTraceSamples {
+		stats.BoundTrace = stats.BoundTrace[:maxTraceSamples-1]
+	}
+	sample()
+	sol.Stats = stats
+	reportProgress()
+	span.SetAttr("nodes", nodes)
+	span.SetAttr("steiner_solves", stats.SteinerSolves)
+	span.SetAttr("drc_checks", stats.DRCChecks)
+	span.SetAttr("steals", stats.Steals)
+	span.SetAttr("incumbent_exchanges", stats.IncumbentExchanges)
+	span.SetAttr("feasible", sol.Feasible)
+	span.SetAttr("proven", sol.Proven)
+	span.SetAttr("termination", stats.Termination)
+	span.SetAttr("phases_ms", stats.Phases.MS())
+	fl.Finish()
+	span.End()
+	return sol, nil
+}

@@ -178,6 +178,64 @@ func BenchmarkBnBFlightOn(b *testing.B) {
 	benchmarkBnBFlight(b, obs.FlightOptions{Enabled: true})
 }
 
+// BenchmarkParallelBnB measures the deterministic round-parallel tree search
+// at several worker counts against the serial engine (par=0) on the same
+// instance. On a multi-core host the par>1 columns show the scaling curve; on
+// a single-core host they quantify the round-synchronous engine's overhead
+// (the answers are identical either way — that is the engine's contract).
+func BenchmarkParallelBnB(b *testing.B) {
+	for _, par := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			g := synthGraph(b, 3, "RULE7")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := SolveBnB(g, BnBOptions{Par: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sol.Proven {
+					b.Fatal("benchmark instance must be proven")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioSolve races CDC-BnB against the MILP engine on one
+// instance; the baseline sub-benchmarks solve the same instance with each
+// engine alone, so the three columns show what the race costs (or saves)
+// over committing to either engine up front.
+func BenchmarkPortfolioSolve(b *testing.B) {
+	g := synthGraph(b, 10, "RULE1")
+	b.Run("race", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := SolvePortfolio(g, BnBOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Proven {
+				b.Fatal("race must end in a proof")
+			}
+		}
+	})
+	b.Run("bnb-alone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveBnB(g, BnBOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ilp-alone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveILP(g, ilp.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSteinerTree measures one pooled exact Steiner arborescence solve
 // (the inner loop of every CDC-BnB node evaluation).
 func BenchmarkSteinerTree(b *testing.B) {

@@ -29,7 +29,12 @@ type BenchSpec struct {
 	Nets       int
 	Sinks      int // MaxSinks
 	Rule       string
-	Solver     string // "bnb" or "ilp"
+	Solver     string // "bnb", "ilp" or "portfolio"
+	// Par is the in-solve worker count for bnb and portfolio cases (0 =
+	// serial engine). The parallel engine is deterministic, so a par twin of a
+	// serial case must report the identical answer — the corpus exploits this
+	// as a standing cross-check.
+	Par int
 }
 
 // BenchCorpus returns the pinned corpus. The short corpus is the CI gate
@@ -47,12 +52,24 @@ func BenchCorpus(short bool) []BenchSpec {
 			Rule: rule, Solver: solver,
 		}
 	}
+	// mkPar is a par-N twin of a bnb case: same instance, the deterministic
+	// round-parallel engine on par workers. Its answer must match the serial
+	// case's exactly (the -baseline gate enforces this across trajectory
+	// points, the determinism goldens within one revision).
+	mkPar := func(nx, ny, nz int, seed int64, rule string, par int) BenchSpec {
+		s := mk(nx, ny, nz, seed, rule, "bnb")
+		s.Name = fmt.Sprintf("%s-par%d", s.Name, par)
+		s.Par = par
+		return s
+	}
 	if short {
 		return []BenchSpec{
-			mk(6, 7, 4, 3, "RULE8", "bnb"),  // feasible, ~400-node search
-			mk(6, 7, 4, 8, "RULE7", "bnb"),  // feasible, ~100-node search
-			mk(5, 6, 3, 4, "RULE7", "bnb"),  // proven infeasible, ~1300 nodes
-			mk(4, 5, 3, 10, "RULE1", "ilp"), // feasible, ~13k simplex iters
+			mk(6, 7, 4, 3, "RULE8", "bnb"),        // feasible, ~400-node search
+			mk(6, 7, 4, 8, "RULE7", "bnb"),        // feasible, ~100-node search
+			mk(5, 6, 3, 4, "RULE7", "bnb"),        // proven infeasible, ~1300 nodes
+			mk(4, 5, 3, 10, "RULE1", "ilp"),       // feasible, ~13k simplex iters
+			mkPar(6, 7, 4, 3, "RULE8", 8),         // par-8 twin of the first case
+			mk(4, 5, 3, 10, "RULE1", "portfolio"), // portfolio twin of the ilp case
 		}
 	}
 	return []BenchSpec{
@@ -79,6 +96,19 @@ func BenchCorpus(short bool) []BenchSpec {
 		mk(5, 6, 3, 1, "RULE1", "ilp"),
 		mk(5, 6, 3, 2, "RULE8", "ilp"),
 		mk(5, 6, 3, 3, "RULE7", "ilp"), // infeasible at the root relaxation
+		// Par-8 twins of the node-heavy searches: the deterministic parallel
+		// engine on the same instances (answers must equal the serial rows).
+		mkPar(6, 7, 4, 3, "RULE8", 8),
+		mkPar(7, 10, 4, 3, "RULE8", 8),
+		mkPar(5, 6, 3, 4, "RULE7", 8),
+		// Portfolio twins of the MILP trajectory points: the race should win
+		// by whichever engine proves first, pruning the loser via the shared
+		// exchange.
+		mk(4, 5, 3, 3, "RULE1", "portfolio"),
+		mk(4, 5, 3, 10, "RULE1", "portfolio"),
+		mk(5, 6, 3, 1, "RULE1", "portfolio"),
+		mk(5, 6, 3, 2, "RULE8", "portfolio"),
+		mk(5, 6, 3, 3, "RULE7", "portfolio"),
 	}
 }
 
@@ -108,8 +138,13 @@ func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions)
 		if _, ok := tech.RuleByName(s.Rule); !ok {
 			return nil, fmt.Errorf("exp: bench spec %q: unknown rule %s", s.Name, s.Rule)
 		}
-		if s.Solver != "bnb" && s.Solver != "ilp" {
+		switch s.Solver {
+		case "bnb", "ilp", "portfolio":
+		default:
 			return nil, fmt.Errorf("exp: bench spec %q: unknown solver %s", s.Name, s.Solver)
+		}
+		if s.Par != 0 && s.Solver == "ilp" {
+			return nil, fmt.Errorf("exp: bench spec %q: par applies to bnb/portfolio only", s.Name)
 		}
 	}
 
@@ -205,7 +240,7 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	switch s.Solver {
 	case "bnb":
 		sol, err = core.SolveBnB(g, core.BnBOptions{
-			TimeLimit: opt.Timeout, Ctx: ctx,
+			TimeLimit: opt.Timeout, Ctx: ctx, Par: s.Par,
 			Tracer: opt.Tracer, Flight: opt.Flight,
 		})
 	case "ilp":
@@ -216,11 +251,16 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 			Tracer:    opt.Tracer,
 			Flight:    opt.Flight,
 		})
+	case "portfolio":
+		sol, err = core.SolvePortfolio(g, core.BnBOptions{
+			TimeLimit: opt.Timeout, Ctx: ctx, Par: s.Par,
+			Tracer: opt.Tracer, Flight: opt.Flight,
+		})
 	}
 
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
-	bc := report.BenchCase{Name: s.Name, Rule: s.Rule, Solver: s.Solver}
+	bc := report.BenchCase{Name: s.Name, Rule: s.Rule, Solver: s.Solver, Par: s.Par}
 	bc.AllocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
 	bc.GCPauseMS = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
 	bc.NumGC = int(m1.NumGC - m0.NumGC)
@@ -232,6 +272,7 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	bc.Feasible = sol.Feasible
 	bc.Proven = sol.Proven
 	bc.Cost = sol.Cost
+	bc.Winner = st.Winner
 	bc.WallMS = float64(st.Elapsed.Microseconds()) / 1000
 	bc.Nodes = st.Nodes
 	bc.MaxDepth = st.MaxDepth

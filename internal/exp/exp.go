@@ -194,6 +194,20 @@ type SolveOptions struct {
 	// identical for any worker count (see README "Parallel evaluation").
 	Workers int
 
+	// Par brings parallelism inside each solve: the CDC-BnB explores its tree
+	// round-synchronously on Par workers (0 = serial engine). The engine is
+	// deterministic by construction — routes and objective are identical for
+	// every Par (see README "Parallel search & portfolio") — so study outputs
+	// do not depend on it.
+	Par int
+	// Portfolio races the CDC-BnB (with Par workers when Par > 0) against the
+	// MILP engine on every solve, coupled through a shared incumbent/bound
+	// exchange; the first optimality proof wins and cancels the loser. The
+	// objective is exactness-preserving but which engine's routes are returned
+	// is a race outcome, so route CSVs are only stable across runs for clips
+	// where both engines agree arc-for-arc.
+	Portfolio bool
+
 	// Progress, if non-nil, receives per-clip lifecycle events ("start",
 	// "progress" during the solve, "done") — the source of cmd/beoleval's
 	// live progress line. Studies serialize the callback (it is never
@@ -462,6 +476,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 	bnbOpt := core.BnBOptions{
 		TimeLimit: opt.PerClipTimeout,
 		MaxNodes:  opt.MaxNodes,
+		Par:       opt.Par,
 		Tracer:    opt.Tracer,
 		Flight:    opt.Flight,
 		Ctx:       ctx,
@@ -476,7 +491,11 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 			})
 		}
 	}
-	sol, err := core.SolveBnB(g, bnbOpt)
+	solve := core.SolveBnB
+	if opt.Portfolio {
+		solve = core.SolvePortfolio
+	}
+	sol, err := solve(g, bnbOpt)
 	if err != nil {
 		return ClipRuleResult{}, err
 	}

@@ -80,6 +80,131 @@ func TestDeltaCostStudyDeterministic(t *testing.T) {
 	}
 }
 
+// TestDeltaCostStudyParDeterministic is the in-solve counterpart of the
+// worker-count golden above: the round-parallel BnB engine must leave the
+// study output byte-identical between -par 1 and -par 8, per the engine's
+// determinism guarantee (fixed round width, total node order; see
+// internal/core/parbnb.go). Scheduling-dependent telemetry (cache hits,
+// per-worker splits, steal counts, wall times) is excluded; everything the
+// study publishes — curves, CSV, answers, search counters — must match.
+func TestDeltaCostStudyParDeterministic(t *testing.T) {
+	tb := quickTB(t, tech.N28T12())
+	clips := tb.Top
+	if len(clips) > 2 {
+		clips = clips[:2]
+	}
+	opt := SolveOptions{PerClipTimeout: 60 * time.Second, Workers: 1}
+
+	opt.Par = 1
+	curves1, res1, err := DeltaCostStudy(tb.Tech, clips, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Par = 8
+	curves8, res8, err := DeltaCostStudy(tb.Tech, clips, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cu := range curves1 {
+		if cu.Unproven > 0 {
+			t.Fatalf("%s: %d unproven solves — budget too small for the determinism check", cu.Rule, cu.Unproven)
+		}
+	}
+	if !reflect.DeepEqual(curves1, curves8) {
+		t.Fatalf("curves differ between -par 1 and -par 8:\n%+v\nvs\n%+v", curves1, curves8)
+	}
+	if len(res1) != len(res8) {
+		t.Fatalf("result counts differ: %d vs %d", len(res1), len(res8))
+	}
+	for i := range res1 {
+		a, b := res1[i], res8[i]
+		if a.Feasible != b.Feasible || a.Proven != b.Proven || a.Cost != b.Cost ||
+			a.WL != b.WL || a.Vias != b.Vias || a.Nodes != b.Nodes {
+			t.Fatalf("result[%d] answers differ between -par 1 and -par 8:\n%+v\nvs\n%+v", i, a, b)
+		}
+		// Deterministic search counters (see core's determinism guarantee).
+		sa, sb := a.Stats, b.Stats
+		if sa.MaxDepth != sb.MaxDepth || sa.Incumbents != sb.Incumbents ||
+			sa.BansGenerated != sb.BansGenerated || sa.DRCChecks != sb.DRCChecks ||
+			sa.LagrangianRounds != sb.LagrangianRounds || sa.Dives != sb.Dives {
+			t.Fatalf("result[%d] search counters differ between -par 1 and -par 8", i)
+		}
+		if sa.Par != 1 || sb.Par != 8 {
+			t.Fatalf("result[%d] Stats.Par = %d/%d, want 1/8", i, sa.Par, sb.Par)
+		}
+	}
+
+	csv := func(curves []RuleCurve) []byte {
+		var series []report.Series
+		for _, cu := range curves {
+			series = append(series, report.Series{Name: cu.Rule, Values: cu.Deltas})
+		}
+		var buf bytes.Buffer
+		if err := report.WriteSeriesCSV(&buf, series); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if b1, b8 := csv(curves1), csv(curves8); !bytes.Equal(b1, b8) {
+		t.Fatalf("CSV output differs between -par 1 and -par 8:\n%s\nvs\n%s", b1, b8)
+	}
+}
+
+// TestPortfolioStudyAnswers: the portfolio mode must leave study answers
+// (feasibility, proof, cost) identical to the plain study — routes and
+// engine-specific telemetry are race outcomes, but the objective is exact.
+func TestPortfolioStudyAnswers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("portfolio study races both engines per cell; skip in -short")
+	}
+	tb := quickTB(t, tech.N28T12())
+	clips := tb.Top
+	if len(clips) > 1 {
+		clips = clips[:1]
+	}
+	opt := SolveOptions{PerClipTimeout: 60 * time.Second, Workers: 1}
+	curves, res, err := DeltaCostStudy(tb.Tech, clips, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Portfolio = true
+	pcurves, pres, err := DeltaCostStudy(tb.Tech, clips, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(pres) {
+		t.Fatalf("result counts differ: %d vs %d", len(res), len(pres))
+	}
+	for i := range res {
+		a, b := res[i], pres[i]
+		if !a.Proven || !b.Proven {
+			t.Logf("cell %d (%s/%s) unproven (plain=%v portfolio=%v); answers not comparable",
+				i, a.Clip, a.Rule, a.Proven, b.Proven)
+			continue
+		}
+		if a.Feasible != b.Feasible || (a.Feasible && a.Cost != b.Cost) {
+			t.Errorf("cell %d (%s/%s): plain (feasible=%v cost=%d) vs portfolio (feasible=%v cost=%d)",
+				i, a.Clip, a.Rule, a.Feasible, a.Cost, b.Feasible, b.Cost)
+		}
+		if b.Stats.Winner == "" {
+			t.Errorf("cell %d: portfolio result names no winner", i)
+		}
+	}
+	if !reflect.DeepEqual(curveDeltas(curves), curveDeltas(pcurves)) {
+		t.Errorf("delta curves differ between plain and portfolio studies")
+	}
+}
+
+// curveDeltas projects curves onto their sorted delta values only.
+func curveDeltas(curves []RuleCurve) [][]float64 {
+	out := make([][]float64, len(curves))
+	for i, cu := range curves {
+		out[i] = cu.Deltas
+	}
+	return out
+}
+
 // TestProgressAccounting pins the progress contract of the parallel study:
 // the callback is never invoked concurrently with itself, Index/Total are
 // the solve's fixed study-order position (rule-major over clips) rather

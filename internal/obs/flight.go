@@ -7,6 +7,8 @@
 // silent.
 package obs
 
+import "sync/atomic"
+
 // FlightOptions configures per-node search-event recording. The zero value
 // is disabled (no events, zero overhead beyond a nil check); enabling it with
 // all other fields zero records every node up to the MaxEvents default.
@@ -41,16 +43,19 @@ func (o FlightOptions) withDefaults() FlightOptions {
 }
 
 // Flight is one solve's search-event recorder: events pass through sampling
-// and capping before reaching the span's tracer. A Flight belongs to a single
-// solve goroutine (like the PhaseClock) and is not safe for concurrent use;
-// all methods are no-ops on a nil receiver, so instrumentation sites never
-// guard — a disabled FlightOptions yields a nil *Flight.
+// and capping before reaching the span's tracer. All methods are safe for
+// concurrent use — the parallel tree search emits node events from every
+// worker onto one Flight — and the accounting invariant seen == kept +
+// dropped holds at every quiescent point (each event increments exactly one
+// of kept/dropped). All methods are no-ops on a nil receiver, so
+// instrumentation sites never guard — a disabled FlightOptions yields a nil
+// *Flight.
 type Flight struct {
 	span    *Span
 	opt     FlightOptions
-	seen    int64
-	kept    int64
-	dropped int64
+	seen    atomic.Int64
+	kept    atomic.Int64
+	dropped atomic.Int64
 }
 
 // NewFlight returns a recorder emitting sampled events under span, or nil
@@ -64,22 +69,30 @@ func NewFlight(span *Span, opt FlightOptions) *Flight {
 
 // Event records one search event, subject to sampling and the event cap.
 // It reports whether the event reached the trace, so callers can skip
-// building expensive attributes for dropped events.
+// building expensive attributes for dropped events. Safe for concurrent use:
+// the sampling decision is made on the atomically claimed sequence number,
+// and the cap reservation rolls back (into dropped) on overshoot, so each
+// event lands in exactly one of kept/dropped.
 func (f *Flight) Event(name string, attrs ...Attr) bool {
 	if f == nil {
 		return false
 	}
-	f.seen++
-	keep := f.seen <= int64(f.opt.Burst) ||
-		(f.seen-int64(f.opt.Burst))%int64(f.opt.Every) == 0
-	if keep && f.opt.MaxEvents >= 0 && f.kept >= int64(f.opt.MaxEvents) {
-		keep = false
+	seen := f.seen.Add(1)
+	keep := seen <= int64(f.opt.Burst) ||
+		(seen-int64(f.opt.Burst))%int64(f.opt.Every) == 0
+	if keep && f.opt.MaxEvents >= 0 {
+		// Reserve a kept slot; on overshoot give it back and drop instead.
+		if f.kept.Add(1) > int64(f.opt.MaxEvents) {
+			f.kept.Add(-1)
+			keep = false
+		}
+	} else if keep {
+		f.kept.Add(1)
 	}
 	if !keep {
-		f.dropped++
+		f.dropped.Add(1)
 		return false
 	}
-	f.kept++
 	f.span.Event(name, attrs...)
 	return true
 }
@@ -89,7 +102,15 @@ func (f *Flight) Seen() int64 {
 	if f == nil {
 		return 0
 	}
-	return f.seen
+	return f.seen.Load()
+}
+
+// Kept returns how many offered events reached the trace.
+func (f *Flight) Kept() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.kept.Load()
 }
 
 // Dropped returns how many offered events did not reach the trace.
@@ -97,17 +118,18 @@ func (f *Flight) Dropped() int64 {
 	if f == nil {
 		return 0
 	}
-	return f.dropped
+	return f.dropped.Load()
 }
 
 // Finish stamps the recorder's accounting onto the solve span, making
 // sampling visible to trace consumers: flight_seen / flight_kept /
-// flight_dropped. Call it just before ending the span.
+// flight_dropped. Call it just before ending the span, after every emitting
+// goroutine has stopped.
 func (f *Flight) Finish() {
 	if f == nil {
 		return
 	}
-	f.span.SetAttr("flight_seen", f.seen)
-	f.span.SetAttr("flight_kept", f.kept)
-	f.span.SetAttr("flight_dropped", f.dropped)
+	f.span.SetAttr("flight_seen", f.seen.Load())
+	f.span.SetAttr("flight_kept", f.kept.Load())
+	f.span.SetAttr("flight_dropped", f.dropped.Load())
 }

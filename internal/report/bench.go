@@ -15,7 +15,9 @@ import (
 // v2 added per-case model dimensions (rows/cols/nnz) for ilp cases.
 // v3 added Go runtime stats: per-case allocation/GC deltas and a document
 // level Runtime block (GOMAXPROCS, total allocations, GC pauses, peak heap).
-const BenchSchemaVersion = 3
+// v4 added the "portfolio" solver and the per-case Par/Winner fields for
+// parallel-BnB and portfolio-race cases.
+const BenchSchemaVersion = 4
 
 // BenchMinSchemaVersion is the oldest schema still readable (BENCH_0/BENCH_1
 // predate the model-dimension fields).
@@ -25,7 +27,13 @@ const BenchMinSchemaVersion = 1
 type BenchCase struct {
 	Name   string `json:"name"`   // corpus case name ("seed3-RULE7" style)
 	Rule   string `json:"rule"`   // rule configuration solved under
-	Solver string `json:"solver"` // "bnb" or "ilp"
+	Solver string `json:"solver"` // "bnb", "ilp" or "portfolio" (v4+)
+
+	// Par is the in-solve worker count of the deterministic parallel BnB (0 =
+	// serial engine); Winner names the engine ("bnb"/"ilp") whose result a
+	// portfolio case returned. Schema v4+.
+	Par    int    `json:"par,omitempty"`
+	Winner string `json:"winner,omitempty"`
 
 	Feasible bool   `json:"feasible"`
 	Proven   bool   `json:"proven"`
@@ -168,13 +176,24 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 			return nil, fmt.Errorf("bench: case %d: missing name", i)
 		case c.Rule == "":
 			return nil, fmt.Errorf("bench: case %q: missing rule", c.Name)
-		case c.Solver != "bnb" && c.Solver != "ilp":
-			return nil, fmt.Errorf("bench: case %q: solver %q, want bnb|ilp", c.Name, c.Solver)
+		case c.Solver != "bnb" && c.Solver != "ilp" && c.Solver != "portfolio":
+			return nil, fmt.Errorf("bench: case %q: solver %q, want bnb|ilp|portfolio", c.Name, c.Solver)
+		case c.Solver == "portfolio" && doc.SchemaVersion < 4:
+			return nil, fmt.Errorf("bench: case %q: portfolio solver needs schema v4", c.Name)
+		case c.Solver == "portfolio" && c.Err == "" && c.Winner != "bnb" && c.Winner != "ilp":
+			return nil, fmt.Errorf("bench: case %q: portfolio winner %q, want bnb|ilp", c.Name, c.Winner)
+		case c.Solver != "portfolio" && c.Winner != "":
+			return nil, fmt.Errorf("bench: case %q: winner set on %s case", c.Name, c.Solver)
+		case c.Par < 0 || (c.Par > 0 && c.Solver == "ilp"):
+			return nil, fmt.Errorf("bench: case %q: par %d invalid for solver %s", c.Name, c.Par, c.Solver)
 		case seen[key]:
 			return nil, fmt.Errorf("bench: duplicate case %q", key)
 		case c.WallMS < 0:
 			return nil, fmt.Errorf("bench: case %q: negative wall_ms", c.Name)
-		case c.Err == "" && c.Feasible && c.Nodes <= 0:
+		// Portfolio wins are exempt from the node floor: a race decided
+		// through the exchange (foreign bound meets local incumbent) can
+		// return a winner that never popped a node of its own.
+		case c.Err == "" && c.Feasible && c.Nodes <= 0 && c.Solver != "portfolio":
 			return nil, fmt.Errorf("bench: case %q: no nodes recorded", c.Name)
 		case c.Err == "" && len(c.PhasesMS) == 0:
 			return nil, fmt.Errorf("bench: case %q: missing phase breakdown", c.Name)

@@ -78,6 +78,16 @@ func TestValidateBenchRejections(t *testing.T) {
 		{"feasible without nodes", func(d *BenchDoc) { d.Cases[0].Nodes = 0 }, "no nodes"},
 		{"missing phases", func(d *BenchDoc) { d.Cases[0].PhasesMS = nil }, "phase breakdown"},
 		{"missing model dims", func(d *BenchDoc) { d.Cases[1].NNZ = 0 }, "model dimensions"},
+		{"portfolio without winner", func(d *BenchDoc) {
+			d.Cases = append(d.Cases, BenchCase{
+				Name: "4x5x3-s10-RULE1-portfolio", Rule: "RULE1", Solver: "portfolio",
+				Feasible: true, Proven: true, Cost: 41, WallMS: 50, Nodes: 12,
+				PhasesMS: map[string]float64{"search": 50},
+			})
+			d.Finalize()
+		}, "winner"},
+		{"winner on bnb case", func(d *BenchDoc) { d.Cases[0].Winner = "ilp" }, "winner"},
+		{"par on ilp case", func(d *BenchDoc) { d.Cases[1].Par = 8 }, "par"},
 		{"missing runtime", func(d *BenchDoc) { d.Runtime = nil }, "runtime block"},
 		{"bad gomaxprocs", func(d *BenchDoc) { d.Runtime.GOMAXPROCS = 0 }, "gomaxprocs"},
 		{"stale totals", func(d *BenchDoc) { d.Totals.Nodes += 5 }, "totals"},
@@ -132,6 +142,38 @@ func TestValidateBenchStrictJSON(t *testing.T) {
 	drifted := strings.Replace(string(data), `"corpus"`, `"corpus_v2": "x", "corpus"`, 1)
 	if _, err := ValidateBench([]byte(drifted)); err == nil {
 		t.Error("unknown field accepted")
+	}
+}
+
+// TestValidateBenchV4Cases: schema v4 portfolio and par-twin cases round-trip
+// with their Winner/Par fields intact.
+func TestValidateBenchV4Cases(t *testing.T) {
+	doc := validDoc()
+	doc.Cases = append(doc.Cases,
+		BenchCase{
+			Name: "4x5x3-s10-RULE1-portfolio", Rule: "RULE1", Solver: "portfolio",
+			Winner: "ilp", Feasible: true, Proven: true, Cost: 41,
+			WallMS: 120, Nodes: 77,
+			PhasesMS: map[string]float64{"node_lp": 110},
+		},
+		BenchCase{
+			Name: "6x7x4-s3-RULE8-bnb-par8", Rule: "RULE8", Solver: "bnb", Par: 8,
+			Feasible: true, Proven: true, Cost: 51,
+			WallMS: 80, Nodes: 404,
+			PhasesMS: map[string]float64{"search": 70},
+		},
+	)
+	doc.Finalize()
+	data, err := MarshalBench(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBench(data)
+	if err != nil {
+		t.Fatalf("v4 cases rejected: %v", err)
+	}
+	if back.Cases[2].Winner != "ilp" || back.Cases[3].Par != 8 {
+		t.Errorf("v4 fields lost in round-trip: %+v", back.Cases[2:])
 	}
 }
 

@@ -21,8 +21,17 @@ import (
 // flight-recorder node events beneath it.
 type SolveTrace struct {
 	Span   *obs.TraceNode
-	Solver string // "bnb" or "ilp", from the span name
+	Solver string // "bnb", "ilp" or "portfolio", from the span name
 	Clip   string // clip attr ("" when the producer predates it)
+
+	// Parallel-search attribution (zero/empty on serial solves): Par is the
+	// in-solve worker count, Steals the scheduler's work-steal count, and
+	// IncumbentExchanges the incumbents the solve pushed through a portfolio
+	// exchange. Winner names the engine a portfolio race returned.
+	Par                int
+	Steals             int64
+	IncumbentExchanges int64
+	Winner             string
 
 	// PhasesMS is the solver's own wall-time attribution in milliseconds.
 	PhasesMS map[string]float64
@@ -51,6 +60,7 @@ type NodeEvent struct {
 	Warm                   bool   // node LP warm-started from the parent basis
 	Kind                   string // violation kind branched on (bnb solves)
 	Kids                   int    // children pushed
+	Worker                 int    // evaluating worker (parallel bnb; -1 serial)
 	Var                    int    // branching variable (ilp solves; -1 none)
 	Frac                   float64
 	StartUS                int64 // offset from the trace epoch
@@ -58,8 +68,9 @@ type NodeEvent struct {
 
 // solveSpanNames are the span names the two exact engines open per solve.
 var solveSpanNames = map[string]string{
-	"bnb.solve": "bnb",
-	"ilp.solve": "ilp",
+	"bnb.solve":       "bnb",
+	"ilp.solve":       "ilp",
+	"portfolio.solve": "portfolio",
 }
 
 // ExtractSolves finds every solver invocation in the tree, in start order.
@@ -70,7 +81,21 @@ func ExtractSolves(tree *obs.TraceTree) []SolveTrace {
 		if !ok || n.Event {
 			return
 		}
-		st := SolveTrace{Span: n, Solver: solver, Clip: n.AttrString("clip")}
+		st := SolveTrace{Span: n, Solver: solver, Clip: n.AttrString("clip"),
+			Winner: n.AttrString("winner")}
+		if v, ok := n.AttrFloat("par"); ok {
+			st.Par = int(v)
+		}
+		if v, ok := n.AttrFloat("steals"); ok {
+			st.Steals = int64(v)
+		}
+		if v, ok := n.AttrFloat("incumbent_exchanges"); ok {
+			st.IncumbentExchanges = int64(v)
+		} else if v, ok := n.AttrFloat("exchange_accepted"); ok {
+			// portfolio.solve spans stamp the exchange's accepted-offer count
+			// under this name.
+			st.IncumbentExchanges = int64(v)
+		}
 		if ph, ok := n.Attr("phases_ms").(map[string]interface{}); ok {
 			st.PhasesMS = make(map[string]float64, len(ph))
 			for k, v := range ph {
@@ -100,7 +125,7 @@ func ExtractSolves(tree *obs.TraceTree) []SolveTrace {
 
 func decodeNodeEvent(n *obs.TraceNode) NodeEvent {
 	ev := NodeEvent{Act: n.AttrString("act"), Kind: n.AttrString("kind"),
-		Var: -1, StartUS: n.StartUS}
+		Var: -1, Worker: -1, StartUS: n.StartUS}
 	geti := func(key string) int {
 		v, _ := n.AttrFloat(key)
 		return int(v)
@@ -117,6 +142,9 @@ func decodeNodeEvent(n *obs.TraceNode) NodeEvent {
 		ev.Warm = w
 	}
 	ev.Kids = geti("kids")
+	if v, ok := n.AttrFloat("w"); ok {
+		ev.Worker = int(v)
+	}
 	if v, ok := n.AttrFloat("var"); ok {
 		ev.Var = int(v)
 	}
@@ -145,6 +173,19 @@ func (s *SolveTrace) ActCounts() map[string]int {
 	m := map[string]int{}
 	for _, ev := range s.Events {
 		m[ev.Act]++
+	}
+	return m
+}
+
+// WorkerCounts tallies recorded node events per evaluating worker — the
+// load-balance view of a parallel solve. Empty when no event carries a
+// worker id (serial engine, or flight recording off).
+func (s *SolveTrace) WorkerCounts() map[int]int {
+	m := map[int]int{}
+	for _, ev := range s.Events {
+		if ev.Worker >= 0 {
+			m[ev.Worker]++
+		}
 	}
 	return m
 }
@@ -216,7 +257,7 @@ func TopSpans(tree *obs.TraceTree, n int) []SpanAgg {
 // event — a feature table for offline analysis (pandas, gnuplot).
 var nodeCSVHeader = []string{
 	"solve", "solver", "clip", "n", "depth", "act", "lb", "bound", "incumbent",
-	"lp_iters", "pivots", "etas", "warm", "kind", "kids", "var", "frac", "start_us",
+	"lp_iters", "pivots", "etas", "warm", "kind", "kids", "worker", "var", "frac", "start_us",
 }
 
 // WriteNodeCSV exports every recorded node event of every solve as CSV.
@@ -244,6 +285,7 @@ func WriteNodeCSV(w io.Writer, solves []SolveTrace) error {
 				ff(ev.LB), bound, inc,
 				strconv.Itoa(ev.LPIters), strconv.Itoa(ev.Pivots), strconv.Itoa(ev.Etas),
 				strconv.FormatBool(ev.Warm), ev.Kind, strconv.Itoa(ev.Kids),
+				strconv.Itoa(ev.Worker),
 				strconv.Itoa(ev.Var), ff(ev.Frac), strconv.FormatInt(ev.StartUS, 10),
 			}
 			if err := cw.Write(rec); err != nil {

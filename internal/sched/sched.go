@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optrouter/internal/obs"
@@ -75,6 +76,18 @@ type Options struct {
 	// OnUpdate, if non-nil, receives serialized per-job lifecycle events.
 	// It is never invoked concurrently with itself.
 	OnUpdate func(Update)
+	// Stats, if non-nil, accumulates pool-level counters across the Run
+	// (incremented atomically while the pool runs; read it after Run
+	// returns). Callers without a metrics registry — the parallel tree
+	// search wanting its steal count in SolveStats — use this instead of
+	// scraping Metrics.
+	Stats *RunStats
+}
+
+// RunStats are the pool-level counters of one (or several accumulated) Runs.
+type RunStats struct {
+	// Steals counts jobs an idle worker took from another worker's deque.
+	Steals atomic.Int64
 }
 
 func (o Options) withDefaults() Options {
@@ -280,6 +293,9 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 					}
 					if ok {
 						m.Counter("sched_steals").Inc()
+						if opt.Stats != nil {
+							opt.Stats.Steals.Add(1)
+						}
 					}
 				}
 				if !ok {

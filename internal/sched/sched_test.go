@@ -256,14 +256,21 @@ func TestWorkStealingBalances(t *testing.T) {
 			return 0, nil
 		}
 	}
-	res := Run(context.Background(), jobs, Options{Workers: 2, Metrics: m})
+	var rs RunStats
+	res := Run(context.Background(), jobs, Options{Workers: 2, Metrics: m, Stats: &rs})
 	for i, r := range res {
 		if r.Err != nil {
 			t.Fatalf("job %d: %v", i, r.Err)
 		}
 	}
 	// Worker 0 is stuck on job 0; its dealt jobs (2,4,6) must be stolen.
-	if steals := m.Snapshot().Counters["sched_steals"]; steals < 3 {
+	steals := m.Snapshot().Counters["sched_steals"]
+	if steals < 3 {
 		t.Fatalf("steals = %d, want >= 3", steals)
+	}
+	// The registry-free counter (what the parallel tree search reads into
+	// SolveStats) must agree with the metrics counter.
+	if got := rs.Steals.Load(); got != steals {
+		t.Fatalf("RunStats.Steals = %d, metrics counter = %d", got, steals)
 	}
 }

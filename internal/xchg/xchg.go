@@ -1,0 +1,131 @@
+// Package xchg is the incumbent/bound meeting point of a portfolio race:
+// two exact engines (the CDC branch-and-bound in internal/core and the MILP
+// branch-and-bound in internal/ilp) solve the same instance concurrently and
+// publish what they prove as they go. The exchange keeps exactly two scalars —
+// the best integer-feasible objective found by anyone (a CAS-min) and the
+// strongest proven global lower bound (a CAS-max) — so the engines can prune
+// against each other's incumbents and terminate jointly the moment the bound
+// meets the incumbent, without sharing any solution structure.
+//
+// Exactness is preserved by construction: an offered incumbent must be the
+// objective of a verified feasible solution, and an offered bound must be a
+// valid lower bound on the optimum of the *whole* instance (not of a subtree).
+// Under those contracts the incumbent is non-increasing, the bound is
+// non-decreasing, and Decided() — bound >= incumbent — certifies that the
+// incumbent objective is optimal no matter which engine contributed which
+// half of the proof.
+//
+// All methods are safe for concurrent use and are no-ops (reporting absence)
+// on a nil receiver, so solvers call them unguarded.
+package xchg
+
+import "sync/atomic"
+
+// noIncumbent and noBound are the empty-state sentinels. They sit well inside
+// the int64 range so that the comparisons in Decided cannot overflow, and far
+// outside any real routing objective (costs are bounded by arc-count x
+// max-arc-cost, orders of magnitude below 2^60).
+const (
+	noIncumbent = int64(1) << 60
+	noBound     = -(int64(1) << 60)
+)
+
+// Exchange is one race's shared incumbent/bound state.
+type Exchange struct {
+	incumbent atomic.Int64 // best feasible objective offered (CAS-min)
+	bound     atomic.Int64 // strongest global lower bound offered (CAS-max)
+	accepted  atomic.Int64 // incumbent offers that improved the exchange
+	offers    atomic.Int64 // incumbent offers, accepted or not
+}
+
+// New returns an empty exchange (no incumbent, no bound).
+func New() *Exchange {
+	ex := &Exchange{}
+	ex.incumbent.Store(noIncumbent)
+	ex.bound.Store(noBound)
+	return ex
+}
+
+// OfferIncumbent publishes the objective of a verified feasible solution.
+// It reports whether the offer strictly improved the shared incumbent.
+func (ex *Exchange) OfferIncumbent(cost int64) bool {
+	if ex == nil {
+		return false
+	}
+	ex.offers.Add(1)
+	for {
+		cur := ex.incumbent.Load()
+		if cost >= cur {
+			return false
+		}
+		if ex.incumbent.CompareAndSwap(cur, cost) {
+			ex.accepted.Add(1)
+			return true
+		}
+	}
+}
+
+// Incumbent returns the best objective offered so far, if any.
+func (ex *Exchange) Incumbent() (int64, bool) {
+	if ex == nil {
+		return 0, false
+	}
+	v := ex.incumbent.Load()
+	return v, v != noIncumbent
+}
+
+// OfferBound publishes a proven global lower bound on the optimum. It reports
+// whether the offer strictly improved the shared bound. The shared bound is
+// monotone: a weaker offer never lowers it.
+func (ex *Exchange) OfferBound(lb int64) bool {
+	if ex == nil {
+		return false
+	}
+	for {
+		cur := ex.bound.Load()
+		if lb <= cur {
+			return false
+		}
+		if ex.bound.CompareAndSwap(cur, lb) {
+			return true
+		}
+	}
+}
+
+// Bound returns the strongest global lower bound offered so far, if any.
+func (ex *Exchange) Bound() (int64, bool) {
+	if ex == nil {
+		return 0, false
+	}
+	v := ex.bound.Load()
+	return v, v != noBound
+}
+
+// Decided reports whether the race is settled: a feasible incumbent exists
+// and the proven global bound has reached it, so the incumbent objective is
+// optimal. Engines poll it to terminate jointly before either finishes its
+// own tree.
+func (ex *Exchange) Decided() bool {
+	if ex == nil {
+		return false
+	}
+	inc := ex.incumbent.Load()
+	return inc != noIncumbent && ex.bound.Load() >= inc
+}
+
+// Accepted returns how many incumbent offers improved the exchange — the
+// "incumbent exchanges" telemetry of a portfolio solve.
+func (ex *Exchange) Accepted() int64 {
+	if ex == nil {
+		return 0
+	}
+	return ex.accepted.Load()
+}
+
+// Offers returns how many incumbent offers were made in total.
+func (ex *Exchange) Offers() int64 {
+	if ex == nil {
+		return 0
+	}
+	return ex.offers.Load()
+}

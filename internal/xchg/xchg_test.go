@@ -1,0 +1,146 @@
+package xchg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExchangeBasics(t *testing.T) {
+	ex := New()
+	if _, ok := ex.Incumbent(); ok {
+		t.Fatal("fresh exchange reports an incumbent")
+	}
+	if _, ok := ex.Bound(); ok {
+		t.Fatal("fresh exchange reports a bound")
+	}
+	if ex.Decided() {
+		t.Fatal("fresh exchange is decided")
+	}
+
+	if !ex.OfferIncumbent(100) {
+		t.Fatal("first incumbent offer rejected")
+	}
+	if ex.OfferIncumbent(100) {
+		t.Fatal("equal incumbent offer accepted (must be strict)")
+	}
+	if ex.OfferIncumbent(120) {
+		t.Fatal("worse incumbent offer accepted")
+	}
+	if !ex.OfferIncumbent(90) {
+		t.Fatal("better incumbent offer rejected")
+	}
+	if inc, ok := ex.Incumbent(); !ok || inc != 90 {
+		t.Fatalf("incumbent = (%d,%v), want (90,true)", inc, ok)
+	}
+	if got := ex.Accepted(); got != 2 {
+		t.Fatalf("accepted = %d, want 2", got)
+	}
+	if got := ex.Offers(); got != 4 {
+		t.Fatalf("offers = %d, want 4", got)
+	}
+
+	if !ex.OfferBound(50) {
+		t.Fatal("first bound offer rejected")
+	}
+	if ex.OfferBound(40) {
+		t.Fatal("weaker bound offer accepted (bound must be monotone)")
+	}
+	if b, ok := ex.Bound(); !ok || b != 50 {
+		t.Fatalf("bound = (%d,%v), want (50,true)", b, ok)
+	}
+	if ex.Decided() {
+		t.Fatal("decided with bound 50 < incumbent 90")
+	}
+	ex.OfferBound(90)
+	if !ex.Decided() {
+		t.Fatal("not decided with bound 90 >= incumbent 90")
+	}
+}
+
+func TestExchangeNilSafe(t *testing.T) {
+	var ex *Exchange
+	if ex.OfferIncumbent(1) || ex.OfferBound(1) || ex.Decided() {
+		t.Fatal("nil exchange accepted an offer or decided")
+	}
+	if _, ok := ex.Incumbent(); ok {
+		t.Fatal("nil exchange reports an incumbent")
+	}
+	if _, ok := ex.Bound(); ok {
+		t.Fatal("nil exchange reports a bound")
+	}
+	if ex.Accepted() != 0 || ex.Offers() != 0 {
+		t.Fatal("nil exchange reports nonzero counters")
+	}
+}
+
+// TestExchangeStress hammers one exchange from many goroutines — the
+// portfolio race's concurrency pattern with the contention turned up — and
+// asserts the two monotonicity invariants the engines' pruning correctness
+// rests on: the observed bound never regresses and the observed incumbent
+// never worsens, under arbitrary interleavings of offers and reads.
+func TestExchangeStress(t *testing.T) {
+	ex := New()
+	const (
+		goroutines = 32
+		offers     = 2000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		gi := gi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Deterministic per-goroutine offer stream mixing improving and
+			// regressing values; interleaved reads check monotonicity.
+			lastBound := int64(-1 << 62)
+			lastInc := int64(1 << 59)
+			seed := uint64(gi)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < offers; i++ {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				v := int64(seed % 100000)
+				ex.OfferBound(v)
+				ex.OfferIncumbent(v + 50000)
+				if b, ok := ex.Bound(); ok {
+					if b < lastBound {
+						errs <- "bound regressed"
+						return
+					}
+					lastBound = b
+				}
+				if inc, ok := ex.Incumbent(); ok {
+					if inc > lastInc {
+						errs <- "incumbent worsened"
+						return
+					}
+					lastInc = inc
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// Post-race state: the maxima/minima of all offered values.
+	inc, ok := ex.Incumbent()
+	if !ok {
+		t.Fatal("no incumbent after stress")
+	}
+	b, ok := ex.Bound()
+	if !ok {
+		t.Fatal("no bound after stress")
+	}
+	// Every incumbent offered was bound+50000 for the same value stream, so
+	// the final max bound >= final min incumbent - 50000 must hold.
+	if b < inc-50000 {
+		t.Fatalf("final bound %d inconsistent with incumbent %d", b, inc)
+	}
+	if ex.Accepted() > ex.Offers() {
+		t.Fatalf("accepted %d > offers %d", ex.Accepted(), ex.Offers())
+	}
+}
