@@ -3,8 +3,10 @@
 # installed), race-test the concurrency-sensitive packages (sched runs the
 # worker pool; exp/core/ilp/lp — including the sparse basis-factorization
 # kernels in lp/factor.go and lp/ftran.go — execute inside it; obs is updated
-# from solver goroutines; xchg is the lock-free portfolio exchange both race
-# engines hammer concurrently), the full test suite in short mode, and a parallel
+# from solver goroutines and hosts the sampling profiler's ticker goroutine;
+# calib's probes must stay race-clean because they run inside instrumented
+# bench sessions; xchg is the lock-free portfolio exchange both race engines
+# hammer concurrently), the full test suite in short mode, and a parallel
 # end-to-end smoke run of both CLIs at -j 4.
 set -eu
 
@@ -19,7 +21,7 @@ else
 	echo "== shadow check skipped (analyzer not installed)"
 fi
 
-echo "== go test -race (sched, exp, core, ilp, lp, obs, report, xchg)"
+echo "== go test -race (sched, exp, core, ilp, lp, obs, calib, report, xchg)"
 go test -race -short -timeout 20m \
 	./internal/sched/... \
 	./internal/exp/... \
@@ -27,6 +29,7 @@ go test -race -short -timeout 20m \
 	./internal/ilp/... \
 	./internal/lp/... \
 	./internal/obs/... \
+	./internal/calib/... \
 	./internal/report/... \
 	./internal/xchg/...
 
@@ -50,19 +53,45 @@ go run ./cmd/traceview -validate "$smoke_tmp/optroute.jsonl"
 go run ./cmd/traceview -validate "$smoke_tmp/beoleval.jsonl"
 go run ./cmd/traceview -top 5 "$smoke_tmp/optroute.jsonl" >/dev/null
 
-echo "== bench: short corpus + schema validation + phase-aware regression gate"
+echo "== calib: machine-calibration probe smoke"
+go run ./cmd/benchrun -calib
+
+echo "== bench: short corpus + schema validation + two-tier regression gate"
 # The short corpus is a subset of the full trajectory corpus, so the freshly
-# run cases gate against the latest committed trajectory point: identical
-# answers required, and at most a 20% geomean wall-time regression. The
-# comparison prints a per-phase attribution table (node_lp, steiner, drc,
-# lp.* simplex internals, ...) so a tripped gate names the phase that moved.
+# run cases gate against the latest committed trajectory point. The primary
+# signal is the deterministic work ratio (nodes, simplex iterations, FTRAN/
+# BTRAN nnz, ...) at a tight 1.02 — those counters carry no timing jitter, so
+# any movement is a code change. Wall time is the secondary signal at a loose
+# 1.2, corrected by the calibration probes; exit code 5 means the wall moved
+# but the evidence points at the machine (the BENCH_2->BENCH_3 false alarm,
+# automated), which CI reports as a warning instead of a failure. The sampled
+# run also exercises the in-process profiler end to end, and traceview
+# validates the emitted profile stream.
 bench_latest=$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)
-go run ./cmd/benchrun -short -timeout 30s -o "$bench_tmp/BENCH_ci.json" \
-	-baseline "$bench_latest" -max-regress 1.2
+# Built (not `go run`) because go run collapses every nonzero child exit to 1,
+# which would make the drift warning indistinguishable from a hard failure.
+go build -o "$bench_tmp/benchrun" ./cmd/benchrun
+set +e
+"$bench_tmp/benchrun" -short -timeout 30s -o "$bench_tmp/BENCH_ci.json" \
+	-sample "$bench_tmp/profile.jsonl" \
+	-baseline "$bench_latest" -max-regress 1.2 -max-work-regress 1.02
+bench_rc=$?
+set -e
+case "$bench_rc" in
+0) ;;
+5) echo "ci: WARNING wall-time drift suspected (machine, not code) — not failing" ;;
+*)
+	echo "ci: bench gate failed (exit $bench_rc)" >&2
+	exit "$bench_rc"
+	;;
+esac
 go run ./cmd/benchrun -check "$bench_tmp/BENCH_ci.json"
 for doc in BENCH_*.json; do
 	[ -e "$doc" ] || continue
 	go run ./cmd/benchrun -check "$doc"
 done
+
+echo "== traceview: sampled profile stream well-formed"
+go run ./cmd/traceview -validate -profile "$bench_tmp/profile.jsonl"
 
 echo "ci: OK"

@@ -8,18 +8,38 @@
 //
 // Usage:
 //
-//	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir] [-baseline file [-max-regress R]]
-//	benchrun [-par N] [-portfolio]
+//	benchrun [-short] [-timeout 30s] [-j N] [-o file | -dir dir]
+//	benchrun [-baseline file [-max-regress R] [-max-work-regress R]]
+//	benchrun [-par N] [-portfolio] [-sample file [-sample-hz N]]
 //	benchrun [-trace file [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]] ...
 //	benchrun -check file.json
+//	benchrun -calib
 //
 // -short runs the CI corpus (seconds); the default full corpus takes on the
 // order of a minute. -o writes to the named file ("-" = stdout); -dir picks
 // the first free BENCH_<n>.json in the directory (default "."). -check only
-// validates an existing document against the schema and exits. -baseline
-// compares the run against a committed trajectory point (failing on any
-// answer mismatch) and -max-regress additionally fails the run when the
-// geomean wall-time ratio exceeds the given factor.
+// validates an existing document against the schema and exits. -calib runs
+// the machine-calibration probe suite alone, prints it, and exits — the
+// same suite every corpus run stamps into its document's calibration block.
+//
+// -baseline compares the run against a committed trajectory point under the
+// two-tier regression policy: -max-work-regress gates the deterministic
+// per-case work ratio (the primary signal — tight, jitter-free), and
+// -max-regress gates the geomean wall ratio (secondary — loose, corrected by
+// the calibration blocks when both documents carry them). The process exit
+// code classifies the outcome for CI:
+//
+//	0  answers match, work flat, wall within bounds
+//	1  operational error (bad flags, I/O, failed cases, no comparable cases)
+//	2  answer mismatch — the solvers disagree
+//	3  work regression — a deterministic counter regressed; always code
+//	4  wall regression — slower even after machine drift is divided out
+//	5  wall regression with machine drift suspected — warn, don't fail
+//
+// -sample profiles every case with the in-process sampling profiler
+// (obs.Sampler), attaching per-case top-function summaries to the document
+// and streaming one JSONL record per case to the named file ("-" = stderr
+// summary only); -sample-hz tunes the rate (default 100).
 //
 // -par N runs every serial bnb and portfolio case with N in-solve workers
 // (the parallel engine is deterministic, so answers — and hence the -baseline
@@ -34,25 +54,39 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"time"
 
+	"optrouter/internal/calib"
 	"optrouter/internal/exp"
 	"optrouter/internal/obs"
 	"optrouter/internal/report"
 )
 
+// CI exit codes of the -baseline gate (see the package comment).
+const (
+	exitAnswerMismatch = 2
+	exitWorkRegression = 3
+	exitWallRegression = 4
+	exitWallDrift      = 5
+)
+
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	var (
 		short   = flag.Bool("short", false, "run the reduced CI corpus")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-case solve budget")
@@ -60,13 +94,19 @@ func run() error {
 		out     = flag.String("o", "", "output file (\"-\" = stdout; default: first free BENCH_<n>.json in -dir)")
 		dir     = flag.String("dir", ".", "directory for auto-numbered BENCH_<n>.json output")
 		check   = flag.String("check", "", "validate an existing benchmark document and exit")
+		calOnly = flag.Bool("calib", false, "run the machine-calibration probe suite, print it, and exit")
 
 		par       = flag.Int("par", 0, "run serial bnb/portfolio cases with this many in-solve workers (0 = as pinned; pinned par twins keep their worker count)")
 		portfolio = flag.Bool("portfolio", false, "also solve every bnb case in portfolio mode (\"-portfolio\" name suffix)")
 
 		baseline   = flag.String("baseline", "", "baseline benchmark document to compare the run against")
 		maxRegress = flag.Float64("max-regress", 0,
-			"fail when the geomean wall ratio vs -baseline exceeds this (0 = report only)")
+			"fail (exit 4/5) when the wall ratio vs -baseline exceeds this, calibrated when possible (0 = report only)")
+		maxWorkRegress = flag.Float64("max-work-regress", 0,
+			"fail (exit 3) when any case's deterministic work ratio vs -baseline exceeds this (0 = report only)")
+
+		sample   = flag.String("sample", "", "profile each case with the sampling profiler, writing JSONL records here (\"-\" = no file, document only)")
+		sampleHz = flag.Int("sample-hz", 100, "sampling-profiler rate in stacks/second")
 
 		trace      = flag.String("trace", "", "write a JSONL span trace of every solve to this file")
 		traceMaxMB = flag.Int("trace-max-mb", 64, "rotate the trace when a file exceeds this size")
@@ -80,15 +120,25 @@ func run() error {
 	if *check != "" {
 		data, err := os.ReadFile(*check)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		doc, err := report.ValidateBench(data)
 		if err != nil {
-			return fmt.Errorf("%s: %w", *check, err)
+			return 1, fmt.Errorf("%s: %w", *check, err)
 		}
 		fmt.Printf("%s: valid (schema %d, %s corpus, %d cases, %d failed)\n",
 			*check, doc.SchemaVersion, doc.Corpus, doc.Totals.Cases, doc.Totals.Failed)
-		return nil
+		return 0, nil
+	}
+
+	if *calOnly {
+		res := calib.Run(calib.Options{})
+		for _, p := range res.Probes {
+			fmt.Printf("%-10s %12.3f ns/op  (%d ops)\n", p.Name, p.NsPerOp, p.Ops)
+		}
+		fmt.Printf("%-10s %12.3f ns     (machine probes geomean; %.0fms suite wall)\n",
+			"score", res.ScoreNs, res.WallMS)
+		return 0, nil
 	}
 
 	corpus := "full"
@@ -118,14 +168,50 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "benchrun: %s corpus, %d cases, %d workers\n", corpus, len(specs), *jobs)
 
-	runOpt := exp.BenchRunOptions{Timeout: *timeout, Workers: *jobs, Corpus: corpus}
+	// Calibrate before solving anything: the document must say what machine
+	// state produced it, and the operator should see the score up front.
+	calRes := calib.Run(calib.Options{})
+	fmt.Fprintf(os.Stderr, "benchrun: calibration score %.3f ns (suite %.0fms)\n",
+		calRes.ScoreNs, calRes.WallMS)
+
+	runOpt := exp.BenchRunOptions{
+		Timeout: *timeout, Workers: *jobs, Corpus: corpus,
+		Calibration: &report.BenchCalibration{
+			ProbesNs: calRes.ProbesNs(), ScoreNs: calRes.ScoreNs, WallMS: calRes.WallMS,
+		},
+	}
 	if *flight && *trace == "" {
-		return fmt.Errorf("-flight needs -trace (node events have nowhere to go)")
+		return 1, fmt.Errorf("-flight needs -trace (node events have nowhere to go)")
+	}
+	if *sample != "" {
+		sampler := obs.StartSampler(obs.SamplerOptions{Hz: *sampleHz})
+		defer sampler.Stop()
+		runOpt.Sampler = sampler
+		if *sample != "-" {
+			f, err := os.Create(*sample)
+			if err != nil {
+				return 1, err
+			}
+			pw := report.NewProfileWriter(f)
+			defer func() {
+				if err := pw.Flush(); err != nil {
+					fmt.Fprintf(os.Stderr, "benchrun: sample: %v\n", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "benchrun: sample: %v\n", err)
+				}
+			}()
+			runOpt.ProfileW = pw
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "benchrun: sampler captured %d stacks at %d Hz\n",
+				sampler.Samples(), sampler.Hz())
+		}()
 	}
 	if *trace != "" {
 		tr, err := obs.NewRotatingTracer(*trace, int64(*traceMaxMB)<<20, *traceKeep)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		// Close (not just flush) so SIGINT-shortened runs still leave a
 		// parseable trace behind; Close is idempotent.
@@ -145,61 +231,65 @@ func run() error {
 	defer stop()
 	doc, err := exp.RunBenchCorpus(ctx, specs, runOpt)
 	if err != nil {
-		return err
+		return 1, err
 	}
 
 	// Self-validate before writing: an emitted document that fails its own
 	// schema is a bug worth failing loudly on, not committing.
 	data, err := report.MarshalBench(doc)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	if _, err := report.ValidateBench(data); err != nil {
-		return fmt.Errorf("emitted document fails validation: %w", err)
+		return 1, fmt.Errorf("emitted document fails validation: %w", err)
 	}
 
 	if *out == "-" {
 		if _, err := os.Stdout.Write(data); err != nil {
-			return err
+			return 1, err
 		}
 	} else {
 		path := *out
 		if path == "" {
 			path, err = nextBenchPath(*dir)
 			if err != nil {
-				return err
+				return 1, err
 			}
 		}
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return err
+			return 1, err
 		}
 		fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d cases, %d failed, %.0fms total solve wall)\n",
 			path, doc.Totals.Cases, doc.Totals.Failed, doc.Totals.WallMS)
 	}
 	if doc.Totals.Failed > 0 {
-		return fmt.Errorf("%d of %d cases failed", doc.Totals.Failed, doc.Totals.Cases)
+		return 1, fmt.Errorf("%d of %d cases failed", doc.Totals.Failed, doc.Totals.Cases)
 	}
 	if *baseline != "" {
-		return compareBaseline(doc, *baseline, *maxRegress)
+		return compareBaseline(doc, *baseline, *maxRegress, *maxWorkRegress)
 	}
-	return nil
+	return 0, nil
 }
 
 // compareBaseline gates the freshly run document against a committed
-// trajectory point: identical answers on every shared case, and (when
-// maxRegress > 0) a geomean wall-time ratio within the budget.
-func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) error {
+// trajectory point under the two-tier policy: identical answers on every
+// shared case, deterministic work within maxWorkRegress (primary), wall time
+// within maxRegress (secondary, machine-corrected when both documents carry
+// calibration). The returned code is the process exit code.
+func compareBaseline(doc *report.BenchDoc, path string, maxRegress, maxWorkRegress float64) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	base, err := report.ValidateBench(data)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return 1, fmt.Errorf("%s: %w", path, err)
 	}
 	cmp := report.CompareBench(base, doc)
-	fmt.Fprintf(os.Stderr, "benchrun: vs %s: %d cases matched, geomean wall ratio %.3f\n",
-		path, cmp.Matched, cmp.WallRatio)
+	fmt.Fprintf(os.Stderr, "benchrun: vs %s: %d cases matched, geomean wall ratio %.3f (calibrated %.3f, calib %.3f)\n",
+		path, cmp.Matched, cmp.WallRatio, cmp.CalibratedWallRatio, cmp.CalibRatio)
+	fmt.Fprintf(os.Stderr, "benchrun: work ratio %.3f over %d cases (worst %.3f at %s)\n",
+		cmp.WorkRatio, cmp.WorkCases, cmp.WorkMax, cmp.WorkMaxCase)
 	for _, m := range cmp.Mismatches {
 		fmt.Fprintf(os.Stderr, "benchrun: answer mismatch: %s\n", m)
 	}
@@ -209,6 +299,12 @@ func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) erro
 	for _, k := range cmp.OnlyBase {
 		fmt.Fprintf(os.Stderr, "benchrun: case %s only in baseline (not run)\n", k)
 	}
+	if len(cmp.WorkDeltas) > 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: %-18s %14s %14s %8s\n", "work counter", "base", "cur", "ratio")
+		for _, d := range cmp.WorkDeltas {
+			fmt.Fprintf(os.Stderr, "benchrun: %-18s %14d %14d %8.3f\n", d.Counter, d.Base, d.Cur, d.Ratio)
+		}
+	}
 	if len(cmp.PhaseDeltas) > 0 {
 		fmt.Fprintf(os.Stderr, "benchrun: %-16s %10s %10s %8s\n", "phase", "base_ms", "cur_ms", "delta")
 		for _, d := range cmp.PhaseDeltas {
@@ -216,21 +312,43 @@ func compareBaseline(doc *report.BenchDoc, path string, maxRegress float64) erro
 				d.Phase, d.BaseMS, d.CurMS, (d.Ratio-1)*100)
 		}
 	}
-	if len(cmp.Mismatches) > 0 {
-		return fmt.Errorf("%d answer mismatches vs %s", len(cmp.Mismatches), path)
+	for i, d := range cmp.ProfileDeltas {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "benchrun: profile %s: self share %.1f%% -> %.1f%%\n",
+			d.Fn, d.BaseFrac*100, d.CurFrac*100)
 	}
-	if cmp.Matched == 0 {
-		return fmt.Errorf("no comparable cases vs %s", path)
+	if cmp.Matched == 0 && len(cmp.Mismatches) == 0 {
+		return 1, fmt.Errorf("no comparable cases vs %s", path)
 	}
-	if maxRegress > 0 && cmp.WallRatio > maxRegress {
-		msg := fmt.Sprintf("geomean wall ratio %.3f vs %s exceeds -max-regress %.2f",
-			cmp.WallRatio, path, maxRegress)
+	// 0 means "report only" for each tier; Gate sees an infinite threshold.
+	gateWork, gateWall := maxWorkRegress, maxRegress
+	if gateWork <= 0 {
+		gateWork = math.Inf(1)
+	}
+	if gateWall <= 0 {
+		gateWall = math.Inf(1)
+	}
+	outcome, verdict := cmp.Gate(gateWork, gateWall)
+	fmt.Fprintf(os.Stderr, "benchrun: gate %s: %s\n", outcome, verdict)
+	switch outcome {
+	case report.GateAnswerMismatch:
+		return exitAnswerMismatch, fmt.Errorf("answer mismatch vs %s: %s", path, verdict)
+	case report.GateWorkRegression:
+		return exitWorkRegression, fmt.Errorf("%s vs %s", verdict, path)
+	case report.GateWallRegression:
+		msg := verdict
 		if s := cmp.PhaseSummary(3); s != "" {
 			msg += " (largest phase movements: " + s + ")"
 		}
-		return fmt.Errorf("%s", msg)
+		return exitWallRegression, fmt.Errorf("%s vs %s", msg, path)
+	case report.GateWallDrift:
+		// Warn-only outcome: distinct exit code, no error (ci.sh decides).
+		fmt.Fprintf(os.Stderr, "benchrun: WARNING: %s\n", verdict)
+		return exitWallDrift, nil
 	}
-	return nil
+	return 0, nil
 }
 
 // nextBenchPath returns the first BENCH_<n>.json not yet present in dir.

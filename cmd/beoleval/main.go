@@ -26,7 +26,11 @@
 // for cmd/traceview); -converge dumps one
 // JSON line per solve with its incumbent/bound convergence trace; -pprof
 // serves net/http/pprof plus /metrics (Prometheus text exposition) and
-// /statusz (live sweep state) on the given address. Interrupt (Ctrl-C)
+// /statusz (live sweep state) on the given address. -calib runs the
+// machine-calibration probe suite before the sweep (score on stderr, gauges
+// on /metrics, block on /statusz); -sample profiles the sweep with the
+// in-process sampling profiler (-sample-hz rate) and prints the top
+// self-time functions at exit. Interrupt (Ctrl-C)
 // cancels in-flight solves, drains cleanly and still flushes every sink.
 package main
 
@@ -42,6 +46,7 @@ import (
 	"runtime"
 	"time"
 
+	"optrouter/internal/calib"
 	"optrouter/internal/exp"
 	"optrouter/internal/obs"
 	"optrouter/internal/report"
@@ -88,6 +93,9 @@ func run() error {
 		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
 		convOut     = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
 		pprofA      = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
+		calibrate   = flag.Bool("calib", false, "run the machine-calibration probe suite before the sweep and report its score")
+		sampleOn    = flag.Bool("sample", false, "run the sampling profiler across the sweep; print top functions at exit")
+		sampleHz    = flag.Int("sample-hz", 100, "sampling-profiler rate in stacks/second (with -sample)")
 	)
 	flag.Parse()
 
@@ -107,6 +115,30 @@ func run() error {
 		go func() {
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "beoleval: pprof: %v\n", err)
+			}
+		}()
+	}
+	if *calibrate {
+		res := calib.Run(calib.Options{})
+		fmt.Fprintf(os.Stderr, "beoleval: calibration score %.3f ns (suite %.0fms)\n",
+			res.ScoreNs, res.WallMS)
+		status.SetCalibration(res.ScoreNs, res.ProbesNs())
+		if metrics != nil {
+			metrics.Gauge("calib_score_ns").Set(res.ScoreNs)
+			for name, ns := range res.ProbesNs() {
+				metrics.Gauge("calib_ns_" + name).Set(ns)
+			}
+		}
+	}
+	if *sampleOn {
+		sampler := obs.StartSampler(obs.SamplerOptions{Hz: *sampleHz, Registry: metrics})
+		status.SetSampler(sampler)
+		defer func() {
+			sampler.Stop()
+			p := sampler.Profile(10)
+			fmt.Fprintf(os.Stderr, "beoleval: sampler: %d stacks at %d Hz\n", p.Samples, p.Hz)
+			for _, f := range p.Funcs {
+				fmt.Fprintf(os.Stderr, "beoleval:   self %5d  cum %5d  %s\n", f.Self, f.Cum, f.Fn)
 			}
 		}()
 	}

@@ -26,6 +26,12 @@
 // search events onto it for cmd/traceview; -converge dumps each
 // solve's incumbent/bound convergence trace as JSON lines; -pprof serves
 // net/http/pprof plus /metrics and /statusz on the given address.
+//
+// -calib runs the machine-calibration probe suite before solving and reports
+// its score (also exposed as calib_score_ns/calib_ns_<probe> gauges on
+// /metrics and a calibration block on /statusz); -sample runs the in-process
+// sampling profiler (obs.Sampler, rate via -sample-hz) across the run and
+// prints the top self-time functions at exit.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"runtime"
 	"time"
 
+	"optrouter/internal/calib"
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
@@ -88,6 +95,9 @@ func run() (int, error) {
 		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
 		convOut     = flag.String("converge", "", "write per-solve convergence traces (JSON lines) to this file")
 		pprofA      = flag.String("pprof", "", "serve net/http/pprof, /metrics and /statusz on this address (e.g. localhost:6060)")
+		calibrate   = flag.Bool("calib", false, "run the machine-calibration probe suite before solving and report its score")
+		sampleOn    = flag.Bool("sample", false, "run the sampling profiler across the run; print top functions at exit")
+		sampleHz    = flag.Int("sample-hz", 100, "sampling-profiler rate in stacks/second (with -sample)")
 	)
 	flag.Parse()
 
@@ -101,6 +111,30 @@ func run() (int, error) {
 		go func() {
 			if err := http.ListenAndServe(*pprofA, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "optroute: pprof: %v\n", err)
+			}
+		}()
+	}
+	if *calibrate {
+		res := calib.Run(calib.Options{})
+		fmt.Fprintf(os.Stderr, "optroute: calibration score %.3f ns (suite %.0fms)\n",
+			res.ScoreNs, res.WallMS)
+		status.SetCalibration(res.ScoreNs, res.ProbesNs())
+		if metrics != nil {
+			metrics.Gauge("calib_score_ns").Set(res.ScoreNs)
+			for name, ns := range res.ProbesNs() {
+				metrics.Gauge("calib_ns_" + name).Set(ns)
+			}
+		}
+	}
+	if *sampleOn {
+		sampler := obs.StartSampler(obs.SamplerOptions{Hz: *sampleHz, Registry: metrics})
+		status.SetSampler(sampler)
+		defer func() {
+			sampler.Stop()
+			p := sampler.Profile(10)
+			fmt.Fprintf(os.Stderr, "optroute: sampler: %d stacks at %d Hz\n", p.Samples, p.Hz)
+			for _, f := range p.Funcs {
+				fmt.Fprintf(os.Stderr, "optroute:   self %5d  cum %5d  %s\n", f.Self, f.Cum, f.Fn)
 			}
 		}()
 	}

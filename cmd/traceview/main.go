@@ -10,14 +10,24 @@
 //
 //	traceview [-top N] [-csv file] trace.jsonl [trace.jsonl.1 ...]
 //	traceview -validate trace.jsonl
+//	traceview -profile samples.jsonl
+//	traceview -bench BENCH_4.json [-baseline BENCH_3.json]
 //
 // Multiple files concatenate before reconstruction, so a rotated trace
 // (trace.jsonl plus its .1/.2 archives) can be analysed whole. With no file
 // arguments the trace is read from stdin. -validate only checks
 // well-formedness (every parent resolves, spans nest inside their parents)
-// and exits non-zero on problems — ci.sh pipes smoke traces through it.
+// and exits non-zero on problems — ci.sh pipes smoke traces through it
+// (profile JSONL streams are validated too when given via -profile).
 // -csv exports one row per recorded node event ("-" = stdout), a feature
 // table for offline analysis.
+//
+// -profile renders the per-case sampling profiles emitted by
+// benchrun -sample: one top-function table per case. -bench renders a
+// benchmark document's calibration block and per-case work vectors; with
+// -baseline it additionally prints the full comparison — calibrated wall
+// ratios, per-counter work movement, profile share shifts and the drift
+// verdict of the two-tier regression gate.
 package main
 
 import (
@@ -40,11 +50,21 @@ func main() {
 
 func run() error {
 	var (
-		validate = flag.Bool("validate", false, "check trace well-formedness and exit")
+		validate = flag.Bool("validate", false, "check trace (or -profile stream) well-formedness and exit")
 		topN     = flag.Int("top", 10, "hot-span table size (0 = skip, -1 = all)")
 		csvOut   = flag.String("csv", "", "write per-node-event CSV to this file (\"-\" = stdout)")
+		profile  = flag.String("profile", "", "render a sampling-profile JSONL stream (benchrun -sample) instead of a trace")
+		bench    = flag.String("bench", "", "render a benchmark document's calibration and work vectors instead of a trace")
+		baseline = flag.String("baseline", "", "with -bench: compare against this baseline document (drift verdict)")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		return runProfile(*profile, *validate, *topN)
+	}
+	if *bench != "" {
+		return runBench(*bench, *baseline)
+	}
 
 	recs, err := readTraces(flag.Args())
 	if err != nil {
@@ -226,6 +246,134 @@ func printTopSpans(tree *obs.TraceTree, n int) {
 		fmt.Printf("%-24s %8d %12.1f %12.1f\n",
 			a.Name, a.Count, float64(a.SelfUS)/1000, float64(a.TotalUS)/1000)
 	}
+}
+
+// runProfile validates and renders a sampling-profile JSONL stream.
+func runProfile(path string, validateOnly bool, topN int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, err := report.ReadProfiles(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no profile records", path)
+	}
+	if validateOnly {
+		fmt.Printf("%d profile records: well-formed\n", len(recs))
+		return nil
+	}
+	for _, rec := range recs {
+		fmt.Printf("\n%s (%s, %s): %d samples at %d Hz, %.1fms wall\n",
+			rec.Clip, rec.Solver, rec.Rule, rec.Samples, rec.Hz, rec.WallMS)
+		n := len(rec.Funcs)
+		if topN > 0 && n > topN {
+			n = topN
+		}
+		if n > 0 {
+			fmt.Printf("  %6s %6s  %s\n", "self", "cum", "function")
+		}
+		for _, f := range rec.Funcs[:n] {
+			fmt.Printf("  %6d %6d  %s\n", f.Self, f.Cum, f.Fn)
+		}
+	}
+	return nil
+}
+
+// runBench renders a benchmark document's measurement-trust evidence —
+// calibration block and per-case work vectors — and, with a baseline, the
+// full comparison including the drift verdict.
+func runBench(path, basePath string) error {
+	doc, err := readBench(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: schema %d, %s corpus, %d cases (%d failed)\n",
+		path, doc.SchemaVersion, doc.Corpus, doc.Totals.Cases, doc.Totals.Failed)
+	if cal := doc.Calibration; cal != nil {
+		fmt.Printf("calibration: score %.3f ns (suite %.0fms)\n", cal.ScoreNs, cal.WallMS)
+		names := make([]string, 0, len(cal.ProbesNs))
+		for name := range cal.ProbesNs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-10s %12.3f ns/op\n", name, cal.ProbesNs[name])
+		}
+	} else {
+		fmt.Printf("calibration: none (schema v%d document)\n", doc.SchemaVersion)
+	}
+	for _, c := range doc.Cases {
+		if len(c.Work) == 0 && c.Profile == nil {
+			continue
+		}
+		fmt.Printf("\n%s/%s: %.1fms wall\n", c.Name, c.Solver, c.WallMS)
+		if len(c.Work) > 0 {
+			keys := make([]string, 0, len(c.Work))
+			for k := range c.Work {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			line := ""
+			for _, k := range keys {
+				if line != "" {
+					line += " "
+				}
+				line += fmt.Sprintf("%s:%d", k, c.Work[k])
+			}
+			fmt.Printf("  work:    %s\n", line)
+		}
+		if p := c.Profile; p != nil {
+			fmt.Printf("  profile: %d samples at %d Hz", p.Samples, p.Hz)
+			if len(p.Funcs) > 0 {
+				fmt.Printf("; top %s (self %d)", p.Funcs[0].Fn, p.Funcs[0].Self)
+			}
+			fmt.Println()
+		}
+	}
+	if basePath == "" {
+		return nil
+	}
+	base, err := readBench(basePath)
+	if err != nil {
+		return err
+	}
+	cmp := report.CompareBench(base, doc)
+	fmt.Printf("\nvs %s: %d matched, %d mismatched, %d only-base, %d only-cur\n",
+		basePath, cmp.Matched, len(cmp.Mismatches), len(cmp.OnlyBase), len(cmp.OnlyCur))
+	fmt.Printf("wall ratio %.3f raw, %.3f calibrated (machine ratio %.3f, calib %v)\n",
+		cmp.WallRatio, cmp.CalibratedWallRatio, cmp.CalibRatio, cmp.HasCalib)
+	fmt.Printf("work ratio %.3f over %d cases (worst %.3f at %s)\n",
+		cmp.WorkRatio, cmp.WorkCases, cmp.WorkMax, cmp.WorkMaxCase)
+	for _, d := range cmp.WorkDeltas {
+		fmt.Printf("  work %-18s %14d -> %14d  (%.3f)\n", d.Counter, d.Base, d.Cur, d.Ratio)
+	}
+	for i, d := range cmp.ProfileDeltas {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  profile %-40s self share %5.1f%% -> %5.1f%%\n",
+			d.Fn, d.BaseFrac*100, d.CurFrac*100)
+	}
+	// The standard CI thresholds (ci.sh): work 1.02 primary, wall 1.2
+	// secondary — rendering the same verdict the gate would produce.
+	outcome, verdict := cmp.Gate(1.02, 1.2)
+	fmt.Printf("verdict [%s]: %s\n", outcome, verdict)
+	return nil
+}
+
+func readBench(path string) (*report.BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := report.ValidateBench(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
 }
 
 func writeCSV(path string, solves []report.SolveTrace) error {

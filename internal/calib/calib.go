@@ -1,0 +1,218 @@
+// Package calib measures the machine, not the code: a fixed suite of
+// deterministic micro-workloads run before a benchmark session so that every
+// BENCH_<n>.json document carries evidence of the hardware state it was
+// produced under. Two documents' calibration blocks divide into a machine
+// ratio, and report.CompareBench uses it to separate "the solver got slower"
+// from "the container got slower" (the BENCH_2→BENCH_3 lesson: a 1.414×
+// apparent wall regression that was pure container drift).
+//
+// The suite probes the three resources solver wall time is made of —
+// scalar integer throughput (int_spin), memory latency (ptr_chase) and
+// memory bandwidth (memcpy) — plus one tiny pinned solver instance (solver)
+// as an end-to-end cross-check. The composite Score deliberately excludes
+// the solver probe: the score must move only when the machine moves, never
+// when the solver gets faster, or calibration would cancel the very
+// speedups the trajectory exists to record.
+//
+// Every probe executes a fixed, seed-pinned operation count and reports the
+// best (minimum) time of its rounds — the standard calibration estimator,
+// robust against scheduler preemption inflating a round.
+package calib
+
+import (
+	"math"
+	"time"
+
+	"optrouter/internal/clip"
+	"optrouter/internal/core"
+	"optrouter/internal/rgraph"
+	"optrouter/internal/tech"
+)
+
+// Options tunes a calibration run.
+type Options struct {
+	// Rounds is the per-probe repetition count; the best round is reported.
+	// 0 means 3.
+	Rounds int
+}
+
+// Probe is one micro-workload's measurement.
+type Probe struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"` // best-of-rounds
+	Ops     int     `json:"ops"`       // operations per round
+}
+
+// Result is one calibration run.
+type Result struct {
+	Probes []Probe `json:"probes"`
+	// ScoreNs is the geometric mean ns/op of the machine probes (int_spin,
+	// ptr_chase, memcpy). The solver probe is excluded by design: code
+	// speedups must not move the machine score.
+	ScoreNs float64 `json:"score_ns"`
+	// WallMS is the wall time of the whole suite including warmup rounds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// ProbesNs returns the probe measurements as a name → ns/op map (the shape
+// stamped into bench documents).
+func (r Result) ProbesNs() map[string]float64 {
+	m := make(map[string]float64, len(r.Probes))
+	for _, p := range r.Probes {
+		m[p.Name] = p.NsPerOp
+	}
+	return m
+}
+
+// MachineProbes names the probes whose geomean forms Score — and which
+// CompareBench uses for the machine ratio. The solver probe is excluded
+// from both (see the package comment).
+var MachineProbes = []string{"int_spin", "ptr_chase", "memcpy"}
+
+// Sink defeats dead-code elimination of the probe loops; never read it.
+var Sink uint64
+
+// Run executes the calibration suite and returns its result.
+func Run(opt Options) Result {
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	start := time.Now()
+	res := Result{Probes: []Probe{
+		runProbe("int_spin", rounds, spinOps, probeSpin),
+		runProbe("ptr_chase", rounds, chaseSteps, probeChase()),
+		runProbe("memcpy", rounds, copyBytes*copyPasses, probeMemcpy()),
+		runProbe("solver", rounds, solverSolves, probeSolver()),
+	}}
+	logSum, n := 0.0, 0
+	machine := map[string]bool{}
+	for _, name := range MachineProbes {
+		machine[name] = true
+	}
+	for _, p := range res.Probes {
+		if machine[p.Name] && p.NsPerOp > 0 {
+			logSum += math.Log(p.NsPerOp)
+			n++
+		}
+	}
+	if n > 0 {
+		res.ScoreNs = math.Exp(logSum / float64(n))
+	}
+	res.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return res
+}
+
+// runProbe times fn (which performs ops operations) over rounds plus one
+// untimed warmup, reporting the minimum round.
+func runProbe(name string, rounds, ops int, fn func()) Probe {
+	fn() // warmup: fault pages in, warm caches to their steady state
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return Probe{Name: name, Ops: ops, NsPerOp: float64(best.Nanoseconds()) / float64(ops)}
+}
+
+const spinOps = 1 << 22
+
+// probeSpin is pure register arithmetic: an xorshift64* chain whose every
+// step depends on the previous one, measuring scalar ALU throughput with no
+// memory traffic.
+func probeSpin() {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < spinOps; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		x *= 0x2545F4914F6CDD1D
+	}
+	Sink += x
+}
+
+const (
+	chaseLen   = 1 << 18 // 256K int32 entries = 1 MiB, past typical L1/L2
+	chaseSteps = 1 << 21
+)
+
+// probeChase walks a fixed pseudo-random single cycle through a 1 MiB index
+// array. Every load depends on the previous one, so the measured ns/op is
+// memory (cache/TLB) latency, the resource pointer-heavy search trees pay.
+func probeChase() func() {
+	perm := make([]int32, chaseLen)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	// Sattolo's algorithm with a fixed LCG: one cycle, identical on every
+	// machine and run.
+	rng := uint64(0x853C49E6748FEA9B)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for i := chaseLen - 1; i > 0; i-- {
+		j := next(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return func() {
+		p := int32(0)
+		for i := 0; i < chaseSteps; i++ {
+			p = perm[p]
+		}
+		Sink += uint64(p)
+	}
+}
+
+const (
+	copyBytes  = 4 << 20
+	copyPasses = 32
+)
+
+// probeMemcpy streams a 4 MiB buffer copyPasses times; ns/op is per byte,
+// i.e. the inverse of sequential memory bandwidth (flat DP tables, basis
+// refreshes).
+func probeMemcpy() func() {
+	src := make([]byte, copyBytes)
+	dst := make([]byte, copyBytes)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	return func() {
+		for p := 0; p < copyPasses; p++ {
+			copy(dst, src)
+			src, dst = dst, src
+		}
+		Sink += uint64(src[len(src)/2])
+	}
+}
+
+const solverSolves = 8
+
+// probeSolver solves one tiny pinned instance (the 4x5x3-s3-RULE1 corpus
+// case) solverSolves times per round: an end-to-end cross-check that the
+// synthetic probes predict solver throughput. Excluded from Score.
+func probeSolver() func() {
+	sopt := clip.DefaultSynth(3)
+	sopt.NX, sopt.NY, sopt.NZ = 4, 5, 3
+	sopt.NumNets = 3
+	sopt.MaxSinks = 2
+	c := clip.Synthesize(sopt)
+	rule, _ := tech.RuleByName("RULE1")
+	return func() {
+		for i := 0; i < solverSolves; i++ {
+			g, err := rgraph.Build(c, rgraph.Options{Rule: rule})
+			if err != nil {
+				return
+			}
+			sol, err := core.SolveBnB(g, core.BnBOptions{TimeLimit: 5 * time.Second})
+			if err != nil || sol == nil {
+				return
+			}
+			Sink += uint64(sol.Cost)
+		}
+	}
+}

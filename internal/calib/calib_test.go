@@ -1,0 +1,62 @@
+package calib
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunShape(t *testing.T) {
+	res := Run(Options{Rounds: 1})
+	if len(res.Probes) != 4 {
+		t.Fatalf("probes = %d, want 4", len(res.Probes))
+	}
+	names := res.ProbesNs()
+	for _, want := range append(append([]string{}, MachineProbes...), "solver") {
+		ns, ok := names[want]
+		if !ok {
+			t.Errorf("probe %q missing", want)
+			continue
+		}
+		if ns <= 0 || math.IsNaN(ns) || math.IsInf(ns, 0) {
+			t.Errorf("probe %q ns/op = %g, want finite positive", want, ns)
+		}
+	}
+	if res.ScoreNs <= 0 {
+		t.Errorf("ScoreNs = %g, want > 0", res.ScoreNs)
+	}
+	if res.WallMS <= 0 {
+		t.Errorf("WallMS = %g, want > 0", res.WallMS)
+	}
+}
+
+// TestScoreExcludesSolver: the composite score is the geomean of the machine
+// probes only — a solver speedup must never move it.
+func TestScoreExcludesSolver(t *testing.T) {
+	res := Run(Options{Rounds: 1})
+	probes := res.ProbesNs()
+	logSum, n := 0.0, 0
+	for _, name := range MachineProbes {
+		if ns := probes[name]; ns > 0 {
+			logSum += math.Log(ns)
+			n++
+		}
+	}
+	want := math.Exp(logSum / float64(n))
+	if math.Abs(res.ScoreNs-want)/want > 1e-12 {
+		t.Fatalf("ScoreNs = %g, want geomean of machine probes %g", res.ScoreNs, want)
+	}
+}
+
+func TestDefaultRounds(t *testing.T) {
+	res := Run(Options{})
+	if len(res.Probes) != 4 || res.ScoreNs <= 0 {
+		t.Fatalf("default-option run malformed: %+v", res)
+	}
+}
+
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Run(Options{Rounds: 1})
+		Sink += uint64(res.ScoreNs)
+	}
+}

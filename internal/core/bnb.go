@@ -689,6 +689,7 @@ func SolveBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 	stats.Nodes = nodes
 	for k := 0; k < nNets; k++ {
 		stats.SteinerSolves += ctxs[k].solves
+		stats.SteinerCells += ctxs[k].cells
 	}
 	stats.Elapsed = sol.Runtime
 	if stats.Termination == "" {

@@ -524,6 +524,8 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 			LPWarmStarts: res.Stats.LPWarmStarts,
 			LPRefactors:  res.Stats.LPRefactors,
 			LPEtaPivots:  res.Stats.LPEtaPivots,
+			LPFTRANNnz:   res.Stats.LPFTRANNnz,
+			LPBTRANNnz:   res.Stats.LPBTRANNnz,
 			LPTime:       res.Stats.LPTime,
 			ModelRows:    m.Model.NumConstraints(),
 			ModelCols:    m.Model.NumVars(),

@@ -727,6 +727,7 @@ func solveParBnB(g *rgraph.Graph, opt BnBOptions) (*Solution, error) {
 		stats.Dives += st.dives
 		for k := range st.ctxs {
 			stats.SteinerSolves += st.ctxs[k].solves
+			stats.SteinerCells += st.ctxs[k].cells
 		}
 	}
 	stats.Steals = int(rs.Steals.Load())

@@ -79,6 +79,7 @@ type SolveStats struct {
 	// CDC-BnB specific.
 	BansGenerated    int           // (net, arc) forbiddances pushed to children
 	SteinerSolves    int           // exact Steiner lower-bound computations
+	SteinerCells     int64         // finite Steiner DP cells visited (deterministic work)
 	SteinerCacheHits int           // per-net route cache hits avoided recomputation
 	DRCChecks        int           // design-rule evaluations of candidate routings
 	DRCTime          time.Duration // wall time inside the DRC
@@ -91,6 +92,8 @@ type SolveStats struct {
 	LPWarmStarts int           // node LPs reoptimized from the parent basis
 	LPRefactors  int           // basis refactorizations across all node LPs
 	LPEtaPivots  int           // basis exchanges absorbed by eta updates
+	LPFTRANNnz   int64         // sparse FTRAN result nonzeros (deterministic work)
+	LPBTRANNnz   int64         // sparse BTRAN result nonzeros (deterministic work)
 	LPTime       time.Duration // wall time inside the LP subsolver
 
 	// Model dimensions of the MILP path's LP relaxation (zero for the

@@ -16,6 +16,7 @@ type steinerCtx struct {
 	banned  []bool  // per arc
 	penalty []int64 // per arc, added to base cost (nil = none)
 	solves  int     // steinerTree invocations (observability)
+	cells   int64   // finite DP cells across all solves (deterministic work)
 	maxBase int64   // max base arc cost, bounds the bucket-queue span
 	arena   *SteinerArena
 }
@@ -196,6 +197,13 @@ func steinerTree(c *steinerCtx) (arcs []int32, cost int64, ok bool) {
 		if mask == full {
 			break
 		}
+	}
+
+	// Deterministic work accounting: every finite (mask, vertex) DP cell the
+	// solve produced, read off the per-mask finite counters the arena
+	// already maintains.
+	for mask := 1; mask <= full; mask++ {
+		c.cells += int64(a.rowCnt[mask])
 	}
 
 	rootIdx := full*nV + int(src)

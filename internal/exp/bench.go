@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"optrouter/internal/calib"
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
@@ -124,6 +125,22 @@ type BenchRunOptions struct {
 	// (effective only with a Tracer). Off by default: the benchmark exists to
 	// measure the solvers, and recording costs wall time.
 	Flight obs.FlightOptions
+	// Calibration, if non-nil, is stamped into the document's calibration
+	// block as-is (cmd/benchrun runs the probe suite once up front and
+	// shares the result with its progress output). Nil runs the suite here:
+	// schema v5 documents always carry the block.
+	Calibration *report.BenchCalibration
+	// Sampler, if non-nil, profiles each case through a sampling window and
+	// attaches the top-N frame summary to the case. Attribution matches the
+	// per-case runtime deltas: exact under one worker, approximate under
+	// parallel workers.
+	Sampler *obs.Sampler
+	// ProfileTopN caps the per-case profile at the N hottest functions
+	// (default 15).
+	ProfileTopN int
+	// ProfileW, if non-nil, additionally receives one JSONL record per
+	// sampled case (the -sample stream cmd/traceview renders).
+	ProfileW *report.ProfileWriter
 }
 
 // RunBenchCorpus solves every spec and assembles the schema-versioned
@@ -145,6 +162,16 @@ func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions)
 		}
 		if s.Par != 0 && s.Solver == "ilp" {
 			return nil, fmt.Errorf("exp: bench spec %q: par applies to bnb/portfolio only", s.Name)
+		}
+	}
+
+	// Machine calibration before the corpus runs: the document must say what
+	// hardware state produced its wall clocks (schema v5).
+	calibration := opt.Calibration
+	if calibration == nil {
+		res := calib.Run(calib.Options{})
+		calibration = &report.BenchCalibration{
+			ProbesNs: res.ProbesNs(), ScoreNs: res.ScoreNs, WallMS: res.WallMS,
 		}
 	}
 
@@ -200,6 +227,7 @@ func RunBenchCorpus(ctx context.Context, specs []BenchSpec, opt BenchRunOptions)
 			NumGC:        int(ms1.NumGC - ms0.NumGC),
 			PeakHeapMB:   peakMB,
 		},
+		Calibration: calibration,
 	}
 	for i, r := range results {
 		bc := r.Value
@@ -232,7 +260,9 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 
 	// Runtime deltas across the solve. The counters are process-global:
 	// exact under one worker, approximate under parallel workers (see the
-	// BenchCase field docs).
+	// BenchCase field docs). The sampling window shares that attribution
+	// model (nil-safe when sampling is off).
+	pw := opt.Sampler.Window()
 	var m0 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 
@@ -264,6 +294,17 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	bc.AllocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
 	bc.GCPauseMS = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
 	bc.NumGC = int(m1.NumGC - m0.NumGC)
+	topN := opt.ProfileTopN
+	if topN <= 0 {
+		topN = 15
+	}
+	if p := pw.End(topN); opt.Sampler != nil {
+		bp := &report.BenchProfile{Hz: p.Hz, Samples: p.Samples}
+		for _, f := range p.Funcs {
+			bp.Funcs = append(bp.Funcs, report.BenchFuncSample{Fn: f.Fn, Self: f.Self, Cum: f.Cum})
+		}
+		bc.Profile = bp
+	}
 	if err != nil {
 		bc.Err = err.Error()
 		return bc, nil
@@ -283,5 +324,57 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	bc.NNZ = st.ModelNNZ
 	bc.PhasesMS = st.Phases.MS()
 	bc.LPPhasesMS = st.LPPhases.MS()
+	bc.Work = benchWork(s, st)
+	if bc.Profile != nil && opt.ProfileW != nil {
+		perr := opt.ProfileW.Write(report.ProfileRecord{
+			Clip: s.Name, Rule: s.Rule, Solver: s.Solver,
+			WallMS: bc.WallMS, Hz: bc.Profile.Hz, Samples: bc.Profile.Samples,
+			Funcs: bc.Profile.Funcs,
+		})
+		if perr != nil {
+			return bc, perr
+		}
+	}
 	return bc, nil
+}
+
+// benchWork assembles the case's deterministic work vector from the solve
+// stats. Three counter sets exist because determinism shrinks with
+// parallelism: the serial CDC-BnB pins every counter including the
+// Steiner-DP ones; the round-parallel engine pins its search shape but not
+// the Steiner cache traffic (route-cache hits depend on worker interleaving,
+// so steiner_solves/steiner_cells move run to run — the deterministic set
+// matches the projection TestParBnBDeterministic locks); portfolio races are
+// scheduling-dependent end to end and record no vector at all.
+func benchWork(s BenchSpec, st core.SolveStats) map[string]int64 {
+	switch {
+	case s.Solver == "portfolio":
+		return nil
+	case s.Solver == "ilp":
+		return map[string]int64{
+			"nodes":         int64(st.Nodes),
+			"lp_solves":     int64(st.LPSolves),
+			"simplex_iters": int64(st.LPIters),
+			"ftran_nnz":     st.LPFTRANNnz,
+			"btran_nnz":     st.LPBTRANNnz,
+		}
+	case s.Par > 0:
+		return map[string]int64{
+			"nodes":             int64(st.Nodes),
+			"drc_checks":        int64(st.DRCChecks),
+			"bans_generated":    int64(st.BansGenerated),
+			"lagrangian_rounds": int64(st.LagrangianRounds),
+			"dives":             int64(st.Dives),
+		}
+	default:
+		return map[string]int64{
+			"nodes":             int64(st.Nodes),
+			"steiner_solves":    int64(st.SteinerSolves),
+			"steiner_cells":     st.SteinerCells,
+			"drc_checks":        int64(st.DRCChecks),
+			"bans_generated":    int64(st.BansGenerated),
+			"lagrangian_rounds": int64(st.LagrangianRounds),
+			"dives":             int64(st.Dives),
+		}
+	}
 }

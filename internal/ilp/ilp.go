@@ -210,6 +210,8 @@ type Stats struct {
 	LPDualIters   int           // dual-simplex iterations across warm starts
 	LPRefactors   int           // basis refactorizations across all node LPs
 	LPEtaPivots   int           // basis exchanges absorbed by eta updates
+	LPFTRANNnz    int64         // sparse FTRAN result nonzeros across node LPs
+	LPBTRANNnz    int64         // sparse BTRAN result nonzeros across node LPs
 	LPTime        time.Duration // wall time inside the LP subsolver
 	BranchTime    time.Duration // wall time outside the LP (Elapsed - LPTime)
 	Incumbents    int           // incumbent updates (including warm start)
@@ -558,6 +560,8 @@ func (m *Model) Solve(opt Options) Result {
 		stats.LPPivots += res.Stats.Pivots
 		stats.LPRefactors += res.Stats.Refactorizations
 		stats.LPEtaPivots += res.Stats.EtaPivots
+		stats.LPFTRANNnz += int64(res.Stats.FTRANNnz)
+		stats.LPBTRANNnz += int64(res.Stats.BTRANNnz)
 		if nodes%opt.ProgressEvery == 0 {
 			progress()
 		}

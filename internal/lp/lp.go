@@ -283,6 +283,8 @@ type Stats struct {
 	FactorNNZ int     // nonzeros of L+U at the last refactorization
 	FillRatio float64 // FactorNNZ / basis-matrix nonzeros (fill-in factor)
 	EtaPivots int     // basis exchanges absorbed by eta updates (no refactorization)
+	FTRANNnz  int     // result nonzeros across all sparse FTRANs (deterministic work)
+	BTRANNnz  int     // result nonzeros across all sparse BTRANs (deterministic work)
 
 	// Phases attributes the solve's wall time to the simplex internals —
 	// PhaseBuild, PhasePricing, PhaseRatioTest, PhasePivot, PhaseRefactorize

@@ -234,6 +234,7 @@ func (s *simplex) binvRow(r int) []float64 {
 		s.av.reset()
 		s.av.set(int32(r), 1)
 		s.lu.btran(&s.av, &s.rhov)
+		s.stats.BTRANNnz += len(s.rhov.ind)
 		s.clockBack(prev)
 		return s.rhov.val
 	}
@@ -302,6 +303,7 @@ func (s *simplex) computeDuals(cost []float64) {
 			}
 		}
 		s.lu.btran(&s.av, &s.yv)
+		s.stats.BTRANNnz += len(s.yv.ind)
 		s.clockBack(prev)
 		return
 	}
@@ -331,6 +333,7 @@ func (s *simplex) computePivotColumn(enter int) {
 			s.av.set(r, s.colVal[enter][k])
 		}
 		s.lu.ftran(&s.av, &s.wv)
+		s.stats.FTRANNnz += len(s.wv.ind)
 		s.clockBack(prev)
 		return
 	}

@@ -166,6 +166,15 @@ type Status struct {
 	done     int
 	failed   int
 	inflight map[int]inflightJob
+	calib    *CalibStatus
+	sampler  *Sampler
+}
+
+// CalibStatus is the calibration evidence surfaced on /statusz: the machine
+// score and per-probe ns/op measured when the process started working.
+type CalibStatus struct {
+	ScoreNs  float64            `json:"score_ns"`
+	ProbesNs map[string]float64 `json:"probes_ns,omitempty"`
 }
 
 type inflightJob struct {
@@ -196,6 +205,29 @@ func (s *Status) SetTotal(total int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.total = total
+}
+
+// SetCalibration records the process's machine-calibration result for
+// /statusz (and lets operators compare a live process against the committed
+// bench documents' calibration blocks).
+func (s *Status) SetCalibration(scoreNs float64, probesNs map[string]float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calib = &CalibStatus{ScoreNs: scoreNs, ProbesNs: probesNs}
+}
+
+// SetSampler attaches the process's sampling profiler so /statusz reports
+// its rate and live sample count.
+func (s *Status) SetSampler(sp *Sampler) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sampler = sp
 }
 
 // JobStart records that worker began executing the named job.
@@ -243,6 +275,17 @@ type StatusSnapshot struct {
 	// Runtime is sampled at snapshot time by StatusHandler; zero when the
 	// snapshot was taken directly (tests, nil Status).
 	Runtime RuntimeStats `json:"runtime"`
+	// Calibration is the machine-calibration result recorded via
+	// SetCalibration; nil when the process did not calibrate.
+	Calibration *CalibStatus `json:"calibration,omitempty"`
+	// Sampler reports the sampling profiler's state; nil when off.
+	Sampler *SamplerStatus `json:"sampler,omitempty"`
+}
+
+// SamplerStatus is the sampling profiler's live state on /statusz.
+type SamplerStatus struct {
+	Hz      int   `json:"hz"`
+	Samples int64 `json:"samples"`
 }
 
 // Snapshot captures the current sweep state. Safe on nil (zero snapshot).
@@ -261,6 +304,13 @@ func (s *Status) Snapshot() StatusSnapshot {
 		Failed:   s.failed,
 		InFlight: make([]InFlightJob, 0, len(s.inflight)),
 		ETAMS:    -1,
+	}
+	if s.calib != nil {
+		c := *s.calib
+		snap.Calibration = &c
+	}
+	if s.sampler != nil {
+		snap.Sampler = &SamplerStatus{Hz: s.sampler.Hz(), Samples: s.sampler.Samples()}
 	}
 	for w, j := range s.inflight {
 		snap.InFlight = append(snap.InFlight, InFlightJob{

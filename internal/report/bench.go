@@ -17,7 +17,10 @@ import (
 // level Runtime block (GOMAXPROCS, total allocations, GC pauses, peak heap).
 // v4 added the "portfolio" solver and the per-case Par/Winner fields for
 // parallel-BnB and portfolio-race cases.
-const BenchSchemaVersion = 4
+// v5 added the document-level calibration block (machine-drift probes), the
+// per-case deterministic work vector (primary regression-gate signal) and the
+// optional per-case sampling profile.
+const BenchSchemaVersion = 5
 
 // BenchMinSchemaVersion is the oldest schema still readable (BENCH_0/BENCH_1
 // predate the model-dimension fields).
@@ -63,9 +66,55 @@ type BenchCase struct {
 	// case's share plus concurrent cases') under parallel workers; wall-time
 	// regressions with flat allocation deltas point at algorithmic causes,
 	// rising deltas at allocation churn.
+	//
+	// Omission rule (schema note): these fields carry json omitempty, so each
+	// is present iff its delta was nonzero — fast cases legitimately omit
+	// gc_pause_ms/num_gc (no GC cycle completed inside the case) while slow
+	// cases carry them. ValidateBench enforces the consistency half: the
+	// fields must be non-negative, and a nonzero gc_pause_ms without a
+	// num_gc is a malformed document (a pause total can only grow when a
+	// cycle completes).
 	AllocMB   float64 `json:"alloc_mb,omitempty"`    // bytes allocated during the case
 	GCPauseMS float64 `json:"gc_pause_ms,omitempty"` // stop-the-world pause total
 	NumGC     int     `json:"num_gc,omitempty"`      // GC cycles completed
+
+	// Work is the case's deterministic work vector (schema v5+): cost
+	// counters pinned byte-identical for a given (case, solver, par) key —
+	// nodes, simplex iterations, FTRAN/BTRAN nonzeros, Steiner DP cells,
+	// DRC checks. Required on successful non-portfolio cases; portfolio
+	// cases omit it (the race is scheduling-dependent), and parallel-BnB
+	// cases carry only the counters deterministic under work stealing.
+	Work map[string]int64 `json:"work,omitempty"`
+
+	// Profile is the case's sampling-profiler summary (schema v5+, present
+	// only when the run sampled). Attribution matches the runtime deltas:
+	// exact under -j1, approximate under parallel workers.
+	Profile *BenchProfile `json:"profile,omitempty"`
+}
+
+// BenchProfile is a per-case top-N summary from obs.Sampler.
+type BenchProfile struct {
+	Hz      int               `json:"hz"`      // sampling rate
+	Samples int64             `json:"samples"` // goroutine stacks aggregated
+	Funcs   []BenchFuncSample `json:"funcs,omitempty"`
+}
+
+// BenchFuncSample is one function's sample counts in a BenchProfile.
+type BenchFuncSample struct {
+	Fn   string `json:"fn"`
+	Self int64  `json:"self"`
+	Cum  int64  `json:"cum"`
+}
+
+// BenchCalibration is the machine-drift evidence stamped into every schema
+// v5+ document: the calibration suite's per-probe ns/op and composite score
+// measured immediately before the corpus ran. CompareBench divides two
+// documents' probes into a machine ratio and reports calibrated wall ratios
+// (raw ÷ machine) next to raw ones.
+type BenchCalibration struct {
+	ProbesNs map[string]float64 `json:"probes_ns"` // probe name → best-of-rounds ns/op
+	ScoreNs  float64            `json:"score_ns"`  // geomean of the machine probes
+	WallMS   float64            `json:"wall_ms"`   // suite wall time
 }
 
 // BenchTotals aggregates the corpus for at-a-glance trajectory diffs.
@@ -102,6 +151,9 @@ type BenchDoc struct {
 
 	// Runtime is the Go runtime profile of the run (required from schema v3).
 	Runtime *BenchRuntime `json:"runtime,omitempty"`
+
+	// Calibration is the machine-drift probe result (required from schema v5).
+	Calibration *BenchCalibration `json:"calibration,omitempty"`
 
 	Cases  []BenchCase `json:"cases"`
 	Totals BenchTotals `json:"totals"`
@@ -168,6 +220,22 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 	if doc.Runtime != nil && doc.Runtime.GOMAXPROCS <= 0 {
 		return nil, fmt.Errorf("bench: runtime block with gomaxprocs %d", doc.Runtime.GOMAXPROCS)
 	}
+	if doc.SchemaVersion >= 5 && doc.Calibration == nil {
+		return nil, fmt.Errorf("bench: schema v5 document missing calibration block")
+	}
+	if cal := doc.Calibration; cal != nil {
+		if len(cal.ProbesNs) == 0 {
+			return nil, fmt.Errorf("bench: calibration block without probes")
+		}
+		for name, ns := range cal.ProbesNs {
+			if ns <= 0 {
+				return nil, fmt.Errorf("bench: calibration probe %q ns_per_op %g, want > 0", name, ns)
+			}
+		}
+		if cal.ScoreNs <= 0 {
+			return nil, fmt.Errorf("bench: calibration score_ns %g, want > 0", cal.ScoreNs)
+		}
+	}
 	seen := map[string]bool{}
 	for i, c := range doc.Cases {
 		key := c.Name + "/" + c.Solver
@@ -200,6 +268,36 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 		case doc.SchemaVersion >= 2 && c.Err == "" && c.Solver == "ilp" &&
 			(c.Rows <= 0 || c.Cols <= 0 || c.NNZ <= 0):
 			return nil, fmt.Errorf("bench: case %q: missing model dimensions (schema v2 ilp case)", c.Name)
+		// Runtime-delta omission rules (schema v3+): present iff nonzero,
+		// never negative, and a GC pause total implies a completed cycle.
+		case c.AllocMB < 0 || c.GCPauseMS < 0 || c.NumGC < 0:
+			return nil, fmt.Errorf("bench: case %q: negative runtime delta", c.Name)
+		case c.GCPauseMS > 0 && c.NumGC == 0:
+			return nil, fmt.Errorf("bench: case %q: gc_pause_ms %g without num_gc (pause totals only grow when a cycle completes)", c.Name, c.GCPauseMS)
+		// Work-vector rules (schema v5+): required on successful
+		// non-portfolio cases, forbidden on portfolio cases (the race is
+		// scheduling-dependent), counters non-negative.
+		case doc.SchemaVersion >= 5 && c.Err == "" && c.Solver != "portfolio" && len(c.Work) == 0:
+			return nil, fmt.Errorf("bench: case %q: missing work vector (schema v5)", c.Name)
+		case c.Solver == "portfolio" && len(c.Work) > 0:
+			return nil, fmt.Errorf("bench: case %q: work vector on portfolio case (race is nondeterministic)", c.Name)
+		case doc.SchemaVersion < 5 && (len(c.Work) > 0 || c.Profile != nil):
+			return nil, fmt.Errorf("bench: case %q: work/profile fields need schema v5", c.Name)
+		}
+		for k, v := range c.Work {
+			if v < 0 {
+				return nil, fmt.Errorf("bench: case %q: negative work counter %s=%d", c.Name, k, v)
+			}
+		}
+		if p := c.Profile; p != nil {
+			if p.Hz <= 0 || p.Samples < 0 {
+				return nil, fmt.Errorf("bench: case %q: malformed profile (hz %d, samples %d)", c.Name, p.Hz, p.Samples)
+			}
+			for _, f := range p.Funcs {
+				if f.Fn == "" || f.Self < 0 || f.Cum < f.Self {
+					return nil, fmt.Errorf("bench: case %q: malformed profile sample %+v", c.Name, f)
+				}
+			}
 		}
 		seen[key] = true
 	}

@@ -15,12 +15,21 @@ func validDoc() *BenchDoc {
 			GOMAXPROCS: 4, TotalAllocMB: 812.5, GCPauseMS: 3.2, NumGC: 41,
 			PeakHeapMB: 96.4,
 		},
+		Calibration: &BenchCalibration{
+			ProbesNs: map[string]float64{
+				"int_spin": 1.1, "ptr_chase": 48.2, "memcpy": 0.031, "solver": 4.1e6,
+			},
+			ScoreNs: 1.18, WallMS: 220,
+		},
 		Cases: []BenchCase{
 			{
 				Name: "6x7x4-s3-RULE8-bnb", Rule: "RULE8", Solver: "bnb",
 				Feasible: true, Proven: true, Cost: 51,
 				WallMS: 200.5, Nodes: 404, MaxDepth: 9,
 				PhasesMS: map[string]float64{"search": 120, "steiner": 80.5},
+				Work: map[string]int64{
+					"nodes": 404, "steiner_cells": 88412, "drc_checks": 1200,
+				},
 			},
 			{
 				Name: "4x5x3-s10-RULE1-ilp", Rule: "RULE1", Solver: "ilp",
@@ -30,6 +39,9 @@ func validDoc() *BenchDoc {
 				Rows: 310, Cols: 444, NNZ: 1530,
 				PhasesMS:   map[string]float64{"node_lp": 290, "root_lp": 10},
 				LPPhasesMS: map[string]float64{"pricing": 120, "pivot": 92},
+				Work: map[string]int64{
+					"nodes": 77, "simplex_iters": 12968, "ftran_nnz": 420311, "btran_nnz": 380122,
+				},
 			},
 		},
 	}
@@ -91,6 +103,31 @@ func TestValidateBenchRejections(t *testing.T) {
 		{"missing runtime", func(d *BenchDoc) { d.Runtime = nil }, "runtime block"},
 		{"bad gomaxprocs", func(d *BenchDoc) { d.Runtime.GOMAXPROCS = 0 }, "gomaxprocs"},
 		{"stale totals", func(d *BenchDoc) { d.Totals.Nodes += 5 }, "totals"},
+		{"missing calibration", func(d *BenchDoc) { d.Calibration = nil }, "calibration block"},
+		{"calibration without probes", func(d *BenchDoc) { d.Calibration.ProbesNs = nil }, "probes"},
+		{"bad probe ns", func(d *BenchDoc) { d.Calibration.ProbesNs["int_spin"] = 0 }, "ns_per_op"},
+		{"bad calibration score", func(d *BenchDoc) { d.Calibration.ScoreNs = -1 }, "score_ns"},
+		{"missing work vector", func(d *BenchDoc) { d.Cases[0].Work = nil }, "work vector"},
+		{"negative work counter", func(d *BenchDoc) { d.Cases[0].Work["nodes"] = -1 }, "work counter"},
+		{"negative runtime delta", func(d *BenchDoc) { d.Cases[0].AllocMB = -0.5 }, "runtime delta"},
+		{"gc pause without num_gc", func(d *BenchDoc) { d.Cases[0].GCPauseMS = 1.5 }, "gc_pause_ms"},
+		{"work on portfolio case", func(d *BenchDoc) {
+			d.Cases = append(d.Cases, BenchCase{
+				Name: "4x5x3-s10-RULE1-portfolio", Rule: "RULE1", Solver: "portfolio",
+				Winner: "ilp", Feasible: true, Proven: true, Cost: 41,
+				WallMS: 50, Nodes: 12,
+				PhasesMS: map[string]float64{"search": 50},
+				Work:     map[string]int64{"nodes": 12},
+			})
+			d.Finalize()
+		}, "portfolio"},
+		{"malformed profile", func(d *BenchDoc) {
+			d.Cases[0].Profile = &BenchProfile{Hz: 0, Samples: 10}
+		}, "profile"},
+		{"profile cum below self", func(d *BenchDoc) {
+			d.Cases[0].Profile = &BenchProfile{Hz: 100, Samples: 10,
+				Funcs: []BenchFuncSample{{Fn: "f", Self: 5, Cum: 2}}}
+		}, "profile"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -121,6 +158,8 @@ func TestValidateBenchOldSchema(t *testing.T) {
 	doc.SchemaVersion = BenchMinSchemaVersion
 	doc.Cases[1].Rows, doc.Cases[1].Cols, doc.Cases[1].NNZ = 0, 0, 0
 	doc.Runtime = nil
+	doc.Calibration = nil
+	doc.Cases[0].Work, doc.Cases[1].Work = nil, nil
 	data, err := MarshalBench(doc)
 	if err != nil {
 		t.Fatal(err)
@@ -146,9 +185,13 @@ func TestValidateBenchStrictJSON(t *testing.T) {
 }
 
 // TestValidateBenchV4Cases: schema v4 portfolio and par-twin cases round-trip
-// with their Winner/Par fields intact.
+// with their Winner/Par fields intact — and a v4 document needs neither the
+// calibration block nor per-case work vectors.
 func TestValidateBenchV4Cases(t *testing.T) {
 	doc := validDoc()
+	doc.SchemaVersion = 4
+	doc.Calibration = nil
+	doc.Cases[0].Work, doc.Cases[1].Work = nil, nil
 	doc.Cases = append(doc.Cases,
 		BenchCase{
 			Name: "4x5x3-s10-RULE1-portfolio", Rule: "RULE1", Solver: "portfolio",
