@@ -63,6 +63,7 @@ import (
 
 	"optrouter/internal/calib"
 	"optrouter/internal/exp"
+	"optrouter/internal/lp"
 	"optrouter/internal/obs"
 	"optrouter/internal/report"
 )
@@ -114,6 +115,9 @@ func run() (int, error) {
 		flight     = flag.Bool("flight", false,
 			"record per-node search events onto the trace (requires -trace; costs solve wall time)")
 		flightEvery = flag.Int("flight-every", 1, "sample 1 in N node events after the burst")
+
+		pricing  = flag.String("pricing", "auto", "LP pricing rule for ilp/portfolio cases: auto, dantzig, devex or steepest")
+		presolve = flag.String("presolve", "auto", "structural LP presolve for ilp/portfolio cases: auto or off")
 	)
 	flag.Parse()
 
@@ -179,6 +183,16 @@ func run() (int, error) {
 		Calibration: &report.BenchCalibration{
 			ProbesNs: calRes.ProbesNs(), ScoreNs: calRes.ScoreNs, WallMS: calRes.WallMS,
 		},
+	}
+	if pr, err := lp.ParsePricing(*pricing); err != nil {
+		return 1, err
+	} else {
+		runOpt.LP.Pricing = pr
+	}
+	if ps, err := lp.ParsePresolveMode(*presolve); err != nil {
+		return 1, err
+	} else {
+		runOpt.LP.Presolve = ps
 	}
 	if *flight && *trace == "" {
 		return 1, fmt.Errorf("-flight needs -trace (node events have nowhere to go)")

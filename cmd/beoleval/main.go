@@ -48,6 +48,7 @@ import (
 
 	"optrouter/internal/calib"
 	"optrouter/internal/exp"
+	"optrouter/internal/lp"
 	"optrouter/internal/obs"
 	"optrouter/internal/report"
 	"optrouter/internal/tech"
@@ -96,10 +97,28 @@ func run() error {
 		calibrate   = flag.Bool("calib", false, "run the machine-calibration probe suite before the sweep and report its score")
 		sampleOn    = flag.Bool("sample", false, "run the sampling profiler across the sweep; print top functions at exit")
 		sampleHz    = flag.Int("sample-hz", 100, "sampling-profiler rate in stacks/second (with -sample)")
+		lpEngine    = flag.String("lp-engine", "sparse", "LP basis engine for -portfolio solves: sparse or dense (differential reference)")
+		pricing     = flag.String("pricing", "auto", "LP pricing rule for -portfolio solves: auto, dantzig, devex or steepest")
+		presolve    = flag.String("presolve", "auto", "structural LP presolve for -portfolio solves: auto or off")
 	)
 	flag.Parse()
 
 	solve := exp.SolveOptions{PerClipTimeout: *timeout, Workers: *jobs, Par: *par, Portfolio: *portfolio}
+	{
+		e, err := lp.ParseEngine(*lpEngine)
+		if err != nil {
+			return err
+		}
+		pr, err := lp.ParsePricing(*pricing)
+		if err != nil {
+			return err
+		}
+		ps, err := lp.ParsePresolveMode(*presolve)
+		if err != nil {
+			return err
+		}
+		solve.LP.Engine, solve.LP.Pricing, solve.LP.Presolve = e, pr, ps
+	}
 	var metrics *obs.Registry
 	if *stats || *pprofA != "" {
 		// /metrics needs a registry even without -stats; the end-of-run
@@ -110,6 +129,10 @@ func run() error {
 	var status *obs.Status
 	if *pprofA != "" {
 		status = obs.NewStatus()
+		if *portfolio {
+			status.SetLPConfig(fmt.Sprintf("%s/%s/presolve=%s",
+				*lpEngine, solve.LP.Pricing, solve.LP.Presolve))
+		}
 		http.Handle("/metrics", obs.MetricsHandler(metrics))
 		http.Handle("/statusz", obs.StatusHandler(status))
 		go func() {
@@ -303,6 +326,10 @@ func statusSink(s *obs.Status) func(exp.ClipProgress) {
 			s.JobStart(p.Worker, p.Rule+" "+p.Clip)
 		case "done":
 			s.JobDone(p.Worker, p.Result != nil && p.Result.Err != "")
+			if r := p.Result; r != nil {
+				s.AddLPStats(r.Stats.LPCandidateHits, r.Stats.LPRefResets,
+					r.Stats.LPDualBoundFlips, r.Stats.PresolveRows, r.Stats.PresolveCols)
+			}
 		}
 	}
 }

@@ -4,12 +4,24 @@
 //
 // Usage:
 //
-//	ilpsolve model.lp     (or reads stdin with no argument)
+//	ilpsolve [flags] model.lp     (or reads stdin with no argument)
+//
+// Flags select the LP subsolver configuration:
+//
+//	-engine sparse|dense    basis representation (dense is the slow
+//	                        differential reference)
+//	-pricing auto|dantzig|devex|steepest
+//	                        simplex pricing rule (auto = devex; dantzig is
+//	                        the legacy full-sweep reference)
+//	-presolve auto|off      structural LP presolve in front of the search
+//	-time-limit d           stop the branch-and-bound after duration d
+//	-stats                  print LP engine statistics after the solve
 //
 // Exit status: 0 solved, 2 infeasible, 1 error.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -17,13 +29,34 @@ import (
 	"time"
 
 	"optrouter/internal/ilp"
+	"optrouter/internal/lp"
 	"optrouter/internal/lpformat"
 )
 
 func main() {
+	engineFlag := flag.String("engine", "sparse", "LP basis engine: sparse or dense (differential reference)")
+	pricingFlag := flag.String("pricing", "auto", "simplex pricing rule: auto, dantzig, devex or steepest")
+	presolveFlag := flag.String("presolve", "auto", "structural LP presolve: auto or off")
+	timeLimit := flag.Duration("time-limit", 0, "stop the search after this wall time (0 = none)")
+	stats := flag.Bool("stats", false, "print LP engine statistics after the solve")
+	flag.Parse()
+
+	engine, err := lp.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	pricing, err := lp.ParsePricing(*pricingFlag)
+	if err != nil {
+		fatal(err)
+	}
+	presolve, err := lp.ParsePresolveMode(*presolveFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	var r io.Reader = os.Stdin
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
@@ -35,9 +68,21 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	res := model.Solve(ilp.Options{})
+	res := model.Solve(ilp.Options{
+		TimeLimit: *timeLimit,
+		LP:        lp.Options{Engine: engine, Pricing: pricing, Presolve: presolve},
+	})
 	fmt.Printf("status: %s (%d nodes, %d LP iterations, %v)\n",
 		res.Status, res.Nodes, res.LPIters, time.Since(start).Round(time.Millisecond))
+	if *stats {
+		st := res.Stats
+		fmt.Printf("lp: %d solves, %d warm starts, %d refactorizations\n",
+			st.LPSolves, st.LPWarmStarts, st.LPRefactors)
+		fmt.Printf("pricing: %s, %d candidate hits, %d reference resets, %d dual bound flips\n",
+			pricing.String(), st.LPCandidateHits, st.LPRefResets, st.LPDualBoundFlips)
+		fmt.Printf("presolve: %s, %d rows and %d cols removed\n",
+			presolve.String(), st.PresolveRows, st.PresolveCols)
+	}
 	if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
 		fmt.Printf("objective: %g\n", res.Obj)
 		var sorted []string

@@ -5,6 +5,8 @@
 //
 //	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur|portfolio]
 //	         [-par N] [-timeout 30s] [-j N] [-render] [-viashapes]
+//	         [-lp-engine sparse|dense] [-pricing auto|dantzig|devex|steepest]
+//	         [-presolve auto|off]
 //	         [-stats] [-quiet] [-converge out.jsonl] [-pprof addr]
 //	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
@@ -49,6 +51,7 @@ import (
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/ilp"
+	"optrouter/internal/lp"
 	"optrouter/internal/obs"
 	"optrouter/internal/report"
 	"optrouter/internal/rgraph"
@@ -98,8 +101,16 @@ func run() (int, error) {
 		calibrate   = flag.Bool("calib", false, "run the machine-calibration probe suite before solving and report its score")
 		sampleOn    = flag.Bool("sample", false, "run the sampling profiler across the run; print top functions at exit")
 		sampleHz    = flag.Int("sample-hz", 100, "sampling-profiler rate in stacks/second (with -sample)")
+		lpEngine    = flag.String("lp-engine", "sparse", "LP basis engine for -solver ilp/portfolio: sparse or dense (differential reference)")
+		pricing     = flag.String("pricing", "auto", "LP pricing rule for -solver ilp/portfolio: auto, dantzig, devex or steepest")
+		presolve    = flag.String("presolve", "auto", "structural LP presolve for -solver ilp/portfolio: auto or off")
 	)
 	flag.Parse()
+
+	lpOpt, lpCfg, err := parseLPFlags(*lpEngine, *pricing, *presolve)
+	if err != nil {
+		return 0, err
+	}
 
 	var metrics *obs.Registry
 	var status *obs.Status
@@ -198,10 +209,13 @@ func run() (int, error) {
 		return 0, fmt.Errorf("need -clip or -synth; see -h")
 	}
 
+	if *solver == "ilp" || *solver == "portfolio" {
+		status.SetLPConfig(lpCfg)
+	}
 	sw := sweepEnv{
 		solver: *solver, par: *par, timeout: *timeout, workers: *jobsN,
 		shapes: *shapes, bidir: *bidir, viaCost: *viaCost,
-		stats: *stats, quiet: *quiet,
+		stats: *stats, quiet: *quiet, lp: lpOpt,
 		tracer: tracer, flight: flightOpt, conv: conv, metrics: metrics, status: status,
 	}
 	if *ruleName == "all" {
@@ -232,9 +246,9 @@ func run() (int, error) {
 	case "bnb":
 		sol, err = core.SolveBnB(g, core.BnBOptions{TimeLimit: *timeout, Par: *par, Tracer: tracer, Flight: flightOpt})
 	case "ilp":
-		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, Tracer: tracer, Flight: flightOpt})
+		sol, err = core.SolveILP(g, ilp.Options{TimeLimit: *timeout, LP: lpOpt, Tracer: tracer, Flight: flightOpt})
 	case "portfolio":
-		sol, err = core.SolvePortfolio(g, core.BnBOptions{TimeLimit: *timeout, Par: *par, Tracer: tracer, Flight: flightOpt})
+		sol, err = core.SolvePortfolio(g, core.BnBOptions{TimeLimit: *timeout, Par: *par, LP: lpOpt, Tracer: tracer, Flight: flightOpt})
 	case "heur":
 		sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 	default:
@@ -244,6 +258,8 @@ func run() (int, error) {
 		return 0, err
 	}
 	status.JobDone(0, false)
+	status.AddLPStats(sol.Stats.LPCandidateHits, sol.Stats.LPRefResets,
+		sol.Stats.LPDualBoundFlips, sol.Stats.PresolveRows, sol.Stats.PresolveCols)
 	writeConvergence(conv, c.Name, rule.Name, *solver, sol)
 
 	if !sol.Feasible {
@@ -295,6 +311,7 @@ type sweepEnv struct {
 	shapes, bidir bool
 	viaCost       int
 	stats, quiet  bool
+	lp            lp.Options
 	tracer        *obs.Tracer
 	flight        obs.FlightOptions
 	conv          *report.ConvergenceWriter
@@ -336,10 +353,10 @@ func (e sweepEnv) runAllRules(c *clip.Clip) error {
 					TimeLimit: e.timeout, Par: e.par, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "ilp":
 				sol, err = core.SolveILP(g, ilp.Options{
-					TimeLimit: e.timeout, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
+					TimeLimit: e.timeout, LP: e.lp, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "portfolio":
 				sol, err = core.SolvePortfolio(g, core.BnBOptions{
-					TimeLimit: e.timeout, Par: e.par, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
+					TimeLimit: e.timeout, Par: e.par, LP: e.lp, Tracer: e.tracer, Flight: e.flight, Ctx: jctx})
 			case "heur":
 				sol = core.SolveHeuristic(g, core.HeuristicOptions{})
 			default:
@@ -441,8 +458,36 @@ func printStats(sol *core.Solution) {
 		fmt.Printf("       portfolio: winner=%s incumbent_exchanges=%d\n",
 			st.Winner, st.IncumbentExchanges)
 	}
+	if st.LPCandidateHits > 0 || st.LPRefResets > 0 || st.LPDualBoundFlips > 0 {
+		fmt.Printf("       pricing: candidate_hits=%d ref_resets=%d dual_bound_flips=%d\n",
+			st.LPCandidateHits, st.LPRefResets, st.LPDualBoundFlips)
+	}
+	if st.PresolveRows > 0 || st.PresolveCols > 0 {
+		fmt.Printf("       presolve: rows_removed=%d cols_removed=%d\n",
+			st.PresolveRows, st.PresolveCols)
+	}
 	printPhases("phases", st.Phases)
 	printPhases("lp_phases", st.LPPhases)
+}
+
+// parseLPFlags validates the LP subsolver flag triple and returns the
+// resulting options plus the short config string shown on /statusz.
+func parseLPFlags(engine, pricing, presolve string) (lp.Options, string, error) {
+	var o lp.Options
+	e, err := lp.ParseEngine(engine)
+	if err != nil {
+		return o, "", err
+	}
+	pr, err := lp.ParsePricing(pricing)
+	if err != nil {
+		return o, "", err
+	}
+	ps, err := lp.ParsePresolveMode(presolve)
+	if err != nil {
+		return o, "", err
+	}
+	o.Engine, o.Pricing, o.Presolve = e, pr, ps
+	return o, fmt.Sprintf("%s/%s/presolve=%s", engine, pr, ps), nil
 }
 
 // printPhases renders a wall-time breakdown as "name=12.3ms" pairs in sorted

@@ -24,7 +24,9 @@
 //
 // -profile renders the per-case sampling profiles emitted by
 // benchrun -sample: one top-function table per case. -bench renders a
-// benchmark document's calibration block and per-case work vectors; with
+// benchmark document's calibration block, per-case work vectors and LP
+// pricing/presolve telemetry (candidate-hit ratio, dual bound flips,
+// presolve reductions, plus a corpus-wide pricing summary line); with
 // -baseline it additionally prints the full comparison — calibrated wall
 // ratios, per-counter work movement, profile share shifts and the drift
 // verdict of the two-tier regression gate.
@@ -161,6 +163,9 @@ func printSolve(i int, s *report.SolveTrace) {
 	}
 	if s.Winner != "" {
 		fmt.Printf("  race:   winner=%s, %d incumbent exchanges\n", s.Winner, s.IncumbentExchanges)
+	}
+	if s.HasLPStats() {
+		fmt.Printf("  lp:     %s\n", s.PricingLine())
 	}
 	if s.FlightSeen == 0 {
 		fmt.Printf("  flight: off (rerun with -flight for search-tree statistics)\n")
@@ -305,8 +310,19 @@ func runBench(path, basePath string) error {
 	} else {
 		fmt.Printf("calibration: none (schema v%d document)\n", doc.SchemaVersion)
 	}
+	var lpHits, lpResets, lpFlips, psRows, psCols, lpIters int64
+	lpCases := 0
 	for _, c := range doc.Cases {
-		if len(c.Work) == 0 && c.Profile == nil {
+		if l := c.LP; l != nil {
+			lpCases++
+			lpHits += int64(l.CandidateHits)
+			lpResets += int64(l.RefResets)
+			lpFlips += int64(l.DualBoundFlips)
+			psRows += int64(l.PresolveRows)
+			psCols += int64(l.PresolveCols)
+			lpIters += c.Work["simplex_iters"]
+		}
+		if len(c.Work) == 0 && c.Profile == nil && c.LP == nil {
 			continue
 		}
 		fmt.Printf("\n%s/%s: %.1fms wall\n", c.Name, c.Solver, c.WallMS)
@@ -325,6 +341,15 @@ func runBench(path, basePath string) error {
 			}
 			fmt.Printf("  work:    %s\n", line)
 		}
+		if l := c.LP; l != nil {
+			hits := fmt.Sprintf("candidate_hits=%d", l.CandidateHits)
+			if it := c.Work["simplex_iters"]; it > 0 {
+				hits += fmt.Sprintf(" (%.0f%% of %d iters)",
+					100*float64(l.CandidateHits)/float64(it), it)
+			}
+			fmt.Printf("  lp:      %s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d\n",
+				hits, l.RefResets, l.DualBoundFlips, l.PresolveRows, l.PresolveCols)
+		}
 		if p := c.Profile; p != nil {
 			fmt.Printf("  profile: %d samples at %d Hz", p.Samples, p.Hz)
 			if len(p.Funcs) > 0 {
@@ -332,6 +357,15 @@ func runBench(path, basePath string) error {
 			}
 			fmt.Println()
 		}
+	}
+	if lpCases > 0 {
+		hits := fmt.Sprintf("candidate_hits=%d", lpHits)
+		if lpIters > 0 {
+			hits += fmt.Sprintf(" (%.0f%% of %d iters)",
+				100*float64(lpHits)/float64(lpIters), lpIters)
+		}
+		fmt.Printf("\npricing summary (%d lp cases): %s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d\n",
+			lpCases, hits, lpResets, lpFlips, psRows, psCols)
 	}
 	if basePath == "" {
 		return nil

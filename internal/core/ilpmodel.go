@@ -516,25 +516,30 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 	sol := &Solution{
 		Runtime: time.Since(start), Nodes: res.Nodes, LPIters: res.LPIters,
 		Stats: SolveStats{
-			Nodes:        res.Stats.Nodes,
-			MaxDepth:     res.Stats.MaxDepth,
-			Incumbents:   res.Stats.Incumbents,
-			LPSolves:     res.Stats.LPSolves,
-			LPIters:      res.Stats.LPIters,
-			LPWarmStarts: res.Stats.LPWarmStarts,
-			LPRefactors:  res.Stats.LPRefactors,
-			LPEtaPivots:  res.Stats.LPEtaPivots,
-			LPFTRANNnz:   res.Stats.LPFTRANNnz,
-			LPBTRANNnz:   res.Stats.LPBTRANNnz,
-			LPTime:       res.Stats.LPTime,
-			ModelRows:    m.Model.NumConstraints(),
-			ModelCols:    m.Model.NumVars(),
-			ModelNNZ:     m.Model.Prob.NumNonzeros(),
-			Elapsed:      time.Since(start),
-			Termination:  string(res.Stats.Termination),
-			Phases:       phases,
-			LPPhases:     res.Stats.LPPhases,
-			BoundTrace:   ilpBoundTrace(res.Stats.BoundTrace),
+			Nodes:            res.Stats.Nodes,
+			MaxDepth:         res.Stats.MaxDepth,
+			Incumbents:       res.Stats.Incumbents,
+			LPSolves:         res.Stats.LPSolves,
+			LPIters:          res.Stats.LPIters,
+			LPWarmStarts:     res.Stats.LPWarmStarts,
+			LPRefactors:      res.Stats.LPRefactors,
+			LPEtaPivots:      res.Stats.LPEtaPivots,
+			LPFTRANNnz:       res.Stats.LPFTRANNnz,
+			LPBTRANNnz:       res.Stats.LPBTRANNnz,
+			LPTime:           res.Stats.LPTime,
+			LPCandidateHits:  res.Stats.LPCandidateHits,
+			LPRefResets:      res.Stats.LPRefResets,
+			LPDualBoundFlips: res.Stats.LPDualBoundFlips,
+			PresolveRows:     res.Stats.PresolveRows,
+			PresolveCols:     res.Stats.PresolveCols,
+			ModelRows:        m.Model.NumConstraints(),
+			ModelCols:        m.Model.NumVars(),
+			ModelNNZ:         m.Model.Prob.NumNonzeros(),
+			Elapsed:          time.Since(start),
+			Termination:      string(res.Stats.Termination),
+			Phases:           phases,
+			LPPhases:         res.Stats.LPPhases,
+			BoundTrace:       ilpBoundTrace(res.Stats.BoundTrace),
 		},
 	}
 	switch res.Status {

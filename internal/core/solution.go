@@ -95,6 +95,13 @@ type SolveStats struct {
 	LPFTRANNnz   int64         // sparse FTRAN result nonzeros (deterministic work)
 	LPBTRANNnz   int64         // sparse BTRAN result nonzeros (deterministic work)
 	LPTime       time.Duration // wall time inside the LP subsolver
+	// Pricing and presolve telemetry of the LP engine (zero for the
+	// combinatorial BnB and for Dantzig/no-presolve configurations).
+	LPCandidateHits  int // pricing rounds served from the candidate list
+	LPRefResets      int // devex/steepest reference-framework resets
+	LPDualBoundFlips int // bound-flip ratio-test flips across warm starts
+	PresolveRows     int // rows removed by structural LP presolve
+	PresolveCols     int // columns removed by structural LP presolve
 
 	// Model dimensions of the MILP path's LP relaxation (zero for the
 	// combinatorial BnB): constraint rows, variable columns, and structural

@@ -125,6 +125,10 @@ type BenchRunOptions struct {
 	// (effective only with a Tracer). Off by default: the benchmark exists to
 	// measure the solvers, and recording costs wall time.
 	Flight obs.FlightOptions
+	// LP tunes the MILP engine's LP subsolver for the ilp and portfolio
+	// cases (the bnb cases never touch it). CollectPhases is forced on for
+	// ilp cases regardless — the document records the LP phase breakdown.
+	LP lp.Options
 	// Calibration, if non-nil, is stamped into the document's calibration
 	// block as-is (cmd/benchrun runs the probe suite once up front and
 	// shares the result with its progress output). Nil runs the suite here:
@@ -274,16 +278,18 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 			Tracer: opt.Tracer, Flight: opt.Flight,
 		})
 	case "ilp":
+		lpOpt := opt.LP
+		lpOpt.CollectPhases = true
 		sol, err = core.SolveILP(g, ilp.Options{
 			TimeLimit: opt.Timeout,
 			Ctx:       ctx,
-			LP:        lp.Options{CollectPhases: true},
+			LP:        lpOpt,
 			Tracer:    opt.Tracer,
 			Flight:    opt.Flight,
 		})
 	case "portfolio":
 		sol, err = core.SolvePortfolio(g, core.BnBOptions{
-			TimeLimit: opt.Timeout, Ctx: ctx, Par: s.Par,
+			TimeLimit: opt.Timeout, Ctx: ctx, Par: s.Par, LP: opt.LP,
 			Tracer: opt.Tracer, Flight: opt.Flight,
 		})
 	}
@@ -325,6 +331,19 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	bc.PhasesMS = st.Phases.MS()
 	bc.LPPhasesMS = st.LPPhases.MS()
 	bc.Work = benchWork(s, st)
+	// Pricing/presolve telemetry rides only on ilp cases (the portfolio race
+	// is scheduling-dependent) and only when any counter is nonzero, so
+	// Dantzig/no-presolve reference runs produce documents without the block.
+	if s.Solver == "ilp" && (st.LPCandidateHits > 0 || st.LPRefResets > 0 ||
+		st.LPDualBoundFlips > 0 || st.PresolveRows > 0 || st.PresolveCols > 0) {
+		bc.LP = &report.BenchLPStats{
+			CandidateHits:  st.LPCandidateHits,
+			RefResets:      st.LPRefResets,
+			DualBoundFlips: st.LPDualBoundFlips,
+			PresolveRows:   st.PresolveRows,
+			PresolveCols:   st.PresolveCols,
+		}
+	}
 	if bc.Profile != nil && opt.ProfileW != nil {
 		perr := opt.ProfileW.Write(report.ProfileRecord{
 			Clip: s.Name, Rule: s.Rule, Solver: s.Solver,

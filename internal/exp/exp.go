@@ -28,6 +28,7 @@ import (
 	"optrouter/internal/clip"
 	"optrouter/internal/core"
 	"optrouter/internal/extract"
+	"optrouter/internal/lp"
 	"optrouter/internal/netlist"
 	"optrouter/internal/obs"
 	"optrouter/internal/pincost"
@@ -207,6 +208,10 @@ type SolveOptions struct {
 	// is a race outcome, so route CSVs are only stable across runs for clips
 	// where both engines agree arc-for-arc.
 	Portfolio bool
+	// LP tunes the MILP engine's LP subsolver (basis engine, pricing rule,
+	// presolve mode) on portfolio solves; the pure CDC-BnB path ignores it.
+	// The zero value means sparse engine, devex pricing, presolve on.
+	LP lp.Options
 
 	// Progress, if non-nil, receives per-clip lifecycle events ("start",
 	// "progress" during the solve, "done") — the source of cmd/beoleval's
@@ -477,6 +482,7 @@ func solveClipCtx(ctx context.Context, c *clip.Clip, rule tech.RuleConfig, opt S
 		TimeLimit: opt.PerClipTimeout,
 		MaxNodes:  opt.MaxNodes,
 		Par:       opt.Par,
+		LP:        opt.LP,
 		Tracer:    opt.Tracer,
 		Flight:    opt.Flight,
 		Ctx:       ctx,
@@ -540,6 +546,11 @@ func recordSolveMetrics(m *obs.Registry, r ClipRuleResult) {
 	m.Counter("bans_generated").Add(int64(st.BansGenerated))
 	m.Counter("lagrangian_rounds").Add(int64(st.LagrangianRounds))
 	m.Counter("dives").Add(int64(st.Dives))
+	m.Counter("lp_candidate_hits").Add(int64(st.LPCandidateHits))
+	m.Counter("lp_ref_resets").Add(int64(st.LPRefResets))
+	m.Counter("lp_dual_bound_flips").Add(int64(st.LPDualBoundFlips))
+	m.Counter("presolve_rows").Add(int64(st.PresolveRows))
+	m.Counter("presolve_cols").Add(int64(st.PresolveCols))
 	m.Counter("incumbents").Add(int64(st.Incumbents))
 	m.Counter("wall_ms").Add(r.Runtime.Milliseconds())
 	if !r.Feasible {

@@ -201,17 +201,29 @@ const (
 
 // Stats are per-solve branch-and-bound statistics.
 type Stats struct {
-	Nodes         int           // nodes explored
-	MaxDepth      int           // deepest node processed
-	LPSolves      int           // LP relaxations solved
-	LPIters       int           // total simplex iterations
-	LPPivots      int           // total simplex basis exchanges
-	LPWarmStarts  int           // node LPs reoptimized from the parent basis
-	LPDualIters   int           // dual-simplex iterations across warm starts
-	LPRefactors   int           // basis refactorizations across all node LPs
-	LPEtaPivots   int           // basis exchanges absorbed by eta updates
-	LPFTRANNnz    int64         // sparse FTRAN result nonzeros across node LPs
-	LPBTRANNnz    int64         // sparse BTRAN result nonzeros across node LPs
+	Nodes        int   // nodes explored
+	MaxDepth     int   // deepest node processed
+	LPSolves     int   // LP relaxations solved
+	LPIters      int   // total simplex iterations
+	LPPivots     int   // total simplex basis exchanges
+	LPWarmStarts int   // node LPs reoptimized from the parent basis
+	LPDualIters  int   // dual-simplex iterations across warm starts
+	LPRefactors  int   // basis refactorizations across all node LPs
+	LPEtaPivots  int   // basis exchanges absorbed by eta updates
+	LPFTRANNnz   int64 // sparse FTRAN result nonzeros across node LPs
+	LPBTRANNnz   int64 // sparse BTRAN result nonzeros across node LPs
+	// LPCandidateHits counts node-LP pricing rounds served from the partial
+	// candidate list (no full sweep); LPRefResets counts devex/steepest
+	// reference-framework resets; LPDualBoundFlips counts boxed nonbasic
+	// variables flipped by the bound-flipping dual ratio test.
+	LPCandidateHits  int
+	LPRefResets      int
+	LPDualBoundFlips int
+	// PresolveRows/PresolveCols are the reductions of the structural LP
+	// presolve applied to the root problem (0 when presolve found nothing
+	// or was disabled). The search then runs on the reduced problem.
+	PresolveRows  int
+	PresolveCols  int
 	LPTime        time.Duration // wall time inside the LP subsolver
 	BranchTime    time.Duration // wall time outside the LP (Elapsed - LPTime)
 	Incumbents    int           // incumbent updates (including warm start)
@@ -352,6 +364,12 @@ func (m *Model) Solve(opt Options) Result {
 		span.SetAttr("lp_solves", stats.LPSolves)
 		span.SetAttr("status", r.Status.String())
 		span.SetAttr("termination", string(stats.Termination))
+		span.SetAttr("lp_iters", stats.LPIters)
+		span.SetAttr("presolve_rows", stats.PresolveRows)
+		span.SetAttr("presolve_cols", stats.PresolveCols)
+		span.SetAttr("lp_candidate_hits", stats.LPCandidateHits)
+		span.SetAttr("lp_ref_resets", stats.LPRefResets)
+		span.SetAttr("lp_dual_flips", stats.LPDualBoundFlips)
 		// Phase breakdown on the span, so trace consumers (traceview) can
 		// attribute solve wall time without access to Stats.
 		span.SetAttr("phases_ms", stats.Phases.MS())
@@ -448,9 +466,7 @@ func (m *Model) Solve(opt Options) Result {
 	// Root presolve: propagate bounds (transparent — the deferred restore
 	// puts the caller's bounds back). The tightened bounds become the
 	// effective root for the search below; node bound changes re-apply on
-	// top of them via presolvedLo/Hi.
-	presolvedLo := rootLo
-	presolvedHi := rootHi
+	// top of them via searchLo/Hi.
 	clock.Enter(PhasePresolve)
 	if !opt.NoPresolve {
 		if !m.presolve(8) {
@@ -464,15 +480,56 @@ func (m *Model) Solve(opt Options) Result {
 			}
 			return finish(Result{Status: Infeasible})
 		}
-		presolvedLo = make([]float64, nv)
-		presolvedHi = make([]float64, nv)
-		for j := 0; j < nv; j++ {
-			presolvedLo[j], presolvedHi[j] = m.Prob.VarBounds(j)
+	}
+
+	// Structural LP presolve: eliminate rows and columns (singletons, forced
+	// rows, fixed variables) from the root problem and run the whole search
+	// on the reduced model. Objective accounting stays in the FULL space —
+	// every LP bound gets ObjOffset added before it meets a cutoff, and every
+	// accepted incumbent is postsolved back to a full-space vector before it
+	// is stored or checked. Node LPs set Presolve off explicitly: the
+	// reduction already happened here, and re-running it per node would only
+	// burn allocations (and skew warm/cold differential comparisons).
+	search := m
+	objOff := 0.0
+	var ps *lp.Presolved
+	if !opt.NoPresolve && opt.LP.Presolve != lp.PresolveOff {
+		ps = lp.PresolveProblem(m.Prob, lp.PresolveOptions{Integer: m.isInt})
+		if ps != nil {
+			if ps.Infeasible {
+				restore()
+				if haveInc {
+					// Same tolerance-mismatch reasoning as the bound
+					// propagation above: a checked incumbent outranks a
+					// presolve infeasibility verdict.
+					bestBnd = bestObj
+					return finish(Result{Status: Optimal, Obj: bestObj, X: bestX, BestBound: bestObj})
+				}
+				return finish(Result{Status: Infeasible})
+			}
+			search = &Model{Prob: ps.Reduced, isInt: ps.MapMask(m.isInt)}
+			objOff = ps.ObjOffset
+			stats.PresolveRows = ps.RowsRemoved
+			stats.PresolveCols = ps.ColsRemoved
 		}
 	}
+	// toFull maps a reduced-space point back to the caller's variable space
+	// (identity when presolve found nothing to remove).
+	toFull := func(x []float64) []float64 {
+		if ps != nil {
+			return ps.Postsolve(x)
+		}
+		return x
+	}
+	snv := search.Prob.NumVars()
+	searchLo := make([]float64, snv)
+	searchHi := make([]float64, snv)
+	for j := 0; j < snv; j++ {
+		searchLo[j], searchHi[j] = search.Prob.VarBounds(j)
+	}
 	restoreNode := func() {
-		for j := 0; j < nv; j++ {
-			m.Prob.SetVarBounds(j, presolvedLo[j], presolvedHi[j])
+		for j := 0; j < snv; j++ {
+			search.Prob.SetVarBounds(j, searchLo[j], searchHi[j])
 		}
 	}
 
@@ -520,13 +577,13 @@ func (m *Model) Solve(opt Options) Result {
 		restoreNode()
 		feasibleBounds := true
 		for _, bc := range nd.changes {
-			lo, hi := m.Prob.VarBounds(bc.j)
+			lo, hi := search.Prob.VarBounds(bc.j)
 			nlo, nhi := math.Max(lo, bc.lo), math.Min(hi, bc.hi)
 			if nlo > nhi {
 				feasibleBounds = false
 				break
 			}
-			m.Prob.SetVarBounds(bc.j, nlo, nhi)
+			search.Prob.SetVarBounds(bc.j, nlo, nhi)
 		}
 		if !feasibleBounds {
 			nodeEvent("bounds-infeasible", nd.depth)
@@ -539,6 +596,9 @@ func (m *Model) Solve(opt Options) Result {
 			clock.Enter(PhaseNodeLP)
 		}
 		lpOpt := opt.LP
+		// The structural reduction already ran above (or was disabled);
+		// per-node LP presolve would be pure overhead.
+		lpOpt.Presolve = lp.PresolveOff
 		if !opt.NoWarmStart {
 			// Snapshot every optimal basis so children can reoptimize with
 			// dual pivots instead of a cold phase-1 start.
@@ -546,7 +606,7 @@ func (m *Model) Solve(opt Options) Result {
 			lpOpt.WarmStart = nd.basis
 		}
 		lpStart := time.Now()
-		res := m.Prob.Solve(lpOpt)
+		res := search.Prob.Solve(lpOpt)
 		stats.LPTime += time.Since(lpStart)
 		clock.Enter(PhaseSearch)
 		stats.LPPhases = stats.LPPhases.Merge(res.Stats.Phases)
@@ -562,6 +622,9 @@ func (m *Model) Solve(opt Options) Result {
 		stats.LPEtaPivots += res.Stats.EtaPivots
 		stats.LPFTRANNnz += int64(res.Stats.FTRANNnz)
 		stats.LPBTRANNnz += int64(res.Stats.BTRANNnz)
+		stats.LPCandidateHits += res.Stats.CandidateHits
+		stats.LPRefResets += res.Stats.ReferenceResets
+		stats.LPDualBoundFlips += res.Stats.DualBoundFlips
 		if nodes%opt.ProgressEvery == 0 {
 			progress()
 		}
@@ -598,7 +661,7 @@ func (m *Model) Solve(opt Options) Result {
 			continue
 		}
 
-		lb := res.Obj
+		lb := res.Obj + objOff
 		if opt.IntegralObjective {
 			lb = math.Ceil(lb - 1e-7)
 		}
@@ -623,8 +686,8 @@ func (m *Model) Solve(opt Options) Result {
 		clock.Enter(PhaseBranch)
 		branchVar := -1
 		worst := opt.IntTol
-		for j := 0; j < nv; j++ {
-			if !m.isInt[j] {
+		for j := 0; j < snv; j++ {
+			if !search.isInt[j] {
 				continue
 			}
 			f := res.X[j] - math.Floor(res.X[j])
@@ -636,11 +699,14 @@ func (m *Model) Solve(opt Options) Result {
 		}
 
 		if branchVar == -1 {
-			// Integer feasible.
-			obj := roundedObj(m, res.X, opt)
+			// Integer feasible. Round in the reduced space (postsolve then
+			// derives eliminated variables from exact integer values) and
+			// evaluate the objective with the original full-space costs.
+			full := toFull(roundX(search, res.X))
+			obj := roundedObj(m, full, opt)
 			if obj < bestObj-1e-9 {
 				bestObj = obj
-				bestX = roundX(m, res.X)
+				bestX = full
 				haveInc = true
 				stats.Incumbents++
 				offerIncumbent(obj)
@@ -657,7 +723,10 @@ func (m *Model) Solve(opt Options) Result {
 		// Rounding heuristic: snap all integer vars and test feasibility.
 		if nd.depth < 12 {
 			clock.Enter(PhaseHeuristic)
-			cand := roundX(m, res.X)
+			// Feasibility is always certified against the FULL model: the
+			// rounded point is postsolved first, so eliminated rows and
+			// bounds are rechecked in the caller's space.
+			cand := toFull(roundX(search, res.X))
 			if ok, obj := m.CheckFeasible(cand, opt.IntTol); ok && obj < bestObj-1e-9 {
 				bestObj = obj
 				bestX = cand

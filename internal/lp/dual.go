@@ -27,6 +27,7 @@ import (
 // phase-2 pass certifies optimality regardless of where the solve started.
 func (s *simplex) reSolve(opt Options) (Result, bool) {
 	s.opt = opt.withDefaults(s.m, s.n)
+	s.setPricing(opt.Pricing) // invalidates maintained state on rule change
 	s.iters = 0
 	s.stats = Stats{WarmStarted: true}
 	if s.lu != nil {
@@ -92,6 +93,7 @@ func warmSolve(p *Problem, opt Options) (Result, bool) {
 	if s.opt.CollectPhases {
 		s.clock = obs.NewPhaseClock()
 	}
+	s.setPricing(opt.Pricing)
 	s.clock.Enter(PhaseBuild)
 	s.buildColumns()
 	if !s.loadBasis(bs) {
@@ -179,7 +181,23 @@ func (s *simplex) loadBasis(bs *Basis) bool {
 // violation, a Farkas-style certificate that needs no dual feasibility —
 // and ok=false when the path must fall back (pivot cap, singular basis,
 // or an infeasibility verdict resting on borderline pivot magnitudes).
+//
+// Like the primal loop, the restore is rule-dispatched: PricingDantzig keeps
+// the legacy restore (full duals + a per-column dot-product sweep every
+// pivot) as the differential reference; the other rules run the fast restore
+// below — incremental reduced costs, ratio-test alphas accumulated
+// row-driven over the pivot row's nonzero pattern, weighted row selection,
+// and a bound-flipping ratio test. Both restores are only basis steering:
+// the final primal pass in reSolve/warmSolve certifies every answer.
 func (s *simplex) dualRestore() (Status, bool) {
+	if s.pr.rule == PricingDantzig {
+		return s.dualRestoreClassic()
+	}
+	return s.dualRestoreFast()
+}
+
+func (s *simplex) dualRestoreClassic() (Status, bool) {
+	s.pr.valid = false // classic pivots do not maintain reduced costs
 	m := s.m
 	tol := s.opt.Tol
 	cost := s.cost[:s.ncols]
@@ -311,4 +329,374 @@ func (s *simplex) dualRestore() (Status, bool) {
 			s.refresh()
 		}
 	}
+}
+
+// dualRestoreFast is the fast dual restore used by the incremental pricing
+// rules. Three differences from the classic restore, none of which affect
+// correctness (the primal certify pass does):
+//
+//   - Reduced costs are maintained incrementally (pricing.go) instead of
+//     being recomputed via a BTRAN of the basic costs every pivot — the
+//     pivot-row BTRAN that the ratio test needs anyway is the only one left.
+//   - The ratio-test alphas come from one row-driven accumulation over the
+//     pivot row's nonzero pattern (rowTimesA), so the sweep visits only
+//     columns that intersect the row instead of dotting every column.
+//   - The leaving row is chosen by weighted violation (dual devex weights,
+//     or exact dual steepest-edge row norms under PricingSteepest), and a
+//     bound-flipping ratio test lets one pivot step through a run of boxed
+//     breakpoints — the flips are applied with a single combined FTRAN and
+//     counted in Stats.DualBoundFlips.
+func (s *simplex) dualRestoreFast() (Status, bool) {
+	m := s.m
+	tol := s.opt.Tol
+	cost := s.cost[:s.ncols]
+	pr := &s.pr
+
+	// Fresh dual reference framework for this restore.
+	dw := s.dw[:m]
+	for i := range dw {
+		dw[i] = 1
+	}
+	if s.ncols > 0 && (!pr.valid || pr.costPtr != &cost[0]) {
+		s.resyncPricing(cost)
+	}
+
+	maxIters := 40*m + 400
+	for it := 0; ; it++ {
+		if it >= maxIters || s.iters >= s.opt.MaxIters {
+			return 0, false
+		}
+		s.clock.Enter(PhasePricing)
+
+		// Leaving row: the largest weighted bound violation.
+		r := -1
+		worst := 0.0
+		above := false
+		viol := 0.0
+		for i := 0; i < m; i++ {
+			bj := s.basis[i]
+			if v := s.xB[i] - s.hi[bj]; v > tol {
+				if sc := v * v / dw[i]; sc > worst {
+					worst, r, above, viol = sc, i, true, v
+				}
+			}
+			if v := s.lo[bj] - s.xB[i]; v > tol {
+				if sc := v * v / dw[i]; sc > worst {
+					worst, r, above, viol = sc, i, false, v
+				}
+			}
+		}
+		if r == -1 {
+			return Optimal, true // primal feasible
+		}
+		s.iters++
+		s.stats.DualIters++
+
+		// Pivot row rho = e_r' B^{-1} (one BTRAN), then every ratio-test
+		// alpha in one row-driven accumulation over rho's pattern. Columns
+		// outside the pattern have alpha = 0 and can be neither eligible nor
+		// shaky, so the sweep below visits only the touched columns.
+		s.binvRow(r)
+		s.rowTimesA(&s.rhov, &pr.alphaAcc)
+		s.clock.Enter(PhaseRatioTest)
+
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		shaky := false
+		s.bfJ = s.bfJ[:0]
+		s.bfRatio = s.bfRatio[:0]
+		s.bfAlpha = s.bfAlpha[:0]
+		for _, j32 := range pr.alphaAcc.ind {
+			j := int(j32)
+			st := s.state[j]
+			if st == stBasic {
+				continue
+			}
+			if s.hi[j]-s.lo[j] < 1e-13 && st != stFreeZero {
+				continue // fixed variable cannot move
+			}
+			alpha := pr.alphaAcc.val[j32]
+			var eligible, wouldHelp bool
+			switch {
+			case st == stFreeZero:
+				eligible = math.Abs(alpha) > tol
+				wouldHelp = math.Abs(alpha) > 1e-12
+			case above: // basic above its upper bound: must decrease
+				eligible = (st == stAtLower && alpha > tol) || (st == stAtUpper && alpha < -tol)
+				wouldHelp = (st == stAtLower && alpha > 1e-12) || (st == stAtUpper && alpha < -1e-12)
+			default: // basic below its lower bound: must increase
+				eligible = (st == stAtLower && alpha < -tol) || (st == stAtUpper && alpha > tol)
+				wouldHelp = (st == stAtLower && alpha < -1e-12) || (st == stAtUpper && alpha > 1e-12)
+			}
+			if !eligible {
+				if wouldHelp {
+					shaky = true // certificate would rest on a borderline alpha
+				}
+				continue
+			}
+			ratio := math.Abs(pr.d[j]) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				bestRatio, enter, bestAlpha = ratio, j, alpha
+			}
+			s.bfJ = append(s.bfJ, j32)
+			s.bfRatio = append(s.bfRatio, ratio)
+			s.bfAlpha = append(s.bfAlpha, alpha)
+		}
+		if enter == -1 {
+			if shaky {
+				return 0, false // let the cold solve decide
+			}
+			return Infeasible, true
+		}
+
+		// Bound-flipping ratio test (long-step dual simplex): walk the
+		// breakpoints in ratio order; while the blocking variable is boxed
+		// and flipping it to its other bound leaves the row still violated
+		// (slope stays positive), flip it and move to the next breakpoint.
+		// The breakpoint where the slope would die — or the first non-boxed
+		// one — enters the basis instead.
+		nflip := 0
+		if len(s.bfJ) >= 2 {
+			slope := viol
+			remaining := len(s.bfJ)
+			for nflip < 64 && remaining > 1 {
+				k := -1
+				br := math.Inf(1)
+				ba := 0.0
+				for q, rt := range s.bfRatio {
+					if rt < br-1e-12 ||
+						(rt < br+1e-12 && math.Abs(s.bfAlpha[q]) > math.Abs(ba)) {
+						br, ba, k = rt, s.bfAlpha[q], q
+					}
+				}
+				if k < 0 {
+					break
+				}
+				j := int(s.bfJ[k])
+				rng := s.hi[j] - s.lo[j]
+				boxed := s.state[j] != stFreeZero &&
+					!math.IsInf(s.lo[j], -1) && !math.IsInf(s.hi[j], 1)
+				if !boxed || slope-math.Abs(ba)*rng <= tol {
+					enter, bestAlpha = j, ba
+					break
+				}
+				// Flip j through: consume its breakpoint and keep walking.
+				s.bfRatio[k] = math.Inf(1)
+				s.bfJ[k] = -s.bfJ[k] - 1 // mark flipped (bit-complement)
+				slope -= math.Abs(ba) * rng
+				remaining--
+				nflip++
+			}
+			if nflip > 0 && remaining <= 1 {
+				// Walked off the end: enter the last unconsumed breakpoint.
+				for q, j32 := range s.bfJ {
+					if j32 >= 0 && !math.IsInf(s.bfRatio[q], 1) {
+						enter, bestAlpha = int(j32), s.bfAlpha[q]
+					}
+				}
+			}
+		}
+		s.clock.Enter(PhasePivot)
+
+		// Full pivot column w = B^{-1} A_enter (an FTRAN).
+		s.computePivotColumn(enter)
+		piv := s.w[r]
+		if math.Abs(piv) < 1e-11 {
+			// The sparse alpha and the dense recomputation disagree badly:
+			// rebuild the inverse and retry the row (no flips applied yet).
+			if !s.refactorize() {
+				return 0, false
+			}
+			continue
+		}
+
+		// Verify the maintained reduced cost of the entering column against
+		// its exact value (free given the FTRAN result); drift forces a
+		// resync and a retry of the whole row.
+		dq := cost[enter]
+		for _, i := range s.wv.ind {
+			dq -= cost[s.basis[i]] * s.w[i]
+		}
+		if math.Abs(dq-pr.d[enter]) > priceDriftTol*(1+math.Abs(dq)) {
+			s.resyncPricing(cost)
+			continue
+		}
+		pr.d[enter] = dq
+
+		// Apply the accumulated bound flips with one combined FTRAN: the
+		// basic values absorb B^{-1} * sum(a_j * delta_j). Reduced costs and
+		// pricing weights are untouched — flips change no basis column.
+		if nflip > 0 {
+			s.applyBoundFlips()
+		}
+
+		// Fold the exchange into the maintained reduced costs (alphas are
+		// already in the accumulator) and the dual row weights, both against
+		// the old basis representation.
+		bj := s.basis[r]
+		s.pricingUpdate(cost, enter, r, bj, piv, dq, &s.rhov, true)
+		s.dualWeightUpdate(r, piv)
+
+		// The leaving variable lands exactly on its violated bound.
+		beta := s.lo[bj]
+		if above {
+			beta = s.hi[bj]
+		}
+		dx := (s.xB[r] - beta) / piv
+		enterVal := s.nbValue(enter) + dx
+		for _, i := range s.wv.ind {
+			s.xB[i] -= s.w[i] * dx
+		}
+		s.stats.Pivots++
+		if above {
+			s.state[bj] = stAtUpper
+		} else {
+			s.state[bj] = stAtLower
+		}
+		s.basis[r] = enter
+		s.state[enter] = stBasic
+		s.xB[r] = enterVal
+		if !s.updateBasisRep(r) {
+			return 0, false
+		}
+		if s.iters%256 == 0 {
+			s.refresh()
+			pr.valid = false // periodic resync curbs reduced-cost drift
+		}
+	}
+}
+
+// applyBoundFlips toggles every breakpoint marked flipped in s.bfJ to its
+// opposite bound and folds the combined column movement into the basic
+// values: xB -= B^{-1} * sum(a_j * delta_j), one FTRAN for the whole run.
+func (s *simplex) applyBoundFlips() {
+	s.av.reset()
+	n := 0
+	for _, j32 := range s.bfJ {
+		if j32 >= 0 {
+			continue
+		}
+		j := int(-j32 - 1)
+		var delta float64
+		if s.state[j] == stAtLower {
+			delta = s.hi[j] - s.lo[j]
+			s.state[j] = stAtUpper
+		} else {
+			delta = s.lo[j] - s.hi[j]
+			s.state[j] = stAtLower
+		}
+		for k, i := range s.colIdx[j] {
+			s.av.add(i, s.colVal[j][k]*delta)
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	s.stats.DualBoundFlips += n
+	if s.lu != nil {
+		prev := s.clockSub(PhaseFTRAN)
+		s.lu.ftran(&s.av, &s.fv)
+		s.stats.FTRANNnz += len(s.fv.ind)
+		s.clockBack(prev)
+		for _, i := range s.fv.ind {
+			s.xB[i] -= s.fv.val[i]
+		}
+		return
+	}
+	m := s.m
+	for _, k32 := range s.av.ind {
+		v := s.av.val[k32]
+		if v == 0 {
+			continue
+		}
+		k := int(k32)
+		for i := 0; i < m; i++ {
+			s.xB[i] -= s.binv[i*m+k] * v
+		}
+	}
+}
+
+// dualWeightUpdate maintains the dual pricing weights across the exchange on
+// row r. Under PricingSteepest the weights are exact dual steepest-edge row
+// norms |B^{-1}_i|^2, updated with the extra FTRAN tau = B^{-1} rho the
+// Forrest-Goldfarb recurrence needs; otherwise a devex-style reference
+// update keeps them cheap approximations. Must run before updateBasisRep
+// (rho, w and tau all live under the old representation).
+func (s *simplex) dualWeightUpdate(r int, piv float64) {
+	m := s.m
+	dw := s.dw[:m]
+
+	// Exact weight of the pivot row, free from rho itself.
+	brExact := 0.0
+	if s.lu != nil {
+		for _, i := range s.rhov.ind {
+			v := s.rhov.val[i]
+			brExact += v * v
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			v := s.rhov.val[i]
+			brExact += v * v
+		}
+	}
+
+	if s.pr.rule == PricingSteepest && !s.pr.fellBack {
+		// tau = B^{-1} rho^T: the correction term of the exact update.
+		var tau []float64
+		if s.lu != nil {
+			prev := s.clockSub(PhaseFTRAN)
+			s.av.reset()
+			for _, i := range s.rhov.ind {
+				if v := s.rhov.val[i]; v != 0 {
+					s.av.set(i, v)
+				}
+			}
+			s.lu.ftran(&s.av, &s.tauv)
+			s.stats.FTRANNnz += len(s.tauv.ind)
+			s.clockBack(prev)
+			tau = s.tauv.val
+		} else {
+			s.tauv.grow(m)
+			tau = s.tauv.val
+			for i := 0; i < m; i++ {
+				sum := 0.0
+				row := s.binv[i*m : i*m+m]
+				for k := 0; k < m; k++ {
+					sum += row[k] * s.rhov.val[k]
+				}
+				tau[i] = sum
+			}
+		}
+		for _, i32 := range s.wv.ind {
+			i := int(i32)
+			if i == r {
+				continue
+			}
+			eta := s.w[i] / piv
+			b := dw[i] - 2*eta*tau[i] + eta*eta*brExact
+			if b < 1e-10 {
+				b = 1e-10
+			}
+			dw[i] = b
+		}
+	} else {
+		for _, i32 := range s.wv.ind {
+			i := int(i32)
+			if i == r {
+				continue
+			}
+			eta := s.w[i] / piv
+			if b := eta * eta * brExact; b > dw[i] {
+				dw[i] = b
+			}
+		}
+	}
+	b := brExact / (piv * piv)
+	if b < 1e-10 {
+		b = 1e-10
+	}
+	dw[r] = b
 }

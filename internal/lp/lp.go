@@ -239,6 +239,116 @@ func (e Engine) String() string {
 	return "?"
 }
 
+// ParseEngine parses a CLI engine name ("sparse", "dense").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "sparse":
+		return EngineSparse, nil
+	case "dense":
+		return EngineDense, nil
+	}
+	return 0, fmt.Errorf("lp: unknown engine %q (want sparse or dense)", s)
+}
+
+// Pricing selects the entering-variable rule of the primal simplex and the
+// leaving-row/ratio-test variants of the warm-start dual pivots. See
+// pricing.go for the machinery.
+type Pricing int
+
+const (
+	// PricingAuto (the zero value, the default) resolves to PricingDevex:
+	// devex reference weights with incrementally maintained reduced costs and
+	// candidate-list partial pricing, plus dual devex row weights and the
+	// bound-flipping ratio test on warm-start reoptimizations.
+	PricingAuto Pricing = iota
+	// PricingDantzig is the legacy rule kept as the differential-testing
+	// reference: duals recomputed every iteration, full most-negative-
+	// reduced-cost sweep, single-breakpoint dual ratio test.
+	PricingDantzig
+	// PricingDevex selects devex pricing explicitly (what PricingAuto does).
+	PricingDevex
+	// PricingSteepest is projected steepest-edge pricing with exact weight
+	// updates (one extra BTRAN per primal pivot, one extra FTRAN per dual
+	// pivot) and dual steepest-edge row weights. When the maintained weights
+	// break down numerically the solve counts a reference reset and falls
+	// back to devex updates for the rest of the solve.
+	PricingSteepest
+)
+
+func (pr Pricing) String() string {
+	switch pr {
+	case PricingAuto:
+		return "auto"
+	case PricingDantzig:
+		return "dantzig"
+	case PricingDevex:
+		return "devex"
+	case PricingSteepest:
+		return "steepest"
+	}
+	return "?"
+}
+
+// resolve maps PricingAuto to the concrete default rule.
+func (pr Pricing) resolve() Pricing {
+	if pr == PricingAuto {
+		return PricingDevex
+	}
+	return pr
+}
+
+// ParsePricing parses a CLI pricing-rule name.
+func ParsePricing(s string) (Pricing, error) {
+	switch s {
+	case "", "auto":
+		return PricingAuto, nil
+	case "dantzig":
+		return PricingDantzig, nil
+	case "devex":
+		return PricingDevex, nil
+	case "steepest":
+		return PricingSteepest, nil
+	}
+	return 0, fmt.Errorf("lp: unknown pricing rule %q (want auto, dantzig, devex or steepest)", s)
+}
+
+// PresolveMode gates the LP presolve layer (presolve.go).
+type PresolveMode int
+
+const (
+	// PresolveAuto (the zero value) applies presolve where it is transparent:
+	// a cold solve without a basis-snapshot request reduces the model, solves
+	// the reduction and postsolves the answer. Warm-started and snapshot
+	// solves skip it, because a basis snapshot must match the caller's
+	// problem shape. The MILP layer (package ilp) instead presolves once in
+	// front of the root LP and searches the reduced space directly.
+	PresolveAuto PresolveMode = iota
+	// PresolveOff solves the model exactly as stated — the differential-
+	// testing reference for the presolve layer.
+	PresolveOff
+)
+
+func (pm PresolveMode) String() string {
+	switch pm {
+	case PresolveAuto:
+		return "auto"
+	case PresolveOff:
+		return "off"
+	}
+	return "?"
+}
+
+// ParsePresolveMode parses a CLI presolve-mode name.
+func ParsePresolveMode(s string) (PresolveMode, error) {
+	switch s {
+	case "", "auto", "on":
+		return PresolveAuto, nil
+	case "off", "none":
+		return PresolveOff, nil
+	}
+	return 0, fmt.Errorf("lp: unknown presolve mode %q (want auto or off)", s)
+}
+
 // Result holds the outcome of a Solve.
 type Result struct {
 	Status Status
@@ -250,6 +360,12 @@ type Result struct {
 	X     []float64
 	Iters int   // simplex iterations used (both phases)
 	Stats Stats // detailed per-solve statistics
+	// Duals holds the row dual values y (one per constraint, such that
+	// c - A'y is the reduced-cost vector), populated on optimal solves when
+	// Options.WantDuals is set. Solves routed through presolve recover the
+	// duals of removed rows during postsolve. Like X, the slice may be pooled
+	// on the solve engine; copy it if it must outlive the next Solve.
+	Duals []float64
 	// Basis is the final basis snapshot, populated on optimal solves when
 	// Options.SnapshotBasis is set. It can seed a later warm-started solve
 	// of the same problem shape via Options.WarmStart.
@@ -285,6 +401,16 @@ type Stats struct {
 	EtaPivots int     // basis exchanges absorbed by eta updates (no refactorization)
 	FTRANNnz  int     // result nonzeros across all sparse FTRANs (deterministic work)
 	BTRANNnz  int     // result nonzeros across all sparse BTRANs (deterministic work)
+
+	// Pricing-layer statistics (pricing.go; zero under PricingDantzig).
+	CandidateHits   int // pricing iterations served by the candidate list alone
+	ReferenceResets int // pricing-weight reference resets (incl. steepest→devex fallbacks)
+	DualBoundFlips  int // long-step dual ratio-test bound flips (BFRT)
+
+	// Presolve statistics (presolve.go; populated when the solve was routed
+	// through the presolve layer).
+	PresolveRows int // constraint rows removed by presolve
+	PresolveCols int // variable columns removed by presolve
 
 	// Phases attributes the solve's wall time to the simplex internals —
 	// PhaseBuild, PhasePricing, PhaseRatioTest, PhasePivot, PhaseRefactorize
@@ -328,6 +454,17 @@ type Options struct {
 	// EngineSparse. EngineDense is the slower reference implementation kept
 	// for differential testing.
 	Engine Engine
+	// Pricing selects the entering-variable pricing rule; the zero value
+	// (PricingAuto) is devex with candidate-list partial pricing and the
+	// bound-flipping dual ratio test. PricingDantzig is the legacy reference
+	// kept for differential testing.
+	Pricing Pricing
+	// Presolve gates the LP presolve layer; the zero value (PresolveAuto)
+	// presolves cold solves transparently, PresolveOff solves the model as
+	// stated (the differential reference).
+	Presolve PresolveMode
+	// WantDuals populates Result.Duals on optimal solves (one extra BTRAN).
+	WantDuals bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -355,6 +492,15 @@ func (p *Problem) Solve(opt Options) Result {
 				return res
 			}
 		} else if res, done := warmSolve(p, opt); done {
+			return res
+		}
+	}
+	// Cold solves without a snapshot request route through the presolve
+	// layer (transparent: the answer is postsolved back to this problem's
+	// shape). Snapshot solves skip it — Result.Basis must match the full
+	// problem so a later WarmStart can load it.
+	if opt.Presolve == PresolveAuto && !opt.SnapshotBasis {
+		if res, done := presolvedSolve(p, opt); done {
 			return res
 		}
 	}

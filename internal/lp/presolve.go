@@ -1,0 +1,658 @@
+package lp
+
+import "math"
+
+// presolve.go reduces an LP before the simplex sees it: empty and redundant
+// rows are dropped, singleton rows become variable bounds, forced rows fix
+// every variable they touch, fixed columns fold into the right-hand side,
+// free continuous column singletons in equality rows are substituted out,
+// and (only when integrality marks are supplied) row activity bounds
+// tighten integer variable bounds. Every reduction is recorded on a
+// postsolve stack so the full-space primal solution — and, via the same
+// stack walked in reverse, the dual values of removed rows — can be
+// recovered exactly.
+//
+// Scope note: continuous implied-bound tightening is deliberately NOT done.
+// Tightening a continuous bound can make that bound active at the reduced
+// optimum where the original problem had the row active instead, which
+// breaks exact dual postsolve. Integer tightening is safe because it is
+// only used through the MILP layer (package ilp), where equivalence is
+// required for the integer problem, not the LP relaxation.
+//
+// The postsolve dual rules follow the standard stack discipline: records
+// are processed in reverse removal order, each computing its row's dual
+// against the original matrix and the duals assigned so far (later-removed
+// rows first). Cost transfers performed by substitutions are exactly the
+// y·a adjustments, so original costs plus assigned duals reproduce the
+// working reduced costs at every stage.
+
+// PresolveOptions tunes a presolve pass.
+type PresolveOptions struct {
+	// Tol is the feasibility tolerance; 0 means 1e-9.
+	Tol float64
+	// Integer marks integral variables (nil = all continuous). Integer
+	// columns get activity-based bound tightening (rounded inward), and
+	// fixings of integer columns are rounded — a fix that lands further
+	// than the tolerance from an integer proves the model infeasible.
+	Integer []bool
+}
+
+type psKind uint8
+
+const (
+	psRowDrop      psKind = iota // empty or redundant row: y = 0
+	psRowSingleton               // singleton row turned into a bound on one column
+	psRowForced                  // forced row: every column fixed at its extreme
+	psColFixed                   // column fixed: x_j = val
+	psColSubst                   // free column singleton substituted out (with its row)
+)
+
+// psRec is one postsolve record. Field use depends on kind.
+type psRec struct {
+	kind  psKind
+	row   int     // original row index (row kinds, psColSubst)
+	col   int     // original column index (psRowSingleton, column kinds)
+	a     float64 // coefficient a[row][col] (psRowSingleton, psColSubst)
+	val   float64 // fix value (psColFixed)
+	cj    float64 // working cost of col at removal time (psColSubst)
+	rhs   float64 // row rhs at removal time (psRowSingleton/Forced, psColSubst)
+	sense Sense
+	idx   []int32   // row entries at removal time, excluding col (psColSubst)
+	vals  []float64 // — matching coefficients (psColSubst, psRowForced)
+	atLo  []bool    // psRowForced: which bound each entry was fixed at
+}
+
+// Presolved is the outcome of a presolve pass: the reduced problem plus
+// everything needed to map solutions (and duals) back to the original.
+type Presolved struct {
+	Reduced *Problem
+
+	// ObjOffset is the objective contribution of removed columns:
+	// c_orig·x_full = c_red·x_red + ObjOffset.
+	ObjOffset float64
+
+	// ColMap/RowMap map original indices to reduced ones (-1 = removed).
+	ColMap []int32
+	RowMap []int32
+
+	RowsRemoved int
+	ColsRemoved int
+	Infeasible  bool
+
+	origN, origM int
+	origCost     []float64
+	colRowsIdx   [][]int32 // original column view: rows touching each column
+	colRowsVal   [][]float64
+	stack        []psRec
+}
+
+// PresolveProblem reduces p. Returns nil when no reduction applies (callers
+// should then solve p directly). A non-nil result with Infeasible set means
+// presolve proved the model infeasible.
+func PresolveProblem(p *Problem, popt PresolveOptions) *Presolved {
+	tol := popt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	n := len(p.cost)
+	m := len(p.rows)
+
+	// Working copies. Row entries are physically compacted as columns leave.
+	cost := append([]float64(nil), p.cost...)
+	lo := append([]float64(nil), p.lo...)
+	hi := append([]float64(nil), p.hi...)
+	rhs := append([]float64(nil), p.rhs...)
+	senses := append([]Sense(nil), p.senses...)
+	rIdx := make([][]int32, m)
+	rVal := make([][]float64, m)
+	for i, r := range p.rows {
+		rIdx[i] = append([]int32(nil), r.idx...)
+		rVal[i] = append([]float64(nil), r.val...)
+	}
+	rowAlive := make([]bool, m)
+	colAlive := make([]bool, n)
+	for i := range rowAlive {
+		rowAlive[i] = true
+	}
+	for j := range colAlive {
+		colAlive[j] = true
+	}
+
+	ps := &Presolved{origN: n, origM: m, origCost: append([]float64(nil), p.cost...)}
+
+	isInt := func(j int) bool { return popt.Integer != nil && popt.Integer[j] }
+
+	dropCol := func(j int, val float64) bool { // returns false on infeasibility
+		if isInt(j) {
+			r := math.Round(val)
+			if math.Abs(val-r) > 1e-6 {
+				return false
+			}
+			val = r
+		}
+		for i := range rIdx {
+			if !rowAlive[i] {
+				continue
+			}
+			idx, vals := rIdx[i], rVal[i]
+			for k := 0; k < len(idx); k++ {
+				if int(idx[k]) != j {
+					continue
+				}
+				rhs[i] -= vals[k] * val
+				idx[k] = idx[len(idx)-1]
+				vals[k] = vals[len(vals)-1]
+				rIdx[i] = idx[:len(idx)-1]
+				rVal[i] = vals[:len(vals)-1]
+				break
+			}
+		}
+		ps.ObjOffset += cost[j] * val
+		ps.stack = append(ps.stack, psRec{kind: psColFixed, col: j, val: val})
+		colAlive[j] = false
+		ps.ColsRemoved++
+		return true
+	}
+
+	infeasible := func() *Presolved {
+		ps.Infeasible = true
+		return ps
+	}
+
+	changed := true
+	for pass := 0; pass < 10 && changed; pass++ {
+		changed = false
+
+		// ---- Column sweep: inverted bounds, fixed columns.
+		for j := 0; j < n; j++ {
+			if !colAlive[j] {
+				continue
+			}
+			if lo[j] > hi[j]+tol {
+				return infeasible()
+			}
+			if hi[j]-lo[j] <= tol && !math.IsInf(lo[j], -1) {
+				if !dropCol(j, (lo[j]+hi[j])/2) {
+					return infeasible()
+				}
+				changed = true
+			}
+		}
+
+		// ---- Column occurrence counts (for singleton-column substitution).
+		colCnt := make([]int, n)
+		colLastRow := make([]int, n)
+		for i := 0; i < m; i++ {
+			if !rowAlive[i] {
+				continue
+			}
+			for _, j := range rIdx[i] {
+				colCnt[j]++
+				colLastRow[j] = i
+			}
+		}
+
+		// ---- Free continuous column singletons in equality rows: substitute
+		// the column out together with its row; the row's dual is exactly
+		// c_j/a_ij (the only way the column's reduced cost can vanish).
+		for j := 0; j < n; j++ {
+			if !colAlive[j] || colCnt[j] != 1 || isInt(j) {
+				continue
+			}
+			if !math.IsInf(lo[j], -1) || !math.IsInf(hi[j], 1) {
+				continue
+			}
+			i := colLastRow[j]
+			if senses[i] != EQ {
+				continue
+			}
+			var aj float64
+			rec := psRec{kind: psColSubst, row: i, col: j, cj: cost[j], rhs: rhs[i], sense: EQ}
+			for k, jj := range rIdx[i] {
+				if int(jj) == j {
+					aj = rVal[i][k]
+					continue
+				}
+				rec.idx = append(rec.idx, jj)
+				rec.vals = append(rec.vals, rVal[i][k])
+			}
+			if math.Abs(aj) < tol {
+				continue
+			}
+			rec.a = aj
+			// Transfer the substituted column's cost onto the row's other
+			// columns: c_k -= c_j * a_ik / a_ij, constant term c_j*b_i/a_ij.
+			f := cost[j] / aj
+			for k, jj := range rec.idx {
+				cost[jj] -= f * rec.vals[k]
+			}
+			ps.ObjOffset += f * rhs[i]
+			ps.stack = append(ps.stack, rec)
+			colAlive[j] = false
+			rowAlive[i] = false
+			ps.ColsRemoved++
+			ps.RowsRemoved++
+			changed = true
+		}
+
+		// ---- Row sweep: activity bounds classify each row.
+		for i := 0; i < m; i++ {
+			if !rowAlive[i] {
+				continue
+			}
+			idx, vals := rIdx[i], rVal[i]
+
+			if len(idx) == 0 { // empty row: constant constraint on 0
+				switch senses[i] {
+				case LE:
+					if rhs[i] < -tol {
+						return infeasible()
+					}
+				case GE:
+					if rhs[i] > tol {
+						return infeasible()
+					}
+				case EQ:
+					if math.Abs(rhs[i]) > tol {
+						return infeasible()
+					}
+				}
+				rowAlive[i] = false
+				ps.RowsRemoved++
+				ps.stack = append(ps.stack, psRec{kind: psRowDrop, row: i})
+				changed = true
+				continue
+			}
+
+			// Activity bounds over the alive entries.
+			infAct, supAct := 0.0, 0.0
+			for k, j := range idx {
+				a := vals[k]
+				if a > 0 {
+					infAct += a * lo[j]
+					supAct += a * hi[j]
+				} else {
+					infAct += a * hi[j]
+					supAct += a * lo[j]
+				}
+			}
+
+			// Infeasible by activity alone?
+			if (senses[i] == LE || senses[i] == EQ) && infAct > rhs[i]+tol {
+				return infeasible()
+			}
+			if (senses[i] == GE || senses[i] == EQ) && supAct < rhs[i]-tol {
+				return infeasible()
+			}
+
+			// Singleton row: one coefficient — the row is a variable bound.
+			if len(idx) == 1 {
+				j, a := int(idx[0]), vals[0]
+				bd := rhs[i] / a
+				tightLo := senses[i] == GE || senses[i] == EQ
+				tightHi := senses[i] == LE || senses[i] == EQ
+				if a < 0 {
+					tightLo, tightHi = tightHi, tightLo
+				}
+				if tightLo && bd > lo[j] {
+					lo[j] = bd
+				}
+				if tightHi && bd < hi[j] {
+					hi[j] = bd
+				}
+				if lo[j] > hi[j]+tol {
+					return infeasible()
+				}
+				rowAlive[i] = false
+				ps.RowsRemoved++
+				ps.stack = append(ps.stack, psRec{kind: psRowSingleton, row: i,
+					col: j, a: a, rhs: rhs[i], sense: senses[i]})
+				changed = true
+				continue
+			}
+
+			// Forced row: the activity bound meets the rhs exactly, so every
+			// column must sit at its extreme-activity bound.
+			forcedLo := !math.IsInf(infAct, -1) && infAct >= rhs[i]-tol &&
+				(senses[i] == LE || senses[i] == EQ)
+			forcedHi := !math.IsInf(supAct, 1) && supAct <= rhs[i]+tol &&
+				(senses[i] == GE || senses[i] == EQ)
+			if forcedLo || forcedHi {
+				rec := psRec{kind: psRowForced, row: i, rhs: rhs[i], sense: senses[i]}
+				for k, j := range idx {
+					a := vals[k]
+					atLo := (a > 0) == forcedLo
+					rec.idx = append(rec.idx, j)
+					rec.vals = append(rec.vals, a)
+					rec.atLo = append(rec.atLo, atLo)
+					// Fix by collapsing the bounds; the column sweep of the
+					// next pass removes the column and adjusts the rhs.
+					if atLo {
+						hi[j] = lo[j]
+					} else {
+						lo[j] = hi[j]
+					}
+				}
+				rowAlive[i] = false
+				ps.RowsRemoved++
+				ps.stack = append(ps.stack, rec)
+				changed = true
+				continue
+			}
+
+			// Redundant row: satisfied by every point of the bound box.
+			redundant := false
+			switch senses[i] {
+			case LE:
+				redundant = !math.IsInf(supAct, 1) && supAct <= rhs[i]+tol
+			case GE:
+				redundant = !math.IsInf(infAct, -1) && infAct >= rhs[i]-tol
+			}
+			if redundant {
+				rowAlive[i] = false
+				ps.RowsRemoved++
+				ps.stack = append(ps.stack, psRec{kind: psRowDrop, row: i})
+				changed = true
+				continue
+			}
+
+			// Integer bound tightening from row activity (integer-only; see
+			// the scope note at the top of the file).
+			if popt.Integer == nil {
+				continue
+			}
+			for k, j32 := range idx {
+				j := int(j32)
+				if !isInt(j) {
+					continue
+				}
+				a := vals[k]
+				// Activity of the other columns at this row's slack extreme.
+				var others float64
+				if a > 0 {
+					others = infAct - a*lo[j]
+				} else {
+					others = infAct - a*hi[j]
+				}
+				if senses[i] == LE || senses[i] == EQ {
+					if !math.IsInf(others, -1) {
+						if a > 0 {
+							if nb := math.Floor((rhs[i]-others)/a + tol); nb < hi[j]-tol {
+								hi[j] = nb
+								changed = true
+							}
+						} else {
+							if nb := math.Ceil((rhs[i]-others)/a - tol); nb > lo[j]+tol {
+								lo[j] = nb
+								changed = true
+							}
+						}
+					}
+				}
+				if senses[i] == GE || senses[i] == EQ {
+					var othersSup float64
+					if a > 0 {
+						othersSup = supAct - a*hi[j]
+					} else {
+						othersSup = supAct - a*lo[j]
+					}
+					if !math.IsInf(othersSup, 1) {
+						if a > 0 {
+							if nb := math.Ceil((rhs[i]-othersSup)/a - tol); nb > lo[j]+tol {
+								lo[j] = nb
+								changed = true
+							}
+						} else {
+							if nb := math.Floor((rhs[i]-othersSup)/a + tol); nb < hi[j]-tol {
+								hi[j] = nb
+								changed = true
+							}
+						}
+					}
+				}
+				if lo[j] > hi[j]+tol {
+					return infeasible()
+				}
+			}
+		}
+	}
+
+	if ps.RowsRemoved == 0 && ps.ColsRemoved == 0 {
+		// Bound tightening alone still counts as a reduction worth keeping,
+		// but if literally nothing changed, tell the caller to skip us.
+		if !boundsChanged(lo, hi, p.lo, p.hi) {
+			return nil
+		}
+	}
+
+	// ---- Assemble the reduced problem and the index maps.
+	ps.ColMap = make([]int32, n)
+	ps.RowMap = make([]int32, m)
+	red := NewProblem()
+	for j := 0; j < n; j++ {
+		if !colAlive[j] {
+			ps.ColMap[j] = -1
+			continue
+		}
+		ps.ColMap[j] = int32(red.AddVariable(lo[j], hi[j], cost[j]))
+		if p.names[j] != "" {
+			red.SetName(int(ps.ColMap[j]), p.names[j])
+		}
+	}
+	coefs := make([]Coef, 0, 16)
+	for i := 0; i < m; i++ {
+		if !rowAlive[i] {
+			ps.RowMap[i] = -1
+			continue
+		}
+		coefs = coefs[:0]
+		for k, j := range rIdx[i] {
+			coefs = append(coefs, Coef{Var: int(ps.ColMap[j]), Val: rVal[i][k]})
+		}
+		ps.RowMap[i] = int32(red.AddConstraint(coefs, senses[i], rhs[i]))
+	}
+	ps.Reduced = red
+
+	// Original column view, for dual postsolve (reduced costs need column
+	// dot products against the full matrix).
+	ps.colRowsIdx = make([][]int32, n)
+	ps.colRowsVal = make([][]float64, n)
+	for i, r := range p.rows {
+		for k, j := range r.idx {
+			ps.colRowsIdx[j] = append(ps.colRowsIdx[j], int32(i))
+			ps.colRowsVal[j] = append(ps.colRowsVal[j], r.val[k])
+		}
+	}
+	return ps
+}
+
+func boundsChanged(lo, hi, origLo, origHi []float64) bool {
+	for j := range lo {
+		if lo[j] != origLo[j] || hi[j] != origHi[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// MapMask maps a per-original-column boolean mask (e.g. integrality marks)
+// onto the reduced column space.
+func (ps *Presolved) MapMask(mask []bool) []bool {
+	out := make([]bool, ps.Reduced.NumVars())
+	for j, rj := range ps.ColMap {
+		if rj >= 0 {
+			out[rj] = mask[j]
+		}
+	}
+	return out
+}
+
+// Postsolve lifts a reduced-space solution to the original variable space,
+// replaying the removal stack in reverse (substitutions may reference
+// columns fixed in later passes, whose records are processed first).
+func (ps *Presolved) Postsolve(xRed []float64) []float64 {
+	x := make([]float64, ps.origN)
+	for j, rj := range ps.ColMap {
+		if rj >= 0 {
+			x[j] = xRed[rj]
+		}
+	}
+	for k := len(ps.stack) - 1; k >= 0; k-- {
+		rec := &ps.stack[k]
+		switch rec.kind {
+		case psColFixed:
+			x[rec.col] = rec.val
+		case psColSubst:
+			v := rec.rhs
+			for q, jj := range rec.idx {
+				v -= rec.vals[q] * x[jj]
+			}
+			x[rec.col] = v / rec.a
+		}
+	}
+	return x
+}
+
+// PostsolveDuals lifts reduced-space row duals to the original rows. x must
+// be the full-space primal solution (from Postsolve). Removed rows get
+// their duals from the standard stack rules: dropped rows take zero,
+// substituted equality rows take c_j/a_ij, singleton rows absorb the
+// reduced cost of their column when the bound they imposed is the active
+// one, and forced rows take the point of their dual-feasible interval
+// closest to zero.
+func (ps *Presolved) PostsolveDuals(yRed, x []float64) []float64 {
+	y := make([]float64, ps.origM)
+	for i, ri := range ps.RowMap {
+		if ri >= 0 {
+			y[i] = yRed[ri]
+		}
+	}
+	// Working costs as of the LAST removal: original costs plus every
+	// substitution's cost transfer. Walking the stack backwards undoes each
+	// transfer as its record is passed, so redCost always evaluates against
+	// the working costs at that record's own removal time. (Transfers from
+	// substitutions removed earlier than a record are baked into cw — their
+	// rows were already dead, so their duals rightly contribute through cw
+	// rather than through the y sum; rows still alive at the record's
+	// removal contribute through y, assigned by the reverse walk before the
+	// record is reached.)
+	cw := append([]float64(nil), ps.origCost...)
+	for k := range ps.stack {
+		rec := &ps.stack[k]
+		if rec.kind == psColSubst {
+			yr := rec.cj / rec.a
+			for q, jj := range rec.idx {
+				cw[jj] -= yr * rec.vals[q]
+			}
+		}
+	}
+	// Reduced cost of original column j: working cost at the current stack
+	// position minus the contributions of all duals assigned so far.
+	redCost := func(j int) float64 {
+		d := cw[j]
+		for k, i := range ps.colRowsIdx[j] {
+			d -= y[i] * ps.colRowsVal[j][k]
+		}
+		return d
+	}
+	for k := len(ps.stack) - 1; k >= 0; k-- {
+		rec := &ps.stack[k]
+		switch rec.kind {
+		case psRowSingleton:
+			// The row imposed the bound rhs/a on its column. Only when the
+			// solution sits on that bound can the row be binding.
+			bd := rec.rhs / rec.a
+			if math.Abs(x[rec.col]-bd) > 1e-7*(1+math.Abs(bd)) {
+				break // y stays 0
+			}
+			yi := redCost(rec.col) / rec.a
+			// Sense sign guard (LE rows need y <= 0, GE rows y >= 0).
+			if (rec.sense == LE && yi > 0) || (rec.sense == GE && yi < 0) {
+				yi = 0
+			}
+			y[rec.row] = yi
+		case psRowForced:
+			// Dual-feasible interval: each fixed column k needs its full
+			// reduced cost r_k - y*a_k on the correct side for the bound it
+			// was fixed at (>= 0 at lower, <= 0 at upper, minimization).
+			ylo, yhi := math.Inf(-1), math.Inf(1)
+			switch rec.sense {
+			case LE:
+				yhi = 0
+			case GE:
+				ylo = 0
+			}
+			for q, jj := range rec.idx {
+				r := redCost(int(jj))
+				a := rec.vals[q]
+				bound := r / a
+				if rec.atLo[q] == (a > 0) {
+					// at-lo with a>0, or at-hi with a<0: y <= r/a
+					if bound < yhi {
+						yhi = bound
+					}
+				} else {
+					if bound > ylo {
+						ylo = bound
+					}
+				}
+			}
+			yi := 0.0
+			if ylo > yhi {
+				yi = (ylo + yhi) / 2 // numerically inconsistent: best effort
+			} else if ylo > 0 {
+				yi = ylo
+			} else if yhi < 0 {
+				yi = yhi
+			}
+			y[rec.row] = yi
+		case psColSubst:
+			yr := rec.cj / rec.a
+			y[rec.row] = yr
+			// Undo this substitution's cost transfer: records earlier in the
+			// stack were removed before it and must see pre-transfer costs.
+			for q, jj := range rec.idx {
+				cw[jj] += yr * rec.vals[q]
+			}
+		}
+	}
+	return y
+}
+
+// presolvedSolve routes a cold solve through the presolve layer: reduce,
+// solve the reduction (with presolve off — no recursion), postsolve. done
+// is false when no reduction applied and the caller should solve directly.
+func presolvedSolve(p *Problem, opt Options) (Result, bool) {
+	ps := PresolveProblem(p, PresolveOptions{Tol: opt.Tol})
+	if ps == nil {
+		return Result{}, false
+	}
+	if ps.Infeasible {
+		return Result{Status: Infeasible, Stats: Stats{
+			PresolveRows: ps.RowsRemoved, PresolveCols: ps.ColsRemoved}}, true
+	}
+	ropt := opt
+	ropt.Presolve = PresolveOff
+	ropt.WarmStart = nil
+	res := ps.Reduced.Solve(ropt)
+	res.Stats.PresolveRows = ps.RowsRemoved
+	res.Stats.PresolveCols = ps.ColsRemoved
+	if res.Status != Optimal {
+		// Infeasibility and unboundedness are preserved exactly by every
+		// reduction, so the verdict transfers to the original model.
+		res.X = nil
+		res.Duals = nil
+		return res, true
+	}
+	x := ps.Postsolve(res.X)
+	res.X = x
+	obj := 0.0
+	for j := range x {
+		obj += p.cost[j] * x[j]
+	}
+	res.Obj = obj
+	if opt.WantDuals {
+		res.Duals = ps.PostsolveDuals(res.Duals, x)
+	}
+	return res, true
+}

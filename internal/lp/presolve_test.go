@@ -1,0 +1,265 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// presolve_test.go unit-tests the structural presolve: each reduction kind
+// in isolation, the Postsolve primal roundtrip, infeasibility detection,
+// integer bound tightening, and — the subtle part — exact dual recovery
+// through PostsolveDuals, checked against the KKT conditions of the
+// original (unreduced) problem.
+
+// TestPresolveSingletonRow: a singleton row must fold into a variable bound
+// and vanish from the reduced problem, with the solve answer unchanged.
+func TestPresolveSingletonRow(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable(0, 10, -1) // max x via min -x
+	p.AddVariable(0, 10, -1)
+	p.AddConstraint([]Coef{{Var: 0, Val: 2}}, LE, 6) // x0 <= 3, singleton
+	p.AddConstraint([]Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, LE, 7)
+	ps := PresolveProblem(p, PresolveOptions{})
+	if ps == nil {
+		t.Fatal("presolve found no reduction")
+	}
+	if ps.RowsRemoved < 1 {
+		t.Fatalf("RowsRemoved = %d, want >= 1", ps.RowsRemoved)
+	}
+	res := p.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj-(-7)) > 1e-9 {
+		t.Fatalf("got %v obj %g, want optimal -7", res.Status, res.Obj)
+	}
+	if math.Abs(res.X[0]-3) > 1e-9 {
+		t.Fatalf("x0 = %g, want 3 (singleton bound active)", res.X[0])
+	}
+}
+
+// TestPresolveFixedColumn: a fixed column folds into the right-hand sides
+// and the objective offset.
+func TestPresolveFixedColumn(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable(4, 4, 3) // fixed: contributes 12 to the objective
+	p.AddVariable(0, 10, 1)
+	p.AddConstraint([]Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, GE, 9) // => x1 >= 5
+	ps := PresolveProblem(p, PresolveOptions{})
+	if ps == nil || ps.ColsRemoved < 1 {
+		t.Fatalf("presolve did not remove the fixed column: %+v", ps)
+	}
+	if math.Abs(ps.ObjOffset-12) > 1e-9 {
+		t.Fatalf("ObjOffset = %g, want 12", ps.ObjOffset)
+	}
+	res := p.Solve(Options{})
+	if res.Status != Optimal || math.Abs(res.Obj-17) > 1e-9 {
+		t.Fatalf("got %v obj %g, want optimal 17", res.Status, res.Obj)
+	}
+	if math.Abs(res.X[0]-4) > 1e-9 || math.Abs(res.X[1]-5) > 1e-9 {
+		t.Fatalf("x = %v, want [4 5]", res.X)
+	}
+}
+
+// TestPresolveForcedRow: a row whose activity bounds meet its rhs exactly
+// fixes every variable it touches at the forcing extreme.
+func TestPresolveForcedRow(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable(0, 2, 1)
+	p.AddVariable(0, 3, 1)
+	p.AddVariable(0, 5, -1)
+	// x0 + x1 >= 5 forces x0=2, x1=3 (max activity equals rhs).
+	p.AddConstraint([]Coef{{Var: 0, Val: 1}, {Var: 1, Val: 1}}, GE, 5)
+	p.AddConstraint([]Coef{{Var: 2, Val: 1}, {Var: 0, Val: 1}}, LE, 6)
+	ps := PresolveProblem(p, PresolveOptions{})
+	if ps == nil || ps.ColsRemoved < 2 {
+		t.Fatalf("forced row not detected: %+v", ps)
+	}
+	res := p.Solve(Options{})
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	want := []float64{2, 3, 4} // x2 <= 6 - x0 = 4, cost -1 drives it there
+	for j, w := range want {
+		if math.Abs(res.X[j]-w) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", j, res.X[j], w)
+		}
+	}
+}
+
+// TestPresolveInfeasible: contradictory singleton rows must be caught by
+// presolve alone, and Solve must report Infeasible either way.
+func TestPresolveInfeasible(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable(0, 10, 1)
+	p.AddConstraint([]Coef{{Var: 0, Val: 1}}, GE, 5)
+	p.AddConstraint([]Coef{{Var: 0, Val: 1}}, LE, 3)
+	ps := PresolveProblem(p, PresolveOptions{})
+	if ps == nil || !ps.Infeasible {
+		t.Fatalf("presolve missed the contradiction: %+v", ps)
+	}
+	if res := p.Solve(Options{}); res.Status != Infeasible {
+		t.Fatalf("status %v, want Infeasible", res.Status)
+	}
+}
+
+// TestPresolveIntegerTightening: with integrality marks, activity-based
+// bound tightening must round inward; without them continuous bounds stay
+// untouched (tightening would break exact dual postsolve).
+func TestPresolveIntegerTightening(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		p.AddVariable(0, 10, -1)
+		p.AddVariable(0, 10, -1)
+		p.AddConstraint([]Coef{{Var: 0, Val: 2}, {Var: 1, Val: 2}}, LE, 7)
+		return p
+	}
+	ps := PresolveProblem(build(), PresolveOptions{Integer: []bool{true, true}})
+	if ps == nil {
+		t.Fatal("integer presolve found no reduction")
+	}
+	lo, hi := ps.Reduced.VarBounds(0)
+	// 2x0 <= 7 - min(2x1) = 7 => x0 <= 3.5, integer-rounded to 3.
+	if lo != 0 || hi != 3 {
+		t.Fatalf("integer bounds [%g,%g], want [0,3]", lo, hi)
+	}
+	if psc := PresolveProblem(build(), PresolveOptions{}); psc != nil {
+		if _, hic := psc.Reduced.VarBounds(0); hic != 10 {
+			t.Fatalf("continuous bound tightened to %g — breaks dual postsolve", hic)
+		}
+	}
+}
+
+// TestPresolvePostsolveRoundtrip fuzzes: the presolved solve and a direct
+// presolve-off solve must agree on status and objective, and the postsolved
+// primal must be feasible for the original problem.
+func TestPresolvePostsolveRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	applied := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomLP(rng)
+		on := cloneProblem(p).Solve(Options{Presolve: PresolveAuto})
+		off := cloneProblem(p).Solve(Options{Presolve: PresolveOff})
+		if on.Status != off.Status {
+			t.Fatalf("trial %d: status presolve=%v direct=%v", trial, on.Status, off.Status)
+		}
+		if on.Stats.PresolveRows > 0 || on.Stats.PresolveCols > 0 {
+			applied++
+		}
+		if on.Status != Optimal {
+			continue
+		}
+		if math.Abs(on.Obj-off.Obj) > 1e-6*(1+math.Abs(off.Obj)) {
+			t.Fatalf("trial %d: obj presolve=%.12g direct=%.12g", trial, on.Obj, off.Obj)
+		}
+		checkFeasible(t, trial, p, on.X)
+	}
+	if applied < 30 {
+		t.Errorf("presolve reduced only %d/300 instances — corpus too clean", applied)
+	}
+}
+
+// checkKKT verifies x, y against the KKT conditions of the ORIGINAL problem
+// (minimization, duals defined by d = c - A'y):
+//   - primal feasibility (delegated to feasViolation),
+//   - dual sign: LE rows need y <= 0, GE rows y >= 0,
+//   - row complementarity: y != 0 only on active rows,
+//   - column duals: interior columns need d ~ 0, at-lower d >= 0, at-upper
+//     d <= 0 (fixed columns are unconstrained),
+//   - strong duality: c'x equals y'b plus the bound contributions of d.
+func checkKKT(t *testing.T, trial int, p *Problem, x, y []float64, obj float64) {
+	t.Helper()
+	const tol = 1e-6
+	if v := feasViolation(p, x); v != "" {
+		t.Fatalf("trial %d: primal: %s", trial, v)
+	}
+	d := make([]float64, p.NumVars())
+	for j := range d {
+		d[j] = p.Cost(j)
+	}
+	dualObj := 0.0
+	for i := 0; i < p.NumRows(); i++ {
+		coeffs, sense, rhs := p.Row(i)
+		ax := 0.0
+		for _, c := range coeffs {
+			ax += c.Val * x[c.Var]
+			d[c.Var] -= y[i] * c.Val
+		}
+		switch sense {
+		case LE:
+			if y[i] > tol {
+				t.Fatalf("trial %d: LE row %d has y=%g > 0", trial, i, y[i])
+			}
+		case GE:
+			if y[i] < -tol {
+				t.Fatalf("trial %d: GE row %d has y=%g < 0", trial, i, y[i])
+			}
+		}
+		if math.Abs(y[i]) > tol && math.Abs(ax-rhs) > tol*(1+math.Abs(rhs)) {
+			t.Fatalf("trial %d: row %d inactive (%g vs %g) but y=%g",
+				trial, i, ax, rhs, y[i])
+		}
+		dualObj += y[i] * rhs
+	}
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.VarBounds(j)
+		if lo == hi {
+			dualObj += d[j] * lo
+			continue
+		}
+		atLo := x[j] < lo+tol
+		atHi := x[j] > hi-tol
+		switch {
+		case !atLo && !atHi:
+			if math.Abs(d[j]) > tol {
+				t.Fatalf("trial %d: interior x[%d]=%g has d=%g", trial, j, x[j], d[j])
+			}
+		case atLo && !atHi:
+			if d[j] < -tol {
+				t.Fatalf("trial %d: x[%d] at lower bound has d=%g < 0", trial, j, d[j])
+			}
+		case atHi && !atLo:
+			if d[j] > tol {
+				t.Fatalf("trial %d: x[%d] at upper bound has d=%g > 0", trial, j, d[j])
+			}
+		}
+		if d[j] > tol {
+			dualObj += d[j] * lo
+		} else if d[j] < -tol {
+			dualObj += d[j] * hi
+		}
+	}
+	if math.Abs(dualObj-obj) > 1e-5*(1+math.Abs(obj)) {
+		t.Fatalf("trial %d: strong duality gap: dual %g, primal %g", trial, dualObj, obj)
+	}
+}
+
+// TestPresolveDualRecovery fuzzes dual recovery through the full presolve
+// stack: solves routed through presolve with WantDuals must return duals
+// that satisfy the KKT conditions of the ORIGINAL problem — sign,
+// complementarity and strong duality — exactly as if no reduction had
+// happened. This exercises every PostsolveDuals stack rule (dropped,
+// singleton, forced and substituted rows).
+func TestPresolveDualRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	checked, reduced := 0, 0
+	for trial := 0; trial < 800; trial++ {
+		p := randomLP(rng)
+		res := cloneProblem(p).Solve(Options{Presolve: PresolveAuto, WantDuals: true})
+		if res.Status != Optimal {
+			continue
+		}
+		if len(res.Duals) != p.NumRows() {
+			t.Fatalf("trial %d: %d duals for %d rows", trial, len(res.Duals), p.NumRows())
+		}
+		checkKKT(t, trial, p, res.X, res.Duals, res.Obj)
+		checked++
+		if res.Stats.PresolveRows > 0 || res.Stats.PresolveCols > 0 {
+			reduced++
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("only %d optimal instances — corpus drifted", checked)
+	}
+	if reduced < 25 {
+		t.Errorf("only %d/%d dual recoveries went through a reduction", reduced, checked)
+	}
+}

@@ -1,0 +1,356 @@
+package lp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// pricing_test.go covers the pluggable pricing layer and its interaction
+// with presolve: a differential fuzz over the full pricing-rule × presolve
+// matrix against the dense Dantzig reference (with a JSON reproducer dump on
+// any mismatch), a steady-state allocation pin for the incremental pricing
+// path, and benchmarks for the pricing rules, the bound-flipping dual ratio
+// test and the presolve pass itself.
+
+// lpRepro is the JSON shape of a dumped fuzz reproducer: the full problem
+// plus the configuration that disagreed with the reference. Bounds are
+// strings so infinities survive encoding/json.
+type lpRepro struct {
+	Pricing  string     `json:"pricing"`
+	Presolve string     `json:"presolve"`
+	Detail   string     `json:"detail"`
+	Vars     []reproVar `json:"vars"`
+	Rows     []reproRow `json:"rows"`
+}
+
+type reproVar struct {
+	Lo   string  `json:"lo"`
+	Hi   string  `json:"hi"`
+	Cost float64 `json:"cost"`
+}
+
+type reproRow struct {
+	Coeffs []Coef  `json:"coeffs"`
+	Sense  string  `json:"sense"`
+	RHS    float64 `json:"rhs"`
+}
+
+func ffield(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// dumpReproducer writes the failing problem + config as JSON to a temp file
+// and logs its path, so a fuzz failure is replayable without re-deriving the
+// RNG state.
+func dumpReproducer(t *testing.T, p *Problem, pr Pricing, ps PresolveMode, detail string) {
+	t.Helper()
+	repro := lpRepro{Pricing: pr.String(), Presolve: ps.String(), Detail: detail}
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.VarBounds(j)
+		repro.Vars = append(repro.Vars, reproVar{Lo: ffield(lo), Hi: ffield(hi), Cost: p.Cost(j)})
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coeffs, sense, rhs := p.Row(i)
+		repro.Rows = append(repro.Rows, reproRow{Coeffs: coeffs, Sense: sense.String(), RHS: rhs})
+	}
+	data, err := json.MarshalIndent(&repro, "", " ")
+	if err != nil {
+		t.Logf("reproducer marshal failed: %v", err)
+		return
+	}
+	f, err := os.CreateTemp("", "lp-pricing-repro-*.json")
+	if err != nil {
+		t.Logf("reproducer dump failed: %v", err)
+		return
+	}
+	f.Write(data)
+	f.Close()
+	t.Logf("reproducer written to %s", f.Name())
+}
+
+// feasViolation reports the first primal feasibility violation of x, or ""
+// — the non-fatal sibling of checkFeasible so the matrix fuzz can dump a
+// reproducer before failing.
+func feasViolation(p *Problem, x []float64) string {
+	const tol = 1e-6
+	for j := 0; j < p.NumVars(); j++ {
+		lo, hi := p.VarBounds(j)
+		if x[j] < lo-tol || x[j] > hi+tol {
+			return fmt.Sprintf("x[%d]=%g outside [%g,%g]", j, x[j], lo, hi)
+		}
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coeffs, sense, rhs := p.Row(i)
+		ax := 0.0
+		for _, c := range coeffs {
+			ax += c.Val * x[c.Var]
+		}
+		switch sense {
+		case LE:
+			if ax > rhs+tol {
+				return fmt.Sprintf("row %d: %g > %g", i, ax, rhs)
+			}
+		case GE:
+			if ax < rhs-tol {
+				return fmt.Sprintf("row %d: %g < %g", i, ax, rhs)
+			}
+		case EQ:
+			if math.Abs(ax-rhs) > tol {
+				return fmt.Sprintf("row %d: %g != %g", i, ax, rhs)
+			}
+		}
+	}
+	return ""
+}
+
+// TestPricingPresolveDifferential fuzzes random LPs through every pricing
+// rule × presolve mode combination on the sparse engine and requires
+// agreement with the dense Dantzig no-presolve reference on status,
+// objective and primal feasibility. Any mismatch dumps a standalone JSON
+// reproducer. This is the answer-preservation gate for the pricing layer:
+// pricing only changes the pivot sequence, never the optimum.
+func TestPricingPresolveDifferential(t *testing.T) {
+	configs := []struct {
+		pr Pricing
+		ps PresolveMode
+	}{
+		{PricingDantzig, PresolveOff},
+		{PricingDantzig, PresolveAuto},
+		{PricingDevex, PresolveOff},
+		{PricingDevex, PresolveAuto},
+		{PricingSteepest, PresolveOff},
+		{PricingSteepest, PresolveAuto},
+	}
+	rng := rand.New(rand.NewSource(20150608))
+	trials := 250
+	if testing.Short() {
+		trials = 60
+	}
+	counts := map[Status]int{}
+	for trial := 0; trial < trials; trial++ {
+		p := randomLP(rng)
+		ref := cloneProblem(p).Solve(Options{
+			Engine: EngineDense, Pricing: PricingDantzig, Presolve: PresolveOff})
+		counts[ref.Status]++
+		for _, cfg := range configs {
+			q := cloneProblem(p)
+			r := q.Solve(Options{Engine: EngineSparse, Pricing: cfg.pr, Presolve: cfg.ps})
+			fail := func(format string, args ...interface{}) {
+				detail := fmt.Sprintf(format, args...)
+				dumpReproducer(t, p, cfg.pr, cfg.ps, detail)
+				t.Fatalf("trial %d [%v/%v]: %s", trial, cfg.pr, cfg.ps, detail)
+			}
+			if r.Status != ref.Status {
+				fail("status %v, reference %v", r.Status, ref.Status)
+			}
+			if r.Status != Optimal {
+				continue
+			}
+			if math.Abs(r.Obj-ref.Obj) > 1e-6*(1+math.Abs(ref.Obj)) {
+				fail("obj %.12g, reference %.12g", r.Obj, ref.Obj)
+			}
+			if v := feasViolation(p, r.X); v != "" {
+				fail("infeasible primal: %s", v)
+			}
+		}
+	}
+	for _, st := range []Status{Optimal, Infeasible, Unbounded} {
+		if counts[st] == 0 {
+			t.Errorf("fuzz corpus never produced status %v — generator drifted", st)
+		}
+	}
+}
+
+// TestPricingWarmDive runs the warm-started branch-and-bound-style dive of
+// TestEngineDifferentialWarm under every pricing rule and requires identical
+// statuses and objectives — the dual restore path (including BFRT) must be
+// answer-preserving too.
+func TestPricingWarmDive(t *testing.T) {
+	const n = 6
+	run := func(pr Pricing) ([]Status, []float64) {
+		p := assignmentLP(n)
+		res := p.Solve(Options{SnapshotBasis: true, Pricing: pr})
+		if res.Status != Optimal {
+			t.Fatalf("pricing %v: root status %v", pr, res.Status)
+		}
+		basis := res.Basis
+		var sts []Status
+		var objs []float64
+		for step := 0; step < 3*n; step++ {
+			j := (step * 7) % (n * n)
+			v := float64(step % 2)
+			p.SetVarBounds(j, v, v)
+			r := p.Solve(Options{WarmStart: basis, SnapshotBasis: true, Pricing: pr})
+			sts = append(sts, r.Status)
+			objs = append(objs, r.Obj)
+			if r.Status != Optimal {
+				break
+			}
+			if r.Basis != nil {
+				basis = r.Basis
+			}
+		}
+		return sts, objs
+	}
+	refSt, refObj := run(PricingDantzig)
+	for _, pr := range []Pricing{PricingDevex, PricingSteepest} {
+		sts, objs := run(pr)
+		if len(sts) != len(refSt) {
+			t.Fatalf("pricing %v: dive length %d, dantzig %d", pr, len(sts), len(refSt))
+		}
+		for k := range sts {
+			if sts[k] != refSt[k] {
+				t.Fatalf("pricing %v node %d: status %v, dantzig %v", pr, k, sts[k], refSt[k])
+			}
+			if sts[k] == Optimal && math.Abs(objs[k]-refObj[k]) > 1e-6 {
+				t.Fatalf("pricing %v node %d: obj %g, dantzig %g", pr, k, objs[k], refObj[k])
+			}
+		}
+	}
+}
+
+// TestPricingSteadyStateAllocs pins the warm-reoptimization allocation count
+// under each pricing rule: the incremental pricing update, candidate list
+// and devex/steepest weight recurrences must all run on pooled buffers, so
+// steady-state node solves stay allocation-free per iteration.
+func TestPricingSteadyStateAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	for _, pr := range []Pricing{PricingDantzig, PricingDevex, PricingSteepest} {
+		p := assignmentLP(6)
+		res := p.Solve(Options{SnapshotBasis: true, Pricing: pr})
+		if res.Status != Optimal {
+			t.Fatalf("pricing %v: root status %v", pr, res.Status)
+		}
+		basis := res.Basis
+		step := 0
+		avg := testing.AllocsPerRun(50, func() {
+			j := (step * 7) % p.NumVars()
+			v := float64(step % 2)
+			p.SetVarBounds(j, v, v)
+			r := p.Solve(Options{WarmStart: basis, SnapshotBasis: true, Pricing: pr})
+			if r.Status == Optimal && r.Basis != nil {
+				basis = r.Basis
+			}
+			step++
+		})
+		// The fixed per-solve overhead (basis snapshot, result assembly) is
+		// ~a dozen allocations; anything scaling with iterations would land
+		// far above this pin.
+		if avg > 20 {
+			t.Errorf("pricing %v: %.1f allocs per warm solve, want <= 20", pr, avg)
+		}
+	}
+}
+
+// pricingBenchLP builds a dense-ish transportation-style LP big enough that
+// pricing dominates: n supply rows, n demand rows, n*n arcs with boxed
+// capacities.
+func pricingBenchLP(n int) *Problem {
+	p := NewProblem()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.AddVariable(0, 2, float64(1+rng.Intn(20)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		coeffs := make([]Coef, n)
+		for j := 0; j < n; j++ {
+			coeffs[j] = Coef{Var: i*n + j, Val: 1}
+		}
+		p.AddConstraint(coeffs, LE, float64(n)/2)
+	}
+	for j := 0; j < n; j++ {
+		coeffs := make([]Coef, n)
+		for i := 0; i < n; i++ {
+			coeffs[i] = Coef{Var: i*n + j, Val: 1}
+		}
+		p.AddConstraint(coeffs, GE, 1)
+	}
+	return p
+}
+
+// BenchmarkPricing times a cold solve of the same LP under each pricing
+// rule (presolve off, so the comparison isolates the pricing loop), and
+// reports the iteration count the rule needed.
+func BenchmarkPricing(b *testing.B) {
+	for _, pr := range []Pricing{PricingDantzig, PricingDevex, PricingSteepest} {
+		b.Run(pr.String(), func(b *testing.B) {
+			iters := 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pricingBenchLP(16)
+				r := p.Solve(Options{Pricing: pr, Presolve: PresolveOff})
+				if r.Status != Optimal {
+					b.Fatalf("status %v", r.Status)
+				}
+				iters = r.Iters
+			}
+			b.ReportMetric(float64(iters), "simplex-iters")
+		})
+	}
+}
+
+// BenchmarkDualBoundFlip times the warm-started dual restore on a heavily
+// boxed LP — the path where the bound-flipping ratio test pays — and
+// reports how many flips the long-step test performed per reoptimization.
+func BenchmarkDualBoundFlip(b *testing.B) {
+	p := pricingBenchLP(12)
+	res := p.Solve(Options{SnapshotBasis: true})
+	if res.Status != Optimal {
+		b.Fatalf("root status %v", res.Status)
+	}
+	basis := res.Basis
+	flips := 0
+	const block = 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Tighten a sliding block of boxed arcs at once: the warm restore
+		// then crosses many dual ratio-test breakpoints in one pass, which
+		// is exactly the regime BFRT accelerates.
+		at := (i * 7) % (p.NumVars() - block)
+		for j := at; j < at+block; j++ {
+			p.SetVarBounds(j, 1, 1)
+		}
+		r := p.Solve(Options{WarmStart: basis, SnapshotBasis: true})
+		if r.Status == Optimal && r.Basis != nil {
+			basis = r.Basis
+		}
+		flips += r.Stats.DualBoundFlips
+		for j := at; j < at+block; j++ {
+			p.SetVarBounds(j, 0, 2)
+		}
+	}
+	b.ReportMetric(float64(flips)/float64(b.N), "flips/op")
+}
+
+// BenchmarkPresolve times a full presolve pass (reduction + stack build) on
+// a problem with substantial reducible structure, reporting the reductions
+// found.
+func BenchmarkPresolve(b *testing.B) {
+	p := pricingBenchLP(12)
+	// Singleton rows, a fixed column and duplicate (redundant) rows give the
+	// pass real work beyond scanning.
+	for j := 0; j < 24; j++ {
+		p.AddConstraint([]Coef{{Var: j, Val: 1}}, LE, 1)
+	}
+	p.SetVarBounds(5, 1, 1)
+	rows, cols := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := PresolveProblem(p, PresolveOptions{})
+		if ps == nil || ps.Infeasible {
+			b.Fatal("presolve found no reduction")
+		}
+		rows, cols = ps.RowsRemoved, ps.ColsRemoved
+	}
+	b.ReportMetric(float64(rows), "rows-removed")
+	b.ReportMetric(float64(cols), "cols-removed")
+}

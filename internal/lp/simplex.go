@@ -53,10 +53,21 @@ type simplex struct {
 	wv   spVec     // pivot-column workspace; wv.ind is the touched-row list
 	av   spVec     // FTRAN/BTRAN right-hand-side workspace
 	rhov spVec     // B^{-1} row workspace (dual ratio test)
+	tauv spVec     // steepest-edge tau = B^-T w workspace (pricing.go)
+	fv   spVec     // bound-flip combined-column FTRAN workspace (dual.go)
 
-	costBuf  []float64 // pooled phase-1/phase-2 cost vector (solve())
+	pr pricer    // maintained pricing state (pricing.go)
+	dw []float64 // dual pricing weights per row (dual.go)
+
+	// Pooled bound-flipping ratio test breakpoint arrays (dual.go).
+	bfJ     []int32
+	bfRatio []float64
+	bfAlpha []float64
+
+	costBuf  []float64 // pooled phase-1 cost vector (solve())
 	residBuf []float64 // pooled residual for refresh()/coldBasis
 	xsol     []float64 // pooled Result.X buffer (see Result.X docs)
+	ysol     []float64 // pooled Result.Duals buffer (Options.WantDuals)
 
 	iters  int
 	stats  Stats
@@ -79,6 +90,7 @@ func newSimplex(p *Problem, opt Options) *simplex {
 	if s.opt.CollectPhases {
 		s.clock = obs.NewPhaseClock()
 	}
+	s.setPricing(opt.Pricing)
 	s.clock.Enter(PhaseBuild)
 	s.build()
 	return s
@@ -220,8 +232,14 @@ func (s *simplex) growWorkspaces() {
 	s.wv.grow(s.m)
 	s.av.grow(s.m)
 	s.rhov.grow(s.m)
+	s.tauv.grow(s.m)
+	s.fv.grow(s.m)
 	s.y = s.yv.val
 	s.w = s.wv.val
+	s.pr.grow(s.ncols)
+	if len(s.dw) < s.m {
+		s.dw = make([]float64, s.m)
+	}
 }
 
 // binvRow materializes row r of B^{-1} (the tableau row of basis position r,
@@ -452,9 +470,12 @@ func (s *simplex) solve() Result {
 		}
 	}
 
-	phase2 := s.costScratch()
-	copy(phase2, s.cost[:s.ncols])
-	st := s.iterate(phase2)
+	// Phase 2 prices s.cost directly (artificial entries are zero, same as
+	// the old scratch copy). The stable slice identity matters: the pricer's
+	// maintained reduced costs are keyed to the cost vector's address, so
+	// pricing state survives from here across later warm reoptimizations of
+	// this engine (reSolve), which price the same s.cost slice.
+	st := s.iterate(s.cost[:s.ncols])
 	return s.primalResult(st)
 }
 
@@ -488,6 +509,14 @@ func (s *simplex) primalResult(st Status) Result {
 	r := s.result(Optimal)
 	r.Obj = obj
 	r.X = x
+	if s.opt.WantDuals {
+		if cap(s.ysol) < s.m {
+			s.ysol = make([]float64, s.m)
+		}
+		s.computeDuals(s.cost[:s.ncols])
+		r.Duals = s.ysol[:s.m]
+		copy(r.Duals, s.y[:s.m])
+	}
 	if s.opt.SnapshotBasis {
 		r.Basis = s.snapshot()
 	}
@@ -520,6 +549,62 @@ func (s *simplex) snapshot() *Basis {
 	return bs
 }
 
+// priceDantzig is the legacy pricing iteration — duals recomputed from
+// scratch, full most-negative-reduced-cost sweep — kept verbatim as the
+// differential reference for the incremental rules in pricing.go. Bland's
+// anti-cycling mode also routes here (lowest-index eligible column).
+func (s *simplex) priceDantzig(cost []float64) (int, float64) {
+	tol := s.opt.Tol
+
+	// Duals: y = cB^T * Binv (a BTRAN).
+	s.computeDuals(cost)
+
+	enter := -1
+	var enterDir float64 // +1: increase from lower/zero, -1: decrease from upper/zero
+	best := tol
+	for j := 0; j < s.ncols; j++ {
+		st := s.state[j]
+		if st == stBasic {
+			continue
+		}
+		if s.hi[j]-s.lo[j] < 1e-13 && st != stFreeZero {
+			continue // fixed variable can never usefully enter
+		}
+		d := cost[j]
+		for k, i := range s.colIdx[j] {
+			d -= s.y[i] * s.colVal[j][k]
+		}
+		var score float64
+		var dir float64
+		switch st {
+		case stAtLower:
+			if d < -tol {
+				score, dir = -d, 1
+			}
+		case stAtUpper:
+			if d > tol {
+				score, dir = d, -1
+			}
+		case stFreeZero:
+			if d < -tol {
+				score, dir = -d, 1
+			} else if d > tol {
+				score, dir = d, -1
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if s.bland {
+			return j, dir
+		}
+		if score > best {
+			best, enter, enterDir = score, j, dir
+		}
+	}
+	return enter, enterDir
+}
+
 // iterate runs primal simplex iterations under the given cost vector until
 // optimality, unboundedness or the iteration limit.
 func (s *simplex) iterate(cost []float64) Status {
@@ -531,55 +616,18 @@ func (s *simplex) iterate(cost []float64) Status {
 		s.iters++
 		s.clock.Enter(PhasePricing)
 
-		// Duals: y = cB^T * Binv (a BTRAN).
-		s.computeDuals(cost)
-
-		// Pricing.
-		enter := -1
-		var enterDir float64 // +1: increase from lower/zero, -1: decrease from upper/zero
-		best := tol
-		for j := 0; j < s.ncols; j++ {
-			st := s.state[j]
-			if st == stBasic {
-				continue
-			}
-			if s.hi[j]-s.lo[j] < 1e-13 && st != stFreeZero {
-				continue // fixed variable can never usefully enter
-			}
-			d := cost[j]
-			for k, i := range s.colIdx[j] {
-				d -= s.y[i] * s.colVal[j][k]
-			}
-			var score float64
-			var dir float64
-			switch st {
-			case stAtLower:
-				if d < -tol {
-					score, dir = -d, 1
-				}
-			case stAtUpper:
-				if d > tol {
-					score, dir = d, -1
-				}
-			case stFreeZero:
-				if d < -tol {
-					score, dir = -d, 1
-				} else if d > tol {
-					score, dir = d, -1
-				}
-			}
-			if dir == 0 {
-				continue
-			}
-			if s.bland {
-				enter, enterDir = j, dir
-				goto chosen
-			}
-			if score > best {
-				best, enter, enterDir = score, j, dir
-			}
+		// Pricing: the legacy Dantzig sweep (also the Bland anti-cycling
+		// path, which needs exact lowest-index semantics), or the maintained
+		// incremental rules from pricing.go.
+		legacy := s.pr.rule == PricingDantzig || s.bland
+		var enter int
+		var enterDir float64
+		if legacy {
+			s.pr.valid = false
+			enter, enterDir = s.priceDantzig(cost)
+		} else {
+			enter, enterDir = s.priceIncremental(cost)
 		}
-	chosen:
 		if enter == -1 {
 			return Optimal
 		}
@@ -588,6 +636,25 @@ func (s *simplex) iterate(cost []float64) Status {
 		// Pivot column w = Binv * A_enter (an FTRAN); wv.ind lists the
 		// touched rows, so the ratio test skips every zero row.
 		s.computePivotColumn(enter)
+
+		if !legacy {
+			// Verify the maintained reduced cost of the entering column
+			// against its exact value, which is free given the FTRAN result:
+			// d_q = c_q - cB·w. Drift beyond tolerance means the maintained
+			// vector has degraded — resync and price again.
+			dq := cost[enter]
+			for _, i := range s.wv.ind {
+				dq -= cost[s.basis[i]] * s.w[i]
+			}
+			if math.Abs(dq-s.pr.d[enter]) > priceDriftTol*(1+math.Abs(dq)) {
+				s.resyncPricing(cost)
+				continue
+			}
+			s.pr.d[enter] = dq
+			if eligibleDir(s.state[enter], dq, tol) != enterDir {
+				continue // no longer (or differently) eligible under exact d
+			}
+		}
 
 		// Bounded ratio test. Entering moves by t >= 0 in direction enterDir;
 		// basic variable i changes at rate delta_i = -enterDir * w[i].
@@ -684,6 +751,12 @@ func (s *simplex) iterate(cost []float64) Status {
 		// Basis exchange.
 		s.stats.Pivots++
 		out := s.basis[leave]
+		if !legacy {
+			// Fold the exchange into the maintained reduced costs and
+			// pricing weights while the old basis representation (and the
+			// pre-exchange basis/state arrays) are still in place.
+			s.pricingUpdate(cost, enter, leave, out, piv, s.pr.d[enter], nil, false)
+		}
 		if leaveToUpper {
 			s.state[out] = stAtUpper
 		} else {
@@ -699,6 +772,7 @@ func (s *simplex) iterate(cost []float64) Status {
 
 		if s.iters%256 == 0 {
 			s.refresh()
+			s.pr.valid = false // periodic resync curbs reduced-cost drift
 		}
 	}
 }

@@ -168,6 +168,19 @@ type Status struct {
 	inflight map[int]inflightJob
 	calib    *CalibStatus
 	sampler  *Sampler
+	lp       *LPStatus
+}
+
+// LPStatus is the LP-engine telemetry block on /statusz: the configured
+// engine/pricing/presolve triple and the cumulative pricing and presolve
+// counters across all completed solves of the sweep.
+type LPStatus struct {
+	Config         string `json:"config"`
+	CandidateHits  int64  `json:"candidate_hits"`
+	RefResets      int64  `json:"ref_resets"`
+	DualBoundFlips int64  `json:"dual_bound_flips"`
+	PresolveRows   int64  `json:"presolve_rows"`
+	PresolveCols   int64  `json:"presolve_cols"`
 }
 
 // CalibStatus is the calibration evidence surfaced on /statusz: the machine
@@ -230,6 +243,38 @@ func (s *Status) SetSampler(sp *Sampler) {
 	s.sampler = sp
 }
 
+// SetLPConfig names the LP engine configuration of the sweep (e.g.
+// "sparse/devex/presolve=auto") and makes the /statusz LP block appear.
+func (s *Status) SetLPConfig(cfg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lp == nil {
+		s.lp = &LPStatus{}
+	}
+	s.lp.Config = cfg
+}
+
+// AddLPStats folds one solve's LP pricing/presolve counters into the
+// /statusz LP block (no-op until SetLPConfig created the block).
+func (s *Status) AddLPStats(candHits, refResets, dualFlips, psRows, psCols int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lp == nil {
+		return
+	}
+	s.lp.CandidateHits += int64(candHits)
+	s.lp.RefResets += int64(refResets)
+	s.lp.DualBoundFlips += int64(dualFlips)
+	s.lp.PresolveRows += int64(psRows)
+	s.lp.PresolveCols += int64(psCols)
+}
+
 // JobStart records that worker began executing the named job.
 func (s *Status) JobStart(worker int, name string) {
 	if s == nil {
@@ -280,6 +325,9 @@ type StatusSnapshot struct {
 	Calibration *CalibStatus `json:"calibration,omitempty"`
 	// Sampler reports the sampling profiler's state; nil when off.
 	Sampler *SamplerStatus `json:"sampler,omitempty"`
+	// LP is the LP-engine telemetry recorded via SetLPConfig/AddLPStats;
+	// nil when the sweep never configured it (pure combinatorial runs).
+	LP *LPStatus `json:"lp,omitempty"`
 }
 
 // SamplerStatus is the sampling profiler's live state on /statusz.
@@ -311,6 +359,10 @@ func (s *Status) Snapshot() StatusSnapshot {
 	}
 	if s.sampler != nil {
 		snap.Sampler = &SamplerStatus{Hz: s.sampler.Hz(), Samples: s.sampler.Samples()}
+	}
+	if s.lp != nil {
+		l := *s.lp
+		snap.LP = &l
 	}
 	for w, j := range s.inflight {
 		snap.InFlight = append(snap.InFlight, InFlightJob{

@@ -90,6 +90,22 @@ type BenchCase struct {
 	// only when the run sampled). Attribution matches the runtime deltas:
 	// exact under -j1, approximate under parallel workers.
 	Profile *BenchProfile `json:"profile,omitempty"`
+
+	// LP is the LP engine's pricing/presolve telemetry (ilp cases only;
+	// optional — documents recorded before the pluggable pricing layer, and
+	// Dantzig/no-presolve runs with all-zero counters, omit it). These
+	// counters are informational, NOT part of the pinned work vector: the
+	// candidate-hit split depends on the pricing rule under comparison.
+	LP *BenchLPStats `json:"lp,omitempty"`
+}
+
+// BenchLPStats is the per-case LP pricing/presolve counter block.
+type BenchLPStats struct {
+	CandidateHits  int `json:"candidate_hits,omitempty"`  // pricing rounds served from the candidate list
+	RefResets      int `json:"ref_resets,omitempty"`      // devex/steepest reference-framework resets
+	DualBoundFlips int `json:"dual_bound_flips,omitempty"` // bound-flip ratio-test flips
+	PresolveRows   int `json:"presolve_rows,omitempty"`   // rows removed by structural presolve
+	PresolveCols   int `json:"presolve_cols,omitempty"`   // columns removed by structural presolve
 }
 
 // BenchProfile is a per-case top-N summary from obs.Sampler.
@@ -287,6 +303,15 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 		for k, v := range c.Work {
 			if v < 0 {
 				return nil, fmt.Errorf("bench: case %q: negative work counter %s=%d", c.Name, k, v)
+			}
+		}
+		if l := c.LP; l != nil {
+			if l.CandidateHits < 0 || l.RefResets < 0 || l.DualBoundFlips < 0 ||
+				l.PresolveRows < 0 || l.PresolveCols < 0 {
+				return nil, fmt.Errorf("bench: case %q: negative LP counter in %+v", c.Name, *l)
+			}
+			if c.Solver != "ilp" {
+				return nil, fmt.Errorf("bench: case %q: lp block on %s case (ilp only)", c.Name, c.Solver)
 			}
 		}
 		if p := c.Profile; p != nil {

@@ -33,6 +33,18 @@ type SolveTrace struct {
 	IncumbentExchanges int64
 	Winner             string
 
+	// LP engine telemetry from ilp solves (zero on bnb solves or traces
+	// predating the pricing layer): total simplex iterations, candidate-list
+	// pricing hits, devex/DSE reference-framework resets, dual bound flips
+	// from the bound-flipping ratio test, and the structural presolve's
+	// row/column reductions.
+	LPIters         int64
+	LPCandidateHits int64
+	LPRefResets     int64
+	LPDualFlips     int64
+	PresolveRows    int
+	PresolveCols    int
+
 	// PhasesMS is the solver's own wall-time attribution in milliseconds.
 	PhasesMS map[string]float64
 
@@ -95,6 +107,24 @@ func ExtractSolves(tree *obs.TraceTree) []SolveTrace {
 			// portfolio.solve spans stamp the exchange's accepted-offer count
 			// under this name.
 			st.IncumbentExchanges = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_iters"); ok {
+			st.LPIters = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_candidate_hits"); ok {
+			st.LPCandidateHits = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_ref_resets"); ok {
+			st.LPRefResets = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_dual_flips"); ok {
+			st.LPDualFlips = int64(v)
+		}
+		if v, ok := n.AttrFloat("presolve_rows"); ok {
+			st.PresolveRows = int(v)
+		}
+		if v, ok := n.AttrFloat("presolve_cols"); ok {
+			st.PresolveCols = int(v)
 		}
 		if ph, ok := n.Attr("phases_ms").(map[string]interface{}); ok {
 			st.PhasesMS = make(map[string]float64, len(ph))
@@ -295,6 +325,26 @@ func WriteNodeCSV(w io.Writer, solves []SolveTrace) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// HasLPStats reports whether the solve carries any LP pricing/presolve
+// telemetry worth rendering (ilp solves from producers that stamp it).
+func (s *SolveTrace) HasLPStats() bool {
+	return s.LPCandidateHits > 0 || s.LPRefResets > 0 || s.LPDualFlips > 0 ||
+		s.PresolveRows > 0 || s.PresolveCols > 0
+}
+
+// PricingLine renders the solve's LP pricing/presolve telemetry, with the
+// candidate-hit ratio (pricing rounds served from the partial candidate list
+// per simplex iteration) when the iteration count is on the span.
+func (s *SolveTrace) PricingLine() string {
+	hits := fmt.Sprintf("candidate_hits=%d", s.LPCandidateHits)
+	if s.LPIters > 0 {
+		hits += fmt.Sprintf(" (%.0f%% of %d iters)",
+			100*float64(s.LPCandidateHits)/float64(s.LPIters), s.LPIters)
+	}
+	return fmt.Sprintf("%s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d",
+		hits, s.LPRefResets, s.LPDualFlips, s.PresolveRows, s.PresolveCols)
 }
 
 // PhaseTotal sums a solve's phase attribution in milliseconds.
