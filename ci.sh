@@ -2,10 +2,10 @@
 # ci.sh — the repo's check suite: vet (plus the shadow analyzer when it is
 # installed), race-test the concurrency-sensitive packages (sched runs the
 # worker pool; exp/core/ilp/lp — including the sparse basis-factorization
-# kernels in lp/factor.go and lp/ftran.go, and the pricing-rule × presolve
-# differential fuzz matrix (Dantzig/devex/steepest × presolve on/off) that
-# gates the pluggable pricing layer against the dense reference — execute
-# inside it; obs is updated
+# kernels in lp/factor.go, lp/ft.go and lp/ftran.go, and the differential
+# fuzz matrix (pricing Dantzig/devex/steepest × presolve on/off × algorithm
+# primal/dual × basis update FT/PFI) that gates the whole configurable LP
+# engine against the dense reference — execute inside it; obs is updated
 # from solver goroutines and hosts the sampling profiler's ticker goroutine;
 # calib's probes must stay race-clean because they run inside instrumented
 # bench sessions; xchg is the lock-free portfolio exchange both race engines

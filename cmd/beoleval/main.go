@@ -100,6 +100,8 @@ func run() error {
 		lpEngine    = flag.String("lp-engine", "sparse", "LP basis engine for -portfolio solves: sparse or dense (differential reference)")
 		pricing     = flag.String("pricing", "auto", "LP pricing rule for -portfolio solves: auto, dantzig, devex or steepest")
 		presolve    = flag.String("presolve", "auto", "structural LP presolve for -portfolio solves: auto or off")
+		algorithm   = flag.String("algorithm", "auto", "simplex algorithm for -portfolio solves: auto, primal or dual")
+		update      = flag.String("update", "auto", "sparse-engine basis-update scheme: auto, ft or pfi")
 	)
 	flag.Parse()
 
@@ -117,7 +119,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		alg, err := lp.ParseAlgorithm(*algorithm)
+		if err != nil {
+			return err
+		}
+		up, err := lp.ParseUpdate(*update)
+		if err != nil {
+			return err
+		}
 		solve.LP.Engine, solve.LP.Pricing, solve.LP.Presolve = e, pr, ps
+		solve.LP.Algorithm, solve.LP.Update = alg, up
 	}
 	var metrics *obs.Registry
 	if *stats || *pprofA != "" {
@@ -130,8 +141,9 @@ func run() error {
 	if *pprofA != "" {
 		status = obs.NewStatus()
 		if *portfolio {
-			status.SetLPConfig(fmt.Sprintf("%s/%s/presolve=%s",
-				*lpEngine, solve.LP.Pricing, solve.LP.Presolve))
+			status.SetLPConfig(fmt.Sprintf("%s/%s/presolve=%s/alg=%s/update=%s",
+				*lpEngine, solve.LP.Pricing, solve.LP.Presolve,
+				solve.LP.Algorithm, solve.LP.Update))
 		}
 		http.Handle("/metrics", obs.MetricsHandler(metrics))
 		http.Handle("/statusz", obs.StatusHandler(status))
@@ -327,8 +339,17 @@ func statusSink(s *obs.Status) func(exp.ClipProgress) {
 		case "done":
 			s.JobDone(p.Worker, p.Result != nil && p.Result.Err != "")
 			if r := p.Result; r != nil {
-				s.AddLPStats(r.Stats.LPCandidateHits, r.Stats.LPRefResets,
-					r.Stats.LPDualBoundFlips, r.Stats.PresolveRows, r.Stats.PresolveCols)
+				s.AddLPStats(obs.LPStatDelta{
+					CandidateHits:          r.Stats.LPCandidateHits,
+					RefResets:              r.Stats.LPRefResets,
+					DualBoundFlips:         r.Stats.LPDualBoundFlips,
+					PresolveRows:           r.Stats.PresolveRows,
+					PresolveCols:           r.Stats.PresolveCols,
+					RefactorEtaLen:         r.Stats.LPRefactorEtaLen,
+					RefactorFill:           r.Stats.LPRefactorFill,
+					RefactorPivotQuality:   r.Stats.LPRefactorPivotQuality,
+					RefactorUpdateRejected: r.Stats.LPRefactorUpdateRejected,
+				})
 			}
 		}
 	}

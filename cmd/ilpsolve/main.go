@@ -14,6 +14,11 @@
 //	                        simplex pricing rule (auto = devex; dantzig is
 //	                        the legacy full-sweep reference)
 //	-presolve auto|off      structural LP presolve in front of the search
+//	-algorithm auto|primal|dual
+//	                        cold-solve simplex algorithm (auto = dual for
+//	                        the root LP, primal elsewhere)
+//	-update auto|ft|pfi     sparse-engine basis-update scheme (auto = ft;
+//	                        pfi is the product-form reference)
 //	-time-limit d           stop the branch-and-bound after duration d
 //	-stats                  print LP engine statistics after the solve
 //
@@ -37,6 +42,8 @@ func main() {
 	engineFlag := flag.String("engine", "sparse", "LP basis engine: sparse or dense (differential reference)")
 	pricingFlag := flag.String("pricing", "auto", "simplex pricing rule: auto, dantzig, devex or steepest")
 	presolveFlag := flag.String("presolve", "auto", "structural LP presolve: auto or off")
+	algorithmFlag := flag.String("algorithm", "auto", "simplex algorithm: auto, primal or dual")
+	updateFlag := flag.String("update", "auto", "sparse-engine basis-update scheme: auto, ft or pfi")
 	timeLimit := flag.Duration("time-limit", 0, "stop the search after this wall time (0 = none)")
 	stats := flag.Bool("stats", false, "print LP engine statistics after the solve")
 	flag.Parse()
@@ -50,6 +57,14 @@ func main() {
 		fatal(err)
 	}
 	presolve, err := lp.ParsePresolveMode(*presolveFlag)
+	if err != nil {
+		fatal(err)
+	}
+	algorithm, err := lp.ParseAlgorithm(*algorithmFlag)
+	if err != nil {
+		fatal(err)
+	}
+	update, err := lp.ParseUpdate(*updateFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,7 +85,8 @@ func main() {
 	start := time.Now()
 	res := model.Solve(ilp.Options{
 		TimeLimit: *timeLimit,
-		LP:        lp.Options{Engine: engine, Pricing: pricing, Presolve: presolve},
+		LP: lp.Options{Engine: engine, Pricing: pricing, Presolve: presolve,
+			Algorithm: algorithm, Update: update},
 	})
 	fmt.Printf("status: %s (%d nodes, %d LP iterations, %v)\n",
 		res.Status, res.Nodes, res.LPIters, time.Since(start).Round(time.Millisecond))
@@ -82,6 +98,9 @@ func main() {
 			pricing.String(), st.LPCandidateHits, st.LPRefResets, st.LPDualBoundFlips)
 		fmt.Printf("presolve: %s, %d rows and %d cols removed\n",
 			presolve.String(), st.PresolveRows, st.PresolveCols)
+		fmt.Printf("refactor: %d eta_len, %d fill, %d pivot_quality, %d update_rejected\n",
+			st.LPRefactorEtaLen, st.LPRefactorFill,
+			st.LPRefactorPivotQuality, st.LPRefactorUpdateRejected)
 	}
 	if res.Status == ilp.Optimal || res.Status == ilp.Feasible {
 		fmt.Printf("objective: %g\n", res.Obj)

@@ -6,7 +6,7 @@
 //	optroute -clip clip.json [-rule RULE1|all] [-solver bnb|ilp|heur|portfolio]
 //	         [-par N] [-timeout 30s] [-j N] [-render] [-viashapes]
 //	         [-lp-engine sparse|dense] [-pricing auto|dantzig|devex|steepest]
-//	         [-presolve auto|off]
+//	         [-presolve auto|off] [-algorithm auto|primal|dual] [-update auto|ft|pfi]
 //	         [-stats] [-quiet] [-converge out.jsonl] [-pprof addr]
 //	         [-trace out.jsonl [-flight] [-flight-every N] [-trace-max-mb MB] [-trace-keep K]]
 //	optroute -synth 7x10x4 -nets 5 -seed 3   (generate an instance instead)
@@ -104,10 +104,12 @@ func run() (int, error) {
 		lpEngine    = flag.String("lp-engine", "sparse", "LP basis engine for -solver ilp/portfolio: sparse or dense (differential reference)")
 		pricing     = flag.String("pricing", "auto", "LP pricing rule for -solver ilp/portfolio: auto, dantzig, devex or steepest")
 		presolve    = flag.String("presolve", "auto", "structural LP presolve for -solver ilp/portfolio: auto or off")
+		algorithm   = flag.String("algorithm", "auto", "simplex algorithm for -solver ilp/portfolio: auto, primal or dual")
+		update      = flag.String("update", "auto", "sparse-engine basis-update scheme: auto, ft or pfi")
 	)
 	flag.Parse()
 
-	lpOpt, lpCfg, err := parseLPFlags(*lpEngine, *pricing, *presolve)
+	lpOpt, lpCfg, err := parseLPFlags(*lpEngine, *pricing, *presolve, *algorithm, *update)
 	if err != nil {
 		return 0, err
 	}
@@ -258,8 +260,17 @@ func run() (int, error) {
 		return 0, err
 	}
 	status.JobDone(0, false)
-	status.AddLPStats(sol.Stats.LPCandidateHits, sol.Stats.LPRefResets,
-		sol.Stats.LPDualBoundFlips, sol.Stats.PresolveRows, sol.Stats.PresolveCols)
+	status.AddLPStats(obs.LPStatDelta{
+		CandidateHits:          sol.Stats.LPCandidateHits,
+		RefResets:              sol.Stats.LPRefResets,
+		DualBoundFlips:         sol.Stats.LPDualBoundFlips,
+		PresolveRows:           sol.Stats.PresolveRows,
+		PresolveCols:           sol.Stats.PresolveCols,
+		RefactorEtaLen:         sol.Stats.LPRefactorEtaLen,
+		RefactorFill:           sol.Stats.LPRefactorFill,
+		RefactorPivotQuality:   sol.Stats.LPRefactorPivotQuality,
+		RefactorUpdateRejected: sol.Stats.LPRefactorUpdateRejected,
+	})
 	writeConvergence(conv, c.Name, rule.Name, *solver, sol)
 
 	if !sol.Feasible {
@@ -466,13 +477,19 @@ func printStats(sol *core.Solution) {
 		fmt.Printf("       presolve: rows_removed=%d cols_removed=%d\n",
 			st.PresolveRows, st.PresolveCols)
 	}
+	if st.LPRefactorEtaLen > 0 || st.LPRefactorFill > 0 ||
+		st.LPRefactorPivotQuality > 0 || st.LPRefactorUpdateRejected > 0 {
+		fmt.Printf("       refactor: eta_len=%d fill=%d pivot_quality=%d update_rejected=%d\n",
+			st.LPRefactorEtaLen, st.LPRefactorFill,
+			st.LPRefactorPivotQuality, st.LPRefactorUpdateRejected)
+	}
 	printPhases("phases", st.Phases)
 	printPhases("lp_phases", st.LPPhases)
 }
 
-// parseLPFlags validates the LP subsolver flag triple and returns the
+// parseLPFlags validates the LP subsolver flag set and returns the
 // resulting options plus the short config string shown on /statusz.
-func parseLPFlags(engine, pricing, presolve string) (lp.Options, string, error) {
+func parseLPFlags(engine, pricing, presolve, algorithm, update string) (lp.Options, string, error) {
 	var o lp.Options
 	e, err := lp.ParseEngine(engine)
 	if err != nil {
@@ -486,8 +503,18 @@ func parseLPFlags(engine, pricing, presolve string) (lp.Options, string, error) 
 	if err != nil {
 		return o, "", err
 	}
+	alg, err := lp.ParseAlgorithm(algorithm)
+	if err != nil {
+		return o, "", err
+	}
+	up, err := lp.ParseUpdate(update)
+	if err != nil {
+		return o, "", err
+	}
 	o.Engine, o.Pricing, o.Presolve = e, pr, ps
-	return o, fmt.Sprintf("%s/%s/presolve=%s", engine, pr, ps), nil
+	o.Algorithm, o.Update = alg, up
+	cfg := fmt.Sprintf("%s/%s/presolve=%s/alg=%s/update=%s", engine, pr, ps, alg, up)
+	return o, cfg, nil
 }
 
 // printPhases renders a wall-time breakdown as "name=12.3ms" pairs in sorted

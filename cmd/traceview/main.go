@@ -311,6 +311,7 @@ func runBench(path, basePath string) error {
 		fmt.Printf("calibration: none (schema v%d document)\n", doc.SchemaVersion)
 	}
 	var lpHits, lpResets, lpFlips, psRows, psCols, lpIters int64
+	var rfEta, rfFill, rfPivot, rfRej int64
 	lpCases := 0
 	for _, c := range doc.Cases {
 		if l := c.LP; l != nil {
@@ -320,6 +321,10 @@ func runBench(path, basePath string) error {
 			lpFlips += int64(l.DualBoundFlips)
 			psRows += int64(l.PresolveRows)
 			psCols += int64(l.PresolveCols)
+			rfEta += int64(l.RefactorEtaLen)
+			rfFill += int64(l.RefactorFill)
+			rfPivot += int64(l.RefactorPivotQuality)
+			rfRej += int64(l.RefactorUpdateRejected)
 			lpIters += c.Work["simplex_iters"]
 		}
 		if len(c.Work) == 0 && c.Profile == nil && c.LP == nil {
@@ -349,6 +354,10 @@ func runBench(path, basePath string) error {
 			}
 			fmt.Printf("  lp:      %s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d\n",
 				hits, l.RefResets, l.DualBoundFlips, l.PresolveRows, l.PresolveCols)
+			if l.RefactorEtaLen+l.RefactorFill+l.RefactorPivotQuality+l.RefactorUpdateRejected > 0 {
+				fmt.Printf("  refact:  eta_len=%d fill=%d pivot_quality=%d update_rejected=%d\n",
+					l.RefactorEtaLen, l.RefactorFill, l.RefactorPivotQuality, l.RefactorUpdateRejected)
+			}
 		}
 		if p := c.Profile; p != nil {
 			fmt.Printf("  profile: %d samples at %d Hz", p.Samples, p.Hz)
@@ -366,6 +375,10 @@ func runBench(path, basePath string) error {
 		}
 		fmt.Printf("\npricing summary (%d lp cases): %s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d\n",
 			lpCases, hits, lpResets, lpFlips, psRows, psCols)
+		if rfEta+rfFill+rfPivot+rfRej > 0 {
+			fmt.Printf("refactor summary: eta_len=%d fill=%d pivot_quality=%d update_rejected=%d\n",
+				rfEta, rfFill, rfPivot, rfRej)
+		}
 	}
 	if basePath == "" {
 		return nil

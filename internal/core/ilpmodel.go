@@ -532,14 +532,20 @@ func SolveILP(g *rgraph.Graph, opt ilp.Options) (*Solution, error) {
 			LPDualBoundFlips: res.Stats.LPDualBoundFlips,
 			PresolveRows:     res.Stats.PresolveRows,
 			PresolveCols:     res.Stats.PresolveCols,
-			ModelRows:        m.Model.NumConstraints(),
-			ModelCols:        m.Model.NumVars(),
-			ModelNNZ:         m.Model.Prob.NumNonzeros(),
-			Elapsed:          time.Since(start),
-			Termination:      string(res.Stats.Termination),
-			Phases:           phases,
-			LPPhases:         res.Stats.LPPhases,
-			BoundTrace:       ilpBoundTrace(res.Stats.BoundTrace),
+
+			LPRefactorEtaLen:         res.Stats.LPRefactorEtaLen,
+			LPRefactorFill:           res.Stats.LPRefactorFill,
+			LPRefactorPivotQuality:   res.Stats.LPRefactorPivotQuality,
+			LPRefactorUpdateRejected: res.Stats.LPRefactorUpdateRejected,
+
+			ModelRows:   m.Model.NumConstraints(),
+			ModelCols:   m.Model.NumVars(),
+			ModelNNZ:    m.Model.Prob.NumNonzeros(),
+			Elapsed:     time.Since(start),
+			Termination: string(res.Stats.Termination),
+			Phases:      phases,
+			LPPhases:    res.Stats.LPPhases,
+			BoundTrace:  ilpBoundTrace(res.Stats.BoundTrace),
 		},
 	}
 	switch res.Status {

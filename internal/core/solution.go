@@ -102,6 +102,13 @@ type SolveStats struct {
 	LPDualBoundFlips int // bound-flip ratio-test flips across warm starts
 	PresolveRows     int // rows removed by structural LP presolve
 	PresolveCols     int // columns removed by structural LP presolve
+	// Refactorization triggers across all node LPs: update-count budget,
+	// update-storage fill budget, tiny mid-iteration pivot, rejected
+	// FT/PFI update on spike-pivot quality.
+	LPRefactorEtaLen         int
+	LPRefactorFill           int
+	LPRefactorPivotQuality   int
+	LPRefactorUpdateRejected int
 
 	// Model dimensions of the MILP path's LP relaxation (zero for the
 	// combinatorial BnB): constraint rows, variable columns, and structural

@@ -335,13 +335,19 @@ func runBenchCase(ctx context.Context, s BenchSpec, opt BenchRunOptions) (report
 	// is scheduling-dependent) and only when any counter is nonzero, so
 	// Dantzig/no-presolve reference runs produce documents without the block.
 	if s.Solver == "ilp" && (st.LPCandidateHits > 0 || st.LPRefResets > 0 ||
-		st.LPDualBoundFlips > 0 || st.PresolveRows > 0 || st.PresolveCols > 0) {
+		st.LPDualBoundFlips > 0 || st.PresolveRows > 0 || st.PresolveCols > 0 ||
+		st.LPRefactorEtaLen > 0 || st.LPRefactorFill > 0 ||
+		st.LPRefactorPivotQuality > 0 || st.LPRefactorUpdateRejected > 0) {
 		bc.LP = &report.BenchLPStats{
-			CandidateHits:  st.LPCandidateHits,
-			RefResets:      st.LPRefResets,
-			DualBoundFlips: st.LPDualBoundFlips,
-			PresolveRows:   st.PresolveRows,
-			PresolveCols:   st.PresolveCols,
+			CandidateHits:          st.LPCandidateHits,
+			RefResets:              st.LPRefResets,
+			DualBoundFlips:         st.LPDualBoundFlips,
+			PresolveRows:           st.PresolveRows,
+			PresolveCols:           st.PresolveCols,
+			RefactorEtaLen:         st.LPRefactorEtaLen,
+			RefactorFill:           st.LPRefactorFill,
+			RefactorPivotQuality:   st.LPRefactorPivotQuality,
+			RefactorUpdateRejected: st.LPRefactorUpdateRejected,
 		}
 	}
 	if bc.Profile != nil && opt.ProfileW != nil {

@@ -219,6 +219,13 @@ type Stats struct {
 	LPCandidateHits  int
 	LPRefResets      int
 	LPDualBoundFlips int
+	// LPRefactor* attribute the refactorizations by trigger: update-count
+	// budget exhausted, update-storage fill budget exhausted, a tiny pivot
+	// mid-iteration, or a rejected FT/PFI update on spike-pivot quality.
+	LPRefactorEtaLen         int
+	LPRefactorFill           int
+	LPRefactorPivotQuality   int
+	LPRefactorUpdateRejected int
 	// PresolveRows/PresolveCols are the reductions of the structural LP
 	// presolve applied to the root problem (0 when presolve found nothing
 	// or was disabled). The search then runs on the reduced problem.
@@ -370,6 +377,10 @@ func (m *Model) Solve(opt Options) Result {
 		span.SetAttr("lp_candidate_hits", stats.LPCandidateHits)
 		span.SetAttr("lp_ref_resets", stats.LPRefResets)
 		span.SetAttr("lp_dual_flips", stats.LPDualBoundFlips)
+		span.SetAttr("lp_refactor_eta_len", stats.LPRefactorEtaLen)
+		span.SetAttr("lp_refactor_fill", stats.LPRefactorFill)
+		span.SetAttr("lp_refactor_pivot_quality", stats.LPRefactorPivotQuality)
+		span.SetAttr("lp_refactor_update_rejected", stats.LPRefactorUpdateRejected)
 		// Phase breakdown on the span, so trace consumers (traceview) can
 		// attribute solve wall time without access to Stats.
 		span.SetAttr("phases_ms", stats.Phases.MS())
@@ -599,6 +610,13 @@ func (m *Model) Solve(opt Options) Result {
 		// The structural reduction already ran above (or was disabled);
 		// per-node LP presolve would be pure overhead.
 		lpOpt.Presolve = lp.PresolveOff
+		if stats.LPSolves == 0 && lpOpt.Algorithm == lp.AlgorithmAuto {
+			// The root LP has no warm basis to restore; the dual simplex
+			// from the all-slack basis with exact steepest-edge pricing is
+			// the stronger cold algorithm on these models. Node LPs keep
+			// the warm-start dual-restore path.
+			lpOpt.Algorithm = lp.AlgorithmDual
+		}
 		if !opt.NoWarmStart {
 			// Snapshot every optimal basis so children can reoptimize with
 			// dual pivots instead of a cold phase-1 start.
@@ -625,6 +643,10 @@ func (m *Model) Solve(opt Options) Result {
 		stats.LPCandidateHits += res.Stats.CandidateHits
 		stats.LPRefResets += res.Stats.ReferenceResets
 		stats.LPDualBoundFlips += res.Stats.DualBoundFlips
+		stats.LPRefactorEtaLen += res.Stats.RefactorEtaLen
+		stats.LPRefactorFill += res.Stats.RefactorFill
+		stats.LPRefactorPivotQuality += res.Stats.RefactorPivotQuality
+		stats.LPRefactorUpdateRejected += res.Stats.RefactorUpdateRejected
 		if nodes%opt.ProgressEvery == 0 {
 			progress()
 		}

@@ -169,7 +169,7 @@ func (s *simplex) loadBasis(bs *Basis) bool {
 	if s.opt.Engine == EngineDense {
 		s.binv = make([]float64, s.m*s.m)
 	} else {
-		s.lu = &luFactor{}
+		s.lu = &luFactor{ftMode: s.opt.Update.resolve() == UpdateFT}
 	}
 	return s.refactorize()
 }
@@ -201,7 +201,7 @@ func (s *simplex) dualRestoreClassic() (Status, bool) {
 	m := s.m
 	tol := s.opt.Tol
 	cost := s.cost[:s.ncols]
-	maxIters := 40*m + 400
+	maxIters := s.dualIterCap()
 	for it := 0; ; it++ {
 		if it >= maxIters || s.iters >= s.opt.MaxIters {
 			return 0, false
@@ -296,6 +296,7 @@ func (s *simplex) dualRestoreClassic() (Status, bool) {
 		if math.Abs(piv) < 1e-11 {
 			// The sparse alpha and the dense recomputation disagree badly:
 			// rebuild the inverse and retry the row.
+			s.stats.RefactorPivotQuality++
 			if !s.refactorize() {
 				return 0, false
 			}
@@ -361,7 +362,7 @@ func (s *simplex) dualRestoreFast() (Status, bool) {
 		s.resyncPricing(cost)
 	}
 
-	maxIters := 40*m + 400
+	maxIters := s.dualIterCap()
 	for it := 0; ; it++ {
 		if it >= maxIters || s.iters >= s.opt.MaxIters {
 			return 0, false
@@ -506,6 +507,7 @@ func (s *simplex) dualRestoreFast() (Status, bool) {
 		if math.Abs(piv) < 1e-11 {
 			// The sparse alpha and the dense recomputation disagree badly:
 			// rebuild the inverse and retry the row (no flips applied yet).
+			s.stats.RefactorPivotQuality++
 			if !s.refactorize() {
 				return 0, false
 			}
@@ -643,7 +645,7 @@ func (s *simplex) dualWeightUpdate(r int, piv float64) {
 		}
 	}
 
-	if s.pr.rule == PricingSteepest && !s.pr.fellBack {
+	if (s.pr.rule == PricingSteepest && !s.pr.fellBack) || s.dualDSE {
 		// tau = B^{-1} rho^T: the correction term of the exact update.
 		var tau []float64
 		if s.lu != nil {

@@ -70,6 +70,18 @@ type luFactor struct {
 	basisNNZ  int // nonzeros of the basis matrix at the last factorization
 	factorNNZ int // nonzeros of L + U (incl. pivots) at the last factorization
 
+	// Forrest-Tomlin update state (ft.go). ftMode requests the scheme for the
+	// next factorize; the zero value keeps the product-form eta file, so a
+	// bare luFactor behaves exactly as before.
+	ftMode bool
+	ft     ftState
+
+	// Test hooks (ft_test.go): force every update to be rejected, and make
+	// the next factorize report the basis singular, exercising the recovery
+	// ladder (update -> refactorize -> cold solve) deterministically.
+	testRejectUpdates bool
+	testFailFactorize bool
+
 	// Factorization scratch, reused across calls.
 	rwIdx   [][]int32
 	rwVal   [][]float64
@@ -107,26 +119,67 @@ func (f *luFactor) clearEtas() {
 	f.etaVal = f.etaVal[:0]
 }
 
-// etaCount returns the number of product-form updates accumulated since the
-// last factorization.
-func (f *luFactor) etaCount() int { return len(f.etaR) }
-
-// needRefactor reports whether the eta file has outgrown its budget: too
-// many updates, or more update nonzeros than the factorization itself (at
-// which point every FTRAN/BTRAN pays more for the etas than for the LU).
-func (f *luFactor) needRefactor() bool {
-	if len(f.etaR) >= 96 {
-		return true
+// etaCount returns the number of updates accumulated since the last
+// factorization (product-form etas or Forrest-Tomlin exchanges).
+func (f *luFactor) etaCount() int {
+	if f.ft.on {
+		return f.ft.updates
 	}
-	return len(f.etaVal) > 2*f.factorNNZ+4*f.m
+	return len(f.etaR)
 }
 
-// update appends the product-form eta of one basis exchange: w is the
+// refactorReason attributes a refactorization trigger (Stats.Refactor*).
+type refactorReason uint8
+
+const (
+	refactorNone           refactorReason = iota
+	refactorEtaLen                        // update-count budget exhausted
+	refactorFill                          // update-storage fill budget exhausted
+	refactorPivotQuality                  // tiny pivot mid-iteration
+	refactorUpdateRejected                // update rejected on spike-pivot quality
+)
+
+// refactorDue reports whether (and why) the update representation has
+// outgrown its budget. For the eta file: too many updates, or more update
+// nonzeros than the factorization itself (at which point every FTRAN/BTRAN
+// pays more for the etas than for the LU). For Forrest-Tomlin: the looser
+// ftUpdateCap, or the dynamic U plus its row etas growing past the same
+// fill budget (spike fill-in degradation).
+func (f *luFactor) refactorDue() refactorReason {
+	if f.ft.on {
+		if f.ft.updates >= ftUpdateCap {
+			return refactorEtaLen
+		}
+		if f.ft.nnz+len(f.ft.etaMul) > 2*f.factorNNZ+4*f.m {
+			return refactorFill
+		}
+		return refactorNone
+	}
+	if len(f.etaR) >= 96 {
+		return refactorEtaLen
+	}
+	if len(f.etaVal) > 2*f.factorNNZ+4*f.m {
+		return refactorFill
+	}
+	return refactorNone
+}
+
+// needRefactor reports whether the update file has outgrown its budget.
+func (f *luFactor) needRefactor() bool { return f.refactorDue() != refactorNone }
+
+// update folds one basis exchange into the factorization: w is the
 // FTRAN-transformed entering column and leave the basis position it replaces.
-// Returns false when the pivot entry is too small relative to the column —
-// the caller must refactorize (the basis itself, already exchanged, stays
-// valid).
+// Forrest-Tomlin mode edits U in place (ft.go); eta-file mode appends one
+// product-form eta. Returns false when the pivot entry is too small relative
+// to the column — the caller must refactorize (the basis itself, already
+// exchanged, stays valid).
 func (f *luFactor) update(leave int32, w *spVec) bool {
+	if f.testRejectUpdates {
+		return false
+	}
+	if f.ft.on {
+		return f.ftUpdate(leave, w)
+	}
 	wr := w.val[leave]
 	wmax := 0.0
 	for _, i := range w.ind {
@@ -161,8 +214,13 @@ func (f *luFactor) update(leave int32, w *spVec) bool {
 // singular. The eta file is cleared — the factorization alone represents
 // the basis afterwards.
 func (f *luFactor) factorize(m int, basis []int, colIdx [][]int32, colVal [][]float64) bool {
+	if f.testFailFactorize {
+		f.testFailFactorize = false
+		return false
+	}
 	f.reset(m)
 	f.growScratch(m)
+	f.ft.on = false
 
 	// Assemble the working rows (col = basis position).
 	nnz := 0
@@ -195,7 +253,16 @@ func (f *luFactor) factorize(m int, basis []int, colIdx [][]int32, colVal [][]fl
 		}
 		f.eliminate(pr, pk)
 	}
-	f.buildColumnwiseU(m)
+	if f.ftMode {
+		// Forrest-Tomlin updates work on a dynamic U; the static column-wise
+		// transpose is never consulted, so skip building it.
+		for pos, k := range f.pcol {
+			f.stepOf[k] = int32(pos)
+		}
+		f.ftInit(m)
+	} else {
+		f.buildColumnwiseU(m)
+	}
 	f.factorNNZ = len(f.lVal) + len(f.urVal) + m
 	return true
 }

@@ -87,6 +87,12 @@ func (f *luFactor) ftran(a, out *spVec) {
 			a.add(f.lInd[e], -f.lVal[e]*t)
 		}
 	}
+	if f.ft.on {
+		// Forrest-Tomlin: row etas between L and U, then the dynamic U.
+		f.ftApplyEtas(a)
+		f.ftranFT(a, out)
+		return
+	}
 	// Back substitution on U, column-oriented scatter: once x[pcol[k]] is
 	// known it is substituted out of every earlier pivot row at once.
 	out.reset()
@@ -120,30 +126,37 @@ func (f *luFactor) ftran(a, out *spVec) {
 // first). c is consumed.
 func (f *luFactor) btran(c, out *spVec) {
 	m := f.m
-	// Eta file in reverse: right-multiplying by F^{-1} changes only the
-	// pivot-position entry (a short gather per eta).
-	for e := len(f.etaR) - 1; e >= 0; e-- {
-		r := f.etaR[e]
-		d := f.etaDiag[e] * c.val[r]
-		for q := f.etaPtr[e]; q < f.etaPtr[e+1]; q++ {
-			d += f.etaVal[q] * c.val[f.etaInd[q]]
+	if f.ft.on {
+		// Forrest-Tomlin: dynamic U solve plus transposed row etas, then the
+		// shared transposed L pass below.
+		f.btranFT(c, out)
+	} else {
+		// Eta file in reverse: right-multiplying by F^{-1} changes only the
+		// pivot-position entry (a short gather per eta).
+		for e := len(f.etaR) - 1; e >= 0; e-- {
+			r := f.etaR[e]
+			d := f.etaDiag[e] * c.val[r]
+			for q := f.etaPtr[e]; q < f.etaPtr[e+1]; q++ {
+				d += f.etaVal[q] * c.val[f.etaInd[q]]
+			}
+			if d != 0 || c.val[r] != 0 {
+				c.set(r, d)
+			}
 		}
-		if d != 0 || c.val[r] != 0 {
-			c.set(r, d)
-		}
-	}
-	// Solve z U = c in pivot order, scattering each solved component through
-	// the pivot row (row-oriented U). Zero components skip entirely.
-	out.reset()
-	for k := 0; k < m; k++ {
-		t := c.val[f.pcol[k]]
-		if t == 0 {
-			continue
-		}
-		t /= f.upiv[k]
-		out.set(f.prow[k], t)
-		for e := f.urPtr[k]; e < f.urPtr[k+1]; e++ {
-			c.add(f.urInd[e], -f.urVal[e]*t)
+		// Solve z U = c in pivot order, scattering each solved component
+		// through the pivot row (row-oriented U). Zero components skip
+		// entirely.
+		out.reset()
+		for k := 0; k < m; k++ {
+			t := c.val[f.pcol[k]]
+			if t == 0 {
+				continue
+			}
+			t /= f.upiv[k]
+			out.set(f.prow[k], t)
+			for e := f.urPtr[k]; e < f.urPtr[k+1]; e++ {
+				c.add(f.urInd[e], -f.urVal[e]*t)
+			}
 		}
 	}
 	// Transposed elimination pass: y[prow[k]] -= sum L_k[i] * y[i], in
@@ -172,6 +185,10 @@ func (f *luFactor) ftranDense(a, out []float64) {
 		for e := f.lPtr[k]; e < f.lPtr[k+1]; e++ {
 			a[f.lInd[e]] -= f.lVal[e] * t
 		}
+	}
+	if f.ft.on {
+		f.ftranDenseFT(a, out)
+		return
 	}
 	for i := range out[:m] {
 		out[i] = 0

@@ -312,6 +312,106 @@ func ParsePricing(s string) (Pricing, error) {
 	return 0, fmt.Errorf("lp: unknown pricing rule %q (want auto, dantzig, devex or steepest)", s)
 }
 
+// Update selects the basis-update scheme of the sparse engine: how a basis
+// exchange is folded into the LU factorization without refactorizing.
+type Update int
+
+const (
+	// UpdateAuto (the zero value) resolves to UpdateFT.
+	UpdateAuto Update = iota
+	// UpdateFT is the Forrest-Tomlin update: the spike column replaces the
+	// leaving column inside U itself (with row/column permutation bookkeeping
+	// and one sparse row-elimination eta per exchange), keeping U triangular
+	// and compact. FTRAN/BTRAN stay near factorization density, which is what
+	// lets the refactorization interval stretch without the solves paying for
+	// it. See ft.go.
+	UpdateFT
+	// UpdatePFI is the product-form eta file: one dense-ish eta vector per
+	// exchange applied after the LU solves. Kept as the differential-testing
+	// reference for UpdateFT; both schemes are answer-equivalent.
+	UpdatePFI
+)
+
+func (u Update) String() string {
+	switch u {
+	case UpdateAuto:
+		return "auto"
+	case UpdateFT:
+		return "ft"
+	case UpdatePFI:
+		return "pfi"
+	}
+	return "?"
+}
+
+// resolve maps UpdateAuto to the concrete default scheme.
+func (u Update) resolve() Update {
+	if u == UpdateAuto {
+		return UpdateFT
+	}
+	return u
+}
+
+// ParseUpdate parses a CLI basis-update scheme name.
+func ParseUpdate(s string) (Update, error) {
+	switch s {
+	case "", "auto":
+		return UpdateAuto, nil
+	case "ft", "forrest-tomlin":
+		return UpdateFT, nil
+	case "pfi", "eta":
+		return UpdatePFI, nil
+	}
+	return 0, fmt.Errorf("lp: unknown update scheme %q (want auto, ft or pfi)", s)
+}
+
+// Algorithm selects the simplex variant of a cold solve.
+type Algorithm int
+
+const (
+	// AlgorithmAuto (the zero value) resolves to AlgorithmPrimal for plain
+	// solves. The MILP layer (package ilp) resolves it to AlgorithmDual for
+	// the root LP, where the all-slack dual start skips phase 1 entirely.
+	AlgorithmAuto Algorithm = iota
+	// AlgorithmPrimal is the bounded-variable two-phase primal simplex
+	// (artificial-based phase 1), the engine's original algorithm.
+	AlgorithmPrimal
+	// AlgorithmDual runs the dual simplex as the primary algorithm: an
+	// all-slack basis made dual feasible by resting each column on its
+	// reduced-cost-signed bound (imposing temporary artificial bounds on
+	// dual-infeasible free directions — the dual phase 1), then the
+	// bound-flipping dual ratio test with exact dual steepest-edge row
+	// weights until primal feasibility, and a final primal pass that
+	// certifies optimality. Every uncertifiable exit falls back to the
+	// primal algorithm, so the selection never changes an answer.
+	AlgorithmDual
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmAuto:
+		return "auto"
+	case AlgorithmPrimal:
+		return "primal"
+	case AlgorithmDual:
+		return "dual"
+	}
+	return "?"
+}
+
+// ParseAlgorithm parses a CLI algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return AlgorithmAuto, nil
+	case "primal":
+		return AlgorithmPrimal, nil
+	case "dual":
+		return AlgorithmDual, nil
+	}
+	return 0, fmt.Errorf("lp: unknown algorithm %q (want auto, primal or dual)", s)
+}
+
 // PresolveMode gates the LP presolve layer (presolve.go).
 type PresolveMode int
 
@@ -398,9 +498,18 @@ type Stats struct {
 	// Sparse-engine factorization statistics (zero under EngineDense).
 	FactorNNZ int     // nonzeros of L+U at the last refactorization
 	FillRatio float64 // FactorNNZ / basis-matrix nonzeros (fill-in factor)
-	EtaPivots int     // basis exchanges absorbed by eta updates (no refactorization)
+	EtaPivots int     // basis exchanges absorbed by FT/PFI updates (no refactorization)
 	FTRANNnz  int     // result nonzeros across all sparse FTRANs (deterministic work)
 	BTRANNnz  int     // result nonzeros across all sparse BTRANs (deterministic work)
+
+	// Refactorization attribution: why refactorizations beyond the initial
+	// factorization fired. The four reasons partition the recovery paths of
+	// both update schemes; initial/structural factorizations carry no reason,
+	// so the sum can be below Refactorizations.
+	RefactorEtaLen         int // update-count budget exhausted ("eta_len")
+	RefactorFill           int // update-storage fill budget exhausted ("fill")
+	RefactorPivotQuality   int // tiny pivot hit mid-iteration ("pivot_quality")
+	RefactorUpdateRejected int // FT/PFI update rejected on spike-pivot quality ("update_rejected")
 
 	// Pricing-layer statistics (pricing.go; zero under PricingDantzig).
 	CandidateHits   int // pricing iterations served by the candidate list alone
@@ -463,6 +572,17 @@ type Options struct {
 	// presolves cold solves transparently, PresolveOff solves the model as
 	// stated (the differential reference).
 	Presolve PresolveMode
+	// Algorithm selects the simplex variant for cold solves; the zero value
+	// (AlgorithmAuto) is the two-phase primal. AlgorithmDual starts from an
+	// all-slack dual-feasible basis and drives it primal feasible with the
+	// bound-flipping dual ratio test before a final primal certification
+	// pass. Warm-started solves ignore it (the warm path is already a dual
+	// reoptimization).
+	Algorithm Algorithm
+	// Update selects the sparse engine's basis-update scheme; the zero value
+	// (UpdateAuto) is Forrest-Tomlin. UpdatePFI is the product-form eta file
+	// kept as the differential reference. EngineDense ignores it.
+	Update Update
 	// WantDuals populates Result.Duals on optimal solves (one extra BTRAN).
 	WantDuals bool
 }
@@ -501,6 +621,16 @@ func (p *Problem) Solve(opt Options) Result {
 	// problem so a later WarmStart can load it.
 	if opt.Presolve == PresolveAuto && !opt.SnapshotBasis {
 		if res, done := presolvedSolve(p, opt); done {
+			return res
+		}
+	}
+	if opt.Algorithm == AlgorithmDual {
+		// Primary dual simplex; any exit it cannot certify against the
+		// original bounds falls through to the primal algorithm below.
+		if res, s, done := dualSolve(p, opt); done {
+			if opt.SnapshotBasis && res.Status == Optimal {
+				p.engine = s
+			}
 			return res
 		}
 	}

@@ -6,8 +6,10 @@ import "math"
 // rows are dropped, singleton rows become variable bounds, forced rows fix
 // every variable they touch, fixed columns fold into the right-hand side,
 // free continuous column singletons in equality rows are substituted out,
-// and (only when integrality marks are supplied) row activity bounds
-// tighten integer variable bounds. Every reduction is recorded on a
+// doubleton equations eliminate one continuous column by substitution,
+// dominated columns are fixed by duality, parallel continuous columns are
+// merged, and (only when integrality marks are supplied) row activity
+// bounds tighten integer variable bounds. Every reduction is recorded on a
 // postsolve stack so the full-space primal solution — and, via the same
 // stack walked in reverse, the dual values of removed rows — can be
 // recovered exactly.
@@ -45,18 +47,25 @@ const (
 	psRowForced                  // forced row: every column fixed at its extreme
 	psColFixed                   // column fixed: x_j = val
 	psColSubst                   // free column singleton substituted out (with its row)
+	psColDoubleton               // doubleton equation: col substituted out via col2
+	psColParallel                // parallel column folded into col2 (z = x_k + λ x_j)
 )
 
 // psRec is one postsolve record. Field use depends on kind.
 type psRec struct {
 	kind  psKind
-	row   int     // original row index (row kinds, psColSubst)
+	row   int     // original row index (row kinds, psColSubst, psColDoubleton)
 	col   int     // original column index (psRowSingleton, column kinds)
-	a     float64 // coefficient a[row][col] (psRowSingleton, psColSubst)
-	val   float64 // fix value (psColFixed)
-	cj    float64 // working cost of col at removal time (psColSubst)
-	rhs   float64 // row rhs at removal time (psRowSingleton/Forced, psColSubst)
+	col2  int     // partner column (psColDoubleton, psColParallel)
+	a     float64 // coefficient a[row][col] (psRowSingleton, psColSubst, psColDoubleton); λ (psColParallel)
+	val   float64 // fix value (psColFixed); a[row][col2] (psColDoubleton)
+	cj    float64 // working cost of col at removal time (psColSubst, psColDoubleton)
+	rhs   float64 // row rhs at removal time (psRowSingleton/Forced, psColSubst, psColDoubleton)
 	sense Sense
+	lo1   float64 // bounds of col at removal time (psColDoubleton, psColParallel)
+	hi1   float64
+	lo2   float64 // bounds of col2 at removal time, pre-transfer/pre-merge
+	hi2   float64
 	idx   []int32   // row entries at removal time, excluding col (psColSubst)
 	vals  []float64 // — matching coefficients (psColSubst, psRowForced)
 	atLo  []bool    // psRowForced: which bound each entry was fixed at
@@ -233,6 +242,253 @@ func PresolveProblem(p *Problem, popt PresolveOptions) *Presolved {
 			ps.ColsRemoved++
 			ps.RowsRemoved++
 			changed = true
+		}
+
+		// ---- Doubleton equations: a·x_j + b·x_k = rhs with x_j a
+		// continuous column singleton (this row is its only occurrence) is
+		// solved for x_j = (rhs − b·x_k)/a, which leaves the problem
+		// together with the row. x_j's bounds transfer onto x_k and its
+		// cost transfers through the substitution (c_k −= c_j·b/a). This
+		// extends the free-column-singleton rule to bounded columns; the
+		// singleton restriction matters for dual postsolve — rewriting
+		// other alive rows would make later stack records incoherent with
+		// the original matrix that redCost evaluates against. The ratio
+		// guard keeps the substitution multiplier b/a bounded.
+		{
+			cnt := make([]int, n)
+			for i := 0; i < m; i++ {
+				if !rowAlive[i] {
+					continue
+				}
+				for _, j := range rIdx[i] {
+					cnt[j]++
+				}
+			}
+			for i := 0; i < m; i++ {
+				if !rowAlive[i] || senses[i] != EQ || len(rIdx[i]) != 2 {
+					continue
+				}
+				j0, j1 := int(rIdx[i][0]), int(rIdx[i][1])
+				a0, a1 := rVal[i][0], rVal[i][1]
+				// Pick the eliminated column: continuous, occurrence-capped,
+				// preferring the larger |coefficient| as the divisor.
+				j, k := -1, -1
+				var aj, bk float64
+				try := func(jc, kc int, a, b float64) {
+					if j >= 0 || isInt(jc) || cnt[jc] != 1 {
+						return
+					}
+					if math.Abs(a) < tol || math.Abs(b) < tol || math.Abs(a) < 1e-3*math.Abs(b) {
+						return
+					}
+					j, k, aj, bk = jc, kc, a, b
+				}
+				if math.Abs(a0) >= math.Abs(a1) {
+					try(j0, j1, a0, a1)
+					try(j1, j0, a1, a0)
+				} else {
+					try(j1, j0, a1, a0)
+					try(j0, j1, a0, a1)
+				}
+				if j < 0 {
+					continue
+				}
+				r0 := rhs[i] / aj
+				t := bk / aj
+				rec := psRec{kind: psColDoubleton, row: i, col: j, col2: k,
+					a: aj, val: bk, cj: cost[j], rhs: rhs[i], sense: EQ,
+					lo1: lo[j], hi1: hi[j], lo2: lo[k], hi2: hi[k]}
+				// Transfer x_j's bounds onto x_k: x_j = r0 − t·x_k ∈ [lo_j, hi_j].
+				var tlo, thi float64
+				if t > 0 {
+					tlo, thi = (r0-hi[j])/t, (r0-lo[j])/t
+				} else {
+					tlo, thi = (r0-lo[j])/t, (r0-hi[j])/t
+				}
+				if tlo > lo[k] {
+					lo[k] = tlo
+				}
+				if thi < hi[k] {
+					hi[k] = thi
+				}
+				if lo[k] > hi[k]+tol {
+					return infeasible()
+				}
+				fj := cost[j] / aj
+				cost[k] -= fj * bk
+				ps.ObjOffset += fj * rhs[i]
+				rowAlive[i] = false
+				colAlive[j] = false
+				cnt[j] = 0
+				cnt[k]--
+				ps.RowsRemoved++
+				ps.ColsRemoved++
+				ps.stack = append(ps.stack, rec)
+				changed = true
+			}
+		}
+
+		// ---- Duality fixing (dominated columns): if c_j ≥ 0 and every
+		// alive occurrence of x_j has the sign that makes its dual term
+		// nonnegative regardless of the dual values (a ≥ 0 in ≤ rows, whose
+		// duals are ≤ 0; a ≤ 0 in ≥ rows, whose duals are ≥ 0; none in ==
+		// rows), then d_j ≥ 0 at every optimum and x_j sits at its lower
+		// bound; symmetrically c_j ≤ 0 fixes at the upper bound. Sound
+		// against the postsolve stack because earlier eliminated equality
+		// rows contribute through the working cost and later-removed
+		// inequality rows get sign-guarded duals.
+		{
+			okLo := make([]bool, n) // d_j ≥ 0 provable
+			okHi := make([]bool, n) // d_j ≤ 0 provable
+			for j := 0; j < n; j++ {
+				okLo[j], okHi[j] = colAlive[j], colAlive[j]
+			}
+			for i := 0; i < m; i++ {
+				if !rowAlive[i] {
+					continue
+				}
+				for q, j := range rIdx[i] {
+					a := rVal[i][q]
+					switch senses[i] {
+					case EQ:
+						okLo[j], okHi[j] = false, false
+					case LE:
+						if a < 0 {
+							okLo[j] = false
+						}
+						if a > 0 {
+							okHi[j] = false
+						}
+					case GE:
+						if a > 0 {
+							okLo[j] = false
+						}
+						if a < 0 {
+							okHi[j] = false
+						}
+					}
+				}
+			}
+			for j := 0; j < n; j++ {
+				if !colAlive[j] {
+					continue
+				}
+				switch {
+				case okLo[j] && cost[j] >= 0 && !math.IsInf(lo[j], -1):
+					if isInt(j) && math.Abs(lo[j]-math.Round(lo[j])) > 1e-9 {
+						continue
+					}
+					if !dropCol(j, lo[j]) {
+						return infeasible()
+					}
+					changed = true
+				case okHi[j] && cost[j] <= 0 && !math.IsInf(hi[j], 1):
+					if isInt(j) && math.Abs(hi[j]-math.Round(hi[j])) > 1e-9 {
+						continue
+					}
+					if !dropCol(j, hi[j]) {
+						return infeasible()
+					}
+					changed = true
+				}
+			}
+		}
+
+		// ---- Parallel columns: two continuous columns with proportional
+		// matrix columns and costs (A_j = λ·A_k, c_j = λ·c_k) act as one
+		// variable z = x_k + λ·x_j; x_j leaves and x_k's bounds widen to
+		// the merged interval. No dual work is needed — the rows keep their
+		// coefficients on x_k, so d_j = λ·d_k automatically, and every
+		// feasible split of z has the same objective. Postsolve picks the
+		// split matching complementarity.
+		{
+			sigRows := make([][]int32, n)
+			sigVals := make([][]float64, n)
+			for i := 0; i < m; i++ {
+				if !rowAlive[i] {
+					continue
+				}
+				for q, j := range rIdx[i] {
+					sigRows[j] = append(sigRows[j], int32(i))
+					sigVals[j] = append(sigVals[j], rVal[i][q])
+				}
+			}
+			buckets := make(map[uint64][]int)
+			for j := 0; j < n; j++ {
+				if !colAlive[j] || isInt(j) || len(sigRows[j]) == 0 {
+					continue
+				}
+				h := uint64(len(sigRows[j]))
+				for _, r := range sigRows[j] {
+					h = h*1000003 + uint64(r)
+				}
+				buckets[h] = append(buckets[h], j)
+			}
+			for _, cols := range buckets {
+				if len(cols) < 2 {
+					continue
+				}
+				var kept []int
+				for _, j := range cols {
+					merged := false
+					for _, k := range kept {
+						if len(sigRows[j]) != len(sigRows[k]) || sigVals[k][0] == 0 {
+							continue
+						}
+						same := true
+						for q := range sigRows[j] {
+							if sigRows[j][q] != sigRows[k][q] {
+								same = false
+								break
+							}
+						}
+						if !same {
+							continue
+						}
+						lam := sigVals[j][0] / sigVals[k][0]
+						if lam == 0 || math.IsInf(lam, 0) {
+							continue
+						}
+						ok := true
+						for q := range sigVals[j] {
+							if math.Abs(sigVals[j][q]-lam*sigVals[k][q]) > 1e-9*(1+math.Abs(sigVals[j][q])) {
+								ok = false
+								break
+							}
+						}
+						if !ok || math.Abs(cost[j]-lam*cost[k]) > 1e-9*(1+math.Abs(cost[j])+math.Abs(lam*cost[k])) {
+							continue
+						}
+						rec := psRec{kind: psColParallel, col: j, col2: k, a: lam,
+							lo1: lo[j], hi1: hi[j], lo2: lo[k], hi2: hi[k]}
+						if lam > 0 {
+							lo[k], hi[k] = lo[k]+lam*lo[j], hi[k]+lam*hi[j]
+						} else {
+							lo[k], hi[k] = lo[k]+lam*hi[j], hi[k]+lam*lo[j]
+						}
+						for _, r := range sigRows[j] {
+							idx, vals := rIdx[r], rVal[r]
+							for p := range idx {
+								if int(idx[p]) == j {
+									last := len(idx) - 1
+									idx[p], vals[p] = idx[last], vals[last]
+									rIdx[r], rVal[r] = idx[:last], vals[:last]
+									break
+								}
+							}
+						}
+						colAlive[j] = false
+						ps.ColsRemoved++
+						ps.stack = append(ps.stack, rec)
+						changed = true
+						merged = true
+						break
+					}
+					if !merged {
+						kept = append(kept, j)
+					}
+				}
+			}
 		}
 
 		// ---- Row sweep: activity bounds classify each row.
@@ -508,9 +764,57 @@ func (ps *Presolved) Postsolve(xRed []float64) []float64 {
 				v -= rec.vals[q] * x[jj]
 			}
 			x[rec.col] = v / rec.a
+		case psColDoubleton:
+			x[rec.col] = (rec.rhs - rec.val*x[rec.col2]) / rec.a
+		case psColParallel:
+			// Split the merged value z = x_k + λ·x_j: intersect x_j's own
+			// bounds with the values reachable while x_k stays in its
+			// bounds, then take the lowest feasible x_j (which lands both
+			// variables on their proper bounds when z is at a merged
+			// extreme — see the merge-site comment on complementarity).
+			z := x[rec.col2]
+			lam := rec.a
+			var ql, qh float64
+			if lam > 0 {
+				ql, qh = (z-rec.hi2)/lam, (z-rec.lo2)/lam
+			} else {
+				ql, qh = (z-rec.lo2)/lam, (z-rec.hi2)/lam
+			}
+			xl := math.Max(rec.lo1, ql)
+			xh := math.Min(rec.hi1, qh)
+			var xj float64
+			switch {
+			case !math.IsInf(xl, -1):
+				xj = xl
+			case !math.IsInf(xh, 1):
+				xj = math.Min(xh, 0)
+			default:
+				xj = 0
+			}
+			x[rec.col] = xj
+			x[rec.col2] = z - lam*xj
 		}
 	}
 	return x
+}
+
+// psDualViol measures how badly reduced cost d violates complementarity for
+// a variable at value xv within [lo, hi] (minimization: d ≥ 0 at the lower
+// bound, d ≤ 0 at the upper, d == 0 strictly inside).
+func psDualViol(d, xv, lo, hi float64) float64 {
+	const bt = 1e-7
+	atLo := !math.IsInf(lo, -1) && xv <= lo+bt*(1+math.Abs(lo))
+	atHi := !math.IsInf(hi, 1) && xv >= hi-bt*(1+math.Abs(hi))
+	switch {
+	case atLo && atHi:
+		return 0
+	case atLo:
+		return math.Max(0, -d)
+	case atHi:
+		return math.Max(0, d)
+	default:
+		return math.Abs(d)
+	}
 }
 
 // PostsolveDuals lifts reduced-space row duals to the original rows. x must
@@ -539,11 +843,26 @@ func (ps *Presolved) PostsolveDuals(yRed, x []float64) []float64 {
 	cw := append([]float64(nil), ps.origCost...)
 	for k := range ps.stack {
 		rec := &ps.stack[k]
-		if rec.kind == psColSubst {
+		switch rec.kind {
+		case psColSubst:
 			yr := rec.cj / rec.a
 			for q, jj := range rec.idx {
 				cw[jj] -= yr * rec.vals[q]
 			}
+		case psColDoubleton:
+			cw[rec.col2] -= rec.cj / rec.a * rec.val
+		}
+	}
+	// Working primal values at each stack depth: a parallel-column merge
+	// reinterprets the surviving column as the merged variable z = x_k + λ·x_j,
+	// so records between the merge and the end of the stack must see z, not
+	// the final split value. Replay the merges forward; the reverse walk
+	// splits them back as it passes each record.
+	xw := append([]float64(nil), x...)
+	for k := range ps.stack {
+		rec := &ps.stack[k]
+		if rec.kind == psColParallel {
+			xw[rec.col2] += rec.a * xw[rec.col]
 		}
 	}
 	// Reduced cost of original column j: working cost at the current stack
@@ -562,7 +881,7 @@ func (ps *Presolved) PostsolveDuals(yRed, x []float64) []float64 {
 			// The row imposed the bound rhs/a on its column. Only when the
 			// solution sits on that bound can the row be binding.
 			bd := rec.rhs / rec.a
-			if math.Abs(x[rec.col]-bd) > 1e-7*(1+math.Abs(bd)) {
+			if math.Abs(xw[rec.col]-bd) > 1e-7*(1+math.Abs(bd)) {
 				break // y stays 0
 			}
 			yi := redCost(rec.col) / rec.a
@@ -614,6 +933,34 @@ func (ps *Presolved) PostsolveDuals(yRed, x []float64) []float64 {
 			for q, jj := range rec.idx {
 				cw[jj] += yr * rec.vals[q]
 			}
+		case psColDoubleton:
+			// Undo the cost transfer first so redCost evaluates against the
+			// removal-time costs.
+			cw[rec.col2] += rec.cj / rec.a * rec.val
+			dj0 := redCost(rec.col)
+			dk0 := redCost(rec.col2)
+			// Two dual candidates: zero the substituted column's reduced
+			// cost (y = d_j/a, always sign-feasible for x_j) or zero the
+			// partner's (y = d_k/b, needed when x_k is strictly inside its
+			// own bounds because a transferred bound is the active one).
+			// Pick by complementarity against the removal-time bounds.
+			y1 := dj0 / rec.a
+			yi := y1
+			if math.Abs(rec.val) > 1e-12 {
+				y2 := dk0 / rec.val
+				v2 := psDualViol(dj0-y2*rec.a, xw[rec.col], rec.lo1, rec.hi1) +
+					psDualViol(dk0-y2*rec.val, xw[rec.col2], rec.lo2, rec.hi2)
+				v1 := psDualViol(dj0-y1*rec.a, xw[rec.col], rec.lo1, rec.hi1) +
+					psDualViol(dk0-y1*rec.val, xw[rec.col2], rec.lo2, rec.hi2)
+				if v2 < v1 {
+					yi = y2
+				}
+			}
+			y[rec.row] = yi
+		case psColParallel:
+			// Split the merged variable back: records earlier in the stack
+			// predate the merge and must see x_k, not z = x_k + λ·x_j.
+			xw[rec.col2] -= rec.a * xw[rec.col]
 		}
 	}
 	return y

@@ -47,8 +47,11 @@ func TestPresolveFixedColumn(t *testing.T) {
 	if ps == nil || ps.ColsRemoved < 1 {
 		t.Fatalf("presolve did not remove the fixed column: %+v", ps)
 	}
-	if math.Abs(ps.ObjOffset-12) > 1e-9 {
-		t.Fatalf("ObjOffset = %g, want 12", ps.ObjOffset)
+	// 12 from the fixed column, plus 5 more when duality fixing finishes the
+	// job: the singleton row dies imposing x1 >= 5, leaving x1 column-empty
+	// with positive cost, so it is fixed at its lower bound too.
+	if math.Abs(ps.ObjOffset-17) > 1e-9 {
+		t.Fatalf("ObjOffset = %g, want 17", ps.ObjOffset)
 	}
 	res := p.Solve(Options{})
 	if res.Status != Optimal || math.Abs(res.Obj-17) > 1e-9 {
@@ -121,7 +124,14 @@ func TestPresolveIntegerTightening(t *testing.T) {
 	if lo != 0 || hi != 3 {
 		t.Fatalf("integer bounds [%g,%g], want [0,3]", lo, hi)
 	}
-	if psc := PresolveProblem(build(), PresolveOptions{}); psc != nil {
+	// Continuous variant with non-proportional costs (so the parallel-column
+	// merge does not apply): activity tightening must leave continuous
+	// bounds alone, so no reduction remains at all.
+	pc := NewProblem()
+	pc.AddVariable(0, 10, -1)
+	pc.AddVariable(0, 10, -2)
+	pc.AddConstraint([]Coef{{Var: 0, Val: 2}, {Var: 1, Val: 2}}, LE, 7)
+	if psc := PresolveProblem(pc, PresolveOptions{}); psc != nil {
 		if _, hic := psc.Reduced.VarBounds(0); hic != 10 {
 			t.Fatalf("continuous bound tightened to %g — breaks dual postsolve", hic)
 		}

@@ -21,11 +21,13 @@ import (
 // plus the configuration that disagreed with the reference. Bounds are
 // strings so infinities survive encoding/json.
 type lpRepro struct {
-	Pricing  string     `json:"pricing"`
-	Presolve string     `json:"presolve"`
-	Detail   string     `json:"detail"`
-	Vars     []reproVar `json:"vars"`
-	Rows     []reproRow `json:"rows"`
+	Pricing   string     `json:"pricing"`
+	Presolve  string     `json:"presolve"`
+	Algorithm string     `json:"algorithm,omitempty"`
+	Update    string     `json:"update,omitempty"`
+	Detail    string     `json:"detail"`
+	Vars      []reproVar `json:"vars"`
+	Rows      []reproRow `json:"rows"`
 }
 
 type reproVar struct {
@@ -45,9 +47,10 @@ func ffield(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // dumpReproducer writes the failing problem + config as JSON to a temp file
 // and logs its path, so a fuzz failure is replayable without re-deriving the
 // RNG state.
-func dumpReproducer(t *testing.T, p *Problem, pr Pricing, ps PresolveMode, detail string) {
+func dumpReproducer(t *testing.T, p *Problem, o Options, detail string) {
 	t.Helper()
-	repro := lpRepro{Pricing: pr.String(), Presolve: ps.String(), Detail: detail}
+	repro := lpRepro{Pricing: o.Pricing.String(), Presolve: o.Presolve.String(),
+		Algorithm: o.Algorithm.String(), Update: o.Update.String(), Detail: detail}
 	for j := 0; j < p.NumVars(); j++ {
 		lo, hi := p.VarBounds(j)
 		repro.Vars = append(repro.Vars, reproVar{Lo: ffield(lo), Hi: ffield(hi), Cost: p.Cost(j)})
@@ -106,23 +109,25 @@ func feasViolation(p *Problem, x []float64) string {
 	return ""
 }
 
-// TestPricingPresolveDifferential fuzzes random LPs through every pricing
-// rule × presolve mode combination on the sparse engine and requires
-// agreement with the dense Dantzig no-presolve reference on status,
-// objective and primal feasibility. Any mismatch dumps a standalone JSON
-// reproducer. This is the answer-preservation gate for the pricing layer:
-// pricing only changes the pivot sequence, never the optimum.
+// TestPricingPresolveDifferential fuzzes random LPs through the full
+// pricing rule × presolve mode × algorithm (primal/dual) × basis-update
+// scheme (FT/PFI) matrix on the sparse engine and requires agreement with
+// the dense Dantzig no-presolve reference on status, objective and primal
+// feasibility. Any mismatch dumps a standalone JSON reproducer. This is the
+// answer-preservation gate for the whole configurable LP engine: pricing,
+// the update scheme and the dual algorithm only change the pivot sequence,
+// never the optimum.
 func TestPricingPresolveDifferential(t *testing.T) {
-	configs := []struct {
-		pr Pricing
-		ps PresolveMode
-	}{
-		{PricingDantzig, PresolveOff},
-		{PricingDantzig, PresolveAuto},
-		{PricingDevex, PresolveOff},
-		{PricingDevex, PresolveAuto},
-		{PricingSteepest, PresolveOff},
-		{PricingSteepest, PresolveAuto},
+	var configs []Options
+	for _, pr := range []Pricing{PricingDantzig, PricingDevex, PricingSteepest} {
+		for _, ps := range []PresolveMode{PresolveOff, PresolveAuto} {
+			for _, alg := range []Algorithm{AlgorithmPrimal, AlgorithmDual} {
+				for _, up := range []Update{UpdateFT, UpdatePFI} {
+					configs = append(configs, Options{Engine: EngineSparse,
+						Pricing: pr, Presolve: ps, Algorithm: alg, Update: up})
+				}
+			}
+		}
 	}
 	rng := rand.New(rand.NewSource(20150608))
 	trials := 250
@@ -137,11 +142,12 @@ func TestPricingPresolveDifferential(t *testing.T) {
 		counts[ref.Status]++
 		for _, cfg := range configs {
 			q := cloneProblem(p)
-			r := q.Solve(Options{Engine: EngineSparse, Pricing: cfg.pr, Presolve: cfg.ps})
+			r := q.Solve(cfg)
 			fail := func(format string, args ...interface{}) {
 				detail := fmt.Sprintf(format, args...)
-				dumpReproducer(t, p, cfg.pr, cfg.ps, detail)
-				t.Fatalf("trial %d [%v/%v]: %s", trial, cfg.pr, cfg.ps, detail)
+				dumpReproducer(t, p, cfg, detail)
+				t.Fatalf("trial %d [%v/%v/%v/%v]: %s", trial,
+					cfg.Pricing, cfg.Presolve, cfg.Algorithm, cfg.Update, detail)
 			}
 			if r.Status != ref.Status {
 				fail("status %v, reference %v", r.Status, ref.Status)

@@ -75,6 +75,24 @@ type simplex struct {
 	stall  int             // consecutive degenerate pivots
 	clock  *obs.PhaseClock // nil unless Options.CollectPhases
 	mutGen uint64          // Problem.mutGen at build time (engine staleness check)
+
+	// Primary dual-simplex mode (algorithm.go). dualCap overrides the warm
+	// restore's short pivot budget (a primary dual run needs a full-length
+	// one), and dualDSE forces exact dual steepest-edge row weights in
+	// dualWeightUpdate regardless of the column pricing rule.
+	dualCap int
+	dualDSE bool
+}
+
+// dualIterCap is the dual-restore pivot budget: short for warm restores
+// (anything longer is evidence the basis was a bad start and the cold solve
+// should take over), full-length when the dual simplex is the primary
+// algorithm.
+func (s *simplex) dualIterCap() int {
+	if s.dualCap > 0 {
+		return s.dualCap
+	}
+	return 40*s.m + 400
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
@@ -219,7 +237,7 @@ func (s *simplex) coldBasis() {
 		}
 		return
 	}
-	s.lu = &luFactor{}
+	s.lu = &luFactor{ftMode: s.opt.Update.resolve() == UpdateFT}
 	// The diagonal initial basis factorizes trivially (all singletons); a
 	// failure here is impossible, but fall back to marking every stat anyway.
 	s.lu.factorize(m, s.basis, s.colIdx, s.colVal)
@@ -378,12 +396,23 @@ func (s *simplex) computePivotColumn(enter int) {
 // refactorization) — the caller must give up on the solve.
 func (s *simplex) updateBasisRep(leave int) bool {
 	if s.lu != nil {
-		if s.lu.update(int32(leave), &s.wv) && !s.lu.needRefactor() {
+		if !s.lu.update(int32(leave), &s.wv) {
+			// Update rejected on spike-pivot quality: rebuild from the
+			// (already exchanged) basis.
+			s.stats.RefactorUpdateRejected++
+			return s.refactorize()
+		}
+		reason := s.lu.refactorDue()
+		if reason == refactorNone {
 			s.stats.EtaPivots++
 			return true
 		}
-		// Pivot numerically unacceptable or eta budget exhausted: rebuild
-		// from the (already exchanged) basis.
+		// Update absorbed but the update file outgrew its budget.
+		if reason == refactorEtaLen {
+			s.stats.RefactorEtaLen++
+		} else {
+			s.stats.RefactorFill++
+		}
 		return s.refactorize()
 	}
 	m := s.m
@@ -742,6 +771,7 @@ func (s *simplex) iterate(cost []float64) Status {
 					s.xB[i] -= t * (-enterDir * s.w[i])
 				}
 			}
+			s.stats.RefactorPivotQuality++
 			if !s.refactorize() {
 				return IterLimit
 			}

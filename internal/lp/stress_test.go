@@ -118,7 +118,9 @@ func TestIterLimitStatus(t *testing.T) {
 		cs = append(cs, Coef{v, 1})
 	}
 	p.AddConstraint(cs, LE, 5)
-	res := p.Solve(Options{MaxIters: 1})
+	// Presolve off: the parallel-column merge plus duality fixing would
+	// otherwise solve this without a single simplex iteration.
+	res := p.Solve(Options{MaxIters: 1, Presolve: PresolveOff})
 	if res.Status == Optimal {
 		t.Fatalf("1 iteration should not reach optimality here")
 	}

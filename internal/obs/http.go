@@ -181,6 +181,23 @@ type LPStatus struct {
 	DualBoundFlips int64  `json:"dual_bound_flips"`
 	PresolveRows   int64  `json:"presolve_rows"`
 	PresolveCols   int64  `json:"presolve_cols"`
+
+	// Refactorization-trigger split across all node LPs (zero before the
+	// Forrest–Tomlin update layer ran a solve).
+	RefactorEtaLen         int64 `json:"refactor_eta_len"`
+	RefactorFill           int64 `json:"refactor_fill"`
+	RefactorPivotQuality   int64 `json:"refactor_pivot_quality"`
+	RefactorUpdateRejected int64 `json:"refactor_update_rejected"`
+}
+
+// LPStatDelta is one solve's LP counter contribution, folded into the
+// /statusz LP block by AddLPStats. A struct rather than positional ints: the
+// counter list has grown past the point where call sites stay readable.
+type LPStatDelta struct {
+	CandidateHits, RefResets, DualBoundFlips     int
+	PresolveRows, PresolveCols                   int
+	RefactorEtaLen, RefactorFill                 int
+	RefactorPivotQuality, RefactorUpdateRejected int
 }
 
 // CalibStatus is the calibration evidence surfaced on /statusz: the machine
@@ -257,9 +274,9 @@ func (s *Status) SetLPConfig(cfg string) {
 	s.lp.Config = cfg
 }
 
-// AddLPStats folds one solve's LP pricing/presolve counters into the
-// /statusz LP block (no-op until SetLPConfig created the block).
-func (s *Status) AddLPStats(candHits, refResets, dualFlips, psRows, psCols int) {
+// AddLPStats folds one solve's LP pricing/presolve/refactorization counters
+// into the /statusz LP block (no-op until SetLPConfig created the block).
+func (s *Status) AddLPStats(d LPStatDelta) {
 	if s == nil {
 		return
 	}
@@ -268,11 +285,15 @@ func (s *Status) AddLPStats(candHits, refResets, dualFlips, psRows, psCols int) 
 	if s.lp == nil {
 		return
 	}
-	s.lp.CandidateHits += int64(candHits)
-	s.lp.RefResets += int64(refResets)
-	s.lp.DualBoundFlips += int64(dualFlips)
-	s.lp.PresolveRows += int64(psRows)
-	s.lp.PresolveCols += int64(psCols)
+	s.lp.CandidateHits += int64(d.CandidateHits)
+	s.lp.RefResets += int64(d.RefResets)
+	s.lp.DualBoundFlips += int64(d.DualBoundFlips)
+	s.lp.PresolveRows += int64(d.PresolveRows)
+	s.lp.PresolveCols += int64(d.PresolveCols)
+	s.lp.RefactorEtaLen += int64(d.RefactorEtaLen)
+	s.lp.RefactorFill += int64(d.RefactorFill)
+	s.lp.RefactorPivotQuality += int64(d.RefactorPivotQuality)
+	s.lp.RefactorUpdateRejected += int64(d.RefactorUpdateRejected)
 }
 
 // JobStart records that worker began executing the named job.

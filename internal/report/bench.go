@@ -101,11 +101,20 @@ type BenchCase struct {
 
 // BenchLPStats is the per-case LP pricing/presolve counter block.
 type BenchLPStats struct {
-	CandidateHits  int `json:"candidate_hits,omitempty"`  // pricing rounds served from the candidate list
-	RefResets      int `json:"ref_resets,omitempty"`      // devex/steepest reference-framework resets
+	CandidateHits  int `json:"candidate_hits,omitempty"`   // pricing rounds served from the candidate list
+	RefResets      int `json:"ref_resets,omitempty"`       // devex/steepest reference-framework resets
 	DualBoundFlips int `json:"dual_bound_flips,omitempty"` // bound-flip ratio-test flips
-	PresolveRows   int `json:"presolve_rows,omitempty"`   // rows removed by structural presolve
-	PresolveCols   int `json:"presolve_cols,omitempty"`   // columns removed by structural presolve
+	PresolveRows   int `json:"presolve_rows,omitempty"`    // rows removed by structural presolve
+	PresolveCols   int `json:"presolve_cols,omitempty"`    // columns removed by structural presolve
+
+	// Refactorization-trigger split across all node LPs (documents recorded
+	// before the Forrest–Tomlin update layer omit these). Like the pricing
+	// counters they are informational, not part of the pinned work vector:
+	// the split depends on the update rule under comparison.
+	RefactorEtaLen         int `json:"refactor_eta_len,omitempty"`         // update-count budget reached
+	RefactorFill           int `json:"refactor_fill,omitempty"`            // update-storage fill budget exceeded
+	RefactorPivotQuality   int `json:"refactor_pivot_quality,omitempty"`   // tiny pivot mid-iteration
+	RefactorUpdateRejected int `json:"refactor_update_rejected,omitempty"` // FT/PFI update rejected on spike pivot
 }
 
 // BenchProfile is a per-case top-N summary from obs.Sampler.
@@ -307,7 +316,9 @@ func ValidateBench(data []byte) (*BenchDoc, error) {
 		}
 		if l := c.LP; l != nil {
 			if l.CandidateHits < 0 || l.RefResets < 0 || l.DualBoundFlips < 0 ||
-				l.PresolveRows < 0 || l.PresolveCols < 0 {
+				l.PresolveRows < 0 || l.PresolveCols < 0 ||
+				l.RefactorEtaLen < 0 || l.RefactorFill < 0 ||
+				l.RefactorPivotQuality < 0 || l.RefactorUpdateRejected < 0 {
 				return nil, fmt.Errorf("bench: case %q: negative LP counter in %+v", c.Name, *l)
 			}
 			if c.Solver != "ilp" {

@@ -45,6 +45,14 @@ type SolveTrace struct {
 	PresolveRows    int
 	PresolveCols    int
 
+	// Refactorization-trigger split across the solve's node LPs (zero on
+	// traces predating the Forrest–Tomlin update layer): update-count budget,
+	// update-storage fill budget, tiny mid-iteration pivot, rejected update.
+	LPRefactorEtaLen         int64
+	LPRefactorFill           int64
+	LPRefactorPivotQuality   int64
+	LPRefactorUpdateRejected int64
+
 	// PhasesMS is the solver's own wall-time attribution in milliseconds.
 	PhasesMS map[string]float64
 
@@ -125,6 +133,18 @@ func ExtractSolves(tree *obs.TraceTree) []SolveTrace {
 		}
 		if v, ok := n.AttrFloat("presolve_cols"); ok {
 			st.PresolveCols = int(v)
+		}
+		if v, ok := n.AttrFloat("lp_refactor_eta_len"); ok {
+			st.LPRefactorEtaLen = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_refactor_fill"); ok {
+			st.LPRefactorFill = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_refactor_pivot_quality"); ok {
+			st.LPRefactorPivotQuality = int64(v)
+		}
+		if v, ok := n.AttrFloat("lp_refactor_update_rejected"); ok {
+			st.LPRefactorUpdateRejected = int64(v)
 		}
 		if ph, ok := n.Attr("phases_ms").(map[string]interface{}); ok {
 			st.PhasesMS = make(map[string]float64, len(ph))
@@ -331,7 +351,13 @@ func WriteNodeCSV(w io.Writer, solves []SolveTrace) error {
 // telemetry worth rendering (ilp solves from producers that stamp it).
 func (s *SolveTrace) HasLPStats() bool {
 	return s.LPCandidateHits > 0 || s.LPRefResets > 0 || s.LPDualFlips > 0 ||
-		s.PresolveRows > 0 || s.PresolveCols > 0
+		s.PresolveRows > 0 || s.PresolveCols > 0 || s.LPRefactorTotal() > 0
+}
+
+// LPRefactorTotal sums the solve's refactorization triggers.
+func (s *SolveTrace) LPRefactorTotal() int64 {
+	return s.LPRefactorEtaLen + s.LPRefactorFill +
+		s.LPRefactorPivotQuality + s.LPRefactorUpdateRejected
 }
 
 // PricingLine renders the solve's LP pricing/presolve telemetry, with the
@@ -343,8 +369,14 @@ func (s *SolveTrace) PricingLine() string {
 		hits += fmt.Sprintf(" (%.0f%% of %d iters)",
 			100*float64(s.LPCandidateHits)/float64(s.LPIters), s.LPIters)
 	}
-	return fmt.Sprintf("%s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d",
+	line := fmt.Sprintf("%s, ref_resets=%d, dual_flips=%d; presolve rows=%d cols=%d",
 		hits, s.LPRefResets, s.LPDualFlips, s.PresolveRows, s.PresolveCols)
+	if s.LPRefactorTotal() > 0 {
+		line += fmt.Sprintf("; refactor eta_len=%d fill=%d pivot=%d rejected=%d",
+			s.LPRefactorEtaLen, s.LPRefactorFill,
+			s.LPRefactorPivotQuality, s.LPRefactorUpdateRejected)
+	}
+	return line
 }
 
 // PhaseTotal sums a solve's phase attribution in milliseconds.
